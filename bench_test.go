@@ -1,0 +1,405 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section 7), plus the ablations called out in DESIGN.md. Each figure
+// benchmark runs the full experiment per iteration and reports the headline
+// quantities as custom metrics, so `go test -bench=. -benchmem` both
+// exercises the system end to end and prints the reproduced results.
+package filterdir
+
+import (
+	"fmt"
+	"testing"
+
+	"filterdir/internal/containment"
+	"filterdir/internal/dit"
+	"filterdir/internal/dn"
+	"filterdir/internal/entry"
+	"filterdir/internal/filter"
+	"filterdir/internal/ldapnet"
+	"filterdir/internal/metrics"
+	"filterdir/internal/query"
+	"filterdir/internal/resync"
+	"filterdir/internal/selection"
+	"filterdir/internal/sim"
+	"filterdir/internal/workload"
+)
+
+// benchConfig keeps the per-iteration experiment cost moderate.
+func benchConfig() sim.Config {
+	return sim.Config{
+		Employees:       3000,
+		MeasureQueries:  3000,
+		WarmupQueries:   3000,
+		BudgetFractions: []float64{0.02, 0.05, 0.10, 0.20, 0.35},
+		Updates:         1500,
+		Seed:            1,
+		PayloadBytes:    128,
+	}
+}
+
+func reportSeries(b *testing.B, fig *metrics.Figure, name, metric string, x float64) {
+	b.Helper()
+	s := fig.SeriesByName(name)
+	if s == nil {
+		b.Fatalf("series %q missing", name)
+	}
+	if y, ok := s.YAt(x); ok {
+		b.ReportMetric(y, metric)
+	}
+}
+
+// BenchmarkTable1WorkloadMix regenerates the Table 1 query-type mix.
+func BenchmarkTable1WorkloadMix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := sim.Table1(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSeries(b, fig, "measured %", "serial_pct", 1)
+			reportSeries(b, fig, "measured %", "mail_pct", 2)
+		}
+	}
+}
+
+// BenchmarkFigure2ReferralRoundTrips measures the referral mechanism of
+// Figure 2 over real TCP: one subtree search across three servers.
+func BenchmarkFigure2ReferralRoundTrips(b *testing.B) {
+	storeA, err := dit.NewStore([]string{"o=xyz"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mustAdd := func(st *dit.Store, dnStr string, attrs map[string][]string) {
+		e := entry.New(dn.MustParse(dnStr))
+		for k, v := range attrs {
+			e.Put(k, v...)
+		}
+		if err := st.Add(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	mustAdd(storeA, "o=xyz", map[string][]string{"objectclass": {"organization"}, "o": {"xyz"}})
+	mustAdd(storeA, "c=us,o=xyz", map[string][]string{"objectclass": {"country"}, "c": {"us"}})
+	mustAdd(storeA, "ou=research,c=us,o=xyz", map[string][]string{
+		"objectclass": {dit.ReferralClass}, dit.RefAttr: {"ldap://hostB/ou=research,c=us,o=xyz"}})
+	mustAdd(storeA, "c=in,o=xyz", map[string][]string{
+		"objectclass": {dit.ReferralClass}, dit.RefAttr: {"ldap://hostC/c=in,o=xyz"}})
+
+	storeB, err := dit.NewStore([]string{"ou=research,c=us,o=xyz"}, dit.WithDefaultReferral("ldap://hostA"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mustAdd(storeB, "ou=research,c=us,o=xyz", map[string][]string{"objectclass": {"organizationalUnit"}, "ou": {"research"}})
+	mustAdd(storeB, "cn=John Doe,ou=research,c=us,o=xyz", map[string][]string{
+		"objectclass": {"person"}, "cn": {"John Doe"}, "sn": {"Doe"}})
+	storeC, err := dit.NewStore([]string{"c=in,o=xyz"}, dit.WithDefaultReferral("ldap://hostA"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mustAdd(storeC, "c=in,o=xyz", map[string][]string{"objectclass": {"country"}, "c": {"in"}})
+
+	srvA, err := ldapnet.Serve("127.0.0.1:0", ldapnet.NewStoreBackend(storeA))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srvA.Close()
+	srvB, err := ldapnet.Serve("127.0.0.1:0", ldapnet.NewStoreBackend(storeB))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srvB.Close()
+	srvC, err := ldapnet.Serve("127.0.0.1:0", ldapnet.NewStoreBackend(storeC))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srvC.Close()
+
+	q := query.MustNew("o=xyz", query.ScopeSubtree, "(objectclass=*)")
+	b.ResetTimer()
+	var lastRT int
+	for i := 0; i < b.N; i++ {
+		r := ldapnet.NewResolver()
+		r.Register("hostA", srvA.Addr())
+		r.Register("hostB", srvB.Addr())
+		r.Register("hostC", srvC.Addr())
+		if _, err := r.SearchChasing("hostB", q); err != nil {
+			b.Fatal(err)
+		}
+		lastRT = r.RoundTrips()
+		r.Close()
+	}
+	b.ReportMetric(float64(lastRT), "round_trips")
+}
+
+// benchFigure runs one experiment per iteration, reporting headline points.
+func benchFigure(b *testing.B, id string, report func(*testing.B, *metrics.Figure)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		fig, err := sim.ByID(id, benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			report(b, fig)
+		}
+	}
+}
+
+// BenchmarkFigure4HitRatioVsReplicaSize reproduces Figure 4.
+func BenchmarkFigure4HitRatioVsReplicaSize(b *testing.B) {
+	benchFigure(b, "figure4", func(b *testing.B, fig *metrics.Figure) {
+		reportSeries(b, fig, "filter-based", "filter_hit_at_10pct", 0.10)
+		reportSeries(b, fig, "subtree-based", "subtree_hit_at_10pct", 0.10)
+		reportSeries(b, fig, "filter-based", "filter_hit_at_35pct", 0.35)
+		reportSeries(b, fig, "subtree-based", "subtree_hit_at_35pct", 0.35)
+	})
+}
+
+// BenchmarkFigure5DeptHitRatio reproduces Figure 5.
+func BenchmarkFigure5DeptHitRatio(b *testing.B) {
+	benchFigure(b, "figure5", func(b *testing.B, fig *metrics.Figure) {
+		reportSeries(b, fig, "filter R=6000", "r6000_hit_at_20pct", 0.20)
+		reportSeries(b, fig, "filter R=10000", "r10000_hit_at_20pct", 0.20)
+	})
+}
+
+// BenchmarkFigure6UpdateTraffic reproduces Figure 6.
+func BenchmarkFigure6UpdateTraffic(b *testing.B) {
+	benchFigure(b, "figure6", func(b *testing.B, fig *metrics.Figure) {
+		if s := fig.SeriesByName("filter-based"); s != nil {
+			b.ReportMetric(s.MaxY(), "filter_max_traffic")
+		}
+		if s := fig.SeriesByName("subtree-based"); s != nil {
+			b.ReportMetric(s.MaxY(), "subtree_max_traffic")
+		}
+	})
+}
+
+// BenchmarkFigure7DeptUpdateTraffic reproduces Figure 7.
+func BenchmarkFigure7DeptUpdateTraffic(b *testing.B) {
+	benchFigure(b, "figure7", func(b *testing.B, fig *metrics.Figure) {
+		if s := fig.SeriesByName("filter R=6000"); s != nil {
+			b.ReportMetric(s.MaxY(), "r6000_max_traffic")
+		}
+		if s := fig.SeriesByName("filter R=10000"); s != nil {
+			b.ReportMetric(s.MaxY(), "r10000_max_traffic")
+		}
+		if s := fig.SeriesByName("subtree-based"); s != nil {
+			b.ReportMetric(s.MaxY(), "subtree_max_traffic")
+		}
+	})
+}
+
+// BenchmarkFigure8HitRatioVsFilters reproduces Figure 8.
+func BenchmarkFigure8HitRatioVsFilters(b *testing.B) {
+	benchFigure(b, "figure8", func(b *testing.B, fig *metrics.Figure) {
+		reportSeries(b, fig, "user queries only", "user_hit_at_200", 200)
+		reportSeries(b, fig, "generalized only", "gen_hit_at_200", 200)
+		reportSeries(b, fig, "generalized + user", "both_hit_at_200", 200)
+	})
+}
+
+// BenchmarkFigure9DeptHitRatioVsFilters reproduces Figure 9.
+func BenchmarkFigure9DeptHitRatioVsFilters(b *testing.B) {
+	benchFigure(b, "figure9", func(b *testing.B, fig *metrics.Figure) {
+		reportSeries(b, fig, "user queries only", "user_hit_at_200", 200)
+		reportSeries(b, fig, "generalized only", "gen_hit_at_200", 200)
+		reportSeries(b, fig, "generalized + user", "both_hit_at_200", 200)
+	})
+}
+
+// BenchmarkMailLocationQueries reproduces the Section 7.2(c) observations.
+func BenchmarkMailLocationQueries(b *testing.B) {
+	benchFigure(b, "mail-location", func(b *testing.B, fig *metrics.Figure) {
+		reportSeries(b, fig, "hit ratio", "mail_generalized_hit", 1)
+		reportSeries(b, fig, "hit ratio", "mail_cached_hit", 2)
+		reportSeries(b, fig, "hit ratio", "location_hit", 3)
+	})
+}
+
+// --- Ablations (DESIGN.md Section 5) -----------------------------------------
+
+// BenchmarkContainmentTemplateVsNaive compares a compiled template-pair
+// containment decision against the naive per-pair Proposition 1 check.
+func BenchmarkContainmentTemplateVsNaive(b *testing.B) {
+	f1 := filter.MustParse("(&(objectclass=inetorgperson)(departmentnumber=2406))")
+	f2 := filter.MustParse("(&(objectclass=inetorgperson)(departmentnumber=240*))")
+	b.Run("compiled", func(b *testing.B) {
+		c := containment.NewChecker()
+		c.FilterContains(f1, f2)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !c.FilterContains(f1, f2) {
+				b.Fatal("expected containment")
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ok, err := containment.FilterContainsGeneric(f1, f2)
+			if err != nil || !ok {
+				b.Fatal("expected containment")
+			}
+		}
+	})
+}
+
+// BenchmarkDITIndexVsScan compares index-assisted search with a subtree
+// scan over the synthetic directory.
+func BenchmarkDITIndexVsScan(b *testing.B) {
+	build := func(index bool) *workload.Directory {
+		cfg := workload.DefaultDirectoryConfig(3000)
+		cfg.PayloadBytes = 64
+		if !index {
+			cfg.IndexAttrs = nil
+		}
+		dir, err := workload.BuildDirectory(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return dir
+	}
+	run := func(b *testing.B, dir *workload.Directory) {
+		q := query.MustNew("", query.ScopeSubtree,
+			fmt.Sprintf("(serialnumber=%s)", dir.Employees[1234].Serial))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if got := dir.Master.MatchAll(q); len(got) != 1 {
+				b.Fatalf("got %d entries", len(got))
+			}
+		}
+	}
+	b.Run("indexed", func(b *testing.B) { run(b, build(true)) })
+	b.Run("scan", func(b *testing.B) { run(b, build(false)) })
+}
+
+// BenchmarkResyncVsBaselines compares the synchronization traffic of the
+// ReSync protocol against the retain-mode, tombstone and full-reload
+// baselines for the same update burst.
+func BenchmarkResyncVsBaselines(b *testing.B) {
+	cfg := workload.DefaultDirectoryConfig(2000)
+	cfg.PayloadBytes = 128
+	spec := query.MustNew("", query.ScopeSubtree, "(serialnumber=10*)")
+
+	var resyncBytes, retainBytes, tombBytes, reloadBytes float64
+	for i := 0; i < b.N; i++ {
+		dir, err := workload.BuildDirectory(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := resync.NewEngine(dir.Master)
+		ts := resync.NewTombstoneServer(dir.Master)
+
+		resA, err := eng.Begin(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resB, err := eng.Begin(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, tsSess := ts.Begin(spec)
+
+		upd := workload.NewUpdater(dir, workload.DefaultUpdateConfig())
+		if _, err := upd.Apply(800); err != nil {
+			b.Fatal(err)
+		}
+
+		polled, err := eng.Poll(resA.Cookie)
+		if err != nil {
+			b.Fatal(err)
+		}
+		retained, err := eng.PollRetain(resB.Cookie)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tombs, ok := ts.Poll(tsSess)
+		if !ok {
+			b.Fatal("tombstone poll failed")
+		}
+		reload := resync.FullReload(dir.Master, spec)
+
+		var t1, t2, t3, t4 resync.Traffic
+		for _, u := range polled.Updates {
+			t1.Add(u)
+		}
+		for _, u := range retained.Updates {
+			t2.Add(u)
+		}
+		for _, u := range tombs.Updates {
+			t3.Add(u)
+		}
+		for _, u := range reload {
+			t4.Add(u)
+		}
+		resyncBytes, retainBytes = float64(t1.Bytes), float64(t2.Bytes)
+		tombBytes, reloadBytes = float64(t3.Bytes), float64(t4.Bytes)
+	}
+	b.ReportMetric(resyncBytes, "resync_bytes")
+	b.ReportMetric(retainBytes, "retain_bytes")
+	b.ReportMetric(tombBytes, "tombstone_bytes")
+	b.ReportMetric(reloadBytes, "reload_bytes")
+}
+
+// BenchmarkSelectionPolicies compares the paper's periodic benefit/size
+// revolution against the EDBT evolution/revolution baseline on a drifting
+// workload, reporting achieved hit ratios and stored-set churn.
+func BenchmarkSelectionPolicies(b *testing.B) {
+	cfg := workload.DefaultDirectoryConfig(2000)
+	cfg.PayloadBytes = 64
+	var periodicHits, evoHits, evoChurn float64
+	for i := 0; i < b.N; i++ {
+		dir, err := workload.BuildDirectory(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sizeOf := func(q query.Query) int { return len(dir.Master.MatchAll(q)) }
+		rules := []selection.Rule{selection.PrefixRule{Attr: "serialnumber", PrefixLen: workload.SerialPrefixLen}}
+		budget := dir.EmployeeCount / 10
+
+		run := func(observe func(query.Query) *selection.Delta, stored func() map[string]bool) float64 {
+			tc := workload.DefaultTraceConfig()
+			g := workload.NewGenerator(dir, tc)
+			hits := 0
+			const n = 3000
+			for j := 0; j < n; j++ {
+				if j == n/2 {
+					g.Reshuffle(99)
+				}
+				tq := g.NextOfKind(workload.KindSerial)
+				obs := tq.Query
+				obs.Base = dn.Root
+				// A hit means some stored filter contains the query; with
+				// prefix candidates this is a prefix check on the key set.
+				pfx := obs.Filter.SlotValues()[0][:workload.SerialPrefixLen]
+				if stored()[pfx] {
+					hits++
+				}
+				observe(obs)
+			}
+			return float64(hits) / float64(n)
+		}
+
+		storedPrefixes := func(qs []query.Query) map[string]bool {
+			out := make(map[string]bool, len(qs))
+			for _, q := range qs {
+				vals := q.Filter.SlotValues()
+				if len(vals) > 0 {
+					out[vals[0]] = true
+				}
+			}
+			return out
+		}
+
+		sel := selection.NewSelector(selection.NewGeneralizer(rules...), sizeOf, budget, 500)
+		periodicHits = run(sel.Observe, func() map[string]bool { return storedPrefixes(sel.StoredSet()) })
+
+		evo := selection.NewEvolutionSelector(selection.NewGeneralizer(rules...), sizeOf, budget)
+		evoHits = run(evo.Observe, func() map[string]bool { return storedPrefixes(evo.StoredSet()) })
+		evoChurn = float64(evo.Evolutions + evo.Revolutions)
+	}
+	b.ReportMetric(periodicHits, "periodic_hit_ratio")
+	b.ReportMetric(evoHits, "evolution_hit_ratio")
+	b.ReportMetric(evoChurn, "evolution_churn")
+}

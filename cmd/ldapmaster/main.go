@@ -1,0 +1,136 @@
+// Command ldapmaster serves a directory over the LDAP wire protocol. The
+// directory is loaded from a durable data directory (snapshot + journal),
+// from LDIF, or generated synthetically; with -data, updates are journaled
+// to disk and a checkpoint is written on shutdown.
+//
+// Usage:
+//
+//	ldapmaster -addr 127.0.0.1:3890 -employees 5000
+//	ldapmaster -addr 127.0.0.1:3890 -ldif dir.ldif -suffix o=xyz
+//	ldapmaster -addr 127.0.0.1:3890 -data /var/lib/filterdir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"filterdir"
+	"filterdir/internal/ldif"
+	"filterdir/internal/persist"
+	"filterdir/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:3890", "listen address")
+	ldifPath := flag.String("ldif", "", "LDIF file to load (otherwise synthetic)")
+	dataDir := flag.String("data", "", "durable data directory (snapshot + journal)")
+	journalEvery := flag.Duration("journal-every", 5*time.Second, "journal flush interval with -data")
+	suffix := flag.String("suffix", "o=xyz", "naming-context suffix")
+	employees := flag.Int("employees", 5000, "synthetic directory population")
+	seed := flag.Int64("seed", 1, "deterministic seed for the synthetic directory")
+	flag.Parse()
+
+	if err := run(*addr, *ldifPath, *dataDir, *journalEvery, *suffix, *employees, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "ldapmaster:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, ldifPath, dataDir string, journalEvery time.Duration, suffix string, employees int, seed int64) error {
+	var store *filterdir.Directory
+	var home *persist.Dir
+	if dataDir != "" {
+		home = &persist.Dir{Path: dataDir}
+		st, err := home.Open([]string{suffix},
+			filterdir.WithIndexes("serialnumber", "mail", "dept", "location", "uid"))
+		if err != nil {
+			return err
+		}
+		store = st
+		if store.Len() == 0 && ldifPath == "" {
+			// First run: seed with the synthetic directory and checkpoint.
+			cfg := workload.DefaultDirectoryConfig(employees)
+			cfg.Seed = seed
+			dir, err := workload.BuildDirectory(cfg)
+			if err != nil {
+				return err
+			}
+			store = dir.Master
+			if err := home.Checkpoint(store); err != nil {
+				return err
+			}
+		}
+	} else if ldifPath != "" {
+		st, err := filterdir.NewDirectory([]string{suffix},
+			filterdir.WithIndexes("serialnumber", "mail", "dept", "location", "uid"))
+		if err != nil {
+			return err
+		}
+		f, err := os.Open(ldifPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		entries, err := ldif.Read(f)
+		if err != nil {
+			return err
+		}
+		sort.Slice(entries, func(i, j int) bool {
+			return entries[i].DN().Depth() < entries[j].DN().Depth()
+		})
+		if err := st.Load(entries); err != nil {
+			return err
+		}
+		store = st
+	} else {
+		cfg := workload.DefaultDirectoryConfig(employees)
+		cfg.Seed = seed
+		dir, err := workload.BuildDirectory(cfg)
+		if err != nil {
+			return err
+		}
+		store = dir.Master
+	}
+
+	srv, err := filterdir.ServeDirectory(addr, store)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ldapmaster: serving %d entries on %s (suffix %s)\n", store.Len(), srv.Addr(), suffix)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if home == nil {
+		<-sig
+		fmt.Println("ldapmaster: shutting down")
+		return srv.Close()
+	}
+
+	// Durable mode: journal committed changes periodically, checkpoint on
+	// shutdown.
+	watermark := store.LastCSN()
+	ticker := time.NewTicker(journalEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			w, err := home.AppendChanges(store, watermark)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ldapmaster: journal: %v\n", err)
+				continue
+			}
+			watermark = w
+		case <-sig:
+			fmt.Println("ldapmaster: checkpointing and shutting down")
+			if err := home.Checkpoint(store); err != nil {
+				fmt.Fprintf(os.Stderr, "ldapmaster: checkpoint: %v\n", err)
+			}
+			return srv.Close()
+		}
+	}
+}

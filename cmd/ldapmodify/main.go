@@ -1,0 +1,140 @@
+// Command ldapmodify applies update operations to an LDAP server.
+//
+// Usage:
+//
+//	ldapmodify -h 127.0.0.1:3890 -dn 'cn=x,o=xyz' -replace 'mail=new@x' -add 'phone=123'
+//	ldapmodify -h 127.0.0.1:3890 -dn 'cn=x,o=xyz' -deleteattr phone
+//	ldapmodify -h 127.0.0.1:3890 -dn 'cn=x,o=xyz' -delete            # delete the entry
+//	ldapmodify -h 127.0.0.1:3890 -addentry -dn 'cn=y,o=xyz' -replace 'objectclass=person' -replace 'cn=y' -replace 'sn=y'
+//	ldapmodify -h 127.0.0.1:3890 -dn 'cn=x,o=xyz' -rename 'cn=z' -newsuperior 'ou=a,o=xyz'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"filterdir"
+)
+
+type kvList []string
+
+func (l *kvList) String() string { return strings.Join(*l, ",") }
+
+func (l *kvList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	host := flag.String("h", "127.0.0.1:3890", "server address")
+	dnStr := flag.String("dn", "", "target entry DN")
+	del := flag.Bool("delete", false, "delete the entry")
+	addEntry := flag.Bool("addentry", false, "add a new entry from -replace pairs")
+	rename := flag.String("rename", "", "new RDN (modifyDN)")
+	newSuperior := flag.String("newsuperior", "", "new parent DN for -rename")
+	var replaces, adds, deletes kvList
+	flag.Var(&replaces, "replace", "attr=value to replace (repeatable)")
+	flag.Var(&adds, "add", "attr=value to add (repeatable)")
+	flag.Var(&deletes, "deleteattr", "attr (or attr=value) to delete (repeatable)")
+	flag.Parse()
+
+	if err := run(*host, *dnStr, *del, *addEntry, *rename, *newSuperior, replaces, adds, deletes); err != nil {
+		fmt.Fprintln(os.Stderr, "ldapmodify:", err)
+		os.Exit(1)
+	}
+}
+
+func split(kv string) (string, string) {
+	attr, val, _ := strings.Cut(kv, "=")
+	return attr, val
+}
+
+func run(host, dnStr string, del, addEntry bool, rename, newSuperior string,
+	replaces, adds, deletes kvList) error {
+	if dnStr == "" {
+		return fmt.Errorf("-dn is required")
+	}
+	d, err := filterdir.ParseDN(dnStr)
+	if err != nil {
+		return err
+	}
+	c, err := filterdir.DialDirectory(host)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	switch {
+	case del:
+		if err := c.Delete(d); err != nil {
+			return err
+		}
+		fmt.Printf("deleted %s\n", d)
+		return nil
+
+	case addEntry:
+		e := filterdir.NewEntry(d)
+		for _, kv := range replaces {
+			attr, val := split(kv)
+			e.Add(attr, val)
+		}
+		if err := c.Add(e); err != nil {
+			return err
+		}
+		fmt.Printf("added %s\n", d)
+		return nil
+
+	case rename != "":
+		rdnDN, err := filterdir.ParseDN(rename)
+		if err != nil {
+			return fmt.Errorf("new RDN: %w", err)
+		}
+		leaf, ok := rdnDN.Leaf()
+		if !ok {
+			return fmt.Errorf("empty new RDN")
+		}
+		superior, _ := d.Parent()
+		if newSuperior != "" {
+			superior, err = filterdir.ParseDN(newSuperior)
+			if err != nil {
+				return fmt.Errorf("new superior: %w", err)
+			}
+		}
+		if err := c.ModifyDN(d, leaf, superior); err != nil {
+			return err
+		}
+		fmt.Printf("renamed %s -> %s\n", d, superior.Child(leaf))
+		return nil
+
+	default:
+		var changes []filterdir.ModifyChange
+		for _, kv := range replaces {
+			attr, val := split(kv)
+			changes = append(changes, filterdir.ModifyChange{
+				Op: filterdir.ModifyOpReplace, Attr: filterdir.WireAttribute{Type: attr, Values: []string{val}}})
+		}
+		for _, kv := range adds {
+			attr, val := split(kv)
+			changes = append(changes, filterdir.ModifyChange{
+				Op: filterdir.ModifyOpAdd, Attr: filterdir.WireAttribute{Type: attr, Values: []string{val}}})
+		}
+		for _, kv := range deletes {
+			attr, val := split(kv)
+			ch := filterdir.ModifyChange{Op: filterdir.ModifyOpDelete, Attr: filterdir.WireAttribute{Type: attr}}
+			if val != "" {
+				ch.Attr.Values = []string{val}
+			}
+			changes = append(changes, ch)
+		}
+		if len(changes) == 0 {
+			return fmt.Errorf("nothing to do: give -replace/-add/-deleteattr, -delete, -addentry or -rename")
+		}
+		if err := c.Modify(d, changes); err != nil {
+			return err
+		}
+		fmt.Printf("modified %s (%d changes)\n", d, len(changes))
+		return nil
+	}
+}

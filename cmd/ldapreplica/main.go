@@ -1,0 +1,115 @@
+// Command ldapreplica runs a filter-based replica against a master served
+// by ldapmaster: it registers the configured filters, synchronizes their
+// content over the wire with the ReSync protocol, serves contained queries
+// on its own LDAP port (misses are answered with a referral to the
+// master), and keeps polling.
+//
+// Usage:
+//
+//	ldapreplica -master 127.0.0.1:3890 -addr 127.0.0.1:3891 \
+//	    -filter '(serialnumber=1004*)' -filter '(location=*)' \
+//	    -interval 5s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"filterdir"
+	"filterdir/internal/ldapnet"
+	"filterdir/internal/query"
+)
+
+type filterList []string
+
+func (f *filterList) String() string { return strings.Join(*f, ",") }
+
+func (f *filterList) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
+func main() {
+	master := flag.String("master", "127.0.0.1:3890", "master server address")
+	addr := flag.String("addr", "127.0.0.1:3891", "replica listen address")
+	interval := flag.Duration("interval", 5*time.Second, "poll interval")
+	cacheCap := flag.Int("cache", 64, "recent user-query cache capacity")
+	var filters filterList
+	flag.Var(&filters, "filter", "replicated filter (repeatable)")
+	flag.Parse()
+	if len(filters) == 0 {
+		filters = filterList{"(objectclass=location)"}
+	}
+
+	if err := run(*master, *addr, *interval, *cacheCap, filters); err != nil {
+		fmt.Fprintln(os.Stderr, "ldapreplica:", err)
+		os.Exit(1)
+	}
+}
+
+func run(masterAddr, addr string, interval time.Duration, cacheCap int, filters filterList) error {
+	client, err := filterdir.DialDirectory(masterAddr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	rep, err := filterdir.NewFilterReplica(
+		filterdir.WithCacheCapacity(cacheCap),
+		filterdir.WithContentIndexes("serialnumber", "mail", "dept", "location", "uid"))
+	if err != nil {
+		return err
+	}
+	// Static filter set: the adaptive loop runs without a selector, keeping
+	// only the session and content management.
+	ar := filterdir.NewAdaptiveReplica(rep, nil, filterdir.ClientSupplier(client))
+	for _, f := range filters {
+		spec, err := query.New("", filterdir.ScopeSubtree, f)
+		if err != nil {
+			return fmt.Errorf("filter %q: %w", f, err)
+		}
+		if err := ar.AddFilter(spec); err != nil {
+			return fmt.Errorf("initial sync of %q: %w", f, err)
+		}
+		fmt.Printf("ldapreplica: %q replicated\n", f)
+	}
+
+	backend := ldapnet.NewReplicaBackend(rep, "ldap://"+masterAddr)
+	srv, err := ldapnet.Serve(addr, backend)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ldapreplica: serving %d entries on %s, polling every %s\n",
+		rep.EntryCount(), srv.Addr(), interval)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			before := ar.ResyncTraffic.Updates()
+			if err := ar.SyncAll(); err != nil {
+				fmt.Fprintf(os.Stderr, "ldapreplica: sync: %v\n", err)
+				continue
+			}
+			if applied := ar.ResyncTraffic.Updates() - before; applied > 0 {
+				m := rep.Metrics()
+				fmt.Printf("ldapreplica: %d updates applied; %d entries; hit ratio %.2f (%d queries)\n",
+					applied, rep.EntryCount(), m.HitRatio(), m.Queries)
+			}
+		case <-sig:
+			fmt.Println("ldapreplica: shutting down")
+			if err := ar.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "ldapreplica: end sessions: %v\n", err)
+			}
+			return srv.Close()
+		}
+	}
+}

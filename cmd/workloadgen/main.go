@@ -1,0 +1,87 @@
+// Command workloadgen emits the synthetic enterprise directory as LDIF and
+// a query trace as LDAP filter lines, for inspection or for loading into
+// other tooling.
+//
+// Usage:
+//
+//	workloadgen -employees 5000 -out dir.ldif -trace trace.txt -n 10000
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"filterdir"
+	"filterdir/internal/ldif"
+	"filterdir/internal/workload"
+)
+
+func main() {
+	employees := flag.Int("employees", 5000, "directory population")
+	out := flag.String("out", "-", "LDIF output path (- for stdout)")
+	tracePath := flag.String("trace", "", "optional query-trace output path")
+	n := flag.Int("n", 10000, "trace length in queries")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	flag.Parse()
+
+	if err := run(*employees, *out, *tracePath, *n, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "workloadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(employees int, out, tracePath string, n int, seed int64) error {
+	cfg := workload.DefaultDirectoryConfig(employees)
+	cfg.Seed = seed
+	dir, err := workload.BuildDirectory(cfg)
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	entries := dir.Master.All()
+	// Parents before children for re-loadability.
+	sort.Slice(entries, func(i, j int) bool {
+		if d := entries[i].DN().Depth() - entries[j].DN().Depth(); d != 0 {
+			return d < 0
+		}
+		return entries[i].DN().Norm() < entries[j].DN().Norm()
+	})
+	if err := ldif.Write(w, entries...); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d entries\n", len(entries))
+
+	if tracePath == "" {
+		return nil
+	}
+	tf, err := os.Create(tracePath)
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	bw := bufio.NewWriter(tf)
+	tc := workload.DefaultTraceConfig()
+	tc.Seed = seed + 100
+	g := workload.NewGenerator(dir, tc)
+	for i := 0; i < n; i++ {
+		tq := g.Next()
+		fmt.Fprintf(bw, "%s\t%s\t%s\n", tq.Query.Base.String(), filterdir.Scope(tq.Query.Scope), tq.Query.FilterString())
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d queries to %s\n", n, tracePath)
+	return nil
+}

@@ -1,0 +1,80 @@
+// Command adaptive demonstrates dynamic filter selection (Section 6.2): an
+// adaptive filter replica serving the synthetic enterprise workload learns
+// the hot regions through periodic revolutions and recovers its hit ratio
+// after the access pattern shifts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"filterdir"
+	"filterdir/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Synthetic enterprise directory: employees flat under countries,
+	// structured serial numbers, ~30 % in the target geography.
+	dir, err := filterdir.BuildEnterpriseDirectory(3000)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("directory: %d entries, %d employees\n\n", dir.Master.Len(), dir.EmployeeCount)
+
+	// Generalize serial lookups to block-granularity prefix filters and
+	// select under a budget of 8 % of the employee population, revolving
+	// every 500 queries. The AdaptiveReplica handles synchronization
+	// sessions and content turnover.
+	rep, err := filterdir.NewFilterReplica(filterdir.WithContentIndexes("serialnumber"))
+	if err != nil {
+		return err
+	}
+	gen := filterdir.NewGeneralizer(
+		filterdir.PrefixRule("serialnumber", workload.SerialPrefixLen))
+	sizeOf := func(q filterdir.Query) int { return len(dir.Master.MatchAll(q)) }
+	sel := filterdir.NewSelector(gen, sizeOf, dir.EmployeeCount*8/100, 500)
+	ar := filterdir.NewAdaptiveReplica(rep, sel,
+		filterdir.LocalSupplier(filterdir.NewSyncEngine(dir.Master)))
+	defer func() {
+		if err := ar.Close(); err != nil {
+			log.Printf("close: %v", err)
+		}
+	}()
+
+	g := workload.NewGenerator(dir, workload.DefaultTraceConfig())
+
+	const window = 500
+	hits := 0
+	fmt.Printf("%-8s %-10s %-9s %-8s %s\n", "queries", "hit-ratio", "#filters", "entries", "fetch-traffic")
+	for i := 1; i <= 4000; i++ {
+		hit, err := ar.Serve(g.NextOfKind(workload.KindSerial).Query)
+		if err != nil {
+			return err
+		}
+		if hit {
+			hits++
+		}
+		if i%window == 0 {
+			fmt.Printf("%-8d %-10.3f %-9d %-8d %d entries\n",
+				i, float64(hits)/float64(window), len(ar.StoredFilters()),
+				rep.EntryCount(), ar.FetchTraffic.Updates())
+			hits = 0
+		}
+		if i == 2000 {
+			// The access pattern shifts: different blocks become hot.
+			g.Reshuffle(42)
+			fmt.Println("--- access pattern shift ---")
+		}
+	}
+
+	fmt.Println("\nThe hit ratio collapses at the shift and recovers after the")
+	fmt.Println("next revolutions replace cold filters with the new hot regions;")
+	fmt.Println("fetch-traffic counts the entries those revolutions transferred.")
+	return nil
+}

@@ -1,0 +1,119 @@
+// Command referrals reproduces Figure 2 of the paper over real TCP: three
+// LDAP servers jointly serve the o=xyz namespace, and a single subtree
+// search issued to the wrong server costs four client-server round trips
+// because of the referral mechanism — the distributed-operation overhead
+// that partial replication is meant to avoid.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"filterdir"
+	"filterdir/internal/dit"
+	"filterdir/internal/ldapnet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func buildStore(suffix, defaultReferral string, entries []map[string][]string) (*filterdir.Directory, error) {
+	var opts []filterdir.DirectoryOption
+	if defaultReferral != "" {
+		opts = append(opts, filterdir.WithDefaultReferral(defaultReferral))
+	}
+	st, err := filterdir.NewDirectory([]string{suffix}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	for _, attrs := range entries {
+		e := filterdir.NewEntry(filterdir.MustParseDN(attrs["dn"][0]))
+		for k, v := range attrs {
+			if k == "dn" {
+				continue
+			}
+			e.Put(k, v...)
+		}
+		if err := st.Add(e); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+func run() error {
+	// hostA: the o=xyz context with referral objects for hostB and hostC.
+	storeA, err := buildStore("o=xyz", "", []map[string][]string{
+		{"dn": {"o=xyz"}, "objectclass": {"organization"}, "o": {"xyz"}},
+		{"dn": {"c=us,o=xyz"}, "objectclass": {"country"}, "c": {"us"}},
+		{"dn": {"cn=Fred Jones,c=us,o=xyz"}, "objectclass": {"person"}, "cn": {"Fred Jones"}, "sn": {"Jones"}},
+		{"dn": {"ou=research,c=us,o=xyz"}, "objectclass": {dit.ReferralClass}, dit.RefAttr: {"ldap://hostB/ou=research,c=us,o=xyz"}},
+		{"dn": {"c=in,o=xyz"}, "objectclass": {dit.ReferralClass}, dit.RefAttr: {"ldap://hostC/c=in,o=xyz"}},
+	})
+	if err != nil {
+		return err
+	}
+	// hostB: the research subtree; its default referral points up to hostA.
+	storeB, err := buildStore("ou=research,c=us,o=xyz", "ldap://hostA", []map[string][]string{
+		{"dn": {"ou=research,c=us,o=xyz"}, "objectclass": {"organizationalUnit"}, "ou": {"research"}},
+		{"dn": {"cn=John Doe,ou=research,c=us,o=xyz"}, "objectclass": {"inetOrgPerson", "person"},
+			"cn": {"John Doe"}, "sn": {"Doe"}, "mail": {"john@us.xyz.com"}},
+		{"dn": {"cn=Carl Miller,ou=research,c=us,o=xyz"}, "objectclass": {"person"}, "cn": {"Carl Miller"}, "sn": {"Miller"}},
+	})
+	if err != nil {
+		return err
+	}
+	// hostC: the c=in subtree.
+	storeC, err := buildStore("c=in,o=xyz", "ldap://hostA", []map[string][]string{
+		{"dn": {"c=in,o=xyz"}, "objectclass": {"country"}, "c": {"in"}},
+		{"dn": {"cn=Asha Rao,c=in,o=xyz"}, "objectclass": {"person"}, "cn": {"Asha Rao"}, "sn": {"Rao"}},
+	})
+	if err != nil {
+		return err
+	}
+
+	srvA, err := filterdir.ServeDirectory("127.0.0.1:0", storeA)
+	if err != nil {
+		return err
+	}
+	defer srvA.Close()
+	srvB, err := filterdir.ServeDirectory("127.0.0.1:0", storeB)
+	if err != nil {
+		return err
+	}
+	defer srvB.Close()
+	srvC, err := filterdir.ServeDirectory("127.0.0.1:0", storeC)
+	if err != nil {
+		return err
+	}
+	defer srvC.Close()
+
+	resolver := ldapnet.NewResolver()
+	defer resolver.Close()
+	resolver.Register("hostA", srvA.Addr())
+	resolver.Register("hostB", srvB.Addr())
+	resolver.Register("hostC", srvC.Addr())
+
+	fmt.Println("Figure 2: subtree search for o=xyz sent to hostB")
+	fmt.Println("  1. hostB does not hold o=xyz -> superior referral to hostA")
+	fmt.Println("  2. hostA returns its entries + references for hostB and hostC")
+	fmt.Println("  3. client re-searches hostB at ou=research,c=us,o=xyz")
+	fmt.Println("  4. client re-searches hostC at c=in,o=xyz")
+	fmt.Println()
+
+	q := filterdir.MustParseQuery("o=xyz", filterdir.ScopeSubtree, "(objectclass=*)")
+	res, err := resolver.SearchChasing("hostB", q)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("entries returned: %d\n", len(res.Entries))
+	for _, e := range res.Entries {
+		fmt.Printf("  %s\n", e.DN())
+	}
+	fmt.Printf("\nclient-server round trips: %d (the cost the paper attributes to referrals)\n",
+		resolver.RoundTrips())
+	return nil
+}

@@ -1,0 +1,3 @@
+module filterdir
+
+go 1.22

@@ -1,0 +1,64 @@
+package ber
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestReaderNeverPanics decodes random byte soup; every outcome must be a
+// clean error or a structurally valid element, never a panic or an
+// out-of-bounds slice.
+func TestReaderNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 50000; i++ {
+		n := r.Intn(32)
+		b := make([]byte, n)
+		r.Read(b)
+		rd := NewReader(b)
+		for !rd.Empty() {
+			h, content, err := rd.Read()
+			if err != nil {
+				break
+			}
+			if h.Length != len(content) {
+				t.Fatalf("header length %d != content %d for % x", h.Length, len(content), b)
+			}
+		}
+	}
+}
+
+// TestParseIntNeverPanics checks integer decoding over random content.
+func TestParseIntNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 10000; i++ {
+		n := r.Intn(12)
+		b := make([]byte, n)
+		r.Read(b)
+		_, _ = ParseInt(b)
+	}
+}
+
+// TestMutatedMessages flips bytes in valid encodings; the decoder must
+// reject or re-decode cleanly, never panic.
+func TestMutatedMessages(t *testing.T) {
+	var valid []byte
+	valid = AppendInt(valid, ClassUniversal, TagInteger, 123456)
+	valid = AppendString(valid, ClassUniversal, TagOctetString, "hello world")
+	inner := append([]byte(nil), valid...)
+	valid = AppendSequence(nil, inner)
+
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		mut := append([]byte(nil), valid...)
+		flips := 1 + r.Intn(3)
+		for j := 0; j < flips; j++ {
+			mut[r.Intn(len(mut))] ^= byte(1 << r.Intn(8))
+		}
+		rd := NewReader(mut)
+		for !rd.Empty() {
+			if _, _, err := rd.Read(); err != nil {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package dit
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"filterdir/internal/dn"
+	"filterdir/internal/entry"
+	"filterdir/internal/query"
+)
+
+// TestConcurrentSearchAndUpdate hammers the store with parallel readers and
+// writers; run with -race to validate the locking discipline.
+func TestConcurrentSearchAndUpdate(t *testing.T) {
+	st, err := NewStore([]string{"o=xyz"}, WithIndexes("serialnumber"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	org := entry.New(dn.MustParse("o=xyz"))
+	org.Put("objectclass", "organization").Put("o", "xyz")
+	if err := st.Add(org); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		e := entry.New(dn.MustParse(fmt.Sprintf("cn=p%d,o=xyz", i)))
+		e.Put("objectclass", "person").Put("cn", fmt.Sprintf("p%d", i)).
+			Put("sn", "x").Put("serialnumber", fmt.Sprintf("%04d", i))
+		if err := st.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+
+	// Writers: modify, add, delete, rename in parallel.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				target := dn.MustParse(fmt.Sprintf("cn=p%d,o=xyz", w*50+i%50))
+				switch i % 4 {
+				case 0:
+					if err := st.Modify(target, []Mod{{Op: ModReplace, Attr: "sn",
+						Values: []string{fmt.Sprintf("v%d", i)}}}); err != nil {
+						continue // may have been deleted or renamed
+					}
+				case 1:
+					e := entry.New(dn.MustParse(fmt.Sprintf("cn=w%d-%d,o=xyz", w, i)))
+					e.Put("objectclass", "person").Put("cn", "w").Put("sn", "w").
+						Put("serialnumber", fmt.Sprintf("9%d%02d", w, i%100))
+					if err := st.Add(e); err != nil {
+						errs <- err
+						return
+					}
+				case 2:
+					_ = st.Delete(target) // contention errors are expected
+				case 3:
+					_ = st.ModifyDN(target, dn.RDN{Attr: "cn", Value: fmt.Sprintf("r%d-%d", w, i)},
+						dn.MustParse("o=xyz"))
+				}
+			}
+		}(w)
+	}
+
+	// Readers: searches via index and scan, journal reads, sync signal.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if _, err := st.Search(query.MustNew("o=xyz", query.ScopeSubtree,
+					fmt.Sprintf("(serialnumber=%04d)", i%220))); err != nil {
+					errs <- err
+					return
+				}
+				st.MatchAll(query.MustNew("", query.ScopeSubtree, "(sn=*)"))
+				st.ChangesSince(0)
+				st.LastCSN()
+				select {
+				case <-st.ChangeSignal():
+				default:
+				}
+			}
+		}(r)
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The journal is internally consistent: CSNs strictly increase.
+	changes, ok := st.ChangesSince(0)
+	if !ok {
+		t.Fatal("journal trimmed unexpectedly")
+	}
+	for i := 1; i < len(changes); i++ {
+		if changes[i].CSN <= changes[i-1].CSN {
+			t.Fatalf("journal CSNs not increasing at %d", i)
+		}
+	}
+}

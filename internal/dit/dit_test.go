@@ -1,0 +1,596 @@
+package dit
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"filterdir/internal/dn"
+	"filterdir/internal/entry"
+	"filterdir/internal/query"
+)
+
+// buildSmallDIT creates the o=xyz tree of Figure 1/2 on a single store.
+func buildSmallDIT(t *testing.T, opts ...Option) *Store {
+	t.Helper()
+	st, err := NewStore([]string{"o=xyz"}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := func(dnStr string, attrs map[string][]string) {
+		e := entry.New(dn.MustParse(dnStr))
+		for k, v := range attrs {
+			e.Put(k, v...)
+		}
+		if err := st.Add(e); err != nil {
+			t.Fatalf("add %s: %v", dnStr, err)
+		}
+	}
+	add("o=xyz", map[string][]string{"objectclass": {"organization"}, "o": {"xyz"}})
+	add("c=us,o=xyz", map[string][]string{"objectclass": {"country"}, "c": {"us"}})
+	add("ou=research,c=us,o=xyz", map[string][]string{"objectclass": {"organizationalUnit"}, "ou": {"research"}})
+	add("cn=John Doe,ou=research,c=us,o=xyz", map[string][]string{
+		"objectclass":  {"top", "person", "organizationalPerson", "inetOrgPerson"},
+		"cn":           {"John Doe", "John M Doe"},
+		"sn":           {"Doe"},
+		"serialNumber": {"0456"},
+		"mail":         {"john@us.xyz.com"},
+	})
+	add("cn=Fred Jones,c=us,o=xyz", map[string][]string{
+		"objectclass": {"person"}, "cn": {"Fred Jones"}, "sn": {"Jones"},
+		"serialNumber": {"0457"},
+	})
+	add("cn=Carl Miller,ou=research,c=us,o=xyz", map[string][]string{
+		"objectclass": {"person"}, "cn": {"Carl Miller"}, "sn": {"Miller"},
+		"serialNumber": {"0501"},
+	})
+	return st
+}
+
+func mustSearch(t *testing.T, st *Store, base string, scope query.Scope, f string) *Result {
+	t.Helper()
+	res, err := st.Search(query.MustNew(base, scope, f))
+	if err != nil {
+		t.Fatalf("search base=%q scope=%v filter=%q: %v", base, scope, f, err)
+	}
+	return res
+}
+
+func TestSearchScopes(t *testing.T) {
+	st := buildSmallDIT(t)
+	tests := []struct {
+		name  string
+		base  string
+		scope query.Scope
+		f     string
+		want  int
+	}{
+		{"subtree all", "o=xyz", query.ScopeSubtree, "(objectclass=*)", 6},
+		{"subtree persons", "o=xyz", query.ScopeSubtree, "(sn=*)", 3},
+		{"one level of country", "c=us,o=xyz", query.ScopeSingleLevel, "(objectclass=*)", 2},
+		{"base", "c=us,o=xyz", query.ScopeBase, "(objectclass=*)", 1},
+		{"base no match", "c=us,o=xyz", query.ScopeBase, "(sn=Doe)", 0},
+		{"subtree filter", "o=xyz", query.ScopeSubtree, "(sn=Doe)", 1},
+		{"research subtree", "ou=research,c=us,o=xyz", query.ScopeSubtree, "(objectclass=person)", 2},
+		{"serial prefix", "o=xyz", query.ScopeSubtree, "(serialnumber=04*)", 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			res := mustSearch(t, st, tt.base, tt.scope, tt.f)
+			if len(res.Entries) != tt.want {
+				t.Errorf("got %d entries, want %d", len(res.Entries), tt.want)
+			}
+		})
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	st := buildSmallDIT(t)
+	_, err := st.Search(query.MustNew("cn=missing,o=xyz", query.ScopeBase, ""))
+	if !errors.Is(err, ErrNoSuchObject) {
+		t.Errorf("missing base: got %v, want ErrNoSuchObject", err)
+	}
+	_, err = st.Search(query.MustNew("o=other", query.ScopeSubtree, ""))
+	if !errors.Is(err, ErrNoSuchContext) {
+		t.Errorf("foreign base: got %v, want ErrNoSuchContext", err)
+	}
+}
+
+func TestDefaultReferral(t *testing.T) {
+	st := buildSmallDIT(t)
+	stB, err := NewStore([]string{"ou=research,c=us,o=xyz"}, WithDefaultReferral("ldap://hostA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = st
+	res, err := stB.Search(query.MustNew("o=xyz", query.ScopeSubtree, ""))
+	if !errors.Is(err, ErrNoSuchContext) {
+		t.Fatalf("expected ErrNoSuchContext, got %v", err)
+	}
+	if len(res.Referrals) != 1 || res.Referrals[0] != "ldap://hostA" {
+		t.Errorf("default referral = %v", res.Referrals)
+	}
+}
+
+func TestReferralObjects(t *testing.T) {
+	// hostA of Figure 2: holds o=xyz with referrals to hostB and hostC.
+	st, err := NewStore([]string{"o=xyz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := func(e *entry.Entry) {
+		t.Helper()
+		if err := st.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	org := entry.New(dn.MustParse("o=xyz"))
+	org.Put("objectclass", "organization").Put("o", "xyz")
+	add(org)
+	us := entry.New(dn.MustParse("c=us,o=xyz"))
+	us.Put("objectclass", "country").Put("c", "us")
+	add(us)
+	person := entry.New(dn.MustParse("cn=Ann,c=us,o=xyz"))
+	person.Put("objectclass", "person").Put("cn", "Ann").Put("sn", "A")
+	add(person)
+	refB := entry.New(dn.MustParse("ou=research,c=us,o=xyz"))
+	refB.Put("objectclass", ReferralClass).Put(RefAttr, "ldap://hostB/ou=research,c=us,o=xyz")
+	add(refB)
+	refC := entry.New(dn.MustParse("c=in,o=xyz"))
+	refC.Put("objectclass", ReferralClass).Put(RefAttr, "ldap://hostC/c=in,o=xyz")
+	add(refC)
+
+	res := mustSearch(t, st, "o=xyz", query.ScopeSubtree, "(objectclass=*)")
+	// Three real entries (o=xyz, c=us, cn=Ann) and two referrals.
+	if len(res.Entries) != 3 {
+		t.Errorf("entries = %d, want 3", len(res.Entries))
+	}
+	if len(res.Referrals) != 2 {
+		t.Errorf("referrals = %v, want 2", res.Referrals)
+	}
+
+	// Searching at a referral object itself returns its URL.
+	res = mustSearch(t, st, "ou=research,c=us,o=xyz", query.ScopeSubtree, "(objectclass=*)")
+	if len(res.Entries) != 0 || len(res.Referrals) != 1 {
+		t.Errorf("referral base: entries=%d referrals=%v", len(res.Entries), res.Referrals)
+	}
+
+	// One-level search at c=us sees the person and the research referral.
+	res = mustSearch(t, st, "c=us,o=xyz", query.ScopeSingleLevel, "(objectclass=*)")
+	if len(res.Entries) != 1 || len(res.Referrals) != 1 {
+		t.Errorf("one-level: entries=%d referrals=%v", len(res.Entries), res.Referrals)
+	}
+
+	ctxs := st.Contexts()
+	if len(ctxs) != 1 || len(ctxs[0].Referrals) != 2 {
+		t.Errorf("Contexts = %+v", ctxs)
+	}
+}
+
+func TestAddErrors(t *testing.T) {
+	st := buildSmallDIT(t)
+	dup := entry.New(dn.MustParse("c=us,o=xyz"))
+	dup.Put("objectclass", "country").Put("c", "us")
+	if err := st.Add(dup); !errors.Is(err, ErrAlreadyExists) {
+		t.Errorf("duplicate add: %v", err)
+	}
+	orphan := entry.New(dn.MustParse("cn=x,ou=missing,o=xyz"))
+	orphan.Put("objectclass", "person").Put("cn", "x").Put("sn", "x")
+	if err := st.Add(orphan); !errors.Is(err, ErrNoSuchObject) {
+		t.Errorf("orphan add: %v", err)
+	}
+	foreign := entry.New(dn.MustParse("cn=x,o=other"))
+	foreign.Put("objectclass", "person")
+	if err := st.Add(foreign); !errors.Is(err, ErrNoSuchContext) {
+		t.Errorf("foreign add: %v", err)
+	}
+}
+
+func TestSchemaEnforcement(t *testing.T) {
+	st, err := NewStore([]string{"o=xyz"}, WithSchema(entry.DefaultSchema()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	org := entry.New(dn.MustParse("o=xyz"))
+	org.Put("objectclass", "organization").Put("o", "xyz")
+	if err := st.Add(org); err != nil {
+		t.Fatal(err)
+	}
+	bad := entry.New(dn.MustParse("cn=x,o=xyz"))
+	bad.Put("objectclass", "person").Put("cn", "x") // missing sn
+	if err := st.Add(bad); !errors.Is(err, ErrSchema) {
+		t.Errorf("schema add: %v", err)
+	}
+	good := entry.New(dn.MustParse("cn=x,o=xyz"))
+	good.Put("objectclass", "person").Put("cn", "x").Put("sn", "x")
+	if err := st.Add(good); err != nil {
+		t.Fatal(err)
+	}
+	// A modify that strips a required attribute must fail.
+	err = st.Modify(good.DN(), []Mod{{Op: ModDelete, Attr: "sn"}})
+	if !errors.Is(err, ErrSchema) {
+		t.Errorf("schema modify: %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	st := buildSmallDIT(t)
+	country := dn.MustParse("c=us,o=xyz")
+	if err := st.Delete(country); !errors.Is(err, ErrNotLeaf) {
+		t.Errorf("delete non-leaf: %v", err)
+	}
+	person := dn.MustParse("cn=John Doe,ou=research,c=us,o=xyz")
+	if err := st.Delete(person); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(person); ok {
+		t.Error("entry still present after delete")
+	}
+	if err := st.Delete(person); !errors.Is(err, ErrNoSuchObject) {
+		t.Errorf("double delete: %v", err)
+	}
+	// Index no longer returns it.
+	res := mustSearch(t, st, "o=xyz", query.ScopeSubtree, "(serialnumber=0456)")
+	if len(res.Entries) != 0 {
+		t.Error("deleted entry still found via index")
+	}
+}
+
+func TestModify(t *testing.T) {
+	st := buildSmallDIT(t)
+	d := dn.MustParse("cn=John Doe,ou=research,c=us,o=xyz")
+	err := st.Modify(d, []Mod{
+		{Op: ModReplace, Attr: "mail", Values: []string{"jdoe@us.xyz.com"}},
+		{Op: ModAdd, Attr: "telephoneNumber", Values: []string{"1234"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := st.Get(d)
+	if e.First("mail") != "jdoe@us.xyz.com" || e.First("telephoneNumber") != "1234" {
+		t.Errorf("modify not applied: %s", e)
+	}
+	if err := st.Modify(d, []Mod{{Op: ModDelete, Attr: "nosuch"}}); err == nil {
+		t.Error("deleting absent attribute must fail")
+	}
+	// Replace with no values removes the attribute.
+	if err := st.Modify(d, []Mod{{Op: ModReplace, Attr: "telephoneNumber"}}); err != nil {
+		t.Fatal(err)
+	}
+	e, _ = st.Get(d)
+	if e.Has("telephoneNumber") {
+		t.Error("replace-with-nothing did not remove attribute")
+	}
+}
+
+func TestModifyUpdatesIndex(t *testing.T) {
+	st := buildSmallDIT(t, WithIndexes("serialnumber"))
+	d := dn.MustParse("cn=John Doe,ou=research,c=us,o=xyz")
+	if err := st.Modify(d, []Mod{{Op: ModReplace, Attr: "serialNumber", Values: []string{"0999"}}}); err != nil {
+		t.Fatal(err)
+	}
+	res := mustSearch(t, st, "o=xyz", query.ScopeSubtree, "(serialnumber=0999)")
+	if len(res.Entries) != 1 {
+		t.Errorf("new value not indexed: %d", len(res.Entries))
+	}
+	res = mustSearch(t, st, "o=xyz", query.ScopeSubtree, "(serialnumber=0456)")
+	if len(res.Entries) != 0 {
+		t.Errorf("old value still indexed: %d", len(res.Entries))
+	}
+}
+
+func TestModifyDNRename(t *testing.T) {
+	st := buildSmallDIT(t)
+	old := dn.MustParse("cn=Fred Jones,c=us,o=xyz")
+	if err := st.ModifyDN(old, dn.RDN{Attr: "cn", Value: "Freddy Jones"}, dn.MustParse("c=us,o=xyz")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(old); ok {
+		t.Error("old DN still present")
+	}
+	e, ok := st.Get(dn.MustParse("cn=Freddy Jones,c=us,o=xyz"))
+	if !ok {
+		t.Fatal("new DN missing")
+	}
+	if !e.HasValue("cn", "Freddy Jones") {
+		t.Errorf("naming attribute not updated: %v", e.Values("cn"))
+	}
+}
+
+func TestModifyDNSubtreeMove(t *testing.T) {
+	st := buildSmallDIT(t)
+	// Move ou=research under a new ou=labs parent.
+	labs := entry.New(dn.MustParse("ou=labs,o=xyz"))
+	labs.Put("objectclass", "organizationalUnit").Put("ou", "labs")
+	if err := st.Add(labs); err != nil {
+		t.Fatal(err)
+	}
+	old := dn.MustParse("ou=research,c=us,o=xyz")
+	if err := st.ModifyDN(old, dn.RDN{Attr: "ou", Value: "research"}, dn.MustParse("ou=labs,o=xyz")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(dn.MustParse("cn=John Doe,ou=research,c=us,o=xyz")); ok {
+		t.Error("descendant not moved")
+	}
+	if _, ok := st.Get(dn.MustParse("cn=John Doe,ou=research,ou=labs,o=xyz")); !ok {
+		t.Error("descendant missing at new location")
+	}
+	// Search finds the person at the new location via index and scan alike.
+	res := mustSearch(t, st, "ou=labs,o=xyz", query.ScopeSubtree, "(sn=Doe)")
+	if len(res.Entries) != 1 {
+		t.Errorf("search after move: %d entries", len(res.Entries))
+	}
+}
+
+func TestModifyDNErrors(t *testing.T) {
+	st := buildSmallDIT(t)
+	if err := st.ModifyDN(dn.MustParse("cn=missing,o=xyz"), dn.RDN{Attr: "cn", Value: "x"}, dn.MustParse("o=xyz")); !errors.Is(err, ErrNoSuchObject) {
+		t.Errorf("rename missing: %v", err)
+	}
+	// Moving an entry under itself must fail.
+	if err := st.ModifyDN(dn.MustParse("c=us,o=xyz"), dn.RDN{Attr: "c", Value: "us"}, dn.MustParse("ou=research,c=us,o=xyz")); err == nil {
+		t.Error("move under self must fail")
+	}
+	// Target collision.
+	if err := st.ModifyDN(dn.MustParse("cn=Fred Jones,c=us,o=xyz"), dn.RDN{Attr: "cn", Value: "Carl Miller"}, dn.MustParse("ou=research,c=us,o=xyz")); !errors.Is(err, ErrAlreadyExists) {
+		t.Errorf("collision: %v", err)
+	}
+}
+
+func TestJournal(t *testing.T) {
+	st := buildSmallDIT(t)
+	start := st.LastCSN()
+	d := dn.MustParse("cn=Fred Jones,c=us,o=xyz")
+	if err := st.Modify(d, []Mod{{Op: ModReplace, Attr: "mail", Values: []string{"f@x"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete(d); err != nil {
+		t.Fatal(err)
+	}
+	changes, ok := st.ChangesSince(start)
+	if !ok {
+		t.Fatal("journal trimmed unexpectedly")
+	}
+	if len(changes) != 2 {
+		t.Fatalf("changes = %d, want 2", len(changes))
+	}
+	if changes[0].Type != ChangeModify || changes[0].Before == nil || changes[0].After == nil {
+		t.Errorf("modify change malformed: %+v", changes[0])
+	}
+	if changes[0].Before.First("mail") == changes[0].After.First("mail") {
+		t.Error("before/after snapshots identical")
+	}
+	if changes[1].Type != ChangeDelete || changes[1].Before == nil {
+		t.Errorf("delete change malformed: %+v", changes[1])
+	}
+	if changes[0].CSN >= changes[1].CSN {
+		t.Error("CSNs not increasing")
+	}
+}
+
+func TestJournalTrim(t *testing.T) {
+	st := buildSmallDIT(t, WithJournalLimit(3))
+	d := dn.MustParse("cn=Fred Jones,c=us,o=xyz")
+	for i := 0; i < 6; i++ {
+		if err := st.Modify(d, []Mod{{Op: ModReplace, Attr: "mail", Values: []string{fmt.Sprintf("f%d@x", i)}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := st.ChangesSince(0); ok {
+		t.Error("expected trimmed journal to report ok=false for ancient CSN")
+	}
+	changes, ok := st.ChangesSince(st.LastCSN() - 2)
+	if !ok || len(changes) != 2 {
+		t.Errorf("recent span: ok=%v len=%d", ok, len(changes))
+	}
+}
+
+func TestChangeSignal(t *testing.T) {
+	st := buildSmallDIT(t)
+	sig := st.ChangeSignal()
+	select {
+	case <-sig:
+		t.Fatal("signal fired before change")
+	default:
+	}
+	d := dn.MustParse("cn=Fred Jones,c=us,o=xyz")
+	if err := st.Modify(d, []Mod{{Op: ModReplace, Attr: "mail", Values: []string{"x@y"}}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sig:
+	default:
+		t.Fatal("signal did not fire after change")
+	}
+}
+
+func TestUpsertAndRemoveAnySparse(t *testing.T) {
+	st, err := NewStore([]string{""}) // whole-DIT replica store
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Upsert an entry with no parents present (sparse content).
+	e := entry.New(dn.MustParse("cn=John Doe,ou=research,c=us,o=xyz"))
+	e.Put("objectclass", "person").Put("cn", "John Doe").Put("sn", "Doe").Put("serialnumber", "0456")
+	if err := st.Upsert(e); err != nil {
+		t.Fatal(err)
+	}
+	q := query.MustNew("", query.ScopeSubtree, "(serialnumber=0456)")
+	if got := st.MatchAll(q); len(got) != 1 {
+		t.Fatalf("MatchAll = %d entries", len(got))
+	}
+	// Upsert again replaces.
+	e.Put("mail", "j@x")
+	if err := st.Upsert(e); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.MatchAll(q); len(got) != 1 || got[0].First("mail") != "j@x" {
+		t.Fatalf("upsert replace failed: %v", got)
+	}
+	if err := st.RemoveAny(e.DN()); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.MatchAll(q); len(got) != 0 {
+		t.Error("entry still present after RemoveAny")
+	}
+	if err := st.RemoveAny(e.DN()); !errors.Is(err, ErrNoSuchObject) {
+		t.Errorf("double RemoveAny: %v", err)
+	}
+}
+
+func TestMatchAllScope(t *testing.T) {
+	st := buildSmallDIT(t)
+	got := st.MatchAll(query.MustNew("c=us,o=xyz", query.ScopeSingleLevel, "(objectclass=*)"))
+	if len(got) != 2 {
+		t.Errorf("one-level MatchAll = %d, want 2", len(got))
+	}
+	got = st.MatchAll(query.MustNew("ou=research,c=us,o=xyz", query.ScopeSubtree, "(sn=*)"))
+	if len(got) != 2 {
+		t.Errorf("subtree MatchAll = %d, want 2", len(got))
+	}
+}
+
+func TestIndexedSearchMatchesScan(t *testing.T) {
+	plain := buildSmallDIT(t)
+	indexed := buildSmallDIT(t, WithIndexes("serialnumber", "sn", "mail"))
+	queries := []string{
+		"(serialnumber=0456)",
+		"(serialnumber=04*)",
+		"(sn=Doe)",
+		"(&(sn=Doe)(serialnumber=0456))",
+		"(|(sn=Doe)(sn=Miller))",
+		"(mail=*@us.xyz.com)",
+		"(&(objectclass=person)(serialnumber=05*))",
+	}
+	for _, f := range queries {
+		a := mustSearch(t, plain, "o=xyz", query.ScopeSubtree, f)
+		b := mustSearch(t, indexed, "o=xyz", query.ScopeSubtree, f)
+		if len(a.Entries) != len(b.Entries) {
+			t.Errorf("filter %s: scan=%d indexed=%d", f, len(a.Entries), len(b.Entries))
+		}
+	}
+}
+
+func TestIndexPrefixAfterChurn(t *testing.T) {
+	st, err := NewStore([]string{"o=xyz"}, WithIndexes("serialnumber"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	org := entry.New(dn.MustParse("o=xyz"))
+	org.Put("objectclass", "organization").Put("o", "xyz")
+	if err := st.Add(org); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		e := entry.New(dn.MustParse(fmt.Sprintf("cn=p%d,o=xyz", i)))
+		e.Put("objectclass", "person").Put("cn", fmt.Sprintf("p%d", i)).
+			Put("sn", "x").Put("serialnumber", fmt.Sprintf("%04d", i))
+		if err := st.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete every third entry, then query prefixes.
+	for i := 0; i < 200; i += 3 {
+		if err := st.Delete(dn.MustParse(fmt.Sprintf("cn=p%d,o=xyz", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := mustSearch(t, st, "o=xyz", query.ScopeSubtree, "(serialnumber=001*)")
+	want := 0
+	for i := 10; i <= 19; i++ {
+		if i%3 != 0 {
+			want++
+		}
+	}
+	if len(res.Entries) != want {
+		t.Errorf("prefix after churn: got %d, want %d", len(res.Entries), want)
+	}
+}
+
+func TestLoadBulk(t *testing.T) {
+	st, err := NewStore([]string{"o=xyz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []*entry.Entry
+	org := entry.New(dn.MustParse("o=xyz"))
+	org.Put("objectclass", "organization").Put("o", "xyz")
+	batch = append(batch, org)
+	for i := 0; i < 50; i++ {
+		e := entry.New(dn.MustParse(fmt.Sprintf("cn=p%d,o=xyz", i)))
+		e.Put("objectclass", "person").Put("cn", fmt.Sprintf("p%d", i)).Put("sn", "x")
+		batch = append(batch, e)
+	}
+	if err := st.Load(batch); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 51 {
+		t.Errorf("Len = %d, want 51", st.Len())
+	}
+	if st.LastCSN() != 0 {
+		t.Errorf("Load must not journal, LastCSN = %d", st.LastCSN())
+	}
+}
+
+func BenchmarkSearchIndexed(b *testing.B) {
+	st, _ := NewStore([]string{"o=xyz"}, WithIndexes("serialnumber"))
+	org := entry.New(dn.MustParse("o=xyz"))
+	org.Put("objectclass", "organization").Put("o", "xyz")
+	_ = st.Add(org)
+	var batch []*entry.Entry
+	for i := 0; i < 10000; i++ {
+		e := entry.New(dn.MustParse(fmt.Sprintf("cn=p%d,o=xyz", i)))
+		e.Put("objectclass", "person").Put("cn", fmt.Sprintf("p%d", i)).
+			Put("sn", "x").Put("serialnumber", fmt.Sprintf("%06d", i))
+		batch = append(batch, e)
+	}
+	_ = st.Load(batch)
+	q := query.MustNew("o=xyz", query.ScopeSubtree, "(serialnumber=005000)")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := st.Search(q)
+		if err != nil || len(res.Entries) != 1 {
+			b.Fatalf("res=%v err=%v", res, err)
+		}
+	}
+}
+
+func BenchmarkSearchScanVsIndex(b *testing.B) {
+	build := func(opts ...Option) *Store {
+		st, _ := NewStore([]string{"o=xyz"}, opts...)
+		org := entry.New(dn.MustParse("o=xyz"))
+		org.Put("objectclass", "organization").Put("o", "xyz")
+		_ = st.Add(org)
+		var batch []*entry.Entry
+		for i := 0; i < 5000; i++ {
+			e := entry.New(dn.MustParse(fmt.Sprintf("cn=p%d,o=xyz", i)))
+			e.Put("objectclass", "person").Put("cn", fmt.Sprintf("p%d", i)).
+				Put("sn", "x").Put("serialnumber", fmt.Sprintf("%06d", i))
+			batch = append(batch, e)
+		}
+		_ = st.Load(batch)
+		return st
+	}
+	q := query.MustNew("o=xyz", query.ScopeSubtree, "(serialnumber=002500)")
+	b.Run("scan", func(b *testing.B) {
+		st := build()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := st.Search(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("indexed", func(b *testing.B) {
+		st := build(WithIndexes("serialnumber"))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := st.Search(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

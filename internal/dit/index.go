@@ -1,0 +1,180 @@
+package dit
+
+import (
+	"sort"
+	"strings"
+
+	"filterdir/internal/entry"
+	"filterdir/internal/filter"
+)
+
+// attrIndex is an equality + ordered-prefix index over one attribute: a map
+// from normalized value to the set of entry DNs carrying it, plus a lazily
+// maintained sorted value list for prefix scans. Writes append to a small
+// pending list; reads merge it into the sorted main list once it grows.
+type attrIndex struct {
+	byValue map[string]map[string]bool // norm value -> set of norm DNs
+	sorted  []string                   // sorted norm values (may contain stale)
+	pending []string                   // unsorted recent additions
+}
+
+const pendingMergeThreshold = 4096
+
+func newAttrIndex() *attrIndex {
+	return &attrIndex{byValue: make(map[string]map[string]bool)}
+}
+
+func (ix *attrIndex) add(value, dnNorm string) {
+	v := entry.NormValue(value)
+	set, ok := ix.byValue[v]
+	if !ok {
+		set = make(map[string]bool)
+		ix.byValue[v] = set
+		ix.pending = append(ix.pending, v)
+	}
+	set[dnNorm] = true
+}
+
+func (ix *attrIndex) remove(value, dnNorm string) {
+	v := entry.NormValue(value)
+	if set, ok := ix.byValue[v]; ok {
+		delete(set, dnNorm)
+		if len(set) == 0 {
+			delete(ix.byValue, v)
+			// The stale value remains in sorted/pending; lookups check
+			// byValue for liveness.
+		}
+	}
+}
+
+// lookupEQ returns the DNs carrying the value.
+func (ix *attrIndex) lookupEQ(value string) []string {
+	set := ix.byValue[entry.NormValue(value)]
+	out := make([]string, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	return out
+}
+
+// lookupPrefix returns the DNs whose value starts with the prefix.
+func (ix *attrIndex) lookupPrefix(prefix string) []string {
+	p := entry.NormValue(prefix)
+	ix.mergePending()
+	i := sort.SearchStrings(ix.sorted, p)
+	var out []string
+	var last string
+	for ; i < len(ix.sorted); i++ {
+		v := ix.sorted[i]
+		if !strings.HasPrefix(v, p) {
+			break
+		}
+		if v == last {
+			continue // merged duplicates
+		}
+		last = v
+		for d := range ix.byValue[v] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func (ix *attrIndex) mergePending() {
+	if len(ix.pending) == 0 {
+		return
+	}
+	if len(ix.pending) < pendingMergeThreshold && len(ix.sorted) > 0 {
+		// Small pending set: scan it linearly during lookups instead of
+		// re-sorting the world. Simpler: merge anyway when a prefix lookup
+		// happens — prefix lookups need sorted order.
+	}
+	ix.sorted = append(ix.sorted, ix.pending...)
+	ix.pending = ix.pending[:0]
+	sort.Strings(ix.sorted)
+	// Compact exact duplicates introduced by value reuse after deletion.
+	out := ix.sorted[:0]
+	var last string
+	for i, v := range ix.sorted {
+		if i > 0 && v == last {
+			continue
+		}
+		last = v
+		out = append(out, v)
+	}
+	ix.sorted = out
+}
+
+// indexEntry registers all indexed attributes of an entry.
+func (s *Store) indexEntry(e *entry.Entry) {
+	norm := e.DN().Norm()
+	for attr, ix := range s.indexes {
+		for _, v := range e.Values(attr) {
+			ix.add(v, norm)
+		}
+	}
+}
+
+// unindexEntry removes all indexed attributes of an entry.
+func (s *Store) unindexEntry(e *entry.Entry) {
+	norm := e.DN().Norm()
+	for attr, ix := range s.indexes {
+		for _, v := range e.Values(attr) {
+			ix.remove(v, norm)
+		}
+	}
+}
+
+// indexCandidates derives a candidate DN set from the filter using the
+// store's indexes. ok is false when no index applies and the caller must
+// walk the region. The candidate set is a superset of the matching entries
+// (the full filter is still evaluated).
+func (s *Store) indexCandidates(f *filter.Node) ([]string, bool) {
+	switch f.Op {
+	case filter.EQ:
+		if f.Neg {
+			return nil, false
+		}
+		if ix, ok := s.indexes[f.Attr]; ok {
+			return ix.lookupEQ(f.Value), true
+		}
+	case filter.Substr:
+		if f.Neg || f.Sub == nil || f.Sub.Initial == "" {
+			return nil, false
+		}
+		if ix, ok := s.indexes[f.Attr]; ok {
+			return ix.lookupPrefix(f.Sub.Initial), true
+		}
+	case filter.And:
+		// Use the smallest candidate set among indexable children.
+		var best []string
+		found := false
+		for _, c := range f.Children {
+			if cands, ok := s.indexCandidates(c); ok {
+				if !found || len(cands) < len(best) {
+					best, found = cands, true
+				}
+			}
+		}
+		return best, found
+	case filter.Or:
+		// A union is a valid candidate set only if every branch is
+		// indexable.
+		seen := make(map[string]bool)
+		for _, c := range f.Children {
+			cands, ok := s.indexCandidates(c)
+			if !ok {
+				return nil, false
+			}
+			for _, d := range cands {
+				seen[d] = true
+			}
+		}
+		out := make([]string, 0, len(seen))
+		for d := range seen {
+			out = append(out, d)
+		}
+		return out, true
+	}
+	return nil, false
+}

@@ -1,0 +1,385 @@
+// Package dit implements an in-memory Directory Information Tree: entry
+// storage under one or more naming contexts, index-assisted LDAP search,
+// the four update operations (add, delete, modify, modifyDN), and an update
+// journal with before/after snapshots that the ReSync protocol and its
+// baselines consume.
+package dit
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"filterdir/internal/dn"
+	"filterdir/internal/entry"
+	"filterdir/internal/filter"
+	"filterdir/internal/query"
+)
+
+// Errors reported by store operations.
+var (
+	ErrNoSuchObject  = errors.New("no such object")
+	ErrAlreadyExists = errors.New("entry already exists")
+	ErrNotLeaf       = errors.New("entry has children")
+	ErrNoSuchContext = errors.New("base not under any naming context")
+	ErrSchema        = errors.New("schema violation")
+)
+
+// CSN is a change sequence number: a monotonically increasing commit stamp
+// assigned to every update.
+type CSN uint64
+
+// Referral is the object class marking subordinate-context glue entries; a
+// referral entry's "ref" attribute carries the subordinate server URL.
+const (
+	ReferralClass = "referral"
+	RefAttr       = "ref"
+)
+
+// Context is a naming context held by a store: a subtree suffix plus the
+// referral objects that terminate it (Section 2.3: C = (S, R1..Rn)).
+type Context struct {
+	Suffix    dn.DN
+	Referrals []dn.DN
+}
+
+// Store is an in-memory DIT partition. All methods are safe for concurrent
+// use.
+type Store struct {
+	mu sync.RWMutex
+
+	schema   *entry.Schema
+	suffixes []dn.DN
+	// defaultReferral is returned when a request targets a DN outside every
+	// naming context (the "superior referral" of Figure 2).
+	defaultReferral string
+
+	entries  map[string]*entry.Entry    // norm DN -> entry
+	children map[string]map[string]bool // parent norm -> child norms
+	indexes  map[string]*attrIndex      // indexed attr -> index
+
+	journal      []Change
+	journalBase  CSN // CSN of journal[0]; journal may be trimmed
+	nextCSN      CSN
+	journalLimit int
+
+	// signal is closed and replaced on every committed change; waiters use
+	// it for persist-mode notification.
+	signal chan struct{}
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithSchema enables schema validation on Add and Modify.
+func WithSchema(s *entry.Schema) Option {
+	return func(st *Store) { st.schema = s }
+}
+
+// WithIndexes maintains equality/prefix indexes for the named attributes.
+func WithIndexes(attrs ...string) Option {
+	return func(st *Store) {
+		for _, a := range attrs {
+			st.indexes[entry.NormValue(a)] = newAttrIndex()
+		}
+	}
+}
+
+// WithDefaultReferral sets the superior referral URL returned for targets
+// outside every naming context.
+func WithDefaultReferral(url string) Option {
+	return func(st *Store) { st.defaultReferral = url }
+}
+
+// WithJournalLimit bounds the in-memory journal to the most recent n
+// changes; older history is trimmed (consumers then require a full reload).
+// Zero means unbounded.
+func WithJournalLimit(n int) Option {
+	return func(st *Store) { st.journalLimit = n }
+}
+
+// NewStore creates a store serving the given naming-context suffixes
+// ("" for the whole DIT rooted at the null DN).
+func NewStore(suffixes []string, opts ...Option) (*Store, error) {
+	st := &Store{
+		entries:  make(map[string]*entry.Entry),
+		children: make(map[string]map[string]bool),
+		indexes:  make(map[string]*attrIndex),
+		nextCSN:  1,
+		signal:   make(chan struct{}),
+	}
+	for _, s := range suffixes {
+		d, err := dn.Parse(s)
+		if err != nil {
+			return nil, fmt.Errorf("suffix %q: %w", s, err)
+		}
+		st.suffixes = append(st.suffixes, d)
+	}
+	if len(st.suffixes) == 0 {
+		st.suffixes = []dn.DN{dn.Root}
+	}
+	for _, o := range opts {
+		o(st)
+	}
+	return st, nil
+}
+
+// Suffixes returns the naming-context suffixes the store serves.
+func (s *Store) Suffixes() []dn.DN {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]dn.DN, len(s.suffixes))
+	copy(out, s.suffixes)
+	return out
+}
+
+// Len returns the number of entries held.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
+
+// LastCSN returns the CSN of the most recent committed change (0 if none).
+func (s *Store) LastCSN() CSN {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.nextCSN - 1
+}
+
+// Get returns a copy of the entry at d.
+func (s *Store) Get(d dn.DN) (*entry.Entry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.entries[d.Norm()]
+	if !ok {
+		return nil, false
+	}
+	return e.Clone(), true
+}
+
+// holdsTarget reports whether the target DN falls under one of the store's
+// naming contexts.
+func (s *Store) holdsTarget(d dn.DN) bool {
+	for _, suf := range s.suffixes {
+		if suf.IsSuffix(d) {
+			return true
+		}
+	}
+	return false
+}
+
+// Result is the outcome of a search: matching entries (attribute-selected
+// copies) plus referral URLs for subordinate or superior naming contexts.
+type Result struct {
+	Entries   []*entry.Entry
+	Referrals []string
+}
+
+// Search evaluates an LDAP search against the store. Referral objects in
+// the searched region are not descended into; their ref URLs are returned
+// as search references. A base outside every naming context yields
+// ErrNoSuchContext together with the default (superior) referral, mirroring
+// the distributed-operation behaviour of Figure 2.
+func (s *Store) Search(q query.Query) (*Result, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	if !s.holdsTarget(q.Base) {
+		res := &Result{}
+		if s.defaultReferral != "" {
+			res.Referrals = append(res.Referrals, s.defaultReferral)
+		}
+		return res, fmt.Errorf("%w: %q", ErrNoSuchContext, q.Base.String())
+	}
+	baseEntry, ok := s.entries[q.Base.Norm()]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchObject, q.Base.String())
+	}
+
+	res := &Result{}
+	// Distributed name resolution: a referral base is itself a referral.
+	if baseEntry.HasObjectClass(ReferralClass) {
+		res.Referrals = append(res.Referrals, baseEntry.Values(RefAttr)...)
+		return res, nil
+	}
+
+	f := q.Filter
+	if f == nil {
+		f = filter.NewPresent(entry.AttrObjectClass)
+	}
+
+	if cands, ok := s.indexCandidates(f); ok {
+		for _, norm := range cands {
+			e, ok := s.entries[norm]
+			if !ok {
+				continue
+			}
+			if !q.InScope(e.DN()) || s.crossesReferral(q.Base, e.DN()) {
+				continue
+			}
+			if e.HasObjectClass(ReferralClass) {
+				continue // handled by the region walk below
+			}
+			if f.Matches(e) {
+				res.Entries = append(res.Entries, e.Select(q.Attrs))
+			}
+		}
+		// Even with an index, referral objects in the region must surface.
+		s.collectReferrals(q, res)
+		return res, nil
+	}
+
+	s.walkRegion(q, baseEntry, res, f)
+	return res, nil
+}
+
+// walkRegion scans the base/scope region, collecting matches and referrals.
+func (s *Store) walkRegion(q query.Query, baseEntry *entry.Entry, res *Result, f *filter.Node) {
+	var visit func(e *entry.Entry, depth int)
+	visit = func(e *entry.Entry, depth int) {
+		if e.HasObjectClass(ReferralClass) && depth > 0 {
+			if q.Scope == query.ScopeSubtree || (q.Scope == query.ScopeSingleLevel && depth == 1) {
+				res.Referrals = append(res.Referrals, e.Values(RefAttr)...)
+			}
+			return
+		}
+		inRegion := false
+		switch q.Scope {
+		case query.ScopeBase:
+			inRegion = depth == 0
+		case query.ScopeSingleLevel:
+			inRegion = depth == 1
+		case query.ScopeSubtree:
+			inRegion = true
+		}
+		if inRegion && f.Matches(e) {
+			res.Entries = append(res.Entries, e.Select(q.Attrs))
+		}
+		if q.Scope == query.ScopeBase && depth == 0 {
+			return
+		}
+		if q.Scope == query.ScopeSingleLevel && depth >= 1 {
+			return
+		}
+		for childNorm := range s.children[e.DN().Norm()] {
+			if c, ok := s.entries[childNorm]; ok {
+				visit(c, depth+1)
+			}
+		}
+	}
+	visit(baseEntry, 0)
+}
+
+// collectReferrals finds referral objects in the region (used on the
+// index-assisted path, which does not walk the tree).
+func (s *Store) collectReferrals(q query.Query, res *Result) {
+	if q.Scope == query.ScopeBase {
+		return
+	}
+	var visit func(norm string, depth int)
+	visit = func(norm string, depth int) {
+		e, ok := s.entries[norm]
+		if !ok {
+			return
+		}
+		if depth > 0 && e.HasObjectClass(ReferralClass) {
+			if q.Scope == query.ScopeSubtree || depth == 1 {
+				res.Referrals = append(res.Referrals, e.Values(RefAttr)...)
+			}
+			return
+		}
+		if q.Scope == query.ScopeSingleLevel && depth >= 1 {
+			return
+		}
+		for child := range s.children[norm] {
+			visit(child, depth+1)
+		}
+	}
+	visit(q.Base.Norm(), 0)
+}
+
+// crossesReferral reports whether the path from base down to target passes
+// through a referral object (the target then belongs to a subordinate
+// context, not to this store's region).
+func (s *Store) crossesReferral(base, target dn.DN) bool {
+	cur := target
+	for !cur.Equal(base) {
+		parent, ok := cur.Parent()
+		if !ok {
+			return false
+		}
+		if e, ok := s.entries[parent.Norm()]; ok && e.HasObjectClass(ReferralClass) {
+			return true
+		}
+		cur = parent
+		if cur.Depth() < base.Depth() {
+			return false
+		}
+	}
+	return false
+}
+
+// Contexts describes the store's naming contexts with their terminating
+// referral objects, as used by subtree-replica metadata.
+func (s *Store) Contexts() []Context {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Context, 0, len(s.suffixes))
+	for _, suf := range s.suffixes {
+		c := Context{Suffix: suf}
+		for norm, e := range s.entries {
+			if e.HasObjectClass(ReferralClass) && suf.IsSuffix(e.DN()) {
+				_ = norm
+				c.Referrals = append(c.Referrals, e.DN())
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// MatchAll evaluates a query against the store without anchoring at the
+// base entry: every held entry in the base/scope region matching the filter
+// is returned. Filter-based replicas use this because they hold sparse
+// content — matching entries without their ancestor chain — so the base of
+// an answerable query need not itself be present.
+func (s *Store) MatchAll(q query.Query) []*entry.Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f := q.Filter
+	if f == nil {
+		f = filter.NewPresent(entry.AttrObjectClass)
+	}
+	var out []*entry.Entry
+	if cands, ok := s.indexCandidates(f); ok {
+		for _, norm := range cands {
+			e, ok := s.entries[norm]
+			if !ok {
+				continue
+			}
+			if q.InScope(e.DN()) && f.Matches(e) {
+				out = append(out, e.Select(q.Attrs))
+			}
+		}
+		return out
+	}
+	for _, e := range s.entries {
+		if q.InScope(e.DN()) && f.Matches(e) {
+			out = append(out, e.Select(q.Attrs))
+		}
+	}
+	return out
+}
+
+// All returns a copy of every entry (sorted order not guaranteed); intended
+// for tests, dumps and full reloads.
+func (s *Store) All() []*entry.Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*entry.Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, e.Clone())
+	}
+	return out
+}

@@ -1,0 +1,401 @@
+package dit
+
+import (
+	"fmt"
+	"strings"
+
+	"filterdir/internal/dn"
+	"filterdir/internal/entry"
+)
+
+// ChangeType identifies an update operation.
+type ChangeType int
+
+// The four LDAP update operations.
+const (
+	ChangeAdd ChangeType = iota + 1
+	ChangeDelete
+	ChangeModify
+	ChangeModifyDN
+)
+
+func (t ChangeType) String() string {
+	switch t {
+	case ChangeAdd:
+		return "add"
+	case ChangeDelete:
+		return "delete"
+	case ChangeModify:
+		return "modify"
+	case ChangeModifyDN:
+		return "modifyDN"
+	default:
+		return fmt.Sprintf("change(%d)", int(t))
+	}
+}
+
+// Change is one journal record: the operation plus full before/after entry
+// snapshots, which let the ReSync engine classify every change against any
+// content specification (moved in / moved out / changed within). For
+// ChangeModifyDN, DN is the old name and NewDN the new one; subtree moves
+// journal one ModifyDN record per moved entry.
+type Change struct {
+	CSN    CSN
+	Type   ChangeType
+	DN     dn.DN
+	NewDN  dn.DN
+	Before *entry.Entry
+	After  *entry.Entry
+	// Mods records the attribute-level modifications for ChangeModify; it is
+	// what a changelog-style consumer sees (changed attributes only).
+	Mods []Mod
+}
+
+// ModOp is a modify sub-operation kind.
+type ModOp int
+
+// Modify sub-operations per RFC 2251.
+const (
+	ModAdd ModOp = iota + 1
+	ModReplace
+	ModDelete
+)
+
+// Mod is one attribute modification.
+type Mod struct {
+	Op     ModOp
+	Attr   string
+	Values []string
+}
+
+// commit appends a change to the journal and wakes persist-mode waiters.
+// Callers hold s.mu.
+func (s *Store) commit(c Change) CSN {
+	c.CSN = s.nextCSN
+	s.nextCSN++
+	s.journal = append(s.journal, c)
+	if s.journalLimit > 0 && len(s.journal) > s.journalLimit {
+		drop := len(s.journal) - s.journalLimit
+		s.journal = append(s.journal[:0:0], s.journal[drop:]...)
+		s.journalBase += CSN(drop)
+	}
+	close(s.signal)
+	s.signal = make(chan struct{})
+	return c.CSN
+}
+
+// ChangeSignal returns a channel closed at the next committed change;
+// persist-mode consumers re-arm by calling it again after each wakeup.
+func (s *Store) ChangeSignal() <-chan struct{} {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.signal
+}
+
+// ChangesSince returns all journal records with CSN > after, and ok=false
+// when that span has been trimmed from the journal (the consumer must then
+// fall back to a full reload).
+func (s *Store) ChangesSince(after CSN) (changes []Change, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	first := s.journalBase
+	if len(s.journal) > 0 {
+		first = s.journal[0].CSN
+	}
+	if after+1 < first {
+		return nil, false
+	}
+	for _, c := range s.journal {
+		if c.CSN > after {
+			changes = append(changes, c)
+		}
+	}
+	return changes, true
+}
+
+// Add inserts a new entry. The parent must exist unless the entry is a
+// naming-context suffix. Schema validation applies when configured.
+func (s *Store) Add(e *entry.Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addLocked(e)
+}
+
+func (s *Store) addLocked(e *entry.Entry) error {
+	d := e.DN()
+	norm := d.Norm()
+	if !s.holdsTarget(d) {
+		return fmt.Errorf("%w: %q", ErrNoSuchContext, d.String())
+	}
+	if _, exists := s.entries[norm]; exists {
+		return fmt.Errorf("%w: %q", ErrAlreadyExists, d.String())
+	}
+	if !s.isSuffixEntry(d) {
+		parent, ok := d.Parent()
+		if !ok {
+			return fmt.Errorf("%w: parent of %q", ErrNoSuchObject, d.String())
+		}
+		if _, exists := s.entries[parent.Norm()]; !exists {
+			return fmt.Errorf("%w: parent %q", ErrNoSuchObject, parent.String())
+		}
+	}
+	if s.schema != nil {
+		if err := s.schema.Validate(e); err != nil {
+			return fmt.Errorf("%w: %v", ErrSchema, err)
+		}
+	}
+	cp := e.Clone()
+	s.entries[norm] = cp
+	s.linkChild(d)
+	s.indexEntry(cp)
+	s.commit(Change{Type: ChangeAdd, DN: d, After: cp.Clone()})
+	return nil
+}
+
+// isSuffixEntry reports whether d is one of the store's context suffixes.
+func (s *Store) isSuffixEntry(d dn.DN) bool {
+	for _, suf := range s.suffixes {
+		if suf.Equal(d) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Store) linkChild(d dn.DN) {
+	parent, ok := d.Parent()
+	if !ok {
+		return
+	}
+	set, ok := s.children[parent.Norm()]
+	if !ok {
+		set = make(map[string]bool)
+		s.children[parent.Norm()] = set
+	}
+	set[d.Norm()] = true
+}
+
+func (s *Store) unlinkChild(d dn.DN) {
+	parent, ok := d.Parent()
+	if !ok {
+		return
+	}
+	if set, ok := s.children[parent.Norm()]; ok {
+		delete(set, d.Norm())
+		if len(set) == 0 {
+			delete(s.children, parent.Norm())
+		}
+	}
+}
+
+// Delete removes a leaf entry.
+func (s *Store) Delete(d dn.DN) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	norm := d.Norm()
+	e, ok := s.entries[norm]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchObject, d.String())
+	}
+	if len(s.children[norm]) > 0 {
+		return fmt.Errorf("%w: %q", ErrNotLeaf, d.String())
+	}
+	delete(s.entries, norm)
+	s.unlinkChild(d)
+	s.unindexEntry(e)
+	s.commit(Change{Type: ChangeDelete, DN: d, Before: e})
+	return nil
+}
+
+// Modify applies attribute modifications to an entry.
+func (s *Store) Modify(d dn.DN, mods []Mod) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	norm := d.Norm()
+	e, ok := s.entries[norm]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchObject, d.String())
+	}
+	before := e.Clone()
+	after := e.Clone()
+	for _, m := range mods {
+		switch m.Op {
+		case ModAdd:
+			after.Add(m.Attr, m.Values...)
+		case ModReplace:
+			if len(m.Values) == 0 {
+				// Replace with no values removes the attribute.
+				if after.Has(m.Attr) {
+					_ = after.DeleteValues(m.Attr)
+				}
+			} else {
+				after.Put(m.Attr, m.Values...)
+			}
+		case ModDelete:
+			if err := after.DeleteValues(m.Attr, m.Values...); err != nil {
+				return fmt.Errorf("modify %q: %w", d.String(), err)
+			}
+		default:
+			return fmt.Errorf("modify %q: unknown mod op %d", d.String(), m.Op)
+		}
+	}
+	if s.schema != nil {
+		if err := s.schema.Validate(after); err != nil {
+			return fmt.Errorf("%w: %v", ErrSchema, err)
+		}
+	}
+	s.unindexEntry(before)
+	s.entries[norm] = after
+	s.indexEntry(after)
+	s.commit(Change{Type: ChangeModify, DN: d, Before: before, After: after.Clone(), Mods: cloneMods(mods)})
+	return nil
+}
+
+func cloneMods(mods []Mod) []Mod {
+	out := make([]Mod, len(mods))
+	for i, m := range mods {
+		out[i] = Mod{Op: m.Op, Attr: m.Attr, Values: append([]string(nil), m.Values...)}
+	}
+	return out
+}
+
+// ModifyDN renames an entry (and, for non-leaf entries, its whole subtree).
+// newSuperior is the new parent DN; pass the current parent for a pure
+// rename. The leaf RDN attribute value is updated in the entry when the RDN
+// changes. One ModifyDN journal record is committed per moved entry.
+func (s *Store) ModifyDN(old dn.DN, newRDN dn.RDN, newSuperior dn.DN) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	oldNorm := old.Norm()
+	if _, ok := s.entries[oldNorm]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchObject, old.String())
+	}
+	newDN := newSuperior.Child(newRDN)
+	if !s.holdsTarget(newDN) {
+		return fmt.Errorf("%w: %q", ErrNoSuchContext, newDN.String())
+	}
+	if _, exists := s.entries[newDN.Norm()]; exists {
+		return fmt.Errorf("%w: %q", ErrAlreadyExists, newDN.String())
+	}
+	if !newSuperior.IsRoot() {
+		if _, ok := s.entries[newSuperior.Norm()]; !ok && !s.isSuffixEntry(newDN) {
+			return fmt.Errorf("%w: new superior %q", ErrNoSuchObject, newSuperior.String())
+		}
+	}
+	if old.IsSuffix(newDN) && !old.Equal(newDN) {
+		return fmt.Errorf("cannot move %q under itself", old.String())
+	}
+
+	// Collect the subtree rooted at old, parents before children.
+	var subtree []dn.DN
+	var collect func(d dn.DN)
+	collect = func(d dn.DN) {
+		subtree = append(subtree, d)
+		for childNorm := range s.children[d.Norm()] {
+			if c, ok := s.entries[childNorm]; ok {
+				collect(c.DN())
+			}
+		}
+	}
+	collect(old)
+
+	for _, cur := range subtree {
+		tgt, err := dn.Rename(cur, old, newDN)
+		if err != nil {
+			return err
+		}
+		e := s.entries[cur.Norm()]
+		before := e.Clone()
+		delete(s.entries, cur.Norm())
+		s.unlinkChild(cur)
+		s.unindexEntry(e)
+
+		moved := e
+		moved.SetDN(tgt)
+		if cur.Equal(old) {
+			// Update the naming attribute to match the new RDN.
+			oldLeaf, _ := cur.Leaf()
+			if !strings.EqualFold(oldLeaf.Attr, newRDN.Attr) || !entry.EqualValues(oldLeaf.Value, newRDN.Value) {
+				moved.Put(newRDN.Attr, newRDN.Value)
+			}
+		}
+		s.entries[tgt.Norm()] = moved
+		s.linkChild(tgt)
+		s.indexEntry(moved)
+		s.commit(Change{Type: ChangeModifyDN, DN: cur, NewDN: tgt, Before: before, After: moved.Clone()})
+	}
+	return nil
+}
+
+// Upsert inserts or replaces an entry without requiring its parent to
+// exist. Replica stores use it to apply synchronization actions: filter
+// replicas hold sparse content (selected entries without their ancestor
+// chains). The change is journaled as an add or modify.
+func (s *Store) Upsert(e *entry.Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := e.DN()
+	if !s.holdsTarget(d) {
+		return fmt.Errorf("%w: %q", ErrNoSuchContext, d.String())
+	}
+	norm := d.Norm()
+	cp := e.Clone()
+	if prior, ok := s.entries[norm]; ok {
+		s.unindexEntry(prior)
+		s.entries[norm] = cp
+		s.indexEntry(cp)
+		s.commit(Change{Type: ChangeModify, DN: d, Before: prior, After: cp.Clone()})
+		return nil
+	}
+	s.entries[norm] = cp
+	s.linkChild(d)
+	s.indexEntry(cp)
+	s.commit(Change{Type: ChangeAdd, DN: d, After: cp.Clone()})
+	return nil
+}
+
+// RemoveAny deletes an entry regardless of children (sparse replica content
+// does not maintain tree completeness). Removing an absent entry is a
+// no-op returning ErrNoSuchObject.
+func (s *Store) RemoveAny(d dn.DN) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	norm := d.Norm()
+	e, ok := s.entries[norm]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchObject, d.String())
+	}
+	delete(s.entries, norm)
+	s.unlinkChild(d)
+	s.unindexEntry(e)
+	s.commit(Change{Type: ChangeDelete, DN: d, Before: e})
+	return nil
+}
+
+// Load bulk-inserts entries without journaling (initial population of a
+// master or replica). Parents must precede children in the slice. Schema
+// validation applies when configured.
+func (s *Store) Load(entries []*entry.Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range entries {
+		d := e.DN()
+		norm := d.Norm()
+		if !s.holdsTarget(d) {
+			return fmt.Errorf("%w: %q", ErrNoSuchContext, d.String())
+		}
+		if _, exists := s.entries[norm]; exists {
+			return fmt.Errorf("%w: %q", ErrAlreadyExists, d.String())
+		}
+		if s.schema != nil {
+			if err := s.schema.Validate(e); err != nil {
+				return fmt.Errorf("%w: %v", ErrSchema, err)
+			}
+		}
+		cp := e.Clone()
+		s.entries[norm] = cp
+		s.linkChild(d)
+		s.indexEntry(cp)
+	}
+	return nil
+}

@@ -1,0 +1,426 @@
+// Package dn implements parsing, normalization and hierarchy operations for
+// LDAP distinguished names (a practical subset of RFC 2253).
+//
+// A distinguished name (DN) identifies an entry in the Directory Information
+// Tree (DIT). It is written leaf-first: the DN of an entry is its relative DN
+// (RDN) followed by the DN of its parent, e.g.
+//
+//	cn=John Doe,ou=research,c=us,o=xyz
+//
+// The root of the DIT has the empty ("null") DN.
+//
+// DNs in this package are immutable after construction; all operations return
+// new values. Attribute types are normalized to lower case and attribute
+// values are compared case-insensitively, matching the caseIgnoreMatch rule
+// that governs the vast majority of naming attributes.
+package dn
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// RDN is a single relative distinguished name component, e.g. "cn=John Doe".
+// Multi-valued RDNs (a+b=c) are intentionally not supported; they are rare in
+// practice and the paper's directory does not use them.
+type RDN struct {
+	// Attr is the normalized (lower-case) attribute type, e.g. "cn".
+	Attr string
+	// Value is the attribute value with RFC 2253 escapes resolved. Original
+	// case is preserved for display; comparisons are case-insensitive.
+	Value string
+}
+
+// String renders the RDN with RFC 2253 escaping applied to the value.
+func (r RDN) String() string {
+	return r.Attr + "=" + escapeValue(r.Value)
+}
+
+// Equal reports whether two RDNs are equivalent under case-insensitive value
+// matching.
+func (r RDN) Equal(o RDN) bool {
+	return r.Attr == o.Attr && strings.EqualFold(foldSpaces(r.Value), foldSpaces(o.Value))
+}
+
+// DN is a parsed distinguished name. The zero value is the root ("null") DN.
+// RDNs are stored leaf-first, mirroring the string representation: for
+// "cn=a,o=b", RDNs[0] is cn=a and RDNs[1] is o=b.
+type DN struct {
+	rdns []RDN
+	// norm is the normalized form used for equality and map keys.
+	norm string
+}
+
+// Root is the null DN naming the root of the DIT.
+var Root = DN{}
+
+// ErrInvalidDN reports a malformed distinguished name string.
+var ErrInvalidDN = errors.New("invalid DN")
+
+// New builds a DN from leaf-first RDNs. Attribute types are normalized to
+// lower case.
+func New(rdns ...RDN) DN {
+	if len(rdns) == 0 {
+		return DN{}
+	}
+	cp := make([]RDN, len(rdns))
+	for i, r := range rdns {
+		cp[i] = RDN{Attr: strings.ToLower(strings.TrimSpace(r.Attr)), Value: r.Value}
+	}
+	return DN{rdns: cp, norm: normalize(cp)}
+}
+
+// Parse parses an RFC 2253 style DN string. The empty string parses to the
+// root DN. Supported escapes inside values: backslash followed by one of
+// ",=+<>#;\\\"" or a space, and backslash followed by two hex digits.
+func Parse(s string) (DN, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return DN{}, nil
+	}
+	parts, err := splitComponents(s)
+	if err != nil {
+		return DN{}, err
+	}
+	rdns := make([]RDN, 0, len(parts))
+	for _, p := range parts {
+		r, err := parseRDN(p)
+		if err != nil {
+			return DN{}, err
+		}
+		rdns = append(rdns, r)
+	}
+	return DN{rdns: rdns, norm: normalize(rdns)}, nil
+}
+
+// MustParse is Parse that panics on error; intended for tests and constants.
+func MustParse(s string) DN {
+	d, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// String renders the DN in RFC 2253 form with the original value case.
+func (d DN) String() string {
+	if len(d.rdns) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, r := range d.rdns {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(r.String())
+	}
+	return b.String()
+}
+
+// Norm returns the normalized form (lower-cased attribute types and values,
+// single spacing) suitable for use as a map key. Two DNs are Equal exactly
+// when their Norm strings are identical.
+func (d DN) Norm() string { return d.norm }
+
+// IsRoot reports whether d is the null DN.
+func (d DN) IsRoot() bool { return len(d.rdns) == 0 }
+
+// Depth returns the number of RDN components (0 for the root).
+func (d DN) Depth() int { return len(d.rdns) }
+
+// RDNs returns a copy of the leaf-first RDN components.
+func (d DN) RDNs() []RDN {
+	out := make([]RDN, len(d.rdns))
+	copy(out, d.rdns)
+	return out
+}
+
+// Leaf returns the leftmost (leaf) RDN. Calling Leaf on the root DN returns a
+// zero RDN and false.
+func (d DN) Leaf() (RDN, bool) {
+	if len(d.rdns) == 0 {
+		return RDN{}, false
+	}
+	return d.rdns[0], true
+}
+
+// Equal reports whether two DNs name the same entry.
+func (d DN) Equal(o DN) bool { return d.norm == o.norm }
+
+// Parent returns the DN with the leaf RDN removed. The parent of the root is
+// the root itself with ok=false.
+func (d DN) Parent() (DN, bool) {
+	if len(d.rdns) == 0 {
+		return DN{}, false
+	}
+	rest := d.rdns[1:]
+	return DN{rdns: rest, norm: normalize(rest)}, true
+}
+
+// Child returns the DN formed by prefixing an RDN to d.
+func (d DN) Child(r RDN) DN {
+	rdns := make([]RDN, 0, len(d.rdns)+1)
+	rdns = append(rdns, RDN{Attr: strings.ToLower(strings.TrimSpace(r.Attr)), Value: r.Value})
+	rdns = append(rdns, d.rdns...)
+	return DN{rdns: rdns, norm: normalize(rdns)}
+}
+
+// IsSuffix reports whether d is an ancestor-or-self of o; that is, whether
+// the DIT region rooted at d contains o. The root DN is a suffix of every DN.
+// This matches the paper's isSuffix(a, b): TRUE when a is an ancestor of b
+// (we additionally treat a DN as a suffix of itself, which is what both the
+// subtree-containment algorithm and naming-context resolution require).
+func (d DN) IsSuffix(o DN) bool {
+	n, m := len(d.rdns), len(o.rdns)
+	if n > m {
+		return false
+	}
+	// Compare the trailing n components; string suffix checks are unsafe in
+	// the presence of escaped separators inside values.
+	for i := 0; i < n; i++ {
+		if !d.rdns[n-1-i].Equal(o.rdns[m-1-i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsStrictSuffix reports whether d is a proper ancestor of o (d != o).
+func (d DN) IsStrictSuffix(o DN) bool {
+	return len(d.rdns) < len(o.rdns) && d.IsSuffix(o)
+}
+
+// IsParent reports whether d is the immediate parent of o.
+func (d DN) IsParent(o DN) bool {
+	return len(o.rdns) == len(d.rdns)+1 && d.IsSuffix(o)
+}
+
+// RelativeDepth returns the number of levels from ancestor d down to o, and
+// ok=false when d is not a suffix of o. RelativeDepth(d, d) is 0.
+func (d DN) RelativeDepth(o DN) (int, bool) {
+	if !d.IsSuffix(o) {
+		return 0, false
+	}
+	return len(o.rdns) - len(d.rdns), true
+}
+
+// Rename returns the DN obtained by replacing the subtree prefix: o must be
+// under oldBase; the portion of o below oldBase is re-rooted under newBase.
+// Used to implement modifyDN with subtree moves.
+func Rename(o, oldBase, newBase DN) (DN, error) {
+	rel, ok := oldBase.RelativeDepth(o)
+	if !ok {
+		return DN{}, fmt.Errorf("%w: %q is not under %q", ErrInvalidDN, o.String(), oldBase.String())
+	}
+	rdns := make([]RDN, 0, rel+len(newBase.rdns))
+	rdns = append(rdns, o.rdns[:rel]...)
+	rdns = append(rdns, newBase.rdns...)
+	return DN{rdns: rdns, norm: normalize(rdns)}, nil
+}
+
+// normalize produces the canonical comparison form.
+func normalize(rdns []RDN) string {
+	if len(rdns) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, r := range rdns {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strings.ToLower(r.Attr))
+		b.WriteByte('=')
+		b.WriteString(strings.ToLower(foldSpaces(escapeValue(r.Value))))
+	}
+	return b.String()
+}
+
+// foldSpaces trims leading/trailing spaces and collapses internal runs of
+// spaces, per the caseIgnoreMatch normalization rules.
+func foldSpaces(s string) string {
+	fields := strings.Fields(s)
+	return strings.Join(fields, " ")
+}
+
+// splitComponents splits a DN string on unescaped commas (and semicolons,
+// which RFC 2253 allows as a legacy separator).
+func splitComponents(s string) ([]string, error) {
+	var parts []string
+	var cur strings.Builder
+	escaped := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case escaped:
+			cur.WriteByte('\\')
+			cur.WriteByte(c)
+			escaped = false
+		case c == '\\':
+			escaped = true
+		case c == ',' || c == ';':
+			parts = append(parts, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if escaped {
+		return nil, fmt.Errorf("%w: trailing backslash in %q", ErrInvalidDN, s)
+	}
+	parts = append(parts, cur.String())
+	return parts, nil
+}
+
+// parseRDN parses a single "attr=value" component.
+func parseRDN(s string) (RDN, error) {
+	eq := indexUnescaped(s, '=')
+	if eq < 0 {
+		return RDN{}, fmt.Errorf("%w: missing '=' in RDN %q", ErrInvalidDN, s)
+	}
+	attr := strings.ToLower(strings.TrimSpace(s[:eq]))
+	if attr == "" || !validAttrType(attr) {
+		return RDN{}, fmt.Errorf("%w: bad attribute type in RDN %q", ErrInvalidDN, s)
+	}
+	val, err := unescapeValue(trimValueSpace(s[eq+1:]))
+	if err != nil {
+		return RDN{}, fmt.Errorf("%w: bad value in RDN %q: %v", ErrInvalidDN, s, err)
+	}
+	if val == "" {
+		return RDN{}, fmt.Errorf("%w: empty value in RDN %q", ErrInvalidDN, s)
+	}
+	return RDN{Attr: attr, Value: val}, nil
+}
+
+// trimValueSpace trims unescaped leading and trailing spaces from a raw
+// (still-escaped) attribute value. A trailing space preceded by an odd number
+// of backslashes is escaped and must be kept.
+func trimValueSpace(s string) string {
+	s = strings.TrimLeft(s, " ")
+	for len(s) > 0 && s[len(s)-1] == ' ' {
+		// Count backslashes immediately before the final space.
+		n := 0
+		for i := len(s) - 2; i >= 0 && s[i] == '\\'; i-- {
+			n++
+		}
+		if n%2 == 1 {
+			break // escaped space: keep it
+		}
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+func indexUnescaped(s string, c byte) int {
+	escaped := false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case escaped:
+			escaped = false
+		case s[i] == '\\':
+			escaped = true
+		case s[i] == c:
+			return i
+		}
+	}
+	return -1
+}
+
+// validAttrType accepts LDAP attribute descriptors: a letter followed by
+// letters, digits, and hyphens, or a numeric OID.
+func validAttrType(s string) bool {
+	if s == "" {
+		return false
+	}
+	if s[0] >= '0' && s[0] <= '9' {
+		// numeric OID form: digits and dots
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c != '.' && (c < '0' || c > '9') {
+				return false
+			}
+		}
+		return true
+	}
+	if !isAlpha(s[0]) {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		if !isAlpha(c) && (c < '0' || c > '9') && c != '-' {
+			return false
+		}
+	}
+	return true
+}
+
+func isAlpha(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+const specialChars = ",=+<>#;\"\\"
+
+// escapeValue applies RFC 2253 escaping to an attribute value.
+func escapeValue(s string) string {
+	if s == "" {
+		return s
+	}
+	needs := strings.ContainsAny(s, specialChars) ||
+		s[0] == ' ' || s[0] == '#' || s[len(s)-1] == ' '
+	if !needs {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if strings.IndexByte(specialChars, c) >= 0 ||
+			(c == ' ' && (i == 0 || i == len(s)-1)) ||
+			(c == '#' && i == 0) {
+			b.WriteByte('\\')
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+// unescapeValue resolves RFC 2253 escapes in an attribute value.
+func unescapeValue(s string) (string, error) {
+	if !strings.ContainsRune(s, '\\') {
+		return s, nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		if i+1 >= len(s) {
+			return "", errors.New("trailing backslash")
+		}
+		n := s[i+1]
+		if isHex(n) && i+2 < len(s) && isHex(s[i+2]) {
+			b.WriteByte(hexVal(n)<<4 | hexVal(s[i+2]))
+			i += 2
+			continue
+		}
+		b.WriteByte(n)
+		i++
+	}
+	return b.String(), nil
+}
+
+func isHex(c byte) bool {
+	return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func hexVal(c byte) byte {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0'
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10
+	default:
+		return c - 'A' + 10
+	}
+}

@@ -1,0 +1,286 @@
+package dn
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasic(t *testing.T) {
+	tests := []struct {
+		name    string
+		in      string
+		depth   int
+		str     string
+		wantErr bool
+	}{
+		{name: "root", in: "", depth: 0, str: ""},
+		{name: "root spaces", in: "   ", depth: 0, str: ""},
+		{name: "single", in: "o=xyz", depth: 1, str: "o=xyz"},
+		{name: "two", in: "c=us,o=xyz", depth: 2, str: "c=us,o=xyz"},
+		{name: "person", in: "cn=John Doe,ou=research,c=us,o=xyz", depth: 4, str: "cn=John Doe,ou=research,c=us,o=xyz"},
+		{name: "space around eq", in: "cn = John , o = xyz", depth: 2, str: "cn=John,o=xyz"},
+		{name: "escaped comma", in: `cn=Doe\, John,o=xyz`, depth: 2, str: `cn=Doe\, John,o=xyz`},
+		{name: "escaped hex", in: `cn=J\4fhn,o=xyz`, depth: 2, str: "cn=JOhn,o=xyz"},
+		{name: "semicolon separator", in: "cn=a;o=b", depth: 2, str: "cn=a,o=b"},
+		{name: "numeric oid attr", in: "2.5.4.3=val", depth: 1, str: "2.5.4.3=val"},
+		{name: "missing equals", in: "cnJohn,o=xyz", wantErr: true},
+		{name: "empty value", in: "cn=,o=xyz", wantErr: true},
+		{name: "bad attr", in: "c n=x", wantErr: true},
+		{name: "trailing backslash", in: `cn=x\`, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d, err := Parse(tt.in)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("Parse(%q) succeeded, want error", tt.in)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", tt.in, err)
+			}
+			if d.Depth() != tt.depth {
+				t.Errorf("depth = %d, want %d", d.Depth(), tt.depth)
+			}
+			if got := d.String(); got != tt.str {
+				t.Errorf("String() = %q, want %q", got, tt.str)
+			}
+		})
+	}
+}
+
+func TestEqualCaseInsensitive(t *testing.T) {
+	a := MustParse("CN=John Doe,OU=Research,O=XYZ")
+	b := MustParse("cn=john doe,ou=research,o=xyz")
+	if !a.Equal(b) {
+		t.Errorf("case-insensitive DNs should be equal: %q vs %q", a.Norm(), b.Norm())
+	}
+	c := MustParse("cn=john  doe,ou=research,o=xyz")
+	if !a.Equal(c) {
+		t.Errorf("internal space folding should make DNs equal: %q vs %q", a.Norm(), c.Norm())
+	}
+}
+
+func TestIsSuffix(t *testing.T) {
+	root := Root
+	org := MustParse("o=xyz")
+	country := MustParse("c=us,o=xyz")
+	person := MustParse("cn=John Doe,ou=research,c=us,o=xyz")
+	other := MustParse("c=in,o=xyz")
+
+	tests := []struct {
+		name string
+		a, b DN
+		want bool
+	}{
+		{"root suffix of all", root, person, true},
+		{"root suffix of root", root, root, true},
+		{"self suffix", country, country, true},
+		{"ancestor", org, person, true},
+		{"grandparent", country, person, true},
+		{"not ancestor", other, person, false},
+		{"descendant is not suffix", person, country, false},
+		{"sibling", country, other, false},
+	}
+	for _, tt := range tests {
+		if got := tt.a.IsSuffix(tt.b); got != tt.want {
+			t.Errorf("%s: IsSuffix(%q, %q) = %v, want %v", tt.name, tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestIsSuffixEscapedSeparators(t *testing.T) {
+	// A value containing ",o=y" must not be confused with the hierarchy.
+	tricky := MustParse(`cn=x\,o=y`)
+	base := MustParse("o=y")
+	if base.IsSuffix(tricky) {
+		t.Error("o=y must not be a suffix of the single-RDN DN cn=x\\,o=y")
+	}
+	if tricky.Depth() != 1 {
+		t.Errorf("depth = %d, want 1", tricky.Depth())
+	}
+}
+
+func TestParentChild(t *testing.T) {
+	person := MustParse("cn=John Doe,ou=research,c=us,o=xyz")
+	parent, ok := person.Parent()
+	if !ok || parent.String() != "ou=research,c=us,o=xyz" {
+		t.Fatalf("Parent = %q, ok=%v", parent, ok)
+	}
+	if !parent.IsParent(person) {
+		t.Error("IsParent(parent, person) = false")
+	}
+	grand, _ := parent.Parent()
+	if grand.IsParent(person) {
+		t.Error("grandparent must not be IsParent")
+	}
+	back := parent.Child(RDN{Attr: "CN", Value: "John Doe"})
+	if !back.Equal(person) {
+		t.Errorf("Child round trip = %q, want %q", back, person)
+	}
+	if _, ok := Root.Parent(); ok {
+		t.Error("root must not have a parent")
+	}
+	if _, ok := Root.Leaf(); ok {
+		t.Error("root must not have a leaf RDN")
+	}
+	leaf, ok := person.Leaf()
+	if !ok || leaf.Attr != "cn" || leaf.Value != "John Doe" {
+		t.Errorf("Leaf = %+v, ok=%v", leaf, ok)
+	}
+}
+
+func TestRelativeDepth(t *testing.T) {
+	org := MustParse("o=xyz")
+	person := MustParse("cn=a,ou=b,o=xyz")
+	if d, ok := org.RelativeDepth(person); !ok || d != 2 {
+		t.Errorf("RelativeDepth = %d, %v; want 2, true", d, ok)
+	}
+	if d, ok := person.RelativeDepth(person); !ok || d != 0 {
+		t.Errorf("self RelativeDepth = %d, %v; want 0, true", d, ok)
+	}
+	if _, ok := person.RelativeDepth(org); ok {
+		t.Error("RelativeDepth of non-descendant must report false")
+	}
+}
+
+func TestRename(t *testing.T) {
+	oldBase := MustParse("ou=research,o=xyz")
+	newBase := MustParse("ou=labs,o=xyz")
+	entry := MustParse("cn=a,ou=g1,ou=research,o=xyz")
+	got, err := Rename(entry, oldBase, newBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "cn=a,ou=g1,ou=labs,o=xyz"
+	if got.String() != want {
+		t.Errorf("Rename = %q, want %q", got, want)
+	}
+	// Renaming the base itself yields the new base.
+	got, err = Rename(oldBase, oldBase, newBase)
+	if err != nil || !got.Equal(newBase) {
+		t.Errorf("Rename(base) = %q, %v; want %q", got, err, newBase)
+	}
+	if _, err := Rename(MustParse("cn=z,o=other"), oldBase, newBase); err == nil {
+		t.Error("Rename outside base must error")
+	}
+}
+
+func TestEscapingRoundTrip(t *testing.T) {
+	values := []string{
+		"plain",
+		"has,comma",
+		"has=equals",
+		"has+plus",
+		"#leading hash",
+		" leading space",
+		"trailing space ",
+		`back\slash`,
+		"quote\"inside",
+		"semi;colon",
+		"angle<bra>ckets",
+	}
+	for _, v := range values {
+		d := New(RDN{Attr: "cn", Value: v}, RDN{Attr: "o", Value: "xyz"})
+		rt, err := Parse(d.String())
+		if err != nil {
+			t.Errorf("Parse(%q): %v", d.String(), err)
+			continue
+		}
+		if !rt.Equal(d) {
+			t.Errorf("round trip of %q: got %q, want %q", v, rt.Norm(), d.Norm())
+		}
+		leaf, _ := rt.Leaf()
+		if leaf.Value != v {
+			t.Errorf("value round trip: got %q, want %q", leaf.Value, v)
+		}
+	}
+}
+
+// printable ASCII value bytes for the property test, excluding nothing:
+// escaping must handle every printable character.
+func clampValue(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r >= ' ' && r < 127 {
+			b.WriteRune(r)
+		}
+	}
+	v := strings.TrimSpace(b.String())
+	if v == "" {
+		return "x"
+	}
+	return v
+}
+
+func TestQuickParseStringRoundTrip(t *testing.T) {
+	f := func(raw1, raw2 string) bool {
+		v1, v2 := clampValue(raw1), clampValue(raw2)
+		d := New(RDN{Attr: "cn", Value: v1}, RDN{Attr: "ou", Value: v2}, RDN{Attr: "o", Value: "xyz"})
+		rt, err := Parse(d.String())
+		if err != nil {
+			t.Logf("parse error for %q: %v", d.String(), err)
+			return false
+		}
+		return rt.Equal(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSuffixTransitivity(t *testing.T) {
+	// If a is a suffix of b and b is a suffix of c then a is a suffix of c.
+	f := func(n1, n2, n3 uint8) bool {
+		mk := func(n uint8) DN {
+			d := Root
+			for i := 0; i < int(n%6); i++ {
+				d = d.Child(RDN{Attr: "ou", Value: strings.Repeat("x", i+1)})
+			}
+			return d
+		}
+		a, b := mk(n1), mk(n2)
+		c := b
+		for i := 0; i < int(n3%4); i++ {
+			c = c.Child(RDN{Attr: "cn", Value: "leaf"})
+		}
+		if a.IsSuffix(b) && b.IsSuffix(c) && !a.IsSuffix(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormStability(t *testing.T) {
+	d1 := MustParse("CN=A B,o=XYZ")
+	d2 := New(RDN{Attr: "cn", Value: "a  b"}, RDN{Attr: "O", Value: "xyz"})
+	if d1.Norm() != d2.Norm() {
+		t.Errorf("Norm mismatch: %q vs %q", d1.Norm(), d2.Norm())
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	s := "cn=John Doe,ou=research,c=us,o=xyz"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIsSuffix(b *testing.B) {
+	base := MustParse("c=us,o=xyz")
+	person := MustParse("cn=John Doe,ou=research,c=us,o=xyz")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !base.IsSuffix(person) {
+			b.Fatal("expected suffix")
+		}
+	}
+}

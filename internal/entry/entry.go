@@ -1,0 +1,331 @@
+// Package entry models LDAP directory entries: sets of attribute/value pairs
+// identified by a distinguished name, together with the matching rules needed
+// to evaluate search filters against them.
+//
+// Attribute type names are case-insensitive. Values are stored as strings;
+// matching is case-insensitive and integer-aware (values that parse as
+// integers are compared numerically for ordering, mirroring the
+// integerOrderingMatch rule used by attributes such as serialNumber).
+package entry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"filterdir/internal/dn"
+)
+
+// Common attribute type names used throughout the system. Attribute names are
+// stored normalized to lower case.
+const (
+	AttrObjectClass = "objectclass"
+)
+
+// ErrNoSuchAttribute reports a modification targeting an absent attribute.
+var ErrNoSuchAttribute = errors.New("no such attribute")
+
+// Entry is a directory entry: a DN plus attributes. The zero value is an
+// empty entry at the root DN.
+type Entry struct {
+	dn    dn.DN
+	attrs map[string][]string // normalized name -> values (original case)
+	order []string            // attribute insertion order, for stable output
+}
+
+// New creates an entry with the given DN.
+func New(d dn.DN) *Entry {
+	return &Entry{dn: d, attrs: make(map[string][]string)}
+}
+
+// DN returns the entry's distinguished name.
+func (e *Entry) DN() dn.DN { return e.dn }
+
+// SetDN replaces the entry's DN (used by modifyDN processing).
+func (e *Entry) SetDN(d dn.DN) { e.dn = d }
+
+// normName normalizes an attribute type name.
+func normName(name string) string { return strings.ToLower(strings.TrimSpace(name)) }
+
+// Put replaces all values of the named attribute.
+func (e *Entry) Put(name string, values ...string) *Entry {
+	n := normName(name)
+	if _, exists := e.attrs[n]; !exists {
+		e.order = append(e.order, n)
+	}
+	cp := make([]string, len(values))
+	copy(cp, values)
+	e.attrs[n] = cp
+	return e
+}
+
+// Add appends values to the named attribute, skipping duplicates
+// (case-insensitive).
+func (e *Entry) Add(name string, values ...string) *Entry {
+	n := normName(name)
+	if _, exists := e.attrs[n]; !exists {
+		e.order = append(e.order, n)
+	}
+	cur := e.attrs[n]
+	for _, v := range values {
+		if !containsFold(cur, v) {
+			cur = append(cur, v)
+		}
+	}
+	e.attrs[n] = cur
+	return e
+}
+
+// DeleteValues removes specific values (case-insensitive) from an attribute;
+// removing the last value removes the attribute. If values is empty the whole
+// attribute is removed. Returns ErrNoSuchAttribute when the attribute is
+// absent.
+func (e *Entry) DeleteValues(name string, values ...string) error {
+	n := normName(name)
+	cur, ok := e.attrs[n]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchAttribute, n)
+	}
+	if len(values) == 0 {
+		e.removeAttr(n)
+		return nil
+	}
+	kept := cur[:0]
+	for _, v := range cur {
+		if !containsFold(values, v) {
+			kept = append(kept, v)
+		}
+	}
+	if len(kept) == 0 {
+		e.removeAttr(n)
+		return nil
+	}
+	e.attrs[n] = kept
+	return nil
+}
+
+func (e *Entry) removeAttr(n string) {
+	delete(e.attrs, n)
+	for i, o := range e.order {
+		if o == n {
+			e.order = append(e.order[:i], e.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Values returns a copy of the values of the named attribute (nil if absent).
+func (e *Entry) Values(name string) []string {
+	v, ok := e.attrs[normName(name)]
+	if !ok {
+		return nil
+	}
+	out := make([]string, len(v))
+	copy(out, v)
+	return out
+}
+
+// First returns the first value of the named attribute, or "" when absent.
+func (e *Entry) First(name string) string {
+	v := e.attrs[normName(name)]
+	if len(v) == 0 {
+		return ""
+	}
+	return v[0]
+}
+
+// Has reports whether the entry carries the named attribute.
+func (e *Entry) Has(name string) bool {
+	_, ok := e.attrs[normName(name)]
+	return ok
+}
+
+// HasValue reports whether the attribute carries the given value
+// (case-insensitive equality match).
+func (e *Entry) HasValue(name, value string) bool {
+	return containsFold(e.attrs[normName(name)], value)
+}
+
+// AttributeNames returns the attribute names in insertion order.
+func (e *Entry) AttributeNames() []string {
+	out := make([]string, len(e.order))
+	copy(out, e.order)
+	return out
+}
+
+// ObjectClasses returns the entry's objectclass values.
+func (e *Entry) ObjectClasses() []string { return e.Values(AttrObjectClass) }
+
+// HasObjectClass reports whether the entry belongs to the named class.
+func (e *Entry) HasObjectClass(oc string) bool { return e.HasValue(AttrObjectClass, oc) }
+
+// Clone returns a deep copy of the entry.
+func (e *Entry) Clone() *Entry {
+	c := &Entry{dn: e.dn, attrs: make(map[string][]string, len(e.attrs))}
+	c.order = append(c.order, e.order...)
+	for k, v := range e.attrs {
+		vv := make([]string, len(v))
+		copy(vv, v)
+		c.attrs[k] = vv
+	}
+	return c
+}
+
+// Select returns a copy of the entry restricted to the requested attributes.
+// The special attribute "*" (or an empty list) selects all user attributes.
+func (e *Entry) Select(attrs []string) *Entry {
+	if len(attrs) == 0 {
+		return e.Clone()
+	}
+	for _, a := range attrs {
+		if a == "*" {
+			return e.Clone()
+		}
+	}
+	c := New(e.dn)
+	for _, a := range attrs {
+		if v, ok := e.attrs[normName(a)]; ok {
+			c.Put(a, v...)
+		}
+	}
+	return c
+}
+
+// Equal reports deep equality of DN and attributes (value order ignored,
+// value comparison case-insensitive).
+func (e *Entry) Equal(o *Entry) bool {
+	if e == nil || o == nil {
+		return e == o
+	}
+	if !e.dn.Equal(o.dn) || len(e.attrs) != len(o.attrs) {
+		return false
+	}
+	for k, v := range e.attrs {
+		ov, ok := o.attrs[k]
+		if !ok || len(ov) != len(v) {
+			return false
+		}
+		for _, x := range v {
+			if !containsFold(ov, x) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ByteSize estimates the wire size of the entry in bytes: DN plus each
+// attribute name and value, with a small per-element framing overhead. Used
+// for update-traffic accounting.
+func (e *Entry) ByteSize() int {
+	size := len(e.dn.String()) + 8
+	for k, vals := range e.attrs {
+		for _, v := range vals {
+			size += len(k) + len(v) + 4
+		}
+	}
+	return size
+}
+
+// String renders the entry in a compact LDIF-like single-line form, primarily
+// for tests and debugging.
+func (e *Entry) String() string {
+	var b strings.Builder
+	b.WriteString("dn: ")
+	b.WriteString(e.dn.String())
+	names := e.AttributeNames()
+	sort.Strings(names)
+	for _, n := range names {
+		for _, v := range e.attrs[n] {
+			b.WriteString("; ")
+			b.WriteString(n)
+			b.WriteString(": ")
+			b.WriteString(v)
+		}
+	}
+	return b.String()
+}
+
+func containsFold(vals []string, v string) bool {
+	for _, x := range vals {
+		if strings.EqualFold(x, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// --- Matching rules -------------------------------------------------------
+
+// NormValue normalizes an assertion or attribute value for matching:
+// case-folded with surrounding space trimmed and internal runs collapsed.
+func NormValue(s string) string {
+	return strings.ToLower(strings.Join(strings.Fields(s), " "))
+}
+
+// EqualValues applies the caseIgnoreMatch equality rule.
+func EqualValues(a, b string) bool {
+	return NormValue(a) == NormValue(b)
+}
+
+// CompareValues orders two values: numerically when both parse as integers
+// (integerOrderingMatch), lexicographically on the normalized form otherwise.
+// Returns -1, 0, or 1.
+func CompareValues(a, b string) int {
+	na, errA := strconv.ParseInt(strings.TrimSpace(a), 10, 64)
+	nb, errB := strconv.ParseInt(strings.TrimSpace(b), 10, 64)
+	if errA == nil && errB == nil {
+		switch {
+		case na < nb:
+			return -1
+		case na > nb:
+			return 1
+		default:
+			return 0
+		}
+	}
+	an, bn := NormValue(a), NormValue(b)
+	switch {
+	case an < bn:
+		return -1
+	case an > bn:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// MatchSubstring applies the caseIgnoreSubstringsMatch rule. The pattern is
+// given as initial / any / final components per RFC 2254: initial must prefix
+// the value, each any component must occur in order, final must suffix the
+// remainder. Empty components are skipped.
+func MatchSubstring(value, initial string, any []string, final string) bool {
+	v := NormValue(value)
+	if initial != "" {
+		p := NormValue(initial)
+		if !strings.HasPrefix(v, p) {
+			return false
+		}
+		v = v[len(p):]
+	}
+	for _, a := range any {
+		if a == "" {
+			continue
+		}
+		p := NormValue(a)
+		i := strings.Index(v, p)
+		if i < 0 {
+			return false
+		}
+		v = v[i+len(p):]
+	}
+	if final != "" {
+		p := NormValue(final)
+		if !strings.HasSuffix(v, p) {
+			return false
+		}
+	}
+	return true
+}

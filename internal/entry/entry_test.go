@@ -1,0 +1,242 @@
+package entry
+
+import (
+	"testing"
+	"testing/quick"
+
+	"filterdir/internal/dn"
+)
+
+func person(t *testing.T) *Entry {
+	t.Helper()
+	e := New(dn.MustParse("cn=John Doe,ou=research,c=us,o=xyz"))
+	e.Put("cn", "John Doe", "John M Doe")
+	e.Put("sn", "Doe")
+	e.Put("objectclass", "top", "person", "organizationalPerson", "inetOrgPerson")
+	e.Put("telephoneNumber", "2618-2618")
+	e.Put("mail", "john@us.xyz.com")
+	e.Put("serialNumber", "0456")
+	e.Put("departmentNumber", "80")
+	return e
+}
+
+func TestPutAddDelete(t *testing.T) {
+	e := person(t)
+	if got := e.First("sn"); got != "Doe" {
+		t.Errorf("First(sn) = %q", got)
+	}
+	if !e.Has("SERIALNUMBER") {
+		t.Error("attribute names must be case-insensitive")
+	}
+	e.Add("cn", "john doe") // duplicate, case-insensitive
+	if n := len(e.Values("cn")); n != 2 {
+		t.Errorf("duplicate Add changed value count: %d", n)
+	}
+	e.Add("cn", "Johnny")
+	if n := len(e.Values("cn")); n != 3 {
+		t.Errorf("Add failed: %d values", n)
+	}
+	if err := e.DeleteValues("cn", "Johnny"); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(e.Values("cn")); n != 2 {
+		t.Errorf("DeleteValues failed: %d values", n)
+	}
+	if err := e.DeleteValues("telephoneNumber"); err != nil {
+		t.Fatal(err)
+	}
+	if e.Has("telephoneNumber") {
+		t.Error("attribute not removed")
+	}
+	if err := e.DeleteValues("nosuch"); err == nil {
+		t.Error("expected ErrNoSuchAttribute")
+	}
+	// Deleting all values one by one removes the attribute.
+	if err := e.DeleteValues("sn", "doe"); err != nil {
+		t.Fatal(err)
+	}
+	if e.Has("sn") {
+		t.Error("attribute with no values must disappear")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	e := person(t)
+	c := e.Clone()
+	c.Put("sn", "Smith")
+	c.Add("cn", "Other")
+	if e.First("sn") != "Doe" {
+		t.Error("Clone is not deep: sn leaked")
+	}
+	if len(e.Values("cn")) != 2 {
+		t.Error("Clone is not deep: cn leaked")
+	}
+	if !e.Clone().Equal(e) {
+		t.Error("Clone must Equal original")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	e := person(t)
+	sel := e.Select([]string{"cn", "mail"})
+	if !sel.Has("cn") || !sel.Has("mail") || sel.Has("sn") {
+		t.Errorf("Select wrong attrs: %v", sel.AttributeNames())
+	}
+	all := e.Select([]string{"*"})
+	if len(all.AttributeNames()) != len(e.AttributeNames()) {
+		t.Error("Select(*) must keep all attributes")
+	}
+	none := e.Select(nil)
+	if len(none.AttributeNames()) != len(e.AttributeNames()) {
+		t.Error("Select(nil) must keep all attributes")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := person(t), person(t)
+	if !a.Equal(b) {
+		t.Error("identical entries must be equal")
+	}
+	b.Put("sn", "DOE") // case-insensitive value
+	if !a.Equal(b) {
+		t.Error("value case must not affect equality")
+	}
+	b.Put("sn", "Smith")
+	if a.Equal(b) {
+		t.Error("different values must not be equal")
+	}
+	c := person(t)
+	c.Put("extra", "x")
+	if a.Equal(c) {
+		t.Error("extra attribute must break equality")
+	}
+}
+
+func TestByteSize(t *testing.T) {
+	e := person(t)
+	s := e.ByteSize()
+	if s <= 0 {
+		t.Fatalf("ByteSize = %d", s)
+	}
+	e.Put("description", string(make([]byte, 1000)))
+	if e.ByteSize() < s+1000 {
+		t.Errorf("ByteSize did not grow with payload: %d -> %d", s, e.ByteSize())
+	}
+}
+
+func TestMatchingRules(t *testing.T) {
+	if !EqualValues("John  Doe", "john doe") {
+		t.Error("EqualValues must fold case and spaces")
+	}
+	if CompareValues("9", "10") >= 0 {
+		t.Error("integer-aware ordering: 9 < 10")
+	}
+	if CompareValues("abc", "abd") >= 0 {
+		t.Error("lexicographic ordering broken")
+	}
+	if CompareValues("10", "10") != 0 {
+		t.Error("equal integers must compare 0")
+	}
+	if CompareValues("2", "10abc") <= 0 {
+		t.Error("mixed numeric/non-numeric falls back to lexicographic ('2' > '10abc')")
+	}
+}
+
+func TestMatchSubstring(t *testing.T) {
+	tests := []struct {
+		value, initial string
+		any            []string
+		final          string
+		want           bool
+	}{
+		{"smith", "smi", nil, "", true},
+		{"smith", "", nil, "ith", true},
+		{"smith", "s", []string{"it"}, "h", true},
+		{"smith", "smi", nil, "xx", false},
+		{"John Doe", "john", nil, "doe", true},
+		{"abcabc", "a", []string{"b", "b"}, "c", true},
+		{"abc", "a", []string{"bc"}, "c", false}, // any consumes bc, final c can't match
+		{"0456", "04", nil, "", true},
+		{"0456", "05", nil, "", false},
+		{"anything", "", nil, "", true}, // pure presence-like pattern
+	}
+	for _, tt := range tests {
+		got := MatchSubstring(tt.value, tt.initial, tt.any, tt.final)
+		if got != tt.want {
+			t.Errorf("MatchSubstring(%q, %q, %v, %q) = %v, want %v",
+				tt.value, tt.initial, tt.any, tt.final, got, tt.want)
+		}
+	}
+}
+
+func TestQuickCompareValuesAntisymmetric(t *testing.T) {
+	f := func(a, b string) bool {
+		return CompareValues(a, b) == -CompareValues(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubstringPrefixConsistent(t *testing.T) {
+	// If initial p matches value v, then any shorter prefix of p also matches.
+	f := func(v string, n uint8) bool {
+		if len(v) == 0 {
+			return true
+		}
+		cut := int(n) % (len(v) + 1)
+		p := v[:cut]
+		return MatchSubstring(v, p, nil, "") || p != NormValue(p) || v != NormValue(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	s := DefaultSchema()
+	e := person(t)
+	if err := s.Validate(e); err != nil {
+		t.Fatalf("valid inetOrgPerson rejected: %v", err)
+	}
+	bad := person(t)
+	bad.DeleteValues("sn")
+	if err := s.Validate(bad); err == nil {
+		t.Error("missing required sn must fail validation")
+	}
+	noClass := New(dn.MustParse("cn=x,o=xyz"))
+	noClass.Put("cn", "x")
+	if err := s.Validate(noClass); err == nil {
+		t.Error("entry without objectclass must fail validation")
+	}
+	unknown := New(dn.MustParse("cn=x,o=xyz"))
+	unknown.Put("objectclass", "martian").Put("cn", "x")
+	if err := s.Validate(unknown); err == nil {
+		t.Error("unknown objectclass must fail validation")
+	}
+}
+
+func TestSchemaInheritance(t *testing.T) {
+	s := DefaultSchema()
+	// inetOrgPerson inherits Must cn,sn from person.
+	e := New(dn.MustParse("cn=x,o=xyz"))
+	e.Put("objectclass", "inetOrgPerson").Put("cn", "x")
+	if err := s.Validate(e); err == nil {
+		t.Error("inherited required attribute sn must be enforced")
+	}
+	e.Put("sn", "x")
+	if err := s.Validate(e); err != nil {
+		t.Errorf("entry with inherited requirements satisfied rejected: %v", err)
+	}
+}
+
+func TestSchemaCycleDetection(t *testing.T) {
+	s := NewSchema()
+	s.Register(ObjectClassDef{Name: "a", Super: "b"})
+	s.Register(ObjectClassDef{Name: "b", Super: "a"})
+	e := New(dn.MustParse("cn=x,o=xyz"))
+	e.Put("objectclass", "a").Put("cn", "x")
+	if err := s.Validate(e); err == nil {
+		t.Error("class cycle must be reported")
+	}
+}

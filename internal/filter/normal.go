@@ -1,0 +1,216 @@
+package filter
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Normalize returns a canonical equivalent filter: nested same-op sets are
+// flattened, duplicate children removed, children sorted by their canonical
+// string, single-child sets collapsed, double negations eliminated, and
+// boolean constants folded. Two filters with the same Normalize().String()
+// are syntactically equivalent.
+func (n *Node) Normalize() *Node {
+	if n == nil {
+		return nil
+	}
+	switch n.Op {
+	case And, Or:
+		var kids []*Node
+		for _, c := range n.Children {
+			nc := c.Normalize()
+			// Flatten nested same-op sets.
+			if nc.Op == n.Op {
+				kids = append(kids, nc.Children...)
+				continue
+			}
+			// Constant folding.
+			if nc.Op == True {
+				if n.Op == Or {
+					return &Node{Op: True}
+				}
+				continue // True inside And is a no-op
+			}
+			if nc.Op == False {
+				if n.Op == And {
+					return &Node{Op: False}
+				}
+				continue // False inside Or is a no-op
+			}
+			kids = append(kids, nc)
+		}
+		if len(kids) == 0 {
+			if n.Op == And {
+				return &Node{Op: True}
+			}
+			return &Node{Op: False}
+		}
+		// Sort and deduplicate by canonical string.
+		sort.Slice(kids, func(i, j int) bool { return kids[i].String() < kids[j].String() })
+		uniq := kids[:1]
+		for _, k := range kids[1:] {
+			if k.String() != uniq[len(uniq)-1].String() {
+				uniq = append(uniq, k)
+			}
+		}
+		if len(uniq) == 1 {
+			return uniq[0]
+		}
+		return &Node{Op: n.Op, Children: uniq}
+	case Not:
+		if len(n.Children) == 0 {
+			return &Node{Op: False}
+		}
+		c := n.Children[0].Normalize()
+		switch c.Op {
+		case Not:
+			return c.Children[0]
+		case True:
+			return &Node{Op: False}
+		case False:
+			return &Node{Op: True}
+		}
+		if c.Neg {
+			cc := c.Clone()
+			cc.Neg = false
+			return cc
+		}
+		return NewNot(c)
+	default:
+		return n.Clone()
+	}
+}
+
+// NNF converts the filter to negation normal form: NOT nodes are pushed down
+// through AND/OR via De Morgan's laws until they apply only to predicates,
+// which are marked with Neg. The result contains no Not nodes.
+func (n *Node) NNF() *Node {
+	return nnf(n, false)
+}
+
+func nnf(n *Node, negate bool) *Node {
+	if n == nil {
+		return nil
+	}
+	switch n.Op {
+	case True:
+		if negate {
+			return &Node{Op: False}
+		}
+		return &Node{Op: True}
+	case False:
+		if negate {
+			return &Node{Op: True}
+		}
+		return &Node{Op: False}
+	case Not:
+		if len(n.Children) == 0 {
+			return &Node{Op: False}
+		}
+		return nnf(n.Children[0], !negate)
+	case And, Or:
+		op := n.Op
+		if negate {
+			if op == And {
+				op = Or
+			} else {
+				op = And
+			}
+		}
+		out := &Node{Op: op}
+		for _, c := range n.Children {
+			out.Children = append(out.Children, nnf(c, negate))
+		}
+		return out
+	default:
+		c := n.Clone()
+		if negate {
+			c.Neg = !c.Neg
+		}
+		return c
+	}
+}
+
+// Literal is a possibly-negated simple predicate appearing in a DNF conjunct.
+type Literal struct {
+	// Pred is a predicate node (EQ/GE/LE/Present/Substr) with Neg cleared.
+	Pred *Node
+	// Negated reports whether the literal is the predicate's negation.
+	Negated bool
+}
+
+// String renders the literal as a filter fragment.
+func (l Literal) String() string {
+	if l.Negated {
+		return "(!" + l.Pred.String() + ")"
+	}
+	return l.Pred.String()
+}
+
+// maxDNFConjuncts bounds DNF expansion. The paper's filters are small
+// (template-driven, a handful of predicates); anything past this bound is
+// pathological and containment falls back to a conservative answer.
+const maxDNFConjuncts = 4096
+
+// DNF converts the filter into disjunctive normal form: a slice of
+// conjuncts, each a slice of literals. An empty outer slice means the filter
+// is unsatisfiable (False); a conjunct of length zero means True.
+// Returns ErrTooComplex if expansion would exceed maxDNFConjuncts conjuncts.
+func (n *Node) DNF() ([][]Literal, error) {
+	return dnf(n.NNF())
+}
+
+func dnf(n *Node) ([][]Literal, error) {
+	switch n.Op {
+	case True:
+		return [][]Literal{{}}, nil
+	case False:
+		return nil, nil
+	case Or:
+		var out [][]Literal
+		for _, c := range n.Children {
+			d, err := dnf(c)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, d...)
+			if len(out) > maxDNFConjuncts {
+				return nil, fmt.Errorf("%w: DNF exceeds %d conjuncts", ErrTooComplex, maxDNFConjuncts)
+			}
+		}
+		return out, nil
+	case And:
+		out := [][]Literal{{}}
+		for _, c := range n.Children {
+			d, err := dnf(c)
+			if err != nil {
+				return nil, err
+			}
+			if len(d) == 0 {
+				return nil, nil // conjunct with False is False
+			}
+			if len(out)*len(d) > maxDNFConjuncts {
+				return nil, fmt.Errorf("%w: DNF exceeds %d conjuncts", ErrTooComplex, maxDNFConjuncts)
+			}
+			next := make([][]Literal, 0, len(out)*len(d))
+			for _, a := range out {
+				for _, b := range d {
+					merged := make([]Literal, 0, len(a)+len(b))
+					merged = append(merged, a...)
+					merged = append(merged, b...)
+					next = append(next, merged)
+				}
+			}
+			out = next
+		}
+		return out, nil
+	case Not:
+		// NNF removed all Not nodes.
+		return nil, fmt.Errorf("%w: unexpected NOT in NNF", ErrTooComplex)
+	default:
+		pred := n.Clone()
+		neg := pred.Neg
+		pred.Neg = false
+		return [][]Literal{{{Pred: pred, Negated: neg}}}, nil
+	}
+}

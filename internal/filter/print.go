@@ -1,0 +1,119 @@
+package filter
+
+import (
+	"strings"
+)
+
+// String renders the filter in RFC 2254 form with required escaping. Negated
+// predicates (from NNF) render as (!(...)).
+func (n *Node) String() string {
+	var b strings.Builder
+	n.write(&b)
+	return b.String()
+}
+
+func (n *Node) write(b *strings.Builder) {
+	if n == nil {
+		return
+	}
+	if n.Neg {
+		b.WriteString("(!")
+		pos := *n
+		pos.Neg = false
+		pos.write(b)
+		b.WriteByte(')')
+		return
+	}
+	switch n.Op {
+	case And, Or:
+		b.WriteByte('(')
+		if n.Op == And {
+			b.WriteByte('&')
+		} else {
+			b.WriteByte('|')
+		}
+		for _, c := range n.Children {
+			c.write(b)
+		}
+		b.WriteByte(')')
+	case Not:
+		b.WriteString("(!")
+		if len(n.Children) > 0 {
+			n.Children[0].write(b)
+		}
+		b.WriteByte(')')
+	case EQ:
+		b.WriteByte('(')
+		b.WriteString(n.Attr)
+		b.WriteByte('=')
+		b.WriteString(escapeAssertion(n.Value))
+		b.WriteByte(')')
+	case GE:
+		b.WriteByte('(')
+		b.WriteString(n.Attr)
+		b.WriteString(">=")
+		b.WriteString(escapeAssertion(n.Value))
+		b.WriteByte(')')
+	case LE:
+		b.WriteByte('(')
+		b.WriteString(n.Attr)
+		b.WriteString("<=")
+		b.WriteString(escapeAssertion(n.Value))
+		b.WriteByte(')')
+	case Present:
+		b.WriteByte('(')
+		b.WriteString(n.Attr)
+		b.WriteString("=*)")
+	case Substr:
+		b.WriteByte('(')
+		b.WriteString(n.Attr)
+		b.WriteByte('=')
+		writeSubstring(b, n.Sub)
+		b.WriteByte(')')
+	case True:
+		b.WriteString("(&)")
+	case False:
+		b.WriteString("(|)")
+	}
+}
+
+func writeSubstring(b *strings.Builder, s *Substring) {
+	if s == nil {
+		b.WriteByte('*')
+		return
+	}
+	b.WriteString(escapeAssertion(s.Initial))
+	b.WriteByte('*')
+	for _, a := range s.Any {
+		b.WriteString(escapeAssertion(a))
+		b.WriteByte('*')
+	}
+	b.WriteString(escapeAssertion(s.Final))
+}
+
+// escapeAssertion applies RFC 2254 escaping: '*', '(', ')', '\' and NUL are
+// written as backslash plus two hex digits.
+func escapeAssertion(s string) string {
+	if !strings.ContainsAny(s, "*()\\\x00") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch c {
+		case '*':
+			b.WriteString(`\2a`)
+		case '(':
+			b.WriteString(`\28`)
+		case ')':
+			b.WriteString(`\29`)
+		case '\\':
+			b.WriteString(`\5c`)
+		case 0:
+			b.WriteString(`\00`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,193 @@
+// Package ldapnet runs the LDAP message layer over TCP: a server serving a
+// DIT partition (with ReSync protocol support), and a client with referral
+// chasing and round-trip accounting — enough to reproduce the distributed
+// operation processing of Figure 2 and to synchronize replicas over the
+// wire.
+package ldapnet
+
+import (
+	"errors"
+
+	"filterdir/internal/dit"
+	"filterdir/internal/dn"
+	"filterdir/internal/proto"
+	"filterdir/internal/query"
+	"filterdir/internal/resync"
+)
+
+// parseDN parses a wire DN string.
+func parseDN(s string) (dn.DN, error) { return dn.Parse(s) }
+
+// Backend is the server-side service interface.
+type Backend interface {
+	// Bind authenticates a connection.
+	Bind(name, password string) proto.ResultCode
+	// Search evaluates a search, returning entries and referrals.
+	Search(q query.Query) (*dit.Result, error)
+	// ReSyncBegin starts a synchronization session.
+	ReSyncBegin(q query.Query) (*resync.PollResult, error)
+	// ReSyncPoll continues a session.
+	ReSyncPoll(cookie string) (*resync.PollResult, error)
+	// ReSyncRetain runs the incomplete-history mode (equation 3).
+	ReSyncRetain(cookie string) (*resync.PollResult, error)
+	// ReSyncPersist subscribes to changes after the given cookie.
+	ReSyncPersist(cookie string) (*resync.Subscription, error)
+	// ReSyncEnd terminates a session.
+	ReSyncEnd(cookie string) error
+	// Add, Delete, Modify and ModifyDN apply updates.
+	Add(e *proto.AddRequest) error
+	Delete(d *proto.DelRequest) error
+	Modify(m *proto.ModifyRequest) error
+	ModifyDN(m *proto.ModifyDNRequest) error
+}
+
+// StoreBackend serves a dit.Store with a resync.Engine, optionally guarded
+// by a single bind credential (empty means anonymous access).
+type StoreBackend struct {
+	Store  *dit.Store
+	Engine *resync.Engine
+	// BindDN / BindPassword guard non-anonymous access when set.
+	BindDN       string
+	BindPassword string
+}
+
+var _ Backend = (*StoreBackend)(nil)
+
+// NewStoreBackend wraps a store and creates its sync engine.
+func NewStoreBackend(store *dit.Store) *StoreBackend {
+	return &StoreBackend{Store: store, Engine: resync.NewEngine(store)}
+}
+
+// Bind implements Backend.
+func (b *StoreBackend) Bind(name, password string) proto.ResultCode {
+	if b.BindDN == "" {
+		return proto.ResultSuccess
+	}
+	if name == b.BindDN && password == b.BindPassword {
+		return proto.ResultSuccess
+	}
+	return proto.ResultInvalidCredentials
+}
+
+// Search implements Backend.
+func (b *StoreBackend) Search(q query.Query) (*dit.Result, error) {
+	return b.Store.Search(q)
+}
+
+// ReSyncBegin implements Backend.
+func (b *StoreBackend) ReSyncBegin(q query.Query) (*resync.PollResult, error) {
+	return b.Engine.Begin(q)
+}
+
+// ReSyncPoll implements Backend.
+func (b *StoreBackend) ReSyncPoll(cookie string) (*resync.PollResult, error) {
+	return b.Engine.Poll(cookie)
+}
+
+// ReSyncRetain implements Backend.
+func (b *StoreBackend) ReSyncRetain(cookie string) (*resync.PollResult, error) {
+	return b.Engine.PollRetain(cookie)
+}
+
+// ReSyncPersist implements Backend.
+func (b *StoreBackend) ReSyncPersist(cookie string) (*resync.Subscription, error) {
+	return b.Engine.Persist(cookie)
+}
+
+// ReSyncEnd implements Backend.
+func (b *StoreBackend) ReSyncEnd(cookie string) error {
+	return b.Engine.End(cookie)
+}
+
+// Add implements Backend.
+func (b *StoreBackend) Add(req *proto.AddRequest) error {
+	se := proto.SearchEntry{DN: req.DN, Attrs: req.Attrs}
+	e, err := se.Entry()
+	if err != nil {
+		return err
+	}
+	return b.Store.Add(e)
+}
+
+// Delete implements Backend.
+func (b *StoreBackend) Delete(req *proto.DelRequest) error {
+	d, err := parseDN(req.DN)
+	if err != nil {
+		return err
+	}
+	return b.Store.Delete(d)
+}
+
+// Modify implements Backend.
+func (b *StoreBackend) Modify(req *proto.ModifyRequest) error {
+	d, err := parseDN(req.DN)
+	if err != nil {
+		return err
+	}
+	mods := make([]dit.Mod, 0, len(req.Changes))
+	for _, c := range req.Changes {
+		var op dit.ModOp
+		switch c.Op {
+		case proto.ModifyOpAdd:
+			op = dit.ModAdd
+		case proto.ModifyOpDelete:
+			op = dit.ModDelete
+		case proto.ModifyOpReplace:
+			op = dit.ModReplace
+		default:
+			return errors.New("unknown modify op")
+		}
+		mods = append(mods, dit.Mod{Op: op, Attr: c.Attr.Type, Values: c.Attr.Values})
+	}
+	return b.Store.Modify(d, mods)
+}
+
+// ModifyDN implements Backend.
+func (b *StoreBackend) ModifyDN(req *proto.ModifyDNRequest) error {
+	old, err := parseDN(req.DN)
+	if err != nil {
+		return err
+	}
+	newRDNDN, err := parseDN(req.NewRDN)
+	if err != nil {
+		return err
+	}
+	leaf, ok := newRDNDN.Leaf()
+	if !ok {
+		return errors.New("empty newRDN")
+	}
+	var superior = old
+	if req.NewSuperior != "" {
+		superior, err = parseDN(req.NewSuperior)
+		if err != nil {
+			return err
+		}
+	} else if p, ok := old.Parent(); ok {
+		superior = p
+	}
+	return b.Store.ModifyDN(old, leaf, superior)
+}
+
+// resultCodeFor maps store errors to LDAP result codes.
+func resultCodeFor(err error) proto.ResultCode {
+	switch {
+	case err == nil:
+		return proto.ResultSuccess
+	case errors.Is(err, dit.ErrNoSuchObject):
+		return proto.ResultNoSuchObject
+	case errors.Is(err, dit.ErrAlreadyExists):
+		return proto.ResultEntryAlreadyExists
+	case errors.Is(err, dit.ErrNotLeaf):
+		return proto.ResultNotAllowedOnNonLeaf
+	case errors.Is(err, dit.ErrSchema):
+		return proto.ResultObjectClassViolation
+	case errors.Is(err, dit.ErrNoSuchContext):
+		return proto.ResultReferral
+	case errors.Is(err, ErrNotAnswerable):
+		return proto.ResultReferral
+	case errors.Is(err, ErrReadOnly):
+		return proto.ResultUnwillingToPerform
+	default:
+		return proto.ResultOther
+	}
+}

@@ -1,0 +1,607 @@
+package ldapnet
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"filterdir/internal/dn"
+	"filterdir/internal/entry"
+	"filterdir/internal/proto"
+	"filterdir/internal/query"
+	"filterdir/internal/resync"
+)
+
+// ResultError is returned when a server answers with a non-success result.
+type ResultError struct {
+	Code      proto.ResultCode
+	Message   string
+	Referrals []string
+}
+
+func (e *ResultError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("ldap: %s: %s", e.Code, e.Message)
+	}
+	return "ldap: " + e.Code.String()
+}
+
+// SearchResult collects a search's entries and continuation referrals.
+type SearchResult struct {
+	Entries   []*entry.Entry
+	Referrals []string
+}
+
+// SyncResult is a decoded ReSync response.
+type SyncResult struct {
+	Updates    []resync.Update
+	Cookie     string
+	FullReload bool
+}
+
+// Client is a synchronous LDAP client. Methods are safe for concurrent use
+// but execute one operation at a time per connection.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	r      *bufio.Reader
+	nextID int64
+	// RoundTrips counts request/response exchanges with the server; the
+	// referral experiments read it.
+	roundTrips int
+	closed     bool
+}
+
+// Dial connects to an LDAP server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ldap dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), nextID: 1}, nil
+}
+
+// RoundTrips reports the number of request/response exchanges so far.
+func (c *Client) RoundTrips() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.roundTrips
+}
+
+// Close unbinds and closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	m := &proto.Message{ID: c.nextID, Op: &proto.UnbindRequest{}}
+	_ = m.Write(c.conn)
+	return c.conn.Close()
+}
+
+// request sends a message and returns its ID.
+func (c *Client) send(op proto.Op, controls ...proto.Control) (int64, error) {
+	id := c.nextID
+	c.nextID++
+	m := &proto.Message{ID: id, Op: op, Controls: controls}
+	if err := m.Write(c.conn); err != nil {
+		return 0, fmt.Errorf("ldap send: %w", err)
+	}
+	c.roundTrips++
+	return id, nil
+}
+
+// read returns the next message for the given ID.
+func (c *Client) read(id int64) (*proto.Message, error) {
+	for {
+		m, err := proto.ReadMessage(c.r)
+		if err != nil {
+			return nil, err
+		}
+		if m.ID == id {
+			return m, nil
+		}
+		// Responses to other (abandoned) operations are skipped.
+	}
+}
+
+// Bind authenticates.
+func (c *Client) Bind(name, password string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id, err := c.send(&proto.BindRequest{Version: 3, Name: name, Password: password})
+	if err != nil {
+		return err
+	}
+	m, err := c.read(id)
+	if err != nil {
+		return err
+	}
+	resp, ok := m.Op.(*proto.BindResponse)
+	if !ok {
+		return fmt.Errorf("ldap bind: unexpected response %T", m.Op)
+	}
+	if resp.Code != proto.ResultSuccess {
+		return &ResultError{Code: resp.Code, Message: resp.Message}
+	}
+	return nil
+}
+
+// Search runs a search and collects the streamed results. A referral result
+// code surfaces as a *ResultError carrying the referral URLs together with
+// the partial result.
+func (c *Client) Search(q query.Query) (*SearchResult, error) {
+	return c.SearchWith(q)
+}
+
+// SearchWith runs a search with request controls attached (e.g. the
+// RFC 2891 server-side sort control).
+func (c *Client) SearchWith(q query.Query, controls ...proto.Control) (*SearchResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id, err := c.send(&proto.SearchRequest{Query: q}, controls...)
+	if err != nil {
+		return nil, err
+	}
+	res := &SearchResult{}
+	for {
+		m, err := c.read(id)
+		if err != nil {
+			return res, err
+		}
+		switch op := m.Op.(type) {
+		case *proto.SearchEntry:
+			e, err := op.Entry()
+			if err != nil {
+				return res, err
+			}
+			res.Entries = append(res.Entries, e)
+		case *proto.SearchReference:
+			res.Referrals = append(res.Referrals, op.URLs...)
+		case *proto.SearchDone:
+			if op.Code != proto.ResultSuccess {
+				return res, &ResultError{Code: op.Code, Message: op.Message, Referrals: op.Referrals}
+			}
+			return res, nil
+		default:
+			return res, fmt.Errorf("ldap search: unexpected response %T", m.Op)
+		}
+	}
+}
+
+// SearchPaged runs a search with RFC 2696 simple paged results, fetching
+// pageSize entries per round trip until the server reports completion.
+func (c *Client) SearchPaged(q query.Query, pageSize int) (*SearchResult, error) {
+	out := &SearchResult{}
+	cookie := ""
+	for {
+		res, done, next, err := c.searchPage(q, pageSize, cookie)
+		if err != nil {
+			return out, err
+		}
+		out.Entries = append(out.Entries, res.Entries...)
+		out.Referrals = append(out.Referrals, res.Referrals...)
+		if done {
+			return out, nil
+		}
+		cookie = next
+	}
+}
+
+func (c *Client) searchPage(q query.Query, pageSize int, cookie string) (*SearchResult, bool, string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id, err := c.send(&proto.SearchRequest{Query: q}, proto.NewPagedControl(int64(pageSize), cookie))
+	if err != nil {
+		return nil, false, "", err
+	}
+	res := &SearchResult{}
+	for {
+		m, err := c.read(id)
+		if err != nil {
+			return res, false, "", err
+		}
+		switch op := m.Op.(type) {
+		case *proto.SearchEntry:
+			e, err := op.Entry()
+			if err != nil {
+				return res, false, "", err
+			}
+			res.Entries = append(res.Entries, e)
+		case *proto.SearchReference:
+			res.Referrals = append(res.Referrals, op.URLs...)
+		case *proto.SearchDone:
+			if op.Code != proto.ResultSuccess {
+				return res, false, "", &ResultError{Code: op.Code, Message: op.Message, Referrals: op.Referrals}
+			}
+			pc, ok := m.Control(proto.OIDPagedResults)
+			if !ok {
+				return res, true, "", nil
+			}
+			_, next, err := proto.ParsePaged(pc)
+			if err != nil {
+				return res, false, "", err
+			}
+			return res, next == "", next, nil
+		default:
+			return res, false, "", fmt.Errorf("ldap paged search: unexpected response %T", m.Op)
+		}
+	}
+}
+
+// Sync performs one ReSync exchange: an empty cookie begins a session, a
+// non-empty cookie polls it; mode selects poll or retain semantics.
+func (c *Client) Sync(q query.Query, mode proto.ReSyncMode, cookie string) (*SyncResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id, err := c.send(&proto.SearchRequest{Query: q}, proto.NewReSyncRequestControl(mode, cookie))
+	if err != nil {
+		return nil, err
+	}
+	res := &SyncResult{}
+	for {
+		m, err := c.read(id)
+		if err != nil {
+			return res, err
+		}
+		switch op := m.Op.(type) {
+		case *proto.SearchEntry:
+			u, err := decodeUpdate(m, op)
+			if err != nil {
+				return res, err
+			}
+			res.Updates = append(res.Updates, u)
+		case *proto.SearchDone:
+			if op.Code != proto.ResultSuccess {
+				return res, &ResultError{Code: op.Code, Message: op.Message, Referrals: op.Referrals}
+			}
+			if dc, ok := m.Control(proto.OIDReSyncDone); ok {
+				res.Cookie, res.FullReload, err = proto.ParseReSyncDone(dc)
+				if err != nil {
+					return res, err
+				}
+			}
+			return res, nil
+		default:
+			return res, fmt.Errorf("ldap sync: unexpected response %T", m.Op)
+		}
+	}
+}
+
+// SyncEnd terminates a session.
+func (c *Client) SyncEnd(cookie string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id, err := c.send(&proto.SearchRequest{Query: query.Query{Scope: query.ScopeBase}},
+		proto.NewReSyncRequestControl(proto.ReSyncModeSyncEnd, cookie))
+	if err != nil {
+		return err
+	}
+	m, err := c.read(id)
+	if err != nil {
+		return err
+	}
+	if done, ok := m.Op.(*proto.SearchDone); ok && done.Code != proto.ResultSuccess {
+		return &ResultError{Code: done.Code, Message: done.Message}
+	}
+	return nil
+}
+
+func decodeUpdate(m *proto.Message, op *proto.SearchEntry) (resync.Update, error) {
+	action := proto.ChangeActionAdd
+	if cc, ok := m.Control(proto.OIDEntryChange); ok {
+		a, err := proto.ParseEntryChange(cc)
+		if err != nil {
+			return resync.Update{}, err
+		}
+		action = a
+	}
+	d, err := dn.Parse(op.DN)
+	if err != nil {
+		return resync.Update{}, err
+	}
+	u := resync.Update{DN: d}
+	switch action {
+	case proto.ChangeActionAdd:
+		u.Action = resync.ActionAdd
+	case proto.ChangeActionModify:
+		u.Action = resync.ActionModify
+	case proto.ChangeActionDelete:
+		u.Action = resync.ActionDelete
+	case proto.ChangeActionRetain:
+		u.Action = resync.ActionRetain
+	}
+	if u.Action == resync.ActionAdd || u.Action == resync.ActionModify {
+		e, err := op.Entry()
+		if err != nil {
+			return resync.Update{}, err
+		}
+		u.Entry = e
+	}
+	return u, nil
+}
+
+// Add inserts an entry.
+func (c *Client) Add(e *entry.Entry) error {
+	req := &proto.AddRequest{DN: e.DN().String()}
+	for _, name := range e.AttributeNames() {
+		req.Attrs = append(req.Attrs, proto.Attribute{Type: name, Values: e.Values(name)})
+	}
+	return c.simpleOp(req, func(m *proto.Message) (proto.Result, bool) {
+		r, ok := m.Op.(*proto.AddResponse)
+		if !ok {
+			return proto.Result{}, false
+		}
+		return r.Result, true
+	})
+}
+
+// Delete removes an entry.
+func (c *Client) Delete(d dn.DN) error {
+	return c.simpleOp(&proto.DelRequest{DN: d.String()}, func(m *proto.Message) (proto.Result, bool) {
+		r, ok := m.Op.(*proto.DelResponse)
+		if !ok {
+			return proto.Result{}, false
+		}
+		return r.Result, true
+	})
+}
+
+// Modify alters an entry.
+func (c *Client) Modify(d dn.DN, changes []proto.ModifyChange) error {
+	return c.simpleOp(&proto.ModifyRequest{DN: d.String(), Changes: changes},
+		func(m *proto.Message) (proto.Result, bool) {
+			r, ok := m.Op.(*proto.ModifyResponse)
+			if !ok {
+				return proto.Result{}, false
+			}
+			return r.Result, true
+		})
+}
+
+// ModifyDN renames or moves an entry.
+func (c *Client) ModifyDN(old dn.DN, newRDN dn.RDN, newSuperior dn.DN) error {
+	req := &proto.ModifyDNRequest{
+		DN:           old.String(),
+		NewRDN:       newRDN.String(),
+		DeleteOldRDN: true,
+		NewSuperior:  newSuperior.String(),
+	}
+	return c.simpleOp(req, func(m *proto.Message) (proto.Result, bool) {
+		r, ok := m.Op.(*proto.ModifyDNResponse)
+		if !ok {
+			return proto.Result{}, false
+		}
+		return r.Result, true
+	})
+}
+
+func (c *Client) simpleOp(op proto.Op, extract func(*proto.Message) (proto.Result, bool)) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id, err := c.send(op)
+	if err != nil {
+		return err
+	}
+	m, err := c.read(id)
+	if err != nil {
+		return err
+	}
+	r, ok := extract(m)
+	if !ok {
+		return fmt.Errorf("ldap: unexpected response %T", m.Op)
+	}
+	if r.Code != proto.ResultSuccess {
+		return &ResultError{Code: r.Code, Message: r.Message, Referrals: r.Referrals}
+	}
+	return nil
+}
+
+// --- Persist mode -------------------------------------------------------------
+
+// PersistSession is a persist-mode synchronization over a dedicated
+// connection: initial content and subsequent change batches arrive on
+// Updates until Close.
+type PersistSession struct {
+	Updates <-chan resync.Update
+
+	client *Client
+	id     int64
+	once   sync.Once
+	done   chan struct{}
+}
+
+// Persist opens a dedicated connection and runs a persist-mode sync. The
+// returned session delivers every update (initial content first).
+func Persist(addr string, q query.Query, cookie string) (*PersistSession, error) {
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	id, err := c.send(&proto.SearchRequest{Query: q},
+		proto.NewReSyncRequestControl(proto.ReSyncModePersist, cookie))
+	c.mu.Unlock()
+	if err != nil {
+		_ = c.Close()
+		return nil, err
+	}
+	ch := make(chan resync.Update, 64)
+	ps := &PersistSession{Updates: ch, client: c, id: id, done: make(chan struct{})}
+	go func() {
+		defer close(ch)
+		defer close(ps.done)
+		for {
+			m, err := proto.ReadMessage(c.r)
+			if err != nil {
+				return
+			}
+			if m.ID != id {
+				continue
+			}
+			switch op := m.Op.(type) {
+			case *proto.SearchEntry:
+				u, err := decodeUpdate(m, op)
+				if err != nil {
+					return
+				}
+				ch <- u
+			case *proto.SearchDone:
+				return
+			}
+		}
+	}()
+	return ps, nil
+}
+
+// Close abandons the persistent search and closes the connection.
+func (p *PersistSession) Close() {
+	p.once.Do(func() {
+		p.client.mu.Lock()
+		_, _ = p.client.send(&proto.AbandonRequest{MessageID: p.id})
+		p.client.mu.Unlock()
+		_ = p.client.Close()
+	})
+	<-p.done
+}
+
+// --- Referral chasing ----------------------------------------------------------
+
+// Resolver chases referrals across a set of named servers, reproducing the
+// distributed operation processing of Figure 2. Host names in LDAP URLs are
+// mapped to TCP addresses via the registry.
+type Resolver struct {
+	mu      sync.Mutex
+	addrs   map[string]string
+	clients map[string]*Client
+}
+
+// NewResolver creates a resolver with a host registry.
+func NewResolver() *Resolver {
+	return &Resolver{addrs: make(map[string]string), clients: make(map[string]*Client)}
+}
+
+// Register maps a symbolic host name to a TCP address.
+func (r *Resolver) Register(host, addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.addrs[host] = addr
+}
+
+// Close closes all pooled client connections.
+func (r *Resolver) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.clients {
+		_ = c.Close()
+	}
+	r.clients = make(map[string]*Client)
+}
+
+func (r *Resolver) client(host string) (*Client, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.clients[host]; ok {
+		return c, nil
+	}
+	addr, ok := r.addrs[host]
+	if !ok {
+		return nil, fmt.Errorf("ldap resolver: unknown host %q", host)
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	r.clients[host] = c
+	return c, nil
+}
+
+// RoundTrips sums round trips across all pooled connections.
+func (r *Resolver) RoundTrips() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, c := range r.clients {
+		n += c.RoundTrips()
+	}
+	return n
+}
+
+// maxChase bounds referral chains.
+const maxChase = 16
+
+// SearchChasing evaluates the query starting at the named server, following
+// superior referrals (name resolution) and subordinate references
+// (operation completion) until the result is complete.
+func (r *Resolver) SearchChasing(host string, q query.Query) (*SearchResult, error) {
+	return r.chase(host, q, 0)
+}
+
+func (r *Resolver) chase(host string, q query.Query, depth int) (*SearchResult, error) {
+	if depth > maxChase {
+		return nil, errors.New("ldap resolver: referral chain too long")
+	}
+	c, err := r.client(host)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.Search(q)
+	if err != nil {
+		var re *ResultError
+		if errors.As(err, &re) && re.Code == proto.ResultReferral && len(re.Referrals) > 0 {
+			// Superior referral: resend the same request to the referred
+			// server (distributed name resolution).
+			nextHost, _, perr := ParseURL(re.Referrals[0])
+			if perr != nil {
+				return nil, perr
+			}
+			return r.chase(nextHost, q, depth+1)
+		}
+		return res, err
+	}
+	out := &SearchResult{Entries: res.Entries}
+	// Subordinate references: continue the operation with modified bases.
+	for _, ref := range res.Referrals {
+		refHost, refBase, perr := ParseURL(ref)
+		if perr != nil {
+			return nil, perr
+		}
+		sub := q
+		if !refBase.IsRoot() {
+			sub.Base = refBase
+		}
+		subRes, err := r.chase(refHost, sub, depth+1)
+		if err != nil {
+			return out, err
+		}
+		out.Entries = append(out.Entries, subRes.Entries...)
+		out.Referrals = append(out.Referrals, subRes.Referrals...)
+	}
+	return out, nil
+}
+
+// ParseURL splits a simplified LDAP URL "ldap://host/base-dn" into its host
+// and base DN (root DN when absent).
+func ParseURL(u string) (host string, base dn.DN, err error) {
+	rest, ok := strings.CutPrefix(u, "ldap://")
+	if !ok {
+		return "", dn.DN{}, fmt.Errorf("ldap url %q: bad scheme", u)
+	}
+	host, dnPart, _ := strings.Cut(rest, "/")
+	if host == "" {
+		return "", dn.DN{}, fmt.Errorf("ldap url %q: missing host", u)
+	}
+	if dnPart == "" {
+		return host, dn.DN{}, nil
+	}
+	base, err = dn.Parse(dnPart)
+	if err != nil {
+		return "", dn.DN{}, fmt.Errorf("ldap url %q: %w", u, err)
+	}
+	return host, base, nil
+}

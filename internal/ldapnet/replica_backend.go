@@ -1,0 +1,94 @@
+package ldapnet
+
+import (
+	"errors"
+	"fmt"
+
+	"filterdir/internal/dit"
+	"filterdir/internal/proto"
+	"filterdir/internal/query"
+	"filterdir/internal/replica"
+	"filterdir/internal/resync"
+)
+
+// Errors mapped to wire result codes by the replica backend.
+var (
+	// ErrNotAnswerable marks a query outside the replica's content; the
+	// response is a referral to the master.
+	ErrNotAnswerable = errors.New("query not answerable by replica")
+	// ErrReadOnly marks update or synchronization operations sent to a
+	// read-only replica.
+	ErrReadOnly = errors.New("replica is read-only")
+)
+
+// ReplicaBackend serves a filter-based replica over the wire: contained
+// queries are answered from the replicated content, everything else gets a
+// referral to the master — the behaviour Section 3 defines for filter-based
+// replicas. Updates and synchronization requests are refused (the replica
+// is a consumer, not a supplier).
+type ReplicaBackend struct {
+	Replica *replica.FilterReplica
+	// MasterURL is the referral target for misses, e.g. "ldap://master".
+	MasterURL string
+}
+
+var _ Backend = (*ReplicaBackend)(nil)
+
+// NewReplicaBackend wraps a filter replica.
+func NewReplicaBackend(rep *replica.FilterReplica, masterURL string) *ReplicaBackend {
+	return &ReplicaBackend{Replica: rep, MasterURL: masterURL}
+}
+
+// Bind implements Backend (anonymous only).
+func (b *ReplicaBackend) Bind(name, password string) proto.ResultCode {
+	return proto.ResultSuccess
+}
+
+// Search implements Backend: a containment hit is served locally; a miss
+// produces a referral to the master.
+func (b *ReplicaBackend) Search(q query.Query) (*dit.Result, error) {
+	entries, hit, _ := b.Replica.Answer(q)
+	if !hit {
+		res := &dit.Result{}
+		if b.MasterURL != "" {
+			res.Referrals = append(res.Referrals, b.MasterURL)
+		}
+		return res, fmt.Errorf("%w: %s", ErrNotAnswerable, q.FilterString())
+	}
+	return &dit.Result{Entries: entries}, nil
+}
+
+// ReSyncBegin implements Backend (refused).
+func (b *ReplicaBackend) ReSyncBegin(query.Query) (*resync.PollResult, error) {
+	return nil, ErrReadOnly
+}
+
+// ReSyncPoll implements Backend (refused).
+func (b *ReplicaBackend) ReSyncPoll(string) (*resync.PollResult, error) {
+	return nil, ErrReadOnly
+}
+
+// ReSyncRetain implements Backend (refused).
+func (b *ReplicaBackend) ReSyncRetain(string) (*resync.PollResult, error) {
+	return nil, ErrReadOnly
+}
+
+// ReSyncPersist implements Backend (refused).
+func (b *ReplicaBackend) ReSyncPersist(string) (*resync.Subscription, error) {
+	return nil, ErrReadOnly
+}
+
+// ReSyncEnd implements Backend (refused).
+func (b *ReplicaBackend) ReSyncEnd(string) error { return ErrReadOnly }
+
+// Add implements Backend (refused).
+func (b *ReplicaBackend) Add(*proto.AddRequest) error { return ErrReadOnly }
+
+// Delete implements Backend (refused).
+func (b *ReplicaBackend) Delete(*proto.DelRequest) error { return ErrReadOnly }
+
+// Modify implements Backend (refused).
+func (b *ReplicaBackend) Modify(*proto.ModifyRequest) error { return ErrReadOnly }
+
+// ModifyDN implements Backend (refused).
+func (b *ReplicaBackend) ModifyDN(*proto.ModifyDNRequest) error { return ErrReadOnly }

@@ -1,0 +1,419 @@
+package ldapnet
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"strconv"
+	"sync"
+
+	"filterdir/internal/entry"
+	"filterdir/internal/proto"
+	"filterdir/internal/resync"
+)
+
+// Server accepts LDAP connections and dispatches them to a Backend.
+type Server struct {
+	ln      net.Listener
+	backend Backend
+
+	mu     sync.Mutex
+	conns  map[net.Conn]bool
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts a server on addr ("127.0.0.1:0" picks a free port).
+func Serve(addr string, backend Backend) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ldap server listen: %w", err)
+	}
+	s := &Server{ln: ln, backend: backend, conns: make(map[net.Conn]bool)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener, closes all connections and waits for the
+// handler goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	_ = conn.Close()
+}
+
+// connState tracks per-connection persistent searches for abandon.
+type connState struct {
+	mu       sync.Mutex
+	persists map[int64]*resync.Subscription
+	writeMu  sync.Mutex
+}
+
+func (cs *connState) addPersist(id int64, sub *resync.Subscription) {
+	cs.mu.Lock()
+	cs.persists[id] = sub
+	cs.mu.Unlock()
+}
+
+func (cs *connState) takePersist(id int64) *resync.Subscription {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	sub := cs.persists[id]
+	delete(cs.persists, id)
+	return sub
+}
+
+func (cs *connState) closeAll() {
+	cs.mu.Lock()
+	subs := make([]*resync.Subscription, 0, len(cs.persists))
+	for _, sub := range cs.persists {
+		subs = append(subs, sub)
+	}
+	cs.persists = make(map[int64]*resync.Subscription)
+	cs.mu.Unlock()
+	for _, sub := range subs {
+		sub.Close()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.dropConn(conn)
+	state := &connState{persists: make(map[int64]*resync.Subscription)}
+	defer state.closeAll()
+	r := bufio.NewReader(conn)
+	for {
+		msg, err := proto.ReadMessage(r)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// Protocol error: nothing sensible to send; drop.
+				_ = err
+			}
+			return
+		}
+		switch op := msg.Op.(type) {
+		case *proto.UnbindRequest:
+			return
+		case *proto.BindRequest:
+			code := s.backend.Bind(op.Name, op.Password)
+			s.reply(state, conn, msg.ID, &proto.BindResponse{}, code, "", nil, nil)
+		case *proto.AbandonRequest:
+			if sub := state.takePersist(op.MessageID); sub != nil {
+				sub.Close()
+			}
+			// Abandon has no response.
+		case *proto.SearchRequest:
+			s.handleSearch(state, conn, msg, op)
+		case *proto.AddRequest:
+			err := s.backend.Add(op)
+			s.reply(state, conn, msg.ID, &proto.AddResponse{}, resultCodeFor(err), errText(err), nil, nil)
+		case *proto.DelRequest:
+			err := s.backend.Delete(op)
+			s.reply(state, conn, msg.ID, &proto.DelResponse{}, resultCodeFor(err), errText(err), nil, nil)
+		case *proto.ModifyRequest:
+			err := s.backend.Modify(op)
+			s.reply(state, conn, msg.ID, &proto.ModifyResponse{}, resultCodeFor(err), errText(err), nil, nil)
+		case *proto.ModifyDNRequest:
+			err := s.backend.ModifyDN(op)
+			s.reply(state, conn, msg.ID, &proto.ModifyDNResponse{}, resultCodeFor(err), errText(err), nil, nil)
+		default:
+			s.reply(state, conn, msg.ID, &proto.SearchDone{}, proto.ResultProtocolError, "unsupported operation", nil, nil)
+		}
+	}
+}
+
+func errText(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// reply sends a single result-bearing response.
+func (s *Server) reply(state *connState, conn net.Conn, id int64, op proto.Op,
+	code proto.ResultCode, msg string, referrals []string, controls []proto.Control) {
+	setResult(op, code, msg, referrals)
+	m := &proto.Message{ID: id, Op: op, Controls: controls}
+	state.writeMu.Lock()
+	defer state.writeMu.Unlock()
+	_ = m.Write(conn)
+}
+
+// setResult injects the LDAPResult into a response op.
+func setResult(op proto.Op, code proto.ResultCode, msg string, referrals []string) {
+	r := proto.Result{Code: code, Message: msg, Referrals: referrals}
+	switch t := op.(type) {
+	case *proto.BindResponse:
+		t.Result = r
+	case *proto.SearchDone:
+		t.Result = r
+	case *proto.AddResponse:
+		t.Result = r
+	case *proto.DelResponse:
+		t.Result = r
+	case *proto.ModifyResponse:
+		t.Result = r
+	case *proto.ModifyDNResponse:
+		t.Result = r
+	}
+}
+
+func (s *Server) send(state *connState, conn net.Conn, m *proto.Message) error {
+	state.writeMu.Lock()
+	defer state.writeMu.Unlock()
+	return m.Write(conn)
+}
+
+func (s *Server) handleSearch(state *connState, conn net.Conn, msg *proto.Message, op *proto.SearchRequest) {
+	if c, ok := msg.Control(proto.OIDReSyncRequest); ok {
+		req, err := proto.ParseReSyncRequest(c)
+		if err != nil {
+			s.reply(state, conn, msg.ID, &proto.SearchDone{}, proto.ResultProtocolError, err.Error(), nil, nil)
+			return
+		}
+		s.handleReSync(state, conn, msg.ID, op, req)
+		return
+	}
+
+	res, err := s.backend.Search(op.Query)
+	if err != nil {
+		code := resultCodeFor(err)
+		var refs []string
+		if res != nil {
+			refs = res.Referrals
+		}
+		s.reply(state, conn, msg.ID, &proto.SearchDone{}, code, errText(err), refs, nil)
+		return
+	}
+	// RFC 2891 server-side sorting, applied before streaming (and before
+	// paging, per the RFC's required control ordering).
+	var doneControls []proto.Control
+	if c, ok := msg.Control(proto.OIDSortRequest); ok {
+		keys, err := proto.ParseSortKeys(c)
+		if err != nil {
+			doneControls = append(doneControls, proto.NewSortResponseControl(1))
+		} else {
+			sortEntries(res.Entries, keys)
+			doneControls = append(doneControls, proto.NewSortResponseControl(0))
+		}
+	}
+	// RFC 2696 simple paged results: a deterministic DN order (unless the
+	// client sorted) makes the offset cookie stable across pages.
+	if c, ok := msg.Control(proto.OIDPagedResults); ok {
+		pageSize, cookie, perr := proto.ParsePaged(c)
+		if perr != nil || pageSize <= 0 {
+			s.reply(state, conn, msg.ID, &proto.SearchDone{}, proto.ResultProtocolError, "bad paged-results control", nil, nil)
+			return
+		}
+		if _, sorted := msg.Control(proto.OIDSortRequest); !sorted {
+			sort.Slice(res.Entries, func(i, j int) bool {
+				return res.Entries[i].DN().Norm() < res.Entries[j].DN().Norm()
+			})
+		}
+		offset := 0
+		if cookie != "" {
+			n, err := strconv.Atoi(cookie)
+			if err != nil || n < 0 || n > len(res.Entries) {
+				s.reply(state, conn, msg.ID, &proto.SearchDone{}, proto.ResultProtocolError, "bad paging cookie", nil, nil)
+				return
+			}
+			offset = n
+		}
+		end := offset + int(pageSize)
+		if end > len(res.Entries) {
+			end = len(res.Entries)
+		}
+		for _, e := range res.Entries[offset:end] {
+			if err := s.send(state, conn, &proto.Message{ID: msg.ID, Op: proto.EntryToWire(e)}); err != nil {
+				return
+			}
+		}
+		next := ""
+		if end < len(res.Entries) {
+			next = strconv.Itoa(end)
+		}
+		doneControls = append(doneControls, proto.NewPagedControl(int64(len(res.Entries)), next))
+		s.reply(state, conn, msg.ID, &proto.SearchDone{}, proto.ResultSuccess, "", nil, doneControls)
+		return
+	}
+	limit := int(op.SizeLimit)
+	for i, e := range res.Entries {
+		if limit > 0 && i >= limit {
+			break
+		}
+		if err := s.send(state, conn, &proto.Message{ID: msg.ID, Op: proto.EntryToWire(e)}); err != nil {
+			return
+		}
+	}
+	for _, ref := range res.Referrals {
+		if err := s.send(state, conn, &proto.Message{ID: msg.ID, Op: &proto.SearchReference{URLs: []string{ref}}}); err != nil {
+			return
+		}
+	}
+	s.reply(state, conn, msg.ID, &proto.SearchDone{}, proto.ResultSuccess, "", nil, doneControls)
+}
+
+// sortEntries orders search results by the RFC 2891 sort keys using the
+// attributes' ordering rules; entries lacking a key attribute sort last.
+func sortEntries(entries []*entry.Entry, keys []proto.SortKey) {
+	if len(keys) == 0 {
+		return
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		for _, k := range keys {
+			vi := entries[i].First(k.Attr)
+			vj := entries[j].First(k.Attr)
+			hi, hj := entries[i].Has(k.Attr), entries[j].Has(k.Attr)
+			if hi != hj {
+				return hi // present sorts before absent
+			}
+			if !hi {
+				continue
+			}
+			cmp, ok := entry.CompareOrdered(entry.OrderingFor(k.Attr), vi, vj)
+			if !ok || cmp == 0 {
+				continue
+			}
+			if k.Reverse {
+				return cmp > 0
+			}
+			return cmp < 0
+		}
+		return false
+	})
+}
+
+// handleReSync implements the server side of Section 5.2: (i) a null cookie
+// starts a session with a full content transfer, (ii) a cookie resumes and
+// sends accumulated updates, (iii) persist mode keeps the connection open
+// streaming further changes, (iv) poll mode returns a cookie to resume.
+func (s *Server) handleReSync(state *connState, conn net.Conn, id int64, op *proto.SearchRequest, req proto.ReSyncRequest) {
+	if req.Mode == proto.ReSyncModeSyncEnd {
+		err := s.backend.ReSyncEnd(req.Cookie)
+		s.reply(state, conn, id, &proto.SearchDone{}, resultCodeFor(err), errText(err), nil, nil)
+		return
+	}
+
+	var res *resync.PollResult
+	var err error
+	switch {
+	case req.Cookie == "":
+		res, err = s.backend.ReSyncBegin(op.Query)
+	case req.Mode == proto.ReSyncModeRetain:
+		res, err = s.backend.ReSyncRetain(req.Cookie)
+	default:
+		res, err = s.backend.ReSyncPoll(req.Cookie)
+	}
+	if err != nil {
+		s.reply(state, conn, id, &proto.SearchDone{}, proto.ResultOther, err.Error(), nil, nil)
+		return
+	}
+	if err := s.streamUpdates(state, conn, id, res.Updates); err != nil {
+		return
+	}
+
+	if req.Mode == proto.ReSyncModePersist {
+		sub, err := s.backend.ReSyncPersist(res.Cookie)
+		if err != nil {
+			s.reply(state, conn, id, &proto.SearchDone{}, proto.ResultOther, err.Error(), nil, nil)
+			return
+		}
+		state.addPersist(id, sub)
+		// Stream in a separate goroutine so the connection's read loop keeps
+		// processing abandon and unbind requests. The subscription ends via
+		// abandon (takePersist), connection teardown (closeAll) or a write
+		// failure here.
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for batch := range sub.Updates {
+				if err := s.streamUpdates(state, conn, id, batch); err != nil {
+					sub.Close()
+					return
+				}
+			}
+			s.reply(state, conn, id, &proto.SearchDone{}, proto.ResultSuccess, "",
+				nil, []proto.Control{proto.NewReSyncDoneControl(res.Cookie, false)})
+		}()
+		return
+	}
+
+	s.reply(state, conn, id, &proto.SearchDone{}, proto.ResultSuccess, "",
+		nil, []proto.Control{proto.NewReSyncDoneControl(res.Cookie, res.FullReload)})
+}
+
+// streamUpdates sends each update as a search entry PDU labelled with an
+// entry-change control; delete and retain actions carry the DN only.
+func (s *Server) streamUpdates(state *connState, conn net.Conn, id int64, updates []resync.Update) error {
+	for _, u := range updates {
+		var se *proto.SearchEntry
+		var action proto.ChangeAction
+		switch u.Action {
+		case resync.ActionAdd:
+			se = proto.EntryToWire(u.Entry)
+			action = proto.ChangeActionAdd
+		case resync.ActionModify:
+			se = proto.EntryToWire(u.Entry)
+			action = proto.ChangeActionModify
+		case resync.ActionDelete:
+			se = &proto.SearchEntry{DN: u.DN.String()}
+			action = proto.ChangeActionDelete
+		case resync.ActionRetain:
+			se = &proto.SearchEntry{DN: u.DN.String()}
+			action = proto.ChangeActionRetain
+		default:
+			continue
+		}
+		m := &proto.Message{ID: id, Op: se,
+			Controls: []proto.Control{proto.NewEntryChangeControl(action)}}
+		if err := s.send(state, conn, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}

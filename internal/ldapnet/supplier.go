@@ -1,0 +1,42 @@
+package ldapnet
+
+import (
+	"filterdir/internal/proto"
+	"filterdir/internal/query"
+	"filterdir/internal/replica"
+	"filterdir/internal/resync"
+)
+
+// ClientSupplier adapts an LDAP client to the replica.Supplier interface, so
+// an AdaptiveReplica synchronizes over the wire exactly as it would against
+// a local engine.
+type ClientSupplier struct {
+	Client *Client
+}
+
+var _ replica.Supplier = ClientSupplier{}
+
+// SyncBegin implements replica.Supplier.
+func (s ClientSupplier) SyncBegin(q query.Query) ([]resync.Update, string, error) {
+	res, err := s.Client.Sync(q, proto.ReSyncModePoll, "")
+	if err != nil {
+		return nil, "", err
+	}
+	return res.Updates, res.Cookie, nil
+}
+
+// SyncPoll implements replica.Supplier.
+func (s ClientSupplier) SyncPoll(cookie string) ([]resync.Update, string, bool, error) {
+	// The protocol resumes a session by cookie; the query on the request is
+	// ignored by the server for an established session.
+	res, err := s.Client.Sync(query.Query{Scope: query.ScopeSubtree}, proto.ReSyncModePoll, cookie)
+	if err != nil {
+		return nil, "", false, err
+	}
+	return res.Updates, res.Cookie, res.FullReload, nil
+}
+
+// SyncEnd implements replica.Supplier.
+func (s ClientSupplier) SyncEnd(cookie string) error {
+	return s.Client.SyncEnd(cookie)
+}

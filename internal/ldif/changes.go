@@ -1,0 +1,289 @@
+package ldif
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"filterdir/internal/dit"
+	"filterdir/internal/dn"
+)
+
+// WriteChanges renders journal changes as LDIF change records (RFC 2849
+// changetype syntax): add records carry the full entry, modify records the
+// attribute-level changes, delete records the DN, and modrdn records the
+// new RDN and superior. This is the interchange form a changelog-style
+// consumer would read.
+func WriteChanges(w io.Writer, changes ...dit.Change) error {
+	bw := bufio.NewWriter(w)
+	for i, c := range changes {
+		if i > 0 {
+			if _, err := bw.WriteString("\n"); err != nil {
+				return err
+			}
+		}
+		if err := writeChange(bw, c); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeChange(w *bufio.Writer, c dit.Change) error {
+	if err := writeLine(w, "dn", c.DN.String()); err != nil {
+		return err
+	}
+	switch c.Type {
+	case dit.ChangeAdd:
+		if err := writeLine(w, "changetype", "add"); err != nil {
+			return err
+		}
+		if c.After == nil {
+			return fmt.Errorf("add change for %q lacks the entry", c.DN.String())
+		}
+		for _, name := range c.After.AttributeNames() {
+			for _, v := range c.After.Values(name) {
+				if err := writeLine(w, name, v); err != nil {
+					return err
+				}
+			}
+		}
+	case dit.ChangeDelete:
+		if err := writeLine(w, "changetype", "delete"); err != nil {
+			return err
+		}
+	case dit.ChangeModify:
+		if err := writeLine(w, "changetype", "modify"); err != nil {
+			return err
+		}
+		for _, m := range c.Mods {
+			var verb string
+			switch m.Op {
+			case dit.ModAdd:
+				verb = "add"
+			case dit.ModDelete:
+				verb = "delete"
+			case dit.ModReplace:
+				verb = "replace"
+			default:
+				return fmt.Errorf("unknown mod op %d", m.Op)
+			}
+			if err := writeLine(w, verb, m.Attr); err != nil {
+				return err
+			}
+			for _, v := range m.Values {
+				if err := writeLine(w, m.Attr, v); err != nil {
+					return err
+				}
+			}
+			if _, err := w.WriteString("-\n"); err != nil {
+				return err
+			}
+		}
+	case dit.ChangeModifyDN:
+		if err := writeLine(w, "changetype", "modrdn"); err != nil {
+			return err
+		}
+		leaf, ok := c.NewDN.Leaf()
+		if !ok {
+			return fmt.Errorf("modrdn change for %q lacks a new RDN", c.DN.String())
+		}
+		if err := writeLine(w, "newrdn", leaf.String()); err != nil {
+			return err
+		}
+		if err := writeLine(w, "deleteoldrdn", "1"); err != nil {
+			return err
+		}
+		if parent, ok := c.NewDN.Parent(); ok && !parent.IsRoot() {
+			if err := writeLine(w, "newsuperior", parent.String()); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown change type %v", c.Type)
+	}
+	return nil
+}
+
+// ChangeRecord is a parsed LDIF change record.
+type ChangeRecord struct {
+	Type  dit.ChangeType
+	DN    dn.DN
+	NewDN dn.DN
+	// Attrs holds the added entry's attributes for add records.
+	Attrs map[string][]string
+	// Mods holds the attribute changes for modify records.
+	Mods []dit.Mod
+}
+
+// ReadChanges parses LDIF change records.
+func ReadChanges(r io.Reader) ([]ChangeRecord, error) {
+	rd := NewReader(r)
+	var out []ChangeRecord
+	for {
+		lines, err := rd.nextRecordLines()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		rec, err := parseChange(lines)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// nextRecordLines exposes the reader's logical-line collection for change
+// parsing.
+func (r *Reader) nextRecordLines() ([]string, error) {
+	var logical []string
+	for {
+		line, ok := r.nextLine()
+		if !ok {
+			break
+		}
+		trimmed := strings.TrimRight(line, "\r")
+		if trimmed == "" {
+			if len(logical) == 0 {
+				continue
+			}
+			break
+		}
+		if strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		if strings.HasPrefix(trimmed, "version:") && len(logical) == 0 {
+			continue
+		}
+		if strings.HasPrefix(trimmed, " ") {
+			if len(logical) == 0 {
+				return nil, fmt.Errorf("%w: continuation with no preceding line", ErrBadRecord)
+			}
+			logical[len(logical)-1] += trimmed[1:]
+			continue
+		}
+		logical = append(logical, trimmed)
+	}
+	if len(logical) == 0 {
+		if err := r.sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, io.EOF
+	}
+	return logical, nil
+}
+
+func parseChange(lines []string) (ChangeRecord, error) {
+	var rec ChangeRecord
+	name, value, err := splitLine(lines[0])
+	if err != nil {
+		return rec, err
+	}
+	if !strings.EqualFold(name, "dn") {
+		return rec, fmt.Errorf("%w: change record must start with dn:", ErrBadRecord)
+	}
+	if rec.DN, err = dn.Parse(value); err != nil {
+		return rec, fmt.Errorf("%w: %v", ErrBadRecord, err)
+	}
+	if len(lines) < 2 {
+		return rec, fmt.Errorf("%w: missing changetype", ErrBadRecord)
+	}
+	name, value, err = splitLine(lines[1])
+	if err != nil {
+		return rec, err
+	}
+	if !strings.EqualFold(name, "changetype") {
+		return rec, fmt.Errorf("%w: expected changetype, got %q", ErrBadRecord, name)
+	}
+	body := lines[2:]
+	switch strings.ToLower(value) {
+	case "add":
+		rec.Type = dit.ChangeAdd
+		rec.Attrs = make(map[string][]string)
+		for _, line := range body {
+			n, v, err := splitLine(line)
+			if err != nil {
+				return rec, err
+			}
+			n = strings.ToLower(n)
+			rec.Attrs[n] = append(rec.Attrs[n], v)
+		}
+	case "delete":
+		rec.Type = dit.ChangeDelete
+	case "modify":
+		rec.Type = dit.ChangeModify
+		var cur *dit.Mod
+		for _, line := range body {
+			if line == "-" {
+				if cur != nil {
+					rec.Mods = append(rec.Mods, *cur)
+					cur = nil
+				}
+				continue
+			}
+			n, v, err := splitLine(line)
+			if err != nil {
+				return rec, err
+			}
+			if cur == nil {
+				var op dit.ModOp
+				switch strings.ToLower(n) {
+				case "add":
+					op = dit.ModAdd
+				case "delete":
+					op = dit.ModDelete
+				case "replace":
+					op = dit.ModReplace
+				default:
+					return rec, fmt.Errorf("%w: unknown mod verb %q", ErrBadRecord, n)
+				}
+				cur = &dit.Mod{Op: op, Attr: v}
+				continue
+			}
+			cur.Values = append(cur.Values, v)
+		}
+		if cur != nil {
+			rec.Mods = append(rec.Mods, *cur)
+		}
+	case "modrdn", "moddn":
+		rec.Type = dit.ChangeModifyDN
+		var newRDN, newSuperior string
+		for _, line := range body {
+			n, v, err := splitLine(line)
+			if err != nil {
+				return rec, err
+			}
+			switch strings.ToLower(n) {
+			case "newrdn":
+				newRDN = v
+			case "newsuperior":
+				newSuperior = v
+			}
+		}
+		if newRDN == "" {
+			return rec, fmt.Errorf("%w: modrdn without newrdn", ErrBadRecord)
+		}
+		rdnDN, err := dn.Parse(newRDN)
+		if err != nil {
+			return rec, fmt.Errorf("%w: newrdn: %v", ErrBadRecord, err)
+		}
+		leaf, ok := rdnDN.Leaf()
+		if !ok {
+			return rec, fmt.Errorf("%w: empty newrdn", ErrBadRecord)
+		}
+		superior, _ := rec.DN.Parent()
+		if newSuperior != "" {
+			if superior, err = dn.Parse(newSuperior); err != nil {
+				return rec, fmt.Errorf("%w: newsuperior: %v", ErrBadRecord, err)
+			}
+		}
+		rec.NewDN = superior.Child(leaf)
+	default:
+		return rec, fmt.Errorf("%w: unknown changetype %q", ErrBadRecord, value)
+	}
+	return rec, nil
+}

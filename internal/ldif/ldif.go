@@ -1,0 +1,218 @@
+// Package ldif reads and writes directory entries in LDIF (RFC 2849
+// subset): one record per entry, "attr: value" lines, base64 encoding for
+// unsafe values, line folding on write, comments and version lines ignored
+// on read.
+package ldif
+
+import (
+	"bufio"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"filterdir/internal/dn"
+	"filterdir/internal/entry"
+)
+
+// ErrBadRecord reports a malformed LDIF record.
+var ErrBadRecord = errors.New("bad LDIF record")
+
+const foldWidth = 76
+
+// Write renders entries as LDIF records separated by blank lines.
+func Write(w io.Writer, entries ...*entry.Entry) error {
+	bw := bufio.NewWriter(w)
+	for i, e := range entries {
+		if i > 0 {
+			if _, err := bw.WriteString("\n"); err != nil {
+				return err
+			}
+		}
+		if err := writeLine(bw, "dn", e.DN().String()); err != nil {
+			return err
+		}
+		for _, name := range e.AttributeNames() {
+			for _, v := range e.Values(name) {
+				if err := writeLine(bw, name, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeLine(w *bufio.Writer, name, value string) error {
+	var line string
+	if safeValue(value) {
+		line = name + ": " + value
+	} else {
+		line = name + ":: " + base64.StdEncoding.EncodeToString([]byte(value))
+	}
+	for len(line) > foldWidth {
+		if _, err := w.WriteString(line[:foldWidth] + "\n"); err != nil {
+			return err
+		}
+		line = " " + line[foldWidth:]
+	}
+	_, err := w.WriteString(line + "\n")
+	return err
+}
+
+// safeValue reports whether a value can be written without base64 per
+// RFC 2849: printable ASCII, no leading space/colon/less-than, no trailing
+// space.
+func safeValue(v string) bool {
+	if v == "" {
+		return true
+	}
+	if v[0] == ' ' || v[0] == ':' || v[0] == '<' {
+		return false
+	}
+	if v[len(v)-1] == ' ' {
+		return false
+	}
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		if c < 0x20 || c > 0x7e {
+			return false
+		}
+	}
+	return true
+}
+
+// Read parses all LDIF records from r.
+func Read(r io.Reader) ([]*entry.Entry, error) {
+	var out []*entry.Entry
+	rd := NewReader(r)
+	for {
+		e, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+}
+
+// Reader streams LDIF records one entry at a time.
+type Reader struct {
+	sc     *bufio.Scanner
+	lineNo int
+	// pending holds a peeked line that belongs to the next record.
+	pending string
+	hasPend bool
+	done    bool
+}
+
+// NewReader wraps r for streaming reads. Lines up to 1 MiB are supported.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	return &Reader{sc: sc}
+}
+
+func (r *Reader) nextLine() (string, bool) {
+	if r.hasPend {
+		r.hasPend = false
+		return r.pending, true
+	}
+	if r.done {
+		return "", false
+	}
+	if !r.sc.Scan() {
+		r.done = true
+		return "", false
+	}
+	r.lineNo++
+	return r.sc.Text(), true
+}
+
+func (r *Reader) pushBack(line string) {
+	r.pending = line
+	r.hasPend = true
+}
+
+// Next returns the next entry, or io.EOF when the stream is exhausted.
+func (r *Reader) Next() (*entry.Entry, error) {
+	// Collect logical lines (folding resolved) until a blank line or EOF.
+	var logical []string
+	for {
+		line, ok := r.nextLine()
+		if !ok {
+			break
+		}
+		trimmed := strings.TrimRight(line, "\r")
+		if trimmed == "" {
+			if len(logical) == 0 {
+				continue // skip leading blank lines
+			}
+			break
+		}
+		if strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		if strings.HasPrefix(trimmed, "version:") && len(logical) == 0 {
+			continue
+		}
+		if strings.HasPrefix(trimmed, " ") {
+			if len(logical) == 0 {
+				return nil, fmt.Errorf("%w: continuation at line %d with no preceding line", ErrBadRecord, r.lineNo)
+			}
+			logical[len(logical)-1] += trimmed[1:]
+			continue
+		}
+		logical = append(logical, trimmed)
+	}
+	if len(logical) == 0 {
+		if err := r.sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, io.EOF
+	}
+	return buildEntry(logical)
+}
+
+func buildEntry(lines []string) (*entry.Entry, error) {
+	name, value, err := splitLine(lines[0])
+	if err != nil {
+		return nil, err
+	}
+	if !strings.EqualFold(name, "dn") {
+		return nil, fmt.Errorf("%w: record must start with dn:, got %q", ErrBadRecord, lines[0])
+	}
+	d, err := dn.Parse(value)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRecord, err)
+	}
+	e := entry.New(d)
+	for _, line := range lines[1:] {
+		name, value, err := splitLine(line)
+		if err != nil {
+			return nil, err
+		}
+		e.Add(name, value)
+	}
+	return e, nil
+}
+
+func splitLine(line string) (name, value string, err error) {
+	i := strings.IndexByte(line, ':')
+	if i <= 0 {
+		return "", "", fmt.Errorf("%w: missing colon in %q", ErrBadRecord, line)
+	}
+	name = strings.TrimSpace(line[:i])
+	rest := line[i+1:]
+	if strings.HasPrefix(rest, ":") {
+		raw, err := base64.StdEncoding.DecodeString(strings.TrimSpace(rest[1:]))
+		if err != nil {
+			return "", "", fmt.Errorf("%w: bad base64 in %q: %v", ErrBadRecord, line, err)
+		}
+		return name, string(raw), nil
+	}
+	return name, strings.TrimLeft(rest, " "), nil
+}

@@ -1,0 +1,221 @@
+// Package persist makes a DIT durable with plain interchange formats: a
+// full LDIF snapshot plus an appendable journal of LDIF change records.
+// Recovery loads the snapshot and replays the journal, so a server restart
+// (or a cold replica) reconstructs the exact directory state. Checkpoints
+// are written atomically (temp file + rename).
+package persist
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"filterdir/internal/dit"
+	"filterdir/internal/entry"
+	"filterdir/internal/ldif"
+)
+
+// Save writes a full LDIF snapshot of the store, parents before children so
+// Load can re-add entries in order.
+func Save(w io.Writer, st *dit.Store) error {
+	entries := st.All()
+	sort.Slice(entries, func(i, j int) bool {
+		if d := entries[i].DN().Depth() - entries[j].DN().Depth(); d != 0 {
+			return d < 0
+		}
+		return entries[i].DN().Norm() < entries[j].DN().Norm()
+	})
+	return ldif.Write(w, entries...)
+}
+
+// Load builds a store from an LDIF snapshot.
+func Load(r io.Reader, suffixes []string, opts ...dit.Option) (*dit.Store, error) {
+	st, err := dit.NewStore(suffixes, opts...)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := ldif.Read(r)
+	if err != nil {
+		return nil, fmt.Errorf("read snapshot: %w", err)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		return entries[i].DN().Depth() < entries[j].DN().Depth()
+	})
+	if err := st.Load(entries); err != nil {
+		return nil, fmt.Errorf("load snapshot: %w", err)
+	}
+	return st, nil
+}
+
+// AppendJournal writes journal changes as LDIF change records.
+func AppendJournal(w io.Writer, changes []dit.Change) error {
+	if len(changes) == 0 {
+		return nil
+	}
+	if err := ldif.WriteChanges(w, changes...); err != nil {
+		return err
+	}
+	// Separate batches so the stream stays parseable.
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// Replay applies LDIF change records to a store, reconstructing the state
+// they describe. Records for entries that no longer exist (e.g. replayed
+// over a newer snapshot) surface as errors unless skipMissing is set.
+func Replay(r io.Reader, st *dit.Store, skipMissing bool) (applied int, err error) {
+	records, err := ldif.ReadChanges(r)
+	if err != nil {
+		return 0, fmt.Errorf("parse journal: %w", err)
+	}
+	for _, rec := range records {
+		if err := applyRecord(st, rec); err != nil {
+			if skipMissing && (errors.Is(err, dit.ErrNoSuchObject) || errors.Is(err, dit.ErrAlreadyExists)) {
+				continue
+			}
+			return applied, fmt.Errorf("replay %s %q: %w", rec.Type, rec.DN.String(), err)
+		}
+		applied++
+	}
+	return applied, nil
+}
+
+func applyRecord(st *dit.Store, rec ldif.ChangeRecord) error {
+	switch rec.Type {
+	case dit.ChangeAdd:
+		e := entry.New(rec.DN)
+		for name, vals := range rec.Attrs {
+			e.Put(name, vals...)
+		}
+		return st.Add(e)
+	case dit.ChangeDelete:
+		return st.Delete(rec.DN)
+	case dit.ChangeModify:
+		return st.Modify(rec.DN, rec.Mods)
+	case dit.ChangeModifyDN:
+		leaf, ok := rec.NewDN.Leaf()
+		if !ok {
+			return fmt.Errorf("modrdn record lacks a leaf RDN")
+		}
+		superior, _ := rec.NewDN.Parent()
+		return st.ModifyDN(rec.DN, leaf, superior)
+	default:
+		return fmt.Errorf("unknown change type %v", rec.Type)
+	}
+}
+
+// Dir is a durable home for one directory: snapshot.ldif plus journal.ldif
+// inside a filesystem directory.
+type Dir struct {
+	Path string
+}
+
+const (
+	snapshotName = "snapshot.ldif"
+	journalName  = "journal.ldif"
+)
+
+// Open loads the directory state from path (creating the path if needed):
+// the snapshot is loaded if present and the journal replayed on top. The
+// returned CSN watermark tells the caller where its in-memory journal
+// starts relative to durable state (always 0 for a fresh store, since
+// loading does not journal).
+func (d Dir) Open(suffixes []string, opts ...dit.Option) (*dit.Store, error) {
+	if err := os.MkdirAll(d.Path, 0o755); err != nil {
+		return nil, err
+	}
+	snapPath := filepath.Join(d.Path, snapshotName)
+	var st *dit.Store
+	if f, err := os.Open(snapPath); err == nil {
+		defer f.Close()
+		st, err = Load(bufio.NewReader(f), suffixes, opts...)
+		if err != nil {
+			return nil, err
+		}
+	} else if errors.Is(err, os.ErrNotExist) {
+		st, err = dit.NewStore(suffixes, opts...)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		return nil, err
+	}
+
+	jPath := filepath.Join(d.Path, journalName)
+	if f, err := os.Open(jPath); err == nil {
+		defer f.Close()
+		if _, err := Replay(bufio.NewReader(f), st, false); err != nil {
+			return nil, err
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+	return st, nil
+}
+
+// Checkpoint atomically writes a fresh snapshot of the store and truncates
+// the journal: the snapshot now embodies every applied change.
+func (d Dir) Checkpoint(st *dit.Store) error {
+	if err := os.MkdirAll(d.Path, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(d.Path, "snapshot-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	bw := bufio.NewWriter(tmp)
+	if err := Save(bw, st); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(d.Path, snapshotName)); err != nil {
+		return err
+	}
+	// The journal's changes are folded into the snapshot.
+	return os.WriteFile(filepath.Join(d.Path, journalName), nil, 0o644)
+}
+
+// AppendChanges durably appends journal changes since the given CSN,
+// returning the new watermark. Call it periodically (or after each batch of
+// updates) with the last returned watermark.
+func (d Dir) AppendChanges(st *dit.Store, after dit.CSN) (dit.CSN, error) {
+	changes, ok := st.ChangesSince(after)
+	if !ok {
+		return after, fmt.Errorf("journal history since CSN %d no longer available; checkpoint instead", after)
+	}
+	if len(changes) == 0 {
+		return after, nil
+	}
+	f, err := os.OpenFile(filepath.Join(d.Path, journalName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return after, err
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	if err := AppendJournal(bw, changes); err != nil {
+		return after, err
+	}
+	if err := bw.Flush(); err != nil {
+		return after, err
+	}
+	if err := f.Sync(); err != nil {
+		return after, err
+	}
+	return changes[len(changes)-1].CSN, nil
+}

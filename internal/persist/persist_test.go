@@ -1,0 +1,212 @@
+package persist
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"filterdir/internal/dit"
+	"filterdir/internal/dn"
+	"filterdir/internal/entry"
+	"filterdir/internal/query"
+	"filterdir/internal/resync"
+)
+
+func seedStore(t *testing.T) *dit.Store {
+	t.Helper()
+	st, err := dit.NewStore([]string{"o=xyz"}, dit.WithIndexes("serialnumber"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	org := entry.New(dn.MustParse("o=xyz"))
+	org.Put("objectclass", "organization").Put("o", "xyz")
+	if err := st.Add(org); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		e := entry.New(dn.MustParse(fmt.Sprintf("cn=p%d,o=xyz", i)))
+		e.Put("objectclass", "person").Put("cn", fmt.Sprintf("p%d", i)).
+			Put("sn", "x").Put("serialnumber", fmt.Sprintf("04%02d", i))
+		if err := st.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+// identical compares two stores entry for entry.
+func identical(t *testing.T, a, b *dit.Store) {
+	t.Helper()
+	all := query.Query{Scope: query.ScopeSubtree}
+	if ok, why := resync.Converged(a, b, all); !ok {
+		t.Fatalf("stores differ: %s", why)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	st := seedStore(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, []string{"o=xyz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	identical(t, st, loaded)
+}
+
+func TestReplayReconstructsUpdates(t *testing.T) {
+	st := seedStore(t)
+	baseCSN := st.LastCSN()
+
+	// A mixed update burst.
+	if err := st.Modify(dn.MustParse("cn=p1,o=xyz"),
+		[]dit.Mod{{Op: dit.ModReplace, Attr: "sn", Values: []string{"changed"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete(dn.MustParse("cn=p2,o=xyz")); err != nil {
+		t.Fatal(err)
+	}
+	e := entry.New(dn.MustParse("cn=new,o=xyz"))
+	e.Put("objectclass", "person").Put("cn", "new").Put("sn", "n")
+	if err := st.Add(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.ModifyDN(dn.MustParse("cn=p3,o=xyz"), dn.RDN{Attr: "cn", Value: "moved"},
+		dn.MustParse("o=xyz")); err != nil {
+		t.Fatal(err)
+	}
+
+	changes, ok := st.ChangesSince(baseCSN)
+	if !ok {
+		t.Fatal("journal trimmed")
+	}
+	var journal bytes.Buffer
+	if err := AppendJournal(&journal, changes); err != nil {
+		t.Fatal(err)
+	}
+
+	// A twin starting from the pre-burst snapshot replays to equality.
+	twin := seedStore(t)
+	applied, err := Replay(&journal, twin, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != len(changes) {
+		t.Errorf("applied %d of %d", applied, len(changes))
+	}
+	identical(t, st, twin)
+}
+
+func TestDirOpenCheckpointCycle(t *testing.T) {
+	home := Dir{Path: filepath.Join(t.TempDir(), "dir")}
+	st := seedStore(t)
+
+	// Checkpoint, then mutate and append the delta to the journal.
+	if err := home.Checkpoint(st); err != nil {
+		t.Fatal(err)
+	}
+	watermark := st.LastCSN()
+	if err := st.Modify(dn.MustParse("cn=p4,o=xyz"),
+		[]dit.Mod{{Op: dit.ModReplace, Attr: "sn", Values: []string{"v2"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete(dn.MustParse("cn=p5,o=xyz")); err != nil {
+		t.Fatal(err)
+	}
+	watermark, err := home.AppendChanges(st, watermark)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if watermark != st.LastCSN() {
+		t.Errorf("watermark = %d, want %d", watermark, st.LastCSN())
+	}
+
+	// Recovery: snapshot + journal replay equals the live store.
+	recovered, err := home.Open([]string{"o=xyz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	identical(t, st, recovered)
+
+	// A second checkpoint folds the journal away; reopening still matches.
+	if err := home.Checkpoint(st); err != nil {
+		t.Fatal(err)
+	}
+	recovered2, err := home.Open([]string{"o=xyz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	identical(t, st, recovered2)
+}
+
+func TestDirOpenFreshPath(t *testing.T) {
+	home := Dir{Path: filepath.Join(t.TempDir(), "fresh")}
+	st, err := home.Open([]string{"o=xyz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 0 {
+		t.Errorf("fresh store holds %d entries", st.Len())
+	}
+}
+
+func TestAppendChangesIncremental(t *testing.T) {
+	home := Dir{Path: filepath.Join(t.TempDir(), "inc")}
+	st := seedStore(t)
+	if err := home.Checkpoint(st); err != nil {
+		t.Fatal(err)
+	}
+	w := st.LastCSN()
+	// Two separate append batches.
+	var err error
+	if err = st.Modify(dn.MustParse("cn=p1,o=xyz"),
+		[]dit.Mod{{Op: dit.ModReplace, Attr: "sn", Values: []string{"a"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if w, err = home.AppendChanges(st, w); err != nil {
+		t.Fatal(err)
+	}
+	if err = st.Modify(dn.MustParse("cn=p1,o=xyz"),
+		[]dit.Mod{{Op: dit.ModReplace, Attr: "sn", Values: []string{"b"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if w, err = home.AppendChanges(st, w); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent no-op append.
+	if _, err = home.AppendChanges(st, w); err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := home.Open([]string{"o=xyz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	identical(t, st, recovered)
+}
+
+func TestReplaySkipMissing(t *testing.T) {
+	st := seedStore(t)
+	base := st.LastCSN()
+	if err := st.Delete(dn.MustParse("cn=p1,o=xyz")); err != nil {
+		t.Fatal(err)
+	}
+	changes, _ := st.ChangesSince(base)
+	var journal bytes.Buffer
+	if err := AppendJournal(&journal, changes); err != nil {
+		t.Fatal(err)
+	}
+	// Replaying the delete twice: strict mode errors, skip mode tolerates.
+	twin := seedStore(t)
+	if _, err := Replay(bytes.NewReader(journal.Bytes()), twin, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(bytes.NewReader(journal.Bytes()), twin, false); err == nil {
+		t.Error("strict replay of a stale delete must fail")
+	}
+	if n, err := Replay(bytes.NewReader(journal.Bytes()), twin, true); err != nil || n != 0 {
+		t.Errorf("skip-missing replay: n=%d err=%v", n, err)
+	}
+}

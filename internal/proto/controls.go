@@ -1,0 +1,212 @@
+package proto
+
+import (
+	"fmt"
+
+	"filterdir/internal/ber"
+)
+
+// Control is an LDAP control attached to a message.
+type Control struct {
+	OID         string
+	Criticality bool
+	Value       []byte
+}
+
+func (c Control) append(dst []byte) []byte {
+	var body []byte
+	body = ber.AppendString(body, ber.ClassUniversal, ber.TagOctetString, c.OID)
+	if c.Criticality {
+		body = ber.AppendBool(body, true)
+	}
+	if c.Value != nil {
+		body = ber.AppendTLV(body, ber.ClassUniversal, false, ber.TagOctetString, c.Value)
+	}
+	return ber.AppendSequence(dst, body)
+}
+
+func parseControls(data []byte) ([]Control, error) {
+	rd := ber.NewReader(data)
+	var out []Control
+	for !rd.Empty() {
+		seq, err := rd.ReadSequence()
+		if err != nil {
+			return nil, fmt.Errorf("control: %w", err)
+		}
+		var c Control
+		if c.OID, err = seq.ReadString(); err != nil {
+			return nil, err
+		}
+		for !seq.Empty() {
+			h, content, err := seq.Read()
+			if err != nil {
+				return nil, err
+			}
+			switch {
+			case h.Is(ber.ClassUniversal, ber.TagBoolean):
+				c.Criticality = len(content) == 1 && content[0] != 0
+			case h.Is(ber.ClassUniversal, ber.TagOctetString):
+				c.Value = append([]byte(nil), content...)
+			}
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// Control OIDs (private-enterprise arc chosen for this implementation).
+const (
+	// OIDReSyncRequest is attached to a search request to run the ReSync
+	// protocol: value = SEQUENCE { mode ENUMERATED, cookie OCTET STRING }.
+	OIDReSyncRequest = "1.3.6.1.4.1.55555.1.1"
+	// OIDReSyncDone is attached to the final search-done of a ReSync
+	// response: value = SEQUENCE { cookie OCTET STRING }.
+	OIDReSyncDone = "1.3.6.1.4.1.55555.1.2"
+	// OIDEntryChange is attached to each update PDU of a ReSync response:
+	// value = SEQUENCE { action ENUMERATED }.
+	OIDEntryChange = "1.3.6.1.4.1.55555.1.3"
+	// OIDPersistentSearch requests change notification on a plain search,
+	// per the persistent-search draft the paper builds on.
+	OIDPersistentSearch = "2.16.840.1.113730.3.4.3"
+)
+
+// ReSyncMode is the synchronization mode requested by a replica.
+type ReSyncMode int
+
+// ReSync modes per Section 5.2.
+const (
+	ReSyncModePoll ReSyncMode = iota + 1
+	ReSyncModePersist
+	ReSyncModeSyncEnd
+	// ReSyncModeRetain requests the incomplete-history synchronization of
+	// equation (3): unchanged entries are conveyed with retain actions.
+	ReSyncModeRetain
+)
+
+func (m ReSyncMode) String() string {
+	switch m {
+	case ReSyncModePoll:
+		return "poll"
+	case ReSyncModePersist:
+		return "persist"
+	case ReSyncModeSyncEnd:
+		return "sync_end"
+	case ReSyncModeRetain:
+		return "retain"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// ReSyncRequest is the decoded reSyncControl = (mode, cookie).
+type ReSyncRequest struct {
+	Mode   ReSyncMode
+	Cookie string
+}
+
+// NewReSyncRequestControl builds the request control.
+func NewReSyncRequestControl(mode ReSyncMode, cookie string) Control {
+	var body []byte
+	body = ber.AppendEnum(body, int64(mode))
+	body = ber.AppendString(body, ber.ClassUniversal, ber.TagOctetString, cookie)
+	return Control{OID: OIDReSyncRequest, Criticality: true, Value: ber.AppendSequence(nil, body)}
+}
+
+// ParseReSyncRequest decodes the control value.
+func ParseReSyncRequest(c Control) (ReSyncRequest, error) {
+	rd := ber.NewReader(c.Value)
+	seq, err := rd.ReadSequence()
+	if err != nil {
+		return ReSyncRequest{}, fmt.Errorf("resync control: %w", err)
+	}
+	mode, err := seq.ReadEnum()
+	if err != nil {
+		return ReSyncRequest{}, err
+	}
+	cookie, err := seq.ReadString()
+	if err != nil {
+		return ReSyncRequest{}, err
+	}
+	return ReSyncRequest{Mode: ReSyncMode(mode), Cookie: cookie}, nil
+}
+
+// NewReSyncDoneControl carries the session cookie back on the search-done.
+func NewReSyncDoneControl(cookie string, fullReload bool) Control {
+	var body []byte
+	body = ber.AppendString(body, ber.ClassUniversal, ber.TagOctetString, cookie)
+	body = ber.AppendBool(body, fullReload)
+	return Control{OID: OIDReSyncDone, Value: ber.AppendSequence(nil, body)}
+}
+
+// ParseReSyncDone decodes the done control.
+func ParseReSyncDone(c Control) (cookie string, fullReload bool, err error) {
+	rd := ber.NewReader(c.Value)
+	seq, err := rd.ReadSequence()
+	if err != nil {
+		return "", false, fmt.Errorf("resync done control: %w", err)
+	}
+	if cookie, err = seq.ReadString(); err != nil {
+		return "", false, err
+	}
+	if fullReload, err = seq.ReadBool(); err != nil {
+		return "", false, err
+	}
+	return cookie, fullReload, nil
+}
+
+// ChangeAction is the client action carried on an update PDU.
+type ChangeAction int
+
+// Update actions per Section 5.2.
+const (
+	ChangeActionAdd ChangeAction = iota + 1
+	ChangeActionDelete
+	ChangeActionModify
+	ChangeActionRetain
+)
+
+func (a ChangeAction) String() string {
+	switch a {
+	case ChangeActionAdd:
+		return "add"
+	case ChangeActionDelete:
+		return "delete"
+	case ChangeActionModify:
+		return "modify"
+	case ChangeActionRetain:
+		return "retain"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// NewEntryChangeControl labels an update PDU with its action.
+func NewEntryChangeControl(action ChangeAction) Control {
+	var body []byte
+	body = ber.AppendEnum(body, int64(action))
+	return Control{OID: OIDEntryChange, Value: ber.AppendSequence(nil, body)}
+}
+
+// ParseEntryChange decodes the action from an entry-change control.
+func ParseEntryChange(c Control) (ChangeAction, error) {
+	rd := ber.NewReader(c.Value)
+	seq, err := rd.ReadSequence()
+	if err != nil {
+		return 0, fmt.Errorf("entry change control: %w", err)
+	}
+	a, err := seq.ReadEnum()
+	if err != nil {
+		return 0, err
+	}
+	return ChangeAction(a), nil
+}
+
+// NewPersistentSearchControl requests plain persistent search (changes only
+// pushed on the open connection).
+func NewPersistentSearchControl() Control {
+	var body []byte
+	body = ber.AppendInt(body, ber.ClassUniversal, ber.TagInteger, 15) // all change types
+	body = ber.AppendBool(body, false)                                 // changesOnly
+	body = ber.AppendBool(body, false)                                 // returnECs
+	return Control{OID: OIDPersistentSearch, Criticality: true, Value: ber.AppendSequence(nil, body)}
+}

@@ -1,0 +1,36 @@
+package proto
+
+import (
+	"fmt"
+
+	"filterdir/internal/ber"
+)
+
+// OIDPagedResults is the RFC 2696 simple paged results control.
+const OIDPagedResults = "1.2.840.113556.1.4.319"
+
+// NewPagedControl builds the request/response control: size is the
+// requested (or estimated) page size, cookie the continuation state (empty
+// to start, and empty in a response when the result is complete).
+func NewPagedControl(size int64, cookie string) Control {
+	var body []byte
+	body = ber.AppendInt(body, ber.ClassUniversal, ber.TagInteger, size)
+	body = ber.AppendString(body, ber.ClassUniversal, ber.TagOctetString, cookie)
+	return Control{OID: OIDPagedResults, Criticality: true, Value: ber.AppendSequence(nil, body)}
+}
+
+// ParsePaged decodes a paged-results control value.
+func ParsePaged(c Control) (size int64, cookie string, err error) {
+	rd := ber.NewReader(c.Value)
+	seq, err := rd.ReadSequence()
+	if err != nil {
+		return 0, "", fmt.Errorf("paged control: %w", err)
+	}
+	if size, err = seq.ReadInt(); err != nil {
+		return 0, "", err
+	}
+	if cookie, err = seq.ReadString(); err != nil {
+		return 0, "", err
+	}
+	return size, cookie, nil
+}

@@ -1,0 +1,327 @@
+package proto
+
+import (
+	"bufio"
+	"bytes"
+	"reflect"
+	"testing"
+
+	"filterdir/internal/dn"
+	"filterdir/internal/entry"
+	"filterdir/internal/filter"
+	"filterdir/internal/query"
+)
+
+// roundTrip encodes a message and decodes it back.
+func roundTrip(t *testing.T, m *Message) *Message {
+	t.Helper()
+	enc, err := m.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.ID != m.ID {
+		t.Errorf("ID = %d, want %d", got.ID, m.ID)
+	}
+	return got
+}
+
+func TestBindRoundTrip(t *testing.T) {
+	m := &Message{ID: 1, Op: &BindRequest{Version: 3, Name: "cn=admin", Password: "secret"}}
+	got := roundTrip(t, m)
+	b, ok := got.Op.(*BindRequest)
+	if !ok {
+		t.Fatalf("op type %T", got.Op)
+	}
+	if b.Version != 3 || b.Name != "cn=admin" || b.Password != "secret" {
+		t.Errorf("bind fields: %+v", b)
+	}
+
+	resp := &Message{ID: 1, Op: &BindResponse{resultOp{Result{Code: ResultSuccess}}}}
+	got = roundTrip(t, resp)
+	if r, ok := got.Op.(*BindResponse); !ok || r.Code != ResultSuccess {
+		t.Errorf("bind response: %#v", got.Op)
+	}
+}
+
+func TestSearchRequestRoundTrip(t *testing.T) {
+	filters := []string{
+		"(objectclass=*)",
+		"(sn=Doe)",
+		"(&(objectclass=inetorgperson)(serialnumber=04*))",
+		"(|(a=1)(!(b=2)))",
+		"(age>=30)",
+		"(age<=30)",
+		"(sn=a*b*c)",
+		"(sn=*final)",
+		"(&)",
+		"(|)",
+	}
+	for _, f := range filters {
+		q := query.MustNew("c=us,o=xyz", query.ScopeSubtree, f, "cn", "mail")
+		m := &Message{ID: 2, Op: &SearchRequest{Query: q, SizeLimit: 100}}
+		got := roundTrip(t, m)
+		sr, ok := got.Op.(*SearchRequest)
+		if !ok {
+			t.Fatalf("op type %T", got.Op)
+		}
+		if !sr.Query.Base.Equal(q.Base) || sr.Query.Scope != q.Scope {
+			t.Errorf("base/scope mismatch for %s", f)
+		}
+		want := filter.MustParse(f).String()
+		if sr.Query.Filter.String() != want {
+			t.Errorf("filter round trip: got %s, want %s", sr.Query.Filter, want)
+		}
+		if !reflect.DeepEqual(sr.Query.Attrs, q.Attrs) {
+			t.Errorf("attrs mismatch: %v vs %v", sr.Query.Attrs, q.Attrs)
+		}
+		if sr.SizeLimit != 100 {
+			t.Errorf("size limit = %d", sr.SizeLimit)
+		}
+	}
+}
+
+func TestSearchEntryRoundTrip(t *testing.T) {
+	e := entry.New(dn.MustParse("cn=John Doe,c=us,o=xyz"))
+	e.Put("objectclass", "person", "inetOrgPerson")
+	e.Put("cn", "John Doe")
+	e.Put("mail", "j@x")
+	m := &Message{ID: 3, Op: EntryToWire(e)}
+	got := roundTrip(t, m)
+	se, ok := got.Op.(*SearchEntry)
+	if !ok {
+		t.Fatalf("op type %T", got.Op)
+	}
+	back, err := se.Entry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(e) {
+		t.Errorf("entry mismatch:\n got %s\nwant %s", back, e)
+	}
+}
+
+func TestSearchReferenceAndDone(t *testing.T) {
+	m := &Message{ID: 4, Op: &SearchReference{URLs: []string{"ldap://hostB/c=us,o=xyz", "ldap://hostC"}}}
+	got := roundTrip(t, m)
+	ref, ok := got.Op.(*SearchReference)
+	if !ok || len(ref.URLs) != 2 || ref.URLs[0] != "ldap://hostB/c=us,o=xyz" {
+		t.Errorf("reference: %#v", got.Op)
+	}
+
+	done := &Message{ID: 4, Op: &SearchDone{resultOp{Result{
+		Code: ResultReferral, Referrals: []string{"ldap://hostA"}}}}}
+	got = roundTrip(t, done)
+	d, ok := got.Op.(*SearchDone)
+	if !ok || d.Code != ResultReferral || len(d.Referrals) != 1 {
+		t.Errorf("done: %#v", got.Op)
+	}
+}
+
+func TestUpdateOpsRoundTrip(t *testing.T) {
+	add := &Message{ID: 5, Op: &AddRequest{DN: "cn=x,o=xyz", Attrs: []Attribute{
+		{Type: "objectclass", Values: []string{"person"}},
+		{Type: "cn", Values: []string{"x"}},
+	}}}
+	got := roundTrip(t, add)
+	a, ok := got.Op.(*AddRequest)
+	if !ok || a.DN != "cn=x,o=xyz" || len(a.Attrs) != 2 {
+		t.Fatalf("add: %#v", got.Op)
+	}
+
+	del := &Message{ID: 6, Op: &DelRequest{DN: "cn=x,o=xyz"}}
+	got = roundTrip(t, del)
+	if d, ok := got.Op.(*DelRequest); !ok || d.DN != "cn=x,o=xyz" {
+		t.Fatalf("del: %#v", got.Op)
+	}
+
+	mod := &Message{ID: 7, Op: &ModifyRequest{DN: "cn=x,o=xyz", Changes: []ModifyChange{
+		{Op: ModifyOpReplace, Attr: Attribute{Type: "mail", Values: []string{"a@b"}}},
+		{Op: ModifyOpDelete, Attr: Attribute{Type: "phone"}},
+	}}}
+	got = roundTrip(t, mod)
+	mm, ok := got.Op.(*ModifyRequest)
+	if !ok || len(mm.Changes) != 2 || mm.Changes[0].Op != ModifyOpReplace {
+		t.Fatalf("modify: %#v", got.Op)
+	}
+	if len(mm.Changes[1].Attr.Values) != 0 {
+		t.Errorf("empty value set decoded as %v", mm.Changes[1].Attr.Values)
+	}
+
+	mdn := &Message{ID: 8, Op: &ModifyDNRequest{DN: "cn=x,o=xyz", NewRDN: "cn=y",
+		DeleteOldRDN: true, NewSuperior: "ou=new,o=xyz"}}
+	got = roundTrip(t, mdn)
+	md, ok := got.Op.(*ModifyDNRequest)
+	if !ok || md.NewRDN != "cn=y" || !md.DeleteOldRDN || md.NewSuperior != "ou=new,o=xyz" {
+		t.Fatalf("modifyDN: %#v", got.Op)
+	}
+}
+
+func TestAbandonUnbindRoundTrip(t *testing.T) {
+	m := &Message{ID: 9, Op: &AbandonRequest{MessageID: 4}}
+	got := roundTrip(t, m)
+	if a, ok := got.Op.(*AbandonRequest); !ok || a.MessageID != 4 {
+		t.Fatalf("abandon: %#v", got.Op)
+	}
+	u := &Message{ID: 10, Op: &UnbindRequest{}}
+	got = roundTrip(t, u)
+	if _, ok := got.Op.(*UnbindRequest); !ok {
+		t.Fatalf("unbind: %#v", got.Op)
+	}
+}
+
+func TestControlsRoundTrip(t *testing.T) {
+	m := &Message{ID: 11,
+		Op:       &SearchRequest{Query: query.MustNew("o=xyz", query.ScopeSubtree, "(sn=*)")},
+		Controls: []Control{NewReSyncRequestControl(ReSyncModePoll, "cookie-7")},
+	}
+	got := roundTrip(t, m)
+	c, ok := got.Control(OIDReSyncRequest)
+	if !ok {
+		t.Fatal("resync control missing")
+	}
+	req, err := ParseReSyncRequest(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Mode != ReSyncModePoll || req.Cookie != "cookie-7" {
+		t.Errorf("resync request: %+v", req)
+	}
+	if !c.Criticality {
+		t.Error("resync control must be critical")
+	}
+}
+
+func TestReSyncDoneControl(t *testing.T) {
+	c := NewReSyncDoneControl("sess-9", true)
+	cookie, reload, err := ParseReSyncDone(c)
+	if err != nil || cookie != "sess-9" || !reload {
+		t.Errorf("done control: %q %v %v", cookie, reload, err)
+	}
+}
+
+func TestEntryChangeControl(t *testing.T) {
+	for _, a := range []ChangeAction{ChangeActionAdd, ChangeActionDelete, ChangeActionModify, ChangeActionRetain} {
+		c := NewEntryChangeControl(a)
+		got, err := ParseEntryChange(c)
+		if err != nil || got != a {
+			t.Errorf("entry change %v: got %v, %v", a, got, err)
+		}
+	}
+}
+
+func TestReadMessageStream(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []*Message{
+		{ID: 1, Op: &BindRequest{Version: 3}},
+		{ID: 2, Op: &SearchRequest{Query: query.MustNew("", query.ScopeSubtree, "(objectclass=*)")}},
+		{ID: 3, Op: &UnbindRequest{}},
+	}
+	for _, m := range msgs {
+		if err := m.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bufio.NewReader(&buf)
+	for i, want := range msgs {
+		got, err := ReadMessage(r)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if got.ID != want.ID {
+			t.Errorf("message %d ID = %d", i, got.ID)
+		}
+	}
+	if _, err := ReadMessage(r); err == nil {
+		t.Error("expected EOF error after stream end")
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x30},
+		{0x31, 0x00},
+		{0x30, 0x03, 0x02, 0x01},
+		{0x30, 0x05, 0x02, 0x01, 0x01, 0x02, 0x00},
+	}
+	for _, c := range cases {
+		if _, err := Decode(c); err == nil {
+			t.Errorf("Decode(% x) succeeded", c)
+		}
+	}
+}
+
+func TestNegatedPredicateEncoding(t *testing.T) {
+	// An NNF filter with Neg flags must encode as (!(...)) on the wire.
+	f := filter.MustParse("(!(sn=Doe))").NNF()
+	q := query.Query{Scope: query.ScopeSubtree, Filter: f}
+	m := &Message{ID: 12, Op: &SearchRequest{Query: q}}
+	got := roundTrip(t, m)
+	sr := got.Op.(*SearchRequest)
+	if sr.Query.Filter.String() != "(!(sn=Doe))" {
+		t.Errorf("negated predicate round trip: %s", sr.Query.Filter)
+	}
+}
+
+func TestUnknownApplicationTag(t *testing.T) {
+	// A syntactically valid message with an unassigned application tag.
+	var body []byte
+	body = append(body, 0x02, 0x01, 0x01) // messageID 1
+	body = append(body, 0x7d, 0x00)       // application tag 29, empty
+	msg := append([]byte{0x30, byte(len(body))}, body...)
+	if _, err := Decode(msg); err == nil {
+		t.Error("unknown application tag accepted")
+	}
+}
+
+func TestResultCodeStrings(t *testing.T) {
+	cases := map[ResultCode]string{
+		ResultSuccess:             "success",
+		ResultReferral:            "referral",
+		ResultNoSuchObject:        "noSuchObject",
+		ResultUnwillingToPerform:  "unwillingToPerform",
+		ResultEntryAlreadyExists:  "entryAlreadyExists",
+		ResultNotAllowedOnNonLeaf: "notAllowedOnNonLeaf",
+		ResultCode(12345):         "resultCode(12345)",
+	}
+	for code, want := range cases {
+		if got := code.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", code, got, want)
+		}
+	}
+}
+
+func TestReSyncModeStrings(t *testing.T) {
+	cases := map[ReSyncMode]string{
+		ReSyncModePoll:    "poll",
+		ReSyncModePersist: "persist",
+		ReSyncModeSyncEnd: "sync_end",
+		ReSyncModeRetain:  "retain",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", m, got, want)
+		}
+	}
+}
+
+func TestControlNotFound(t *testing.T) {
+	m := &Message{ID: 1, Op: &UnbindRequest{}}
+	if _, ok := m.Control("1.2.3"); ok {
+		t.Error("control found on message without controls")
+	}
+}
+
+func TestOversizeMessageRejected(t *testing.T) {
+	// A framed message claiming an absurd length must be rejected before
+	// allocation.
+	header := []byte{0x30, 0x84, 0x7f, 0xff, 0xff, 0xff}
+	r := bufio.NewReader(bytes.NewReader(header))
+	if _, err := ReadMessage(r); err == nil {
+		t.Error("oversize message accepted")
+	}
+}

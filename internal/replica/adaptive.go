@@ -1,0 +1,258 @@
+package replica
+
+import (
+	"fmt"
+	"sort"
+
+	"filterdir/internal/dn"
+	"filterdir/internal/query"
+	"filterdir/internal/resync"
+	"filterdir/internal/selection"
+)
+
+// Supplier is the master-side synchronization interface an adaptive replica
+// consumes. It is implemented locally by resync.Engine (via LocalSupplier)
+// and remotely by the LDAP client (ldapnet.ClientSupplier), so a replica
+// adapts the same way in-process and over the wire.
+type Supplier interface {
+	// SyncBegin starts a session for the content of q, returning the
+	// initial content and the session cookie.
+	SyncBegin(q query.Query) (updates []resync.Update, cookie string, err error)
+	// SyncPoll returns the net updates since the last poll. fullReload
+	// reports that the content was resent from scratch.
+	SyncPoll(cookie string) (updates []resync.Update, newCookie string, fullReload bool, err error)
+	// SyncEnd terminates a session.
+	SyncEnd(cookie string) error
+}
+
+// LocalSupplier adapts a resync.Engine to the Supplier interface.
+type LocalSupplier struct {
+	Engine *resync.Engine
+}
+
+var _ Supplier = LocalSupplier{}
+
+// SyncBegin implements Supplier.
+func (s LocalSupplier) SyncBegin(q query.Query) ([]resync.Update, string, error) {
+	res, err := s.Engine.Begin(q)
+	if err != nil {
+		return nil, "", err
+	}
+	return res.Updates, res.Cookie, nil
+}
+
+// SyncPoll implements Supplier.
+func (s LocalSupplier) SyncPoll(cookie string) ([]resync.Update, string, bool, error) {
+	res, err := s.Engine.Poll(cookie)
+	if err != nil {
+		return nil, "", false, err
+	}
+	return res.Updates, res.Cookie, res.FullReload, nil
+}
+
+// SyncEnd implements Supplier.
+func (s LocalSupplier) SyncEnd(cookie string) error { return s.Engine.End(cookie) }
+
+// AdaptiveReplica combines a FilterReplica with the Section 6.2 selection
+// loop: every answered query feeds the candidate statistics, revolutions
+// install and release filters, and stored content is kept synchronized
+// through the Supplier. The two update-traffic components of Section 7.3
+// are accounted separately.
+type AdaptiveReplica struct {
+	Replica  *FilterReplica
+	Selector *selection.Selector
+	Supplier Supplier
+
+	cookies map[string]string
+	specs   map[string]query.Query
+	periods map[string]int
+	tick    int
+
+	// ResyncTraffic accumulates component (i): keeping stored filters in
+	// sync with the master.
+	ResyncTraffic resync.Traffic
+	// FetchTraffic accumulates component (ii): initial content transfers
+	// for newly selected filters.
+	FetchTraffic resync.Traffic
+}
+
+// NewAdaptiveReplica wires the pieces together.
+func NewAdaptiveReplica(rep *FilterReplica, sel *selection.Selector, sup Supplier) *AdaptiveReplica {
+	return &AdaptiveReplica{
+		Replica:  rep,
+		Selector: sel,
+		Supplier: sup,
+		cookies:  make(map[string]string),
+		specs:    make(map[string]query.Query),
+	}
+}
+
+// Serve answers one user query and feeds the selection statistics. The
+// observed query's base is generalized to the root so candidates answer
+// minimally-directory-enabled applications too.
+func (a *AdaptiveReplica) Serve(q query.Query) (hit bool, err error) {
+	_, hit, _ = a.Replica.Answer(q)
+	obs := q
+	obs.Base = dn.Root
+	if d := a.Selector.Observe(obs); d != nil {
+		if err := a.ApplyDelta(d); err != nil {
+			return hit, err
+		}
+	}
+	return hit, nil
+}
+
+// ApplyDelta installs a revolution outcome: removed filters release their
+// content and session, added filters begin synchronization.
+func (a *AdaptiveReplica) ApplyDelta(d *selection.Delta) error {
+	if d == nil {
+		return nil
+	}
+	for _, q := range d.Remove {
+		if err := a.RemoveFilter(q); err != nil {
+			return err
+		}
+	}
+	for _, q := range d.Add {
+		if err := a.AddFilter(q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddFilter begins replicating a query (idempotent).
+func (a *AdaptiveReplica) AddFilter(q query.Query) error {
+	key := q.Normalize().Key()
+	if _, ok := a.cookies[key]; ok {
+		return nil
+	}
+	updates, cookie, err := a.Supplier.SyncBegin(q)
+	if err != nil {
+		return fmt.Errorf("begin sync %s: %w", q.FilterString(), err)
+	}
+	a.Replica.AddStored(q, cookie)
+	if err := a.Replica.ApplySync(q, updates); err != nil {
+		return err
+	}
+	for _, u := range updates {
+		a.FetchTraffic.Add(u)
+	}
+	a.cookies[key] = cookie
+	a.specs[key] = q
+	return nil
+}
+
+// RemoveFilter stops replicating a query and releases its content.
+func (a *AdaptiveReplica) RemoveFilter(q query.Query) error {
+	key := q.Normalize().Key()
+	cookie, ok := a.cookies[key]
+	if !ok {
+		return nil
+	}
+	delete(a.cookies, key)
+	delete(a.specs, key)
+	a.Replica.RemoveStored(q)
+	return a.Supplier.SyncEnd(cookie)
+}
+
+// SyncAll polls every stored filter's session and applies the updates,
+// regardless of configured periods.
+func (a *AdaptiveReplica) SyncAll() error {
+	keys := make([]string, 0, len(a.cookies))
+	for k := range a.cookies {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		if err := a.syncOne(key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close ends every session.
+func (a *AdaptiveReplica) Close() error {
+	var firstErr error
+	for key, cookie := range a.cookies {
+		if err := a.Supplier.SyncEnd(cookie); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		delete(a.cookies, key)
+		delete(a.specs, key)
+	}
+	return firstErr
+}
+
+// StoredFilters returns the currently replicated queries.
+func (a *AdaptiveReplica) StoredFilters() []query.Query {
+	out := make([]query.Query, 0, len(a.specs))
+	for _, q := range a.specs {
+		out = append(out, q)
+	}
+	return out
+}
+
+// --- Per-filter consistency levels (Section 3.2) ------------------------------
+//
+// A filter-based replica can give different object types different
+// consistency levels: the location tree may tolerate hourly staleness while
+// people data polls every few seconds. Periods are expressed in ticks of
+// the caller's clock (SyncDue is typically driven by one ticker).
+
+// SetSyncPeriod assigns a poll period (in ticks) to a replicated filter;
+// filters without a period sync on every SyncDue call. Period 0 restores
+// the default.
+func (a *AdaptiveReplica) SetSyncPeriod(q query.Query, period int) {
+	key := q.Normalize().Key()
+	if a.periods == nil {
+		a.periods = make(map[string]int)
+	}
+	if period <= 0 {
+		delete(a.periods, key)
+		return
+	}
+	a.periods[key] = period
+}
+
+// SyncDue advances the replica's clock by one tick and polls exactly the
+// filters whose period divides the new tick (filters without a period poll
+// every tick).
+func (a *AdaptiveReplica) SyncDue() error {
+	a.tick++
+	keys := make([]string, 0, len(a.cookies))
+	for k := range a.cookies {
+		if p := a.periods[k]; p <= 1 || a.tick%p == 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		if err := a.syncOne(key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// syncOne polls a single filter's session and applies the updates.
+func (a *AdaptiveReplica) syncOne(key string) error {
+	updates, newCookie, fullReload, err := a.Supplier.SyncPoll(a.cookies[key])
+	if err != nil {
+		return fmt.Errorf("poll %s: %w", a.specs[key].FilterString(), err)
+	}
+	if fullReload {
+		spec := a.specs[key]
+		a.Replica.RemoveStored(spec)
+		a.Replica.AddStored(spec, newCookie)
+	}
+	if err := a.Replica.ApplySync(a.specs[key], updates); err != nil {
+		return err
+	}
+	a.cookies[key] = newCookie
+	for _, u := range updates {
+		a.ResyncTraffic.Add(u)
+	}
+	return nil
+}

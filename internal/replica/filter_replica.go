@@ -1,0 +1,376 @@
+package replica
+
+import (
+	"fmt"
+	"sync"
+
+	"filterdir/internal/containment"
+	"filterdir/internal/dit"
+	"filterdir/internal/dn"
+	"filterdir/internal/entry"
+	"filterdir/internal/query"
+	"filterdir/internal/resync"
+)
+
+// StoredQuery is the meta information kept for one replicated query.
+type StoredQuery struct {
+	Query query.Query
+	// Cookie is the ReSync session cookie synchronizing this query's
+	// content (empty for un-synced cached queries).
+	Cookie string
+	// Hits counts incoming queries answered via this stored query; the
+	// selection algorithm's benefit statistic.
+	Hits uint64
+}
+
+// FilterReplica is the paper's proposed replica: entries matching one or
+// more stored LDAP queries, plus a bounded window of recently performed
+// user queries cached verbatim. Entry storage is shared and reference
+// counted: an entry is dropped when the last query covering it is removed.
+type FilterReplica struct {
+	store   *dit.Store
+	checker *containment.Checker
+
+	mu sync.Mutex
+	// stored indexes replicated queries by filter template; same-template
+	// candidates are checked with Proposition 3 before any cross-template
+	// work.
+	stored map[string][]*StoredQuery
+	// cache is the FIFO window of recently performed user queries.
+	cache    []*StoredQuery
+	cacheCap int
+
+	// refs tracks which owners (stored-query keys or cache slots) cover
+	// each entry; ownerDNs is the inverse; dns maps the normalized DN back
+	// to the parsed DN for removal.
+	refs     map[string]map[string]bool
+	ownerDNs map[string]map[string]bool
+	dns      map[string]dn.DN
+
+	contentIndexes []string
+
+	m Metrics
+}
+
+// Option configures a FilterReplica.
+type FROption func(*FilterReplica)
+
+// WithChecker shares a containment checker (and its compiled template-pair
+// plans) across replicas.
+func WithChecker(c *containment.Checker) FROption {
+	return func(r *FilterReplica) { r.checker = c }
+}
+
+// WithCacheCapacity bounds the recently-performed user-query window
+// (default 0: user-query caching disabled).
+func WithCacheCapacity(n int) FROption {
+	return func(r *FilterReplica) { r.cacheCap = n }
+}
+
+// WithContentIndexes maintains equality/prefix indexes on the replica's
+// content store.
+func WithContentIndexes(attrs ...string) FROption {
+	return func(r *FilterReplica) { r.contentIndexes = attrs }
+}
+
+// NewFilterReplica creates an empty filter-based replica.
+func NewFilterReplica(opts ...FROption) (*FilterReplica, error) {
+	r := &FilterReplica{
+		stored:   make(map[string][]*StoredQuery),
+		refs:     make(map[string]map[string]bool),
+		ownerDNs: make(map[string]map[string]bool),
+		dns:      make(map[string]dn.DN),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	if r.checker == nil {
+		r.checker = containment.NewChecker()
+	}
+	var ditOpts []dit.Option
+	if len(r.contentIndexes) > 0 {
+		ditOpts = append(ditOpts, dit.WithIndexes(r.contentIndexes...))
+	}
+	st, err := dit.NewStore([]string{""}, ditOpts...)
+	if err != nil {
+		return nil, err
+	}
+	r.store = st
+	return r, nil
+}
+
+// AddStored registers a replicated query's meta information; content
+// arrives via ApplySync. It returns the stored-query handle.
+func (r *FilterReplica) AddStored(q query.Query, cookie string) *StoredQuery {
+	nq := q.Normalize()
+	sq := &StoredQuery{Query: nq, Cookie: cookie}
+	tpl := nq.Template()
+	r.mu.Lock()
+	r.stored[tpl] = append(r.stored[tpl], sq)
+	r.mu.Unlock()
+	return sq
+}
+
+// RemoveStored drops a replicated query and releases the content it alone
+// covered. It returns the stored query (for session teardown) or nil.
+func (r *FilterReplica) RemoveStored(q query.Query) *StoredQuery {
+	nq := q.Normalize()
+	key := ownerKey(nq)
+	tpl := nq.Template()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	list := r.stored[tpl]
+	for i, sq := range list {
+		if ownerKey(sq.Query) == key {
+			r.stored[tpl] = append(list[:i], list[i+1:]...)
+			if len(r.stored[tpl]) == 0 {
+				delete(r.stored, tpl)
+			}
+			r.dropOwnerLocked(key)
+			return sq
+		}
+	}
+	return nil
+}
+
+// ApplySync applies ReSync updates for a stored query's content.
+func (r *FilterReplica) ApplySync(q query.Query, updates []resync.Update) error {
+	key := ownerKey(q.Normalize())
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, u := range updates {
+		switch u.Action {
+		case resync.ActionAdd, resync.ActionModify:
+			if err := r.addRefLocked(key, u.Entry); err != nil {
+				return err
+			}
+		case resync.ActionDelete:
+			r.delRefLocked(key, u.DN.Norm())
+		default:
+			return fmt.Errorf("unsupported sync action %v", u.Action)
+		}
+	}
+	return nil
+}
+
+// CacheQuery inserts a just-answered user query and its result into the
+// cache window, evicting the oldest cached query when full. Cached queries
+// are not synchronized (Section 7.4: cached for a short window, not
+// updated).
+func (r *FilterReplica) CacheQuery(q query.Query, result []*entry.Entry) error {
+	if r.cacheCap <= 0 {
+		return nil
+	}
+	nq := q.Normalize()
+	key := "cache:" + ownerKey(nq)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.cache {
+		if "cache:"+ownerKey(c.Query) == key {
+			return nil // already cached
+		}
+	}
+	if len(r.cache) >= r.cacheCap {
+		old := r.cache[0]
+		r.cache = r.cache[1:]
+		r.dropOwnerLocked("cache:" + ownerKey(old.Query))
+	}
+	r.cache = append(r.cache, &StoredQuery{Query: nq})
+	for _, e := range result {
+		if err := r.addRefLocked(key, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Answer attempts to serve the query from replicated or cached content.
+// via reports which stored query answered ("" on miss).
+//
+// The result is evaluated against the containing query's own content, not
+// the whole shared store: q ⊆ container guarantees every entry matching q
+// lies in the container's content, and restricting to it keeps stale
+// entries held only by unrelated cached queries out of fresh answers.
+func (r *FilterReplica) Answer(q query.Query) (entries []*entry.Entry, hit bool, via string) {
+	nq := q.Normalize()
+	r.mu.Lock()
+	r.m.Queries++
+	container, ownerID := r.findContainerLocked(nq)
+	if container == nil {
+		r.m.Misses++
+		r.mu.Unlock()
+		return nil, false, ""
+	}
+	container.Hits++
+	r.m.Hits++
+	norms := make([]string, 0, len(r.ownerDNs[ownerID]))
+	for norm := range r.ownerDNs[ownerID] {
+		norms = append(norms, norm)
+	}
+	dns := make([]dn.DN, 0, len(norms))
+	for _, norm := range norms {
+		if d, ok := r.dns[norm]; ok {
+			dns = append(dns, d)
+		}
+	}
+	r.mu.Unlock()
+
+	f := nq.Filter
+	for _, d := range dns {
+		if !nq.InScope(d) {
+			continue
+		}
+		e, ok := r.store.Get(d)
+		if !ok {
+			continue
+		}
+		if f == nil || f.Matches(e) {
+			entries = append(entries, e.Select(nq.Attrs))
+		}
+	}
+	r.mu.Lock()
+	r.m.EntriesReturned += uint64(len(entries))
+	r.mu.Unlock()
+	return entries, true, container.Query.String()
+}
+
+// findContainerLocked locates a stored or cached query semantically
+// containing nq, returning it with its content-owner id. Same-template
+// stored queries are checked first (Proposition 3 via the checker's fast
+// path), then the remaining templates, then the cache window.
+func (r *FilterReplica) findContainerLocked(nq query.Query) (*StoredQuery, string) {
+	tpl := nq.Template()
+	if list, ok := r.stored[tpl]; ok {
+		for _, sq := range list {
+			r.m.ContainmentChecks++
+			if r.checker.QueryContains(nq, sq.Query) {
+				return sq, ownerKey(sq.Query)
+			}
+		}
+	}
+	for t, list := range r.stored {
+		if t == tpl {
+			continue
+		}
+		for _, sq := range list {
+			r.m.ContainmentChecks++
+			if r.checker.QueryContains(nq, sq.Query) {
+				return sq, ownerKey(sq.Query)
+			}
+		}
+	}
+	for _, cq := range r.cache {
+		r.m.ContainmentChecks++
+		if r.checker.QueryContains(nq, cq.Query) {
+			return cq, "cache:" + ownerKey(cq.Query)
+		}
+	}
+	return nil, ""
+}
+
+// addRefLocked stores the entry and records owner coverage.
+func (r *FilterReplica) addRefLocked(key string, e *entry.Entry) error {
+	if e == nil {
+		return fmt.Errorf("nil entry in sync update")
+	}
+	if err := r.store.Upsert(e); err != nil {
+		return err
+	}
+	norm := e.DN().Norm()
+	r.dns[norm] = e.DN()
+	if r.refs[norm] == nil {
+		r.refs[norm] = make(map[string]bool)
+	}
+	r.refs[norm][key] = true
+	if r.ownerDNs[key] == nil {
+		r.ownerDNs[key] = make(map[string]bool)
+	}
+	r.ownerDNs[key][norm] = true
+	return nil
+}
+
+// delRefLocked releases one owner's claim; the entry is removed with its
+// last reference.
+func (r *FilterReplica) delRefLocked(key, norm string) {
+	if set, ok := r.refs[norm]; ok {
+		delete(set, key)
+		if len(set) == 0 {
+			delete(r.refs, norm)
+			_ = r.removeByNorm(norm)
+		}
+	}
+	if set, ok := r.ownerDNs[key]; ok {
+		delete(set, norm)
+	}
+}
+
+func (r *FilterReplica) dropOwnerLocked(key string) {
+	for norm := range r.ownerDNs[key] {
+		if set, ok := r.refs[norm]; ok {
+			delete(set, key)
+			if len(set) == 0 {
+				delete(r.refs, norm)
+				_ = r.removeByNorm(norm)
+			}
+		}
+	}
+	delete(r.ownerDNs, key)
+}
+
+// removeByNorm removes an entry from the content store by normalized DN.
+func (r *FilterReplica) removeByNorm(norm string) error {
+	d, ok := r.dns[norm]
+	if !ok {
+		return nil
+	}
+	delete(r.dns, norm)
+	return r.store.RemoveAny(d)
+}
+
+// Metrics returns a snapshot of the counters.
+func (r *FilterReplica) Metrics() Metrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.m
+}
+
+// EntryCount returns the number of entries held.
+func (r *FilterReplica) EntryCount() int { return r.store.Len() }
+
+// StoredCount returns the number of replicated (synced) queries.
+func (r *FilterReplica) StoredCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, l := range r.stored {
+		n += len(l)
+	}
+	return n
+}
+
+// CachedCount returns the number of cached user queries.
+func (r *FilterReplica) CachedCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.cache)
+}
+
+// StoredQueries returns the replicated queries (copies of the meta info).
+func (r *FilterReplica) StoredQueries() []StoredQuery {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []StoredQuery
+	for _, l := range r.stored {
+		for _, sq := range l {
+			out = append(out, *sq)
+		}
+	}
+	return out
+}
+
+// Store exposes the content store (read-mostly; used by experiments).
+func (r *FilterReplica) Store() *dit.Store { return r.store }
+
+// ownerKey is the canonical identity of a query used for reference
+// counting.
+func ownerKey(q query.Query) string { return q.Key() }

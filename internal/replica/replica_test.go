@@ -1,0 +1,404 @@
+package replica
+
+import (
+	"fmt"
+	"testing"
+
+	"filterdir/internal/dit"
+	"filterdir/internal/dn"
+	"filterdir/internal/entry"
+	"filterdir/internal/query"
+	"filterdir/internal/resync"
+)
+
+// buildMaster creates a master DIT with employees in two countries and a
+// research referral inside c=us.
+func buildMaster(t testing.TB) *dit.Store {
+	t.Helper()
+	st, err := dit.NewStore([]string{"o=xyz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := func(dnStr string, cls string, attrs map[string]string) {
+		e := entry.New(dn.MustParse(dnStr))
+		e.Put("objectclass", cls)
+		for k, v := range attrs {
+			e.Put(k, v)
+		}
+		if err := st.Add(e); err != nil {
+			t.Fatalf("add %s: %v", dnStr, err)
+		}
+	}
+	add("o=xyz", "organization", map[string]string{"o": "xyz"})
+	add("c=us,o=xyz", "country", map[string]string{"c": "us"})
+	add("c=in,o=xyz", "country", map[string]string{"c": "in"})
+	for i := 0; i < 10; i++ {
+		cc := "us"
+		if i >= 6 {
+			cc = "in"
+		}
+		add(fmt.Sprintf("cn=p%d,c=%s,o=xyz", i, cc), "inetOrgPerson", map[string]string{
+			"cn": fmt.Sprintf("p%d", i), "sn": "x",
+			"serialnumber": fmt.Sprintf("04%02d", i),
+			"dept":         fmt.Sprintf("24%02d", i%4),
+			"div":          "sw",
+		})
+	}
+	return st
+}
+
+func TestSubtreeReplicaCanAnswer(t *testing.T) {
+	us := dn.MustParse("c=us,o=xyz")
+	research := dn.MustParse("ou=research,c=us,o=xyz")
+	r, err := NewSubtreeReplica([]dit.Context{{Suffix: us, Referrals: []dn.DN{research}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		base string
+		want bool
+	}{
+		{"c=us,o=xyz", true},                   // suffix itself
+		{"cn=p1,c=us,o=xyz", true},             // inside
+		{"ou=research,c=us,o=xyz", false},      // at subordinate referral
+		{"cn=x,ou=research,c=us,o=xyz", false}, // under subordinate referral
+		{"c=in,o=xyz", false},                  // other subtree
+		{"o=xyz", false},                       // above suffix
+		{"", false},                            // null base (minimally enabled apps)
+	}
+	for _, tt := range tests {
+		q := query.MustNew(tt.base, query.ScopeSubtree, "(objectclass=*)")
+		if got := r.CanAnswer(q); got != tt.want {
+			t.Errorf("CanAnswer(base=%q) = %v, want %v", tt.base, got, tt.want)
+		}
+	}
+}
+
+func TestSubtreeReplicaAnswerAndPartial(t *testing.T) {
+	master := buildMaster(t)
+	us := dn.MustParse("c=us,o=xyz")
+	r, err := NewSubtreeReplica([]dit.Context{{Suffix: us}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replicate the us subtree.
+	usContent := master.MatchAll(query.MustNew("c=us,o=xyz", query.ScopeSubtree, ""))
+	if err := r.Store().Load(sortParentsFirst(usContent)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Complete answer.
+	res, hit := r.Answer(query.MustNew("c=us,o=xyz", query.ScopeSubtree, "(serialnumber=0401)"))
+	if !hit || len(res.Entries) != 1 {
+		t.Fatalf("hit=%v entries=%v", hit, res)
+	}
+	// Null-base miss.
+	if _, hit := r.Answer(query.MustNew("", query.ScopeSubtree, "(serialnumber=0401)")); hit {
+		t.Error("null-base query must miss a subtree replica")
+	}
+	m := r.Metrics()
+	if m.Queries != 2 || m.Hits != 1 || m.Misses != 1 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if m.HitRatio() != 0.5 {
+		t.Errorf("hit ratio = %v", m.HitRatio())
+	}
+}
+
+func TestSubtreeReplicaPartialAnswer(t *testing.T) {
+	// A replica whose context contains a subordinate referral: queries
+	// whose region touches the referral are only partially answered.
+	us := dn.MustParse("c=us,o=xyz")
+	research := dn.MustParse("ou=research,c=us,o=xyz")
+	r, err := NewSubtreeReplica([]dit.Context{{Suffix: us, Referrals: []dn.DN{research}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	country := entry.New(us)
+	country.Put("objectclass", "country").Put("c", "us")
+	ref := entry.New(research)
+	ref.Put("objectclass", dit.ReferralClass).Put(dit.RefAttr, "ldap://hostB")
+	person := entry.New(dn.MustParse("cn=p1,c=us,o=xyz"))
+	person.Put("objectclass", "person").Put("cn", "p1").Put("sn", "x")
+	if err := r.Store().Load([]*entry.Entry{country, ref, person}); err != nil {
+		t.Fatal(err)
+	}
+
+	res, hit := r.Answer(query.MustNew("c=us,o=xyz", query.ScopeSubtree, "(objectclass=*)"))
+	if hit {
+		t.Error("query over a region with a subordinate referral must not be a hit")
+	}
+	if res == nil || len(res.Referrals) != 1 {
+		t.Fatalf("expected partial answer with referral, got %+v", res)
+	}
+	if m := r.Metrics(); m.Partial != 1 {
+		t.Errorf("partial not counted: %+v", m)
+	}
+}
+
+// syncStored registers a query on the replica and syncs its content from
+// the master via a fresh ReSync session.
+func syncStored(t testing.TB, master *dit.Store, eng *resync.Engine, r *FilterReplica, q query.Query) string {
+	t.Helper()
+	res, err := eng.Begin(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.AddStored(q, res.Cookie)
+	if err := r.ApplySync(q, res.Updates); err != nil {
+		t.Fatal(err)
+	}
+	return res.Cookie
+}
+
+func TestFilterReplicaAnswersContainedQueries(t *testing.T) {
+	master := buildMaster(t)
+	eng := resync.NewEngine(master)
+	r, err := NewFilterReplica(WithContentIndexes("serialnumber", "dept"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replicate the generalized serial-number prefix filter over the whole
+	// DIT (null base: answers minimally-directory-enabled applications).
+	gen := query.MustNew("", query.ScopeSubtree, "(serialnumber=04*)")
+	syncStored(t, master, eng, r, gen)
+
+	// Specific user query contained in the generalized filter.
+	q := query.MustNew("", query.ScopeSubtree, "(serialnumber=0403)")
+	entries, hit, via := r.Answer(q)
+	if !hit {
+		t.Fatal("expected hit")
+	}
+	if len(entries) != 1 || entries[0].First("cn") != "p3" {
+		t.Fatalf("entries = %v", entries)
+	}
+	if via == "" {
+		t.Error("via not reported")
+	}
+
+	// Cross-country semantic locality (Section 3.1.2): entries from both
+	// country subtrees are served by one filter.
+	q = query.MustNew("", query.ScopeSubtree, "(serialnumber=0407)")
+	entries, hit, _ = r.Answer(q)
+	if !hit || len(entries) != 1 {
+		t.Fatalf("cross-country hit failed: hit=%v n=%d", hit, len(entries))
+	}
+
+	// Not contained: different prefix.
+	if _, hit, _ := r.Answer(query.MustNew("", query.ScopeSubtree, "(serialnumber=0599)")); hit {
+		t.Error("uncontained query must miss")
+	}
+
+	m := r.Metrics()
+	if m.Queries != 3 || m.Hits != 2 || m.Misses != 1 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+func TestFilterReplicaSyncKeepsAnswersFresh(t *testing.T) {
+	master := buildMaster(t)
+	eng := resync.NewEngine(master)
+	r, err := NewFilterReplica()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := query.MustNew("", query.ScopeSubtree, "(serialnumber=04*)")
+	cookie := syncStored(t, master, eng, r, gen)
+
+	// Master-side update: p3's dept changes.
+	if err := master.Modify(dn.MustParse("cn=p3,c=us,o=xyz"),
+		[]dit.Mod{{Op: dit.ModReplace, Attr: "dept", Values: []string{"9999"}}}); err != nil {
+		t.Fatal(err)
+	}
+	poll, err := eng.Poll(cookie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ApplySync(gen, poll.Updates); err != nil {
+		t.Fatal(err)
+	}
+	entries, hit, _ := r.Answer(query.MustNew("", query.ScopeSubtree, "(serialnumber=0403)"))
+	if !hit || len(entries) != 1 || entries[0].First("dept") != "9999" {
+		t.Fatalf("stale answer after sync: %v", entries)
+	}
+
+	// Master-side delete leaves the replica consistent.
+	if err := master.Delete(dn.MustParse("cn=p3,c=us,o=xyz")); err != nil {
+		t.Fatal(err)
+	}
+	poll, err = eng.Poll(cookie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ApplySync(gen, poll.Updates); err != nil {
+		t.Fatal(err)
+	}
+	entries, hit, _ = r.Answer(query.MustNew("", query.ScopeSubtree, "(serialnumber=0403)"))
+	if !hit {
+		t.Fatal("query still contained, must hit")
+	}
+	if len(entries) != 0 {
+		t.Errorf("deleted entry still served: %v", entries)
+	}
+}
+
+func TestFilterReplicaRefCounting(t *testing.T) {
+	master := buildMaster(t)
+	eng := resync.NewEngine(master)
+	r, err := NewFilterReplica()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two overlapping stored queries: serial 04* covers all ten, dept 2400
+	// covers a subset of the same entries.
+	q1 := query.MustNew("", query.ScopeSubtree, "(serialnumber=04*)")
+	q2 := query.MustNew("", query.ScopeSubtree, "(dept=2400)")
+	syncStored(t, master, eng, r, q1)
+	syncStored(t, master, eng, r, q2)
+	if r.EntryCount() != 10 {
+		t.Fatalf("EntryCount = %d, want 10", r.EntryCount())
+	}
+	// Removing q1 keeps the q2-covered entries.
+	r.RemoveStored(q1)
+	if r.StoredCount() != 1 {
+		t.Errorf("StoredCount = %d", r.StoredCount())
+	}
+	want := len(master.MatchAll(q2))
+	if r.EntryCount() != want {
+		t.Errorf("EntryCount after removal = %d, want %d", r.EntryCount(), want)
+	}
+	// Queries against q2's content still hit.
+	if _, hit, _ := r.Answer(query.MustNew("", query.ScopeSubtree, "(dept=2400)")); !hit {
+		t.Error("q2 content lost")
+	}
+	// q1's queries now miss.
+	if _, hit, _ := r.Answer(query.MustNew("", query.ScopeSubtree, "(serialnumber=0401)")); hit {
+		t.Error("q1 removed but still answering")
+	}
+}
+
+func TestFilterReplicaUserQueryCache(t *testing.T) {
+	master := buildMaster(t)
+	r, err := NewFilterReplica(WithCacheCapacity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1 := query.MustNew("", query.ScopeSubtree, "(serialnumber=0401)")
+	q2 := query.MustNew("", query.ScopeSubtree, "(serialnumber=0402)")
+	q3 := query.MustNew("", query.ScopeSubtree, "(serialnumber=0403)")
+
+	// Miss, then cache from the master result.
+	if _, hit, _ := r.Answer(q1); hit {
+		t.Fatal("empty replica must miss")
+	}
+	if err := r.CacheQuery(q1, master.MatchAll(q1)); err != nil {
+		t.Fatal(err)
+	}
+	// Temporal locality: the repeat hits.
+	if _, hit, _ := r.Answer(q1); !hit {
+		t.Fatal("cached query must hit")
+	}
+	// Fill the window; q1 evicts.
+	if err := r.CacheQuery(q2, master.MatchAll(q2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CacheQuery(q3, master.MatchAll(q3)); err != nil {
+		t.Fatal(err)
+	}
+	if r.CachedCount() != 2 {
+		t.Fatalf("CachedCount = %d, want 2", r.CachedCount())
+	}
+	if _, hit, _ := r.Answer(q1); hit {
+		t.Error("evicted query must miss")
+	}
+	if _, hit, _ := r.Answer(q3); !hit {
+		t.Error("fresh cached query must hit")
+	}
+	// Caching the same query twice is a no-op.
+	if err := r.CacheQuery(q3, master.MatchAll(q3)); err != nil {
+		t.Fatal(err)
+	}
+	if r.CachedCount() != 2 {
+		t.Errorf("duplicate caching changed count: %d", r.CachedCount())
+	}
+}
+
+func TestFilterReplicaFlatNamespaceSelective(t *testing.T) {
+	// Section 3.3: a flat namespace (all employees under one container) can
+	// be partially replicated by filter but not by subtree.
+	master := buildMaster(t)
+	eng := resync.NewEngine(master)
+	r, err := NewFilterReplica()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := query.MustNew("c=us,o=xyz", query.ScopeSubtree, "(serialnumber=040*)")
+	syncStored(t, master, eng, r, gen)
+	// Only the matching children of the flat container are held.
+	if r.EntryCount() >= 7 {
+		t.Errorf("selective replication held %d entries", r.EntryCount())
+	}
+	if _, hit, _ := r.Answer(query.MustNew("c=us,o=xyz", query.ScopeSubtree, "(serialnumber=0402)")); !hit {
+		t.Error("selective content must answer contained query")
+	}
+}
+
+// sortParentsFirst orders entries by DN depth so Load sees parents first.
+func sortParentsFirst(entries []*entry.Entry) []*entry.Entry {
+	out := append([]*entry.Entry(nil), entries...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].DN().Depth() < out[j-1].DN().Depth(); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func TestStaleCachedEntryDoesNotLeakIntoFreshAnswers(t *testing.T) {
+	// A cached user query holds a stale copy of an entry; a fresh query
+	// contained in a synced stored filter must not be answered with it.
+	master := buildMaster(t)
+	eng := resync.NewEngine(master)
+	r, err := NewFilterReplica(WithCacheCapacity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored := query.MustNew("", query.ScopeSubtree, "(serialnumber=04*)")
+	cookie := syncStored(t, master, eng, r, stored)
+
+	// Cache a user query whose result includes p3 (serial 0403).
+	cq := query.MustNew("", query.ScopeSubtree, "(cn=p3)")
+	if err := r.CacheQuery(cq, master.MatchAll(cq)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The master moves p3 out of the stored content; the stored filter
+	// syncs, the cache (per the paper) does not.
+	if err := master.Modify(dn.MustParse("cn=p3,c=us,o=xyz"),
+		[]dit.Mod{{Op: dit.ModReplace, Attr: "serialNumber", Values: []string{"0999"}}}); err != nil {
+		t.Fatal(err)
+	}
+	poll, err := eng.Poll(cookie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ApplySync(stored, poll.Updates); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh contained query: the stale cached copy (still carrying 0403)
+	// must not surface.
+	entries, hit, via := r.Answer(query.MustNew("", query.ScopeSubtree, "(serialnumber=0403)"))
+	if !hit {
+		t.Fatal("query contained in synced filter must hit")
+	}
+	if len(entries) != 0 {
+		t.Fatalf("stale entry leaked into fresh answer via %s: %v", via, entries)
+	}
+	// The cached query itself still answers (staleness is its documented
+	// contract).
+	entries, hit, _ = r.Answer(cq)
+	if !hit || len(entries) != 1 {
+		t.Fatalf("cached query answer: hit=%v n=%d", hit, len(entries))
+	}
+}

@@ -1,0 +1,75 @@
+package resync
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Subscription is a persist-mode synchronization: after the initial content
+// (or the updates since the resumed cookie) is delivered, subsequent content
+// changes are pushed on Updates until Close is called — the protocol's
+// "persist" mode, equivalent to a persistent search held open per filter.
+type Subscription struct {
+	// Updates delivers batches of net updates. The channel is closed when
+	// the subscription ends.
+	Updates <-chan []Update
+
+	closeOnce sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// Close ends the subscription and waits for its goroutine to exit.
+func (s *Subscription) Close() {
+	s.closeOnce.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// Persist upgrades a session to persist mode: the returned subscription
+// first delivers any updates accumulated since the session cookie, then
+// pushes each further change batch as it commits. The session remains
+// registered; Close leaves it resumable by cookie (poll mode), matching the
+// protocol's mode switch in Figure 3.
+func (e *Engine) Persist(cookie string) (*Subscription, error) {
+	e.mu.Lock()
+	sess, ok := e.sessions[cookie]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchSession, cookie)
+	}
+
+	ch := make(chan []Update, 1)
+	sub := &Subscription{
+		Updates: ch,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go func() {
+		defer close(sub.done)
+		defer close(ch)
+		for {
+			// Arm the signal before polling so commits between poll and wait
+			// are not missed.
+			sig := e.store.ChangeSignal()
+			e.mu.Lock()
+			res, err := e.pollLocked(sess)
+			e.mu.Unlock()
+			if err != nil {
+				return
+			}
+			if len(res.Updates) > 0 {
+				select {
+				case ch <- res.Updates:
+				case <-sub.stop:
+					return
+				}
+			}
+			select {
+			case <-sig:
+			case <-sub.stop:
+				return
+			}
+		}
+	}()
+	return sub, nil
+}

@@ -1,0 +1,326 @@
+// Package resync implements the paper's ReSync filter-synchronization
+// protocol (Section 5) on the master side, the replica-side applier, and
+// the baseline mechanisms it is compared against (tombstones, changelogs,
+// full reload, and the incomplete-history "retain" mode of equation 3).
+//
+// A replica registers a content specification — an LDAP query — and then
+// polls (or subscribes, in persist mode). Using the DIT update journal's
+// before/after snapshots, the master classifies every change against the
+// content:
+//
+//	E01 (moved in)      → add action, full entry
+//	E10 (moved out)     → delete action, DN only
+//	E11 (changed within) → modify action, full entry
+//
+// Changes within one poll interval are coalesced to the net difference, so
+// the update set is minimal. A modifyDN that keeps an entry inside the
+// content is, per the paper, a delete of the old DN followed by an add of
+// the new DN — which is exactly what per-DN net classification produces.
+package resync
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"filterdir/internal/dit"
+	"filterdir/internal/dn"
+	"filterdir/internal/entry"
+	"filterdir/internal/query"
+)
+
+// Action is the client-side action carried by an update PDU.
+type Action int
+
+// Update actions per Section 5.2.
+const (
+	ActionAdd Action = iota + 1
+	ActionDelete
+	ActionModify
+	ActionRetain
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActionAdd:
+		return "add"
+	case ActionDelete:
+		return "delete"
+	case ActionModify:
+		return "modify"
+	case ActionRetain:
+		return "retain"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// Update is one synchronization PDU: for add and modify the complete entry
+// is sent; for delete and retain only the DN.
+type Update struct {
+	Action Action
+	DN     dn.DN
+	Entry  *entry.Entry
+}
+
+// ByteSize estimates the PDU's wire size for traffic accounting.
+func (u Update) ByteSize() int {
+	if u.Entry != nil {
+		return u.Entry.ByteSize() + 8
+	}
+	return len(u.DN.String()) + 8
+}
+
+// Traffic accumulates synchronization cost in PDUs and bytes.
+type Traffic struct {
+	Adds, Deletes, Modifies, Retains int
+	Bytes                            int
+}
+
+// Add accounts one update.
+func (t *Traffic) Add(u Update) {
+	switch u.Action {
+	case ActionAdd:
+		t.Adds++
+	case ActionDelete:
+		t.Deletes++
+	case ActionModify:
+		t.Modifies++
+	case ActionRetain:
+		t.Retains++
+	}
+	t.Bytes += u.ByteSize()
+}
+
+// Updates returns the total number of update PDUs.
+func (t *Traffic) Updates() int { return t.Adds + t.Deletes + t.Modifies + t.Retains }
+
+// Merge adds another traffic record into t.
+func (t *Traffic) Merge(o Traffic) {
+	t.Adds += o.Adds
+	t.Deletes += o.Deletes
+	t.Modifies += o.Modifies
+	t.Retains += o.Retains
+	t.Bytes += o.Bytes
+}
+
+// Errors returned by the engine.
+var (
+	ErrNoSuchSession = errors.New("no such resync session")
+)
+
+// Engine is the master-side ReSync protocol engine, layered on a DIT store
+// and its update journal. Safe for concurrent use.
+type Engine struct {
+	store *dit.Store
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextID   uint64
+}
+
+// session records the per-replica synchronization state: the content
+// specification, the CSN up to which the replica is synchronized, and the
+// DN set of the content at that CSN (the basis for classifying moves in and
+// out — the "session history" of the paper).
+type session struct {
+	id      string
+	spec    query.Query
+	lastCSN dit.CSN
+	content map[string]dn.DN // norm DN -> DN of entries in content at lastCSN
+}
+
+// NewEngine creates an engine over the master store.
+func NewEngine(store *dit.Store) *Engine {
+	return &Engine{store: store, sessions: make(map[string]*session)}
+}
+
+// PollResult is the outcome of one poll: the update sequence, the cookie
+// resuming the session, and whether the content was reloaded from scratch
+// (journal history no longer covered the replica's sync point).
+type PollResult struct {
+	Updates    []Update
+	Cookie     string
+	FullReload bool
+}
+
+// Begin starts a synchronization session for the content of spec: the
+// entire current content is returned as add actions together with the
+// session cookie (the null-cookie case of Section 5.2).
+func (e *Engine) Begin(spec query.Query) (*PollResult, error) {
+	csn := e.store.LastCSN()
+	entries := e.store.MatchAll(stripAttrs(spec))
+	sess := &session{spec: spec, lastCSN: csn, content: make(map[string]dn.DN, len(entries))}
+	res := &PollResult{FullReload: false}
+	for _, ent := range entries {
+		sess.content[ent.DN().Norm()] = ent.DN()
+		res.Updates = append(res.Updates, Update{Action: ActionAdd, DN: ent.DN(), Entry: ent})
+	}
+	e.mu.Lock()
+	e.nextID++
+	sess.id = "sess-" + strconv.FormatUint(e.nextID, 10)
+	e.sessions[sess.id] = sess
+	e.mu.Unlock()
+	res.Cookie = sess.id
+	return res, nil
+}
+
+// Poll returns the net content updates accumulated since the previous
+// poll of the session identified by cookie. When the master's journal no
+// longer covers the session's sync point, the full content is re-sent with
+// FullReload set.
+func (e *Engine) Poll(cookie string) (*PollResult, error) {
+	e.mu.Lock()
+	sess, ok := e.sessions[cookie]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchSession, cookie)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.pollLocked(sess)
+}
+
+func (e *Engine) pollLocked(sess *session) (*PollResult, error) {
+	changes, ok := e.store.ChangesSince(sess.lastCSN)
+	if !ok {
+		// History trimmed: full reload.
+		entries := e.store.MatchAll(stripAttrs(sess.spec))
+		sess.lastCSN = e.store.LastCSN()
+		sess.content = make(map[string]dn.DN, len(entries))
+		res := &PollResult{Cookie: sess.id, FullReload: true}
+		for _, ent := range entries {
+			sess.content[ent.DN().Norm()] = ent.DN()
+			res.Updates = append(res.Updates, Update{Action: ActionAdd, DN: ent.DN(), Entry: ent})
+		}
+		return res, nil
+	}
+
+	res := &PollResult{Cookie: sess.id}
+	res.Updates = e.classify(sess, changes)
+	if len(changes) > 0 {
+		sess.lastCSN = changes[len(changes)-1].CSN
+	}
+	return res, nil
+}
+
+// classify replays journal changes against the session content, producing
+// the minimal (net) update set and advancing the content map.
+func (e *Engine) classify(sess *session, changes []dit.Change) []Update {
+	// initial[norm] records whether the DN was in content at the start of
+	// the interval; touched tracks the final entry snapshot per DN.
+	initial := make(map[string]bool)
+	finalEnt := make(map[string]*entry.Entry)
+	finalIn := make(map[string]bool)
+	finalDN := make(map[string]dn.DN)
+	changed := make(map[string]bool)
+
+	note := func(d dn.DN, before bool) {
+		norm := d.Norm()
+		if _, seen := initial[norm]; !seen {
+			initial[norm] = before
+		}
+		changed[norm] = true
+		finalDN[norm] = d
+	}
+	inContent := func(ent *entry.Entry) bool {
+		return ent != nil && sess.spec.InScope(ent.DN()) && specFilter(sess.spec).Matches(ent)
+	}
+
+	for _, c := range changes {
+		switch c.Type {
+		case dit.ChangeAdd, dit.ChangeModify:
+			norm := c.DN.Norm()
+			_, wasIn := sess.content[norm]
+			note(c.DN, wasIn)
+			finalIn[norm] = inContent(c.After)
+			finalEnt[norm] = c.After
+		case dit.ChangeDelete:
+			norm := c.DN.Norm()
+			_, wasIn := sess.content[norm]
+			note(c.DN, wasIn)
+			finalIn[norm] = false
+			finalEnt[norm] = nil
+		case dit.ChangeModifyDN:
+			oldNorm := c.DN.Norm()
+			_, wasIn := sess.content[oldNorm]
+			note(c.DN, wasIn)
+			finalIn[oldNorm] = false
+			finalEnt[oldNorm] = nil
+			newNorm := c.NewDN.Norm()
+			_, newWasIn := sess.content[newNorm]
+			note(c.NewDN, newWasIn)
+			finalIn[newNorm] = inContent(c.After)
+			finalEnt[newNorm] = c.After
+		}
+	}
+
+	var updates []Update
+	for norm := range changed {
+		was := initial[norm]
+		is := finalIn[norm]
+		switch {
+		case !was && is:
+			ent := finalEnt[norm].Select(sess.spec.Attrs)
+			updates = append(updates, Update{Action: ActionAdd, DN: ent.DN(), Entry: ent})
+			sess.content[norm] = ent.DN()
+		case was && !is:
+			d := finalDN[norm]
+			if held, ok := sess.content[norm]; ok {
+				d = held
+			}
+			updates = append(updates, Update{Action: ActionDelete, DN: d})
+			delete(sess.content, norm)
+		case was && is:
+			ent := finalEnt[norm].Select(sess.spec.Attrs)
+			updates = append(updates, Update{Action: ActionModify, DN: ent.DN(), Entry: ent})
+			sess.content[norm] = ent.DN()
+		}
+	}
+	return updates
+}
+
+// End terminates a session (mode "sync_end").
+func (e *Engine) End(cookie string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.sessions[cookie]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchSession, cookie)
+	}
+	delete(e.sessions, cookie)
+	return nil
+}
+
+// Sessions returns the number of active sessions.
+func (e *Engine) Sessions() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.sessions)
+}
+
+// specFilter returns the spec's filter, defaulting to match-all presence.
+func specFilter(q query.Query) filterNode {
+	if q.Filter == nil {
+		return matchAll{}
+	}
+	return q.Filter
+}
+
+// filterNode is the evaluation interface shared by real filters and the
+// match-all default.
+type filterNode interface {
+	Matches(*entry.Entry) bool
+}
+
+type matchAll struct{}
+
+func (matchAll) Matches(*entry.Entry) bool { return true }
+
+// stripAttrs widens the spec to all attributes for content computation; the
+// requested attribute selection is applied when building update PDUs.
+func stripAttrs(q query.Query) query.Query {
+	out := q
+	out.Attrs = nil
+	return out
+}

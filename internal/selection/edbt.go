@@ -1,0 +1,258 @@
+package selection
+
+import (
+	"sort"
+
+	"filterdir/internal/query"
+)
+
+// EvolutionSelector is a simplified implementation of the evolution /
+// revolution algorithm of Kapitskaia, Ng and Srivastava (EDBT 2000), kept
+// as a baseline for the ablation benchmarks. It maintains benefit values
+// (exponentially decayed hit counts) for the stored ("actual") list and a
+// candidate list:
+//
+//   - evolution: on every query, if some candidate's benefit density
+//     exceeds the worst stored filter's by the swap margin, they exchange
+//     places immediately — causing the frequent stored-set churn the paper
+//     deems unsuitable for replication;
+//   - revolution: when the candidates' aggregate benefit exceeds the
+//     actuals' by the revolution margin, both lists are combined and the
+//     best filters re-selected under the budget.
+type EvolutionSelector struct {
+	gen    *Generalizer
+	SizeOf func(query.Query) int
+	Budget int
+	// Decay multiplies all benefits each query (temporal weighting).
+	Decay float64
+	// SwapMargin is the density advantage a candidate needs to evolve in.
+	SwapMargin float64
+	// RevolutionMargin triggers a full re-selection when the candidate
+	// aggregate benefit exceeds the actuals' by this factor.
+	RevolutionMargin float64
+
+	actual     map[string]*Candidate
+	candidates map[string]*Candidate
+	benefit    map[string]float64
+	sizeCache  map[string]int
+
+	// Evolutions and Revolutions count stored-set reorganizations — the
+	// churn statistic the ablation reports.
+	Evolutions  int
+	Revolutions int
+}
+
+// NewEvolutionSelector builds the baseline with the parameters used in the
+// benchmarks.
+func NewEvolutionSelector(gen *Generalizer, sizeOf func(query.Query) int, budget int) *EvolutionSelector {
+	return &EvolutionSelector{
+		gen:              gen,
+		SizeOf:           sizeOf,
+		Budget:           budget,
+		Decay:            0.95,
+		SwapMargin:       1.2,
+		RevolutionMargin: 1.5,
+		actual:           make(map[string]*Candidate),
+		candidates:       make(map[string]*Candidate),
+		benefit:          make(map[string]float64),
+		sizeCache:        make(map[string]int),
+	}
+}
+
+// Observe records a user query and returns a non-nil Delta whenever the
+// stored set changed (evolution or revolution).
+func (s *EvolutionSelector) Observe(q query.Query) *Delta {
+	for k := range s.benefit {
+		s.benefit[k] *= s.Decay
+	}
+	for _, cand := range s.gen.Generalize(q) {
+		key := cand.Key()
+		if _, ok := s.actual[key]; ok {
+			s.benefit[key]++
+			continue
+		}
+		c, ok := s.candidates[key]
+		if !ok {
+			c = &Candidate{Query: cand}
+			s.candidates[key] = c
+			s.ensureSize(c)
+		}
+		s.benefit[key]++
+	}
+
+	if d := s.maybeRevolution(); d != nil {
+		return d
+	}
+	return s.maybeEvolution()
+}
+
+func (s *EvolutionSelector) density(key string, size int) float64 {
+	if size <= 0 {
+		return s.benefit[key]
+	}
+	return s.benefit[key] / float64(size)
+}
+
+func (s *EvolutionSelector) maybeEvolution() *Delta {
+	if len(s.actual) == 0 {
+		return s.maybeAdoptFirst()
+	}
+	// Worst stored filter by density.
+	var worstKey string
+	worst := -1.0
+	for k, c := range s.actual {
+		d := s.density(k, c.Size)
+		if worst < 0 || d < worst {
+			worst, worstKey = d, k
+		}
+	}
+	// Best candidate by density that fits after removing the worst.
+	var bestKey string
+	best := -1.0
+	usedWithoutWorst := s.usedBudget() - s.actual[worstKey].Size
+	for k, c := range s.candidates {
+		if c.Size <= 0 || usedWithoutWorst+c.Size > s.Budget {
+			continue
+		}
+		if d := s.density(k, c.Size); d > best {
+			best, bestKey = d, k
+		}
+	}
+	if bestKey == "" || best < worst*s.SwapMargin {
+		return nil
+	}
+	s.Evolutions++
+	out := &Delta{
+		Add:    []query.Query{s.candidates[bestKey].Query},
+		Remove: []query.Query{s.actual[worstKey].Query},
+	}
+	s.candidates[worstKey] = s.actual[worstKey]
+	s.actual[bestKey] = s.candidates[bestKey]
+	s.actual[bestKey].Stored = true
+	delete(s.actual, worstKey)
+	delete(s.candidates, bestKey)
+	return out
+}
+
+// maybeAdoptFirst seeds the stored set greedily when it is empty.
+func (s *EvolutionSelector) maybeAdoptFirst() *Delta {
+	var bestKey string
+	best := -1.0
+	for k, c := range s.candidates {
+		if c.Size <= 0 || c.Size > s.Budget {
+			continue
+		}
+		if d := s.density(k, c.Size); d > best {
+			best, bestKey = d, k
+		}
+	}
+	if bestKey == "" {
+		return nil
+	}
+	s.Evolutions++
+	c := s.candidates[bestKey]
+	c.Stored = true
+	s.actual[bestKey] = c
+	delete(s.candidates, bestKey)
+	return &Delta{Add: []query.Query{c.Query}}
+}
+
+func (s *EvolutionSelector) maybeRevolution() *Delta {
+	var actualBenefit, candBenefit float64
+	for k := range s.actual {
+		actualBenefit += s.benefit[k]
+	}
+	for k := range s.candidates {
+		candBenefit += s.benefit[k]
+	}
+	if len(s.actual) == 0 || candBenefit <= actualBenefit*s.RevolutionMargin {
+		return nil
+	}
+	s.Revolutions++
+
+	type scored struct {
+		key string
+		c   *Candidate
+		d   float64
+	}
+	var all []scored
+	for k, c := range s.actual {
+		all = append(all, scored{k, c, s.density(k, c.Size)})
+	}
+	for k, c := range s.candidates {
+		s.ensureSize(c)
+		all = append(all, scored{k, c, s.density(k, c.Size)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].d != all[j].d {
+			return all[i].d > all[j].d
+		}
+		return all[i].key < all[j].key
+	})
+	chosen := make(map[string]*Candidate)
+	used := 0
+	for _, sc := range all {
+		if sc.c.Size <= 0 || used+sc.c.Size > s.Budget {
+			continue
+		}
+		chosen[sc.key] = sc.c
+		used += sc.c.Size
+	}
+	delta := &Delta{}
+	for k, c := range s.actual {
+		if _, keep := chosen[k]; !keep {
+			delta.Remove = append(delta.Remove, c.Query)
+			c.Stored = false
+			s.candidates[k] = c
+		}
+	}
+	for k, c := range chosen {
+		if _, have := s.actual[k]; !have {
+			delta.Add = append(delta.Add, c.Query)
+			delete(s.candidates, k)
+		}
+		c.Stored = true
+	}
+	s.actual = chosen
+	sortQueries(delta.Add)
+	sortQueries(delta.Remove)
+	if len(delta.Add) == 0 && len(delta.Remove) == 0 {
+		return nil
+	}
+	return delta
+}
+
+func (s *EvolutionSelector) usedBudget() int {
+	n := 0
+	for _, c := range s.actual {
+		n += c.Size
+	}
+	return n
+}
+
+func (s *EvolutionSelector) ensureSize(c *Candidate) {
+	if c.Size > 0 {
+		return
+	}
+	key := c.Query.Key()
+	if sz, ok := s.sizeCache[key]; ok {
+		c.Size = sz
+		return
+	}
+	sz := 0
+	if s.SizeOf != nil {
+		sz = s.SizeOf(c.Query)
+	}
+	s.sizeCache[key] = sz
+	c.Size = sz
+}
+
+// StoredSet returns the current actual list.
+func (s *EvolutionSelector) StoredSet() []query.Query {
+	out := make([]query.Query, 0, len(s.actual))
+	for _, c := range s.actual {
+		out = append(out, c.Query)
+	}
+	sortQueries(out)
+	return out
+}

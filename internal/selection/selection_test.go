@@ -1,0 +1,278 @@
+package selection
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"filterdir/internal/containment"
+	"filterdir/internal/filter"
+	"filterdir/internal/query"
+)
+
+func TestPrefixRule(t *testing.T) {
+	r := PrefixRule{Attr: "serialnumber", PrefixLen: 2}
+	q := query.MustNew("", query.ScopeSubtree, "(serialnumber=0456)")
+	got := r.Generalize(q)
+	if len(got) != 1 {
+		t.Fatalf("candidates = %d, want 1", len(got))
+	}
+	want := "(serialnumber=04*)"
+	if got[0].FilterString() != want {
+		t.Errorf("generalized = %s, want %s", got[0].FilterString(), want)
+	}
+	// Generalization must contain the original.
+	ok, err := containment.FilterContainsGeneric(q.Filter, got[0].Filter)
+	if err != nil || !ok {
+		t.Errorf("generalization does not contain original: %v %v", ok, err)
+	}
+	// Short values do not generalize.
+	if out := r.Generalize(query.MustNew("", query.ScopeSubtree, "(serialnumber=04)")); len(out) != 0 {
+		t.Errorf("short value generalized: %v", out)
+	}
+	// Prefix filters re-generalize to shorter prefixes.
+	if out := r.Generalize(query.MustNew("", query.ScopeSubtree, "(serialnumber=0456*)")); len(out) != 1 || out[0].FilterString() != want {
+		t.Errorf("substring generalization = %v", out)
+	}
+}
+
+func TestWidenRule(t *testing.T) {
+	r := WidenRule{DropAttr: "dept", ReplaceWith: filter.NewEQ("objectclass", "department")}
+	q := query.MustNew("", query.ScopeSubtree, "(&(dept=2406)(div=sw))")
+	got := r.Generalize(q)
+	if len(got) != 1 {
+		t.Fatalf("candidates = %d, want 1", len(got))
+	}
+	if !strings.Contains(got[0].FilterString(), "(div=sw)") ||
+		!strings.Contains(got[0].FilterString(), "(objectclass=department)") {
+		t.Errorf("widened = %s", got[0].FilterString())
+	}
+	// The widened filter contains the original restricted to the class; the
+	// raw original lacks the objectclass conjunct, so check region logic via
+	// a class-qualified query.
+	q2 := query.MustNew("", query.ScopeSubtree, "(&(objectclass=department)(dept=2406)(div=sw))")
+	ok, err := containment.FilterContainsGeneric(q2.Filter, got[0].Filter)
+	if err != nil || !ok {
+		t.Errorf("widened filter does not contain class-qualified original")
+	}
+	// Dropping the only predicate yields nothing (refuse match-all).
+	r2 := WidenRule{DropAttr: "dept"}
+	if out := r2.Generalize(query.MustNew("", query.ScopeSubtree, "(dept=2406)")); len(out) != 0 {
+		t.Errorf("match-all generalization not refused: %v", out)
+	}
+}
+
+func TestGeneralizerDedup(t *testing.T) {
+	g := NewGeneralizer(
+		PrefixRule{Attr: "serialnumber", PrefixLen: 2},
+		PrefixRule{Attr: "serialnumber", PrefixLen: 2}, // duplicate rule
+		PrefixRule{Attr: "serialnumber", PrefixLen: 3},
+	)
+	q := query.MustNew("", query.ScopeSubtree, "(serialnumber=0456)")
+	got := g.Generalize(q)
+	if len(got) != 2 {
+		t.Fatalf("candidates = %d, want 2 (deduplicated)", len(got))
+	}
+}
+
+// sizeByPrefix sizes a candidate by prefix length: shorter prefix, more
+// entries.
+func sizeByPrefix(q query.Query) int {
+	f := q.FilterString()
+	switch {
+	case strings.Contains(f, "=04*"), strings.Contains(f, "=05*"):
+		return 100
+	case strings.Contains(f, "=040*"), strings.Contains(f, "=051*"):
+		return 10
+	default:
+		return 50
+	}
+}
+
+func TestSelectorRevolutionPicksByRatio(t *testing.T) {
+	g := NewGeneralizer(
+		PrefixRule{Attr: "serialnumber", PrefixLen: 2},
+		PrefixRule{Attr: "serialnumber", PrefixLen: 3},
+	)
+	s := NewSelector(g, sizeByPrefix, 50, 10)
+
+	// Nine queries hitting 040x: candidates (04*) size 100 and (040*) size
+	// 10 both get 9 hits; only (040*) fits the budget of 50 and has the
+	// better ratio.
+	var delta *Delta
+	for i := 0; i < 10; i++ {
+		delta = s.Observe(query.MustNew("", query.ScopeSubtree, fmt.Sprintf("(serialnumber=040%d)", i%10)))
+	}
+	if delta == nil {
+		t.Fatal("revolution did not trigger at interval")
+	}
+	if len(delta.Add) != 1 || delta.Add[0].FilterString() != "(serialnumber=040*)" {
+		t.Fatalf("delta.Add = %v", delta.Add)
+	}
+	if len(delta.Remove) != 0 {
+		t.Errorf("delta.Remove = %v", delta.Remove)
+	}
+	if got := s.StoredSet(); len(got) != 1 {
+		t.Errorf("StoredSet = %v", got)
+	}
+}
+
+func TestSelectorEvictsColdFilters(t *testing.T) {
+	g := NewGeneralizer(PrefixRule{Attr: "serialnumber", PrefixLen: 3})
+	s := NewSelector(g, func(query.Query) int { return 10 }, 10, 5)
+
+	// Warm 040*.
+	var d *Delta
+	for i := 0; i < 5; i++ {
+		d = s.Observe(query.MustNew("", query.ScopeSubtree, "(serialnumber=0401)"))
+	}
+	if d == nil || len(d.Add) != 1 {
+		t.Fatalf("initial revolution: %+v", d)
+	}
+	// Access pattern shifts to 051*; with budget for one filter, the next
+	// revolution must swap.
+	for i := 0; i < 5; i++ {
+		d = s.Observe(query.MustNew("", query.ScopeSubtree, "(serialnumber=0511)"))
+	}
+	if d == nil {
+		t.Fatal("second revolution missing")
+	}
+	if len(d.Add) != 1 || !strings.Contains(d.Add[0].FilterString(), "051") {
+		t.Errorf("shift not adopted: %+v", d)
+	}
+	if len(d.Remove) != 1 || !strings.Contains(d.Remove[0].FilterString(), "040") {
+		t.Errorf("cold filter not evicted: %+v", d)
+	}
+}
+
+func TestSelectorBudgetRespected(t *testing.T) {
+	g := NewGeneralizer(PrefixRule{Attr: "serialnumber", PrefixLen: 3})
+	s := NewSelector(g, func(query.Query) int { return 30 }, 70, 20)
+	for i := 0; i < 20; i++ {
+		// Rotate over 5 prefixes; each candidate sized 30, budget 70 → at
+		// most 2 stored.
+		s.Observe(query.MustNew("", query.ScopeSubtree, fmt.Sprintf("(serialnumber=0%d5)", 40+i%5)))
+	}
+	if n := len(s.StoredSet()); n > 2 {
+		t.Errorf("stored %d filters, budget allows 2", n)
+	}
+}
+
+func TestForceRevolution(t *testing.T) {
+	g := NewGeneralizer(PrefixRule{Attr: "serialnumber", PrefixLen: 3})
+	s := NewSelector(g, func(query.Query) int { return 5 }, 100, 1000)
+	s.Observe(query.MustNew("", query.ScopeSubtree, "(serialnumber=0401)"))
+	d := s.ForceRevolution()
+	if d == nil || len(d.Add) != 1 {
+		t.Fatalf("ForceRevolution = %+v", d)
+	}
+}
+
+func TestEvolutionSelectorAdoptsAndChurns(t *testing.T) {
+	g := NewGeneralizer(PrefixRule{Attr: "serialnumber", PrefixLen: 3})
+	s := NewEvolutionSelector(g, func(query.Query) int { return 10 }, 10)
+
+	var deltas int
+	for i := 0; i < 50; i++ {
+		// Alternate hot prefixes to provoke evolutions.
+		prefix := "0401"
+		if (i/10)%2 == 1 {
+			prefix = "0511"
+		}
+		if d := s.Observe(query.MustNew("", query.ScopeSubtree, fmt.Sprintf("(serialnumber=%s)", prefix))); d != nil {
+			deltas++
+		}
+	}
+	if len(s.StoredSet()) == 0 {
+		t.Fatal("evolution selector never adopted a filter")
+	}
+	if s.Evolutions == 0 {
+		t.Error("no evolutions recorded under an alternating workload")
+	}
+	if deltas < 2 {
+		t.Errorf("stored set churned %d times; expected more under alternation", deltas)
+	}
+}
+
+func TestDefaultEnterpriseRules(t *testing.T) {
+	g := NewGeneralizer(DefaultEnterpriseRules()...)
+	got := g.Generalize(query.MustNew("", query.ScopeSubtree, "(serialnumber=045678)"))
+	if len(got) != 2 {
+		t.Errorf("serial generalizations = %v", got)
+	}
+	got = g.Generalize(query.MustNew("", query.ScopeSubtree, "(&(dept=2406)(div=sw))"))
+	if len(got) != 1 {
+		t.Errorf("dept generalizations = %v", got)
+	}
+}
+
+func TestEvolutionSelectorRevolution(t *testing.T) {
+	g := NewGeneralizer(PrefixRule{Attr: "serialnumber", PrefixLen: 3})
+	s := NewEvolutionSelector(g, func(query.Query) int { return 10 }, 30)
+	// A strong trigger: three hot prefixes accumulate candidate benefit far
+	// above the single adopted filter.
+	prefixes := []string{"0401", "0511", "0621", "0731"}
+	revolutionsSeen := 0
+	for i := 0; i < 300; i++ {
+		p := prefixes[i%len(prefixes)]
+		if d := s.Observe(query.MustNew("", query.ScopeSubtree, fmt.Sprintf("(serialnumber=%s)", p))); d != nil {
+			revolutionsSeen++
+		}
+	}
+	if s.Revolutions == 0 {
+		t.Errorf("no revolutions under multi-hot workload (evolutions=%d)", s.Evolutions)
+	}
+	if n := len(s.StoredSet()); n == 0 || n > 3 {
+		t.Errorf("stored set size = %d, want 1..3 under budget 30", n)
+	}
+}
+
+func TestSelectorSkipsOversizedCandidates(t *testing.T) {
+	g := NewGeneralizer(PrefixRule{Attr: "serialnumber", PrefixLen: 3})
+	s := NewSelector(g, func(query.Query) int { return 1000 }, 10, 0)
+	for i := 0; i < 5; i++ {
+		s.Observe(query.MustNew("", query.ScopeSubtree, "(serialnumber=0401)"))
+	}
+	if d := s.ForceRevolution(); d != nil && len(d.Add) != 0 {
+		t.Errorf("oversized candidate selected: %+v", d.Add)
+	}
+}
+
+func TestSelectorZeroSizeCandidates(t *testing.T) {
+	// Candidates matching nothing (size 0) are never stored.
+	g := NewGeneralizer(PrefixRule{Attr: "serialnumber", PrefixLen: 3})
+	s := NewSelector(g, func(query.Query) int { return 0 }, 10, 0)
+	for i := 0; i < 5; i++ {
+		s.Observe(query.MustNew("", query.ScopeSubtree, "(serialnumber=0401)"))
+	}
+	if d := s.ForceRevolution(); d != nil && len(d.Add) != 0 {
+		t.Errorf("empty candidate selected: %+v", d.Add)
+	}
+}
+
+func TestTopCandidatesLimit(t *testing.T) {
+	g := NewGeneralizer(
+		PrefixRule{Attr: "serialnumber", PrefixLen: 3},
+		PrefixRule{Attr: "serialnumber", PrefixLen: 2},
+	)
+	sizes := map[int]int{3: 10, 2: 1000} // by prefix length
+	sizeOf := func(q query.Query) int {
+		vals := q.Filter.SlotValues()
+		return sizes[len(vals[0])]
+	}
+	s := NewSelector(g, sizeOf, 1<<30, 0)
+	for i := 0; i < 10; i++ {
+		s.Observe(query.MustNew("", query.ScopeSubtree, "(serialnumber=0401)"))
+	}
+	all := s.TopCandidates(10)
+	if len(all) != 2 {
+		t.Fatalf("TopCandidates = %d, want 2", len(all))
+	}
+	capped := s.TopCandidatesLimit(10, 100)
+	if len(capped) != 1 {
+		t.Fatalf("TopCandidatesLimit = %d, want 1 (the big prefix excluded)", len(capped))
+	}
+	if got := capped[0].FilterString(); got != "(serialnumber=040*)" {
+		t.Errorf("capped candidate = %s", got)
+	}
+}

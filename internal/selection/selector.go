@@ -1,0 +1,241 @@
+package selection
+
+import (
+	"sort"
+
+	"filterdir/internal/query"
+)
+
+// Candidate is a filter being considered for replication, with its benefit
+// statistics: hits since the last revolution and the estimated number of
+// entries it matches.
+type Candidate struct {
+	Query query.Query
+	Hits  uint64
+	Size  int
+	// Stored marks candidates currently replicated.
+	Stored bool
+}
+
+// Ratio is the benefit/size selection key.
+func (c *Candidate) Ratio() float64 {
+	if c.Size <= 0 {
+		return float64(c.Hits)
+	}
+	return float64(c.Hits) / float64(c.Size)
+}
+
+// Delta is a revolution's outcome: the filters to start and stop
+// replicating.
+type Delta struct {
+	Add    []query.Query
+	Remove []query.Query
+}
+
+// Selector implements the periodic benefit/size selection of Section 6.2:
+// hit statistics are maintained for candidate filters (generalizations of
+// observed user queries), and every Interval queries a revolution selects
+// the filter set with the best benefit-to-size ratios under the replica's
+// entry budget.
+type Selector struct {
+	gen *Generalizer
+	// SizeOf estimates the number of entries matching a candidate query
+	// (typically a master-side count). Results are cached.
+	SizeOf func(query.Query) int
+	// Budget is the replica entry budget.
+	Budget int
+	// Interval is the revolution interval R in queries.
+	Interval int
+
+	counter    int
+	candidates map[string]*Candidate
+	stored     map[string]*Candidate
+	sizeCache  map[string]int
+}
+
+// NewSelector builds a selector.
+func NewSelector(gen *Generalizer, sizeOf func(query.Query) int, budget, interval int) *Selector {
+	return &Selector{
+		gen:        gen,
+		SizeOf:     sizeOf,
+		Budget:     budget,
+		Interval:   interval,
+		candidates: make(map[string]*Candidate),
+		stored:     make(map[string]*Candidate),
+		sizeCache:  make(map[string]int),
+	}
+}
+
+// Observe records one user query: every candidate filter that would have
+// answered it gains a hit, as does the stored filter that actually answered
+// it. It returns a non-nil Delta when the revolution interval elapses.
+func (s *Selector) Observe(q query.Query) *Delta {
+	for _, cand := range s.gen.Generalize(q) {
+		key := cand.Key()
+		if st, ok := s.stored[key]; ok {
+			st.Hits++
+			continue
+		}
+		c, ok := s.candidates[key]
+		if !ok {
+			c = &Candidate{Query: cand}
+			s.candidates[key] = c
+		}
+		c.Hits++
+	}
+	s.counter++
+	if s.Interval > 0 && s.counter >= s.Interval {
+		s.counter = 0
+		return s.revolution()
+	}
+	return nil
+}
+
+// ForceRevolution runs a revolution immediately (used to seed the initial
+// stored set after a warm-up pass).
+func (s *Selector) ForceRevolution() *Delta {
+	s.counter = 0
+	return s.revolution()
+}
+
+// revolution combines stored and candidate lists and greedily selects by
+// benefit/size ratio under the budget, per Section 6.2.
+func (s *Selector) revolution() *Delta {
+	all := make([]*Candidate, 0, len(s.candidates)+len(s.stored))
+	for _, c := range s.stored {
+		s.ensureSize(c)
+		all = append(all, c)
+	}
+	for _, c := range s.candidates {
+		if c.Hits == 0 {
+			continue
+		}
+		s.ensureSize(c)
+		all = append(all, c)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		ri, rj := all[i].Ratio(), all[j].Ratio()
+		if ri != rj {
+			return ri > rj
+		}
+		// Tie-break deterministically: smaller first, then key order.
+		if all[i].Size != all[j].Size {
+			return all[i].Size < all[j].Size
+		}
+		return all[i].Query.Key() < all[j].Query.Key()
+	})
+
+	chosen := make(map[string]*Candidate)
+	used := 0
+	for _, c := range all {
+		if c.Size <= 0 {
+			continue
+		}
+		if used+c.Size > s.Budget {
+			continue
+		}
+		chosen[c.Query.Key()] = c
+		used += c.Size
+	}
+
+	delta := &Delta{}
+	for key, c := range s.stored {
+		if _, keep := chosen[key]; !keep {
+			delta.Remove = append(delta.Remove, c.Query)
+		}
+	}
+	for key, c := range chosen {
+		if _, have := s.stored[key]; !have {
+			delta.Add = append(delta.Add, c.Query)
+		}
+	}
+
+	// Install the new stored set; hit counters reset for the next interval.
+	newStored := make(map[string]*Candidate, len(chosen))
+	for key, c := range chosen {
+		newStored[key] = &Candidate{Query: c.Query, Size: c.Size, Stored: true}
+	}
+	s.stored = newStored
+	s.candidates = make(map[string]*Candidate)
+
+	sortQueries(delta.Add)
+	sortQueries(delta.Remove)
+	return delta
+}
+
+func (s *Selector) ensureSize(c *Candidate) {
+	if c.Size > 0 {
+		return
+	}
+	key := c.Query.Key()
+	if sz, ok := s.sizeCache[key]; ok {
+		c.Size = sz
+		return
+	}
+	sz := 0
+	if s.SizeOf != nil {
+		sz = s.SizeOf(c.Query)
+	}
+	s.sizeCache[key] = sz
+	c.Size = sz
+}
+
+// TopCandidates returns the n candidates with the most hits since the last
+// revolution (ties broken by benefit/size ratio, then key), without
+// mutating the selector — the Figure 8/9 sweeps store exactly n filters.
+func (s *Selector) TopCandidates(n int) []query.Query {
+	return s.TopCandidatesLimit(n, 0)
+}
+
+// TopCandidatesLimit is TopCandidates with a per-filter size cap: candidates
+// matching more than maxSize entries are excluded (0 means no cap). User
+// queries generalize at several granularities; a replica of bounded size
+// only ever stores the finer ones.
+func (s *Selector) TopCandidatesLimit(n, maxSize int) []query.Query {
+	all := make([]*Candidate, 0, len(s.candidates))
+	for _, c := range s.candidates {
+		if c.Hits == 0 {
+			continue
+		}
+		s.ensureSize(c)
+		if maxSize > 0 && c.Size > maxSize {
+			continue
+		}
+		all = append(all, c)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Hits != all[j].Hits {
+			return all[i].Hits > all[j].Hits
+		}
+		ri, rj := all[i].Ratio(), all[j].Ratio()
+		if ri != rj {
+			return ri > rj
+		}
+		return all[i].Query.Key() < all[j].Query.Key()
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]query.Query, 0, n)
+	for _, c := range all[:n] {
+		out = append(out, c.Query)
+	}
+	return out
+}
+
+// StoredSet returns the currently selected queries.
+func (s *Selector) StoredSet() []query.Query {
+	out := make([]query.Query, 0, len(s.stored))
+	for _, c := range s.stored {
+		out = append(out, c.Query)
+	}
+	sortQueries(out)
+	return out
+}
+
+// CandidateCount returns the number of tracked (non-stored) candidates.
+func (s *Selector) CandidateCount() int { return len(s.candidates) }
+
+func sortQueries(qs []query.Query) {
+	sort.Slice(qs, func(i, j int) bool { return qs[i].Key() < qs[j].Key() })
+}

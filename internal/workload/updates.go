@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"filterdir/internal/dit"
+	"filterdir/internal/dn"
+	"filterdir/internal/entry"
+)
+
+// UpdateConfig parameterizes the master-side update stream. Fractions must
+// sum to at most 1; the remainder is padded with modifies. Department
+// entries have a very low update rate in the enterprise directory
+// (Section 7.3), so updates target employees unless DeptModifyFraction is
+// set.
+type UpdateConfig struct {
+	Seed           int64
+	ModifyFraction float64 // attribute modify on a random employee
+	AddFraction    float64 // hire: new employee entry
+	DeleteFraction float64 // departure: delete an employee
+	RenameFraction float64 // modifyDN within the country
+	// DeptModifyFraction directs a share of updates at department entries.
+	DeptModifyFraction float64
+}
+
+// DefaultUpdateConfig mirrors a read-mostly people directory.
+func DefaultUpdateConfig() UpdateConfig {
+	return UpdateConfig{
+		Seed:           11,
+		ModifyFraction: 0.70,
+		AddFraction:    0.12,
+		DeleteFraction: 0.12,
+		RenameFraction: 0.05,
+		// Department data barely changes.
+		DeptModifyFraction: 0.01,
+	}
+}
+
+// Updater drives updates against the master, maintaining the directory
+// bookkeeping so the query generator keeps drawing live targets.
+type Updater struct {
+	dir *Directory
+	cfg UpdateConfig
+	r   *rand.Rand
+	seq int
+	// live tracks which employee indexes still exist.
+	live []int
+}
+
+// NewUpdater builds an updater over the directory.
+func NewUpdater(dir *Directory, cfg UpdateConfig) *Updater {
+	u := &Updater{dir: dir, cfg: cfg, r: rand.New(rand.NewSource(cfg.Seed))}
+	u.live = make([]int, len(dir.Employees))
+	for i := range u.live {
+		u.live[i] = i
+	}
+	return u
+}
+
+// Apply performs n updates against the master store. It reports the number
+// actually applied (skips when a random target vanished).
+func (u *Updater) Apply(n int) (int, error) {
+	applied := 0
+	for i := 0; i < n; i++ {
+		ok, err := u.one()
+		if err != nil {
+			return applied, err
+		}
+		if ok {
+			applied++
+		}
+	}
+	return applied, nil
+}
+
+func (u *Updater) one() (bool, error) {
+	p := u.r.Float64()
+	switch {
+	case p < u.cfg.DeptModifyFraction:
+		return u.modifyDept()
+	case p < u.cfg.DeptModifyFraction+u.cfg.AddFraction:
+		return u.addEmployee()
+	case p < u.cfg.DeptModifyFraction+u.cfg.AddFraction+u.cfg.DeleteFraction:
+		return u.deleteEmployee()
+	case p < u.cfg.DeptModifyFraction+u.cfg.AddFraction+u.cfg.DeleteFraction+u.cfg.RenameFraction:
+		return u.renameEmployee()
+	default:
+		return u.modifyEmployee()
+	}
+}
+
+func (u *Updater) pickLive() (int, *Employee, bool) {
+	for attempts := 0; attempts < 8 && len(u.live) > 0; attempts++ {
+		pos := u.r.Intn(len(u.live))
+		idx := u.live[pos]
+		emp := &u.dir.Employees[idx]
+		if _, ok := u.dir.Master.Get(emp.DN); ok {
+			return pos, emp, true
+		}
+		// Lazily drop stale references.
+		u.live = append(u.live[:pos], u.live[pos+1:]...)
+	}
+	return 0, nil, false
+}
+
+func (u *Updater) modifyEmployee() (bool, error) {
+	_, emp, ok := u.pickLive()
+	if !ok {
+		return false, nil
+	}
+	u.seq++
+	err := u.dir.Master.Modify(emp.DN, []dit.Mod{{
+		Op: dit.ModReplace, Attr: "telephoneNumber",
+		Values: []string{fmt.Sprintf("%03d-%04d", u.seq%1000, u.r.Intn(10000))},
+	}})
+	if err != nil {
+		return false, fmt.Errorf("modify %q: %w", emp.DN.String(), err)
+	}
+	return true, nil
+}
+
+func (u *Updater) modifyDept() (bool, error) {
+	if len(u.dir.Departments) == 0 {
+		return false, nil
+	}
+	dep := u.dir.Departments[u.r.Intn(len(u.dir.Departments))]
+	u.seq++
+	err := u.dir.Master.Modify(dep.DN, []dit.Mod{{
+		Op: dit.ModReplace, Attr: "description",
+		Values: []string{fmt.Sprintf("department %s rev %d", dep.Dept, u.seq)},
+	}})
+	if err != nil {
+		return false, fmt.Errorf("modify dept %q: %w", dep.DN.String(), err)
+	}
+	return true, nil
+}
+
+func (u *Updater) addEmployee() (bool, error) {
+	ci := u.r.Intn(len(u.dir.Config.Countries))
+	blocks := len(u.dir.ByCountryBlock[ci])
+	if blocks == 0 {
+		return false, nil
+	}
+	block := u.r.Intn(blocks)
+	u.seq++
+	serial := fmt.Sprintf("%02d%03d9%03d", ci+10, block, u.seq%1000)
+	cc := u.dir.Config.Countries[ci].Code
+	uid := fmt.Sprintf("n%08x", u.r.Uint32())
+	cn := fmt.Sprintf("new %s %d", cc, u.seq)
+	countryDN := dn.MustParse(fmt.Sprintf("c=%s,%s", cc, Suffix))
+	e := entry.New(countryDN.Child(dn.RDN{Attr: "cn", Value: cn}))
+	e.Put("objectclass", "top", "person", "organizationalPerson", "inetOrgPerson")
+	e.Put("cn", cn).Put("sn", fmt.Sprintf("sn%d", u.seq))
+	e.Put("serialNumber", serial).Put("uid", uid)
+	e.Put("mail", fmt.Sprintf("%s@%s.xyz.com", uid, cc))
+	if err := u.dir.Master.Add(e); err != nil {
+		return false, fmt.Errorf("add employee: %w", err)
+	}
+	idx := len(u.dir.Employees)
+	u.dir.Employees = append(u.dir.Employees, Employee{
+		DN: e.DN(), Serial: serial, Mail: e.First("mail"), Country: ci, Block: block,
+	})
+	u.dir.ByCountryBlock[ci][block] = append(u.dir.ByCountryBlock[ci][block], idx)
+	u.live = append(u.live, idx)
+	return true, nil
+}
+
+func (u *Updater) deleteEmployee() (bool, error) {
+	pos, emp, ok := u.pickLive()
+	if !ok {
+		return false, nil
+	}
+	if err := u.dir.Master.Delete(emp.DN); err != nil {
+		return false, fmt.Errorf("delete %q: %w", emp.DN.String(), err)
+	}
+	u.live = append(u.live[:pos], u.live[pos+1:]...)
+	return true, nil
+}
+
+func (u *Updater) renameEmployee() (bool, error) {
+	_, emp, ok := u.pickLive()
+	if !ok {
+		return false, nil
+	}
+	u.seq++
+	parent, _ := emp.DN.Parent()
+	newRDN := dn.RDN{Attr: "cn", Value: fmt.Sprintf("renamed %d", u.seq)}
+	if err := u.dir.Master.ModifyDN(emp.DN, newRDN, parent); err != nil {
+		return false, fmt.Errorf("rename %q: %w", emp.DN.String(), err)
+	}
+	emp.DN = parent.Child(newRDN)
+	return true, nil
+}
