@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: check vet build test bench
+
+## check: the full verification gate (vet, build, race-enabled tests).
+check: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+## bench: regenerate every paper figure as benchmark metrics.
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -7,7 +7,10 @@ package filterdir
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"filterdir/internal/containment"
 	"filterdir/internal/dit"
@@ -340,6 +343,79 @@ func BenchmarkResyncVsBaselines(b *testing.B) {
 	b.ReportMetric(retainBytes, "retain_bytes")
 	b.ReportMetric(tombBytes, "tombstone_bytes")
 	b.ReportMetric(reloadBytes, "reload_bytes")
+}
+
+// BenchmarkResyncConcurrentPolls measures multi-replica synchronization
+// throughput on one master. Each iteration applies an update burst and then
+// polls every replica session concurrently. The "global-lock" variant
+// serializes polls through one shared mutex, emulating the engine-global
+// lock this engine used to have; "per-session" uses the engine as-is. The
+// custom "parallelism" metric is effective parallelism — summed in-poll
+// work time divided by wall time — which is pinned near 1.0 under the
+// global lock and exceeds 1 with per-session locking.
+func BenchmarkResyncConcurrentPolls(b *testing.B) {
+	const replicas = 8
+	run := func(b *testing.B, globalLock bool) {
+		cfg := workload.DefaultDirectoryConfig(2000)
+		cfg.PayloadBytes = 64
+		dir, err := workload.BuildDirectory(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := resync.NewEngine(dir.Master)
+		// Every session's filter matches all employees, so each poll
+		// classifies the full update burst — the realistic worst case for
+		// lock hold time.
+		spec := query.MustNew("", query.ScopeSubtree, "(serialnumber=1*)")
+		cookies := make([]string, replicas)
+		for i := range cookies {
+			res, err := eng.Begin(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cookies[i] = res.Cookie
+		}
+		upd := workload.NewUpdater(dir, workload.DefaultUpdateConfig())
+
+		var gl sync.Mutex
+		var workNanos atomic.Int64
+		var wallNanos int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			// The burst is sized so each poll's classify work comfortably
+			// exceeds a scheduler timeslice; overlapping progress then shows
+			// up in the metric even on a single CPU.
+			if _, err := upd.Apply(2000); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			for _, c := range cookies {
+				wg.Add(1)
+				go func(cookie string) {
+					defer wg.Done()
+					if globalLock {
+						gl.Lock()
+						defer gl.Unlock()
+					}
+					t0 := time.Now()
+					if _, err := eng.Poll(cookie); err != nil {
+						b.Error(err)
+					}
+					workNanos.Add(time.Since(t0).Nanoseconds())
+				}(c)
+			}
+			wg.Wait()
+			wallNanos += time.Since(start).Nanoseconds()
+		}
+		if wallNanos > 0 {
+			b.ReportMetric(float64(workNanos.Load())/float64(wallNanos), "parallelism")
+		}
+	}
+	b.Run("per-session", func(b *testing.B) { run(b, false) })
+	b.Run("global-lock", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkSelectionPolicies compares the paper's periodic benefit/size

@@ -33,21 +33,43 @@ func main() {
 	suffix := flag.String("suffix", "o=xyz", "naming-context suffix")
 	employees := flag.Int("employees", 5000, "synthetic directory population")
 	seed := flag.Int64("seed", 1, "deterministic seed for the synthetic directory")
+	statusEvery := flag.Duration("status-every", time.Minute, "sync-counter status report interval (0 disables)")
+	journalLimit := flag.Int("journal-limit", 0, "bound the in-memory update journal to the most recent n changes (0 = unbounded)")
 	flag.Parse()
 
-	if err := run(*addr, *ldifPath, *dataDir, *journalEvery, *suffix, *employees, *seed); err != nil {
+	if err := run(*addr, *ldifPath, *dataDir, *journalEvery, *suffix, *employees, *seed, *statusEvery, *journalLimit); err != nil {
 		fmt.Fprintln(os.Stderr, "ldapmaster:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, ldifPath, dataDir string, journalEvery time.Duration, suffix string, employees int, seed int64) error {
+// storeOptions assembles the directory options common to every load path.
+func storeOptions(journalLimit int) []filterdir.DirectoryOption {
+	opts := []filterdir.DirectoryOption{
+		filterdir.WithIndexes("serialnumber", "mail", "dept", "location", "uid"),
+	}
+	if journalLimit > 0 {
+		opts = append(opts, filterdir.WithJournalLimit(journalLimit))
+	}
+	return opts
+}
+
+// printStatus reports the sync counters and store state on stdout.
+func printStatus(srv *filterdir.Server, store *filterdir.Directory) {
+	c := srv.SyncCounters()
+	if c == nil {
+		return
+	}
+	fmt.Printf("ldapmaster: entries=%d journal-trimmed=%d | %s\n",
+		store.Len(), store.JournalTrimmed(), c.Snapshot())
+}
+
+func run(addr, ldifPath, dataDir string, journalEvery time.Duration, suffix string, employees int, seed int64, statusEvery time.Duration, journalLimit int) error {
 	var store *filterdir.Directory
 	var home *persist.Dir
 	if dataDir != "" {
 		home = &persist.Dir{Path: dataDir}
-		st, err := home.Open([]string{suffix},
-			filterdir.WithIndexes("serialnumber", "mail", "dept", "location", "uid"))
+		st, err := home.Open([]string{suffix}, storeOptions(journalLimit)...)
 		if err != nil {
 			return err
 		}
@@ -56,6 +78,7 @@ func run(addr, ldifPath, dataDir string, journalEvery time.Duration, suffix stri
 			// First run: seed with the synthetic directory and checkpoint.
 			cfg := workload.DefaultDirectoryConfig(employees)
 			cfg.Seed = seed
+			cfg.JournalLimit = journalLimit
 			dir, err := workload.BuildDirectory(cfg)
 			if err != nil {
 				return err
@@ -66,8 +89,7 @@ func run(addr, ldifPath, dataDir string, journalEvery time.Duration, suffix stri
 			}
 		}
 	} else if ldifPath != "" {
-		st, err := filterdir.NewDirectory([]string{suffix},
-			filterdir.WithIndexes("serialnumber", "mail", "dept", "location", "uid"))
+		st, err := filterdir.NewDirectory([]string{suffix}, storeOptions(journalLimit)...)
 		if err != nil {
 			return err
 		}
@@ -90,6 +112,7 @@ func run(addr, ldifPath, dataDir string, journalEvery time.Duration, suffix stri
 	} else {
 		cfg := workload.DefaultDirectoryConfig(employees)
 		cfg.Seed = seed
+		cfg.JournalLimit = journalLimit
 		dir, err := workload.BuildDirectory(cfg)
 		if err != nil {
 			return err
@@ -105,10 +128,26 @@ func run(addr, ldifPath, dataDir string, journalEvery time.Duration, suffix stri
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	// Periodic sync-counter status reports.
+	var statusC <-chan time.Time
+	if statusEvery > 0 {
+		statusTicker := time.NewTicker(statusEvery)
+		defer statusTicker.Stop()
+		statusC = statusTicker.C
+	}
+
 	if home == nil {
-		<-sig
-		fmt.Println("ldapmaster: shutting down")
-		return srv.Close()
+		for {
+			select {
+			case <-statusC:
+				printStatus(srv, store)
+			case <-sig:
+				fmt.Println("ldapmaster: shutting down")
+				printStatus(srv, store)
+				return srv.Close()
+			}
+		}
 	}
 
 	// Durable mode: journal committed changes periodically, checkpoint on
@@ -125,8 +164,11 @@ func run(addr, ldifPath, dataDir string, journalEvery time.Duration, suffix stri
 				continue
 			}
 			watermark = w
+		case <-statusC:
+			printStatus(srv, store)
 		case <-sig:
 			fmt.Println("ldapmaster: checkpointing and shutting down")
+			printStatus(srv, store)
 			if err := home.Checkpoint(store); err != nil {
 				fmt.Fprintf(os.Stderr, "ldapmaster: checkpoint: %v\n", err)
 			}

@@ -175,6 +175,11 @@ type (
 	ExperimentConfig = sim.Config
 	// Figure is one reproduced table or figure.
 	Figure = metrics.Figure
+	// SyncCounters aggregates master-side synchronization activity
+	// (polls, PDUs by action, full reloads, classify latency).
+	SyncCounters = metrics.SyncCounters
+	// SyncSnapshot is a point-in-time copy of SyncCounters.
+	SyncSnapshot = metrics.SyncSnapshot
 )
 
 // ParseDN parses an RFC 2253 distinguished name.
@@ -220,6 +225,10 @@ func WithSchema(s *Schema) DirectoryOption { return dit.WithSchema(s) }
 
 // WithDefaultReferral sets the superior referral URL for foreign targets.
 func WithDefaultReferral(url string) DirectoryOption { return dit.WithDefaultReferral(url) }
+
+// WithJournalLimit bounds the in-memory update journal to the most recent n
+// changes; sync sessions that fall further behind require a full reload.
+func WithJournalLimit(n int) DirectoryOption { return dit.WithJournalLimit(n) }
 
 // NewFilterReplica creates an empty filter-based replica.
 func NewFilterReplica(opts ...replica.FROption) (*FilterReplica, error) {

@@ -62,6 +62,8 @@ type Store struct {
 	journalBase  CSN // CSN of journal[0]; journal may be trimmed
 	nextCSN      CSN
 	journalLimit int
+	// journalTrimmed counts records dropped by the journal limit.
+	journalTrimmed uint64
 
 	// signal is closed and replaced on every committed change; waiters use
 	// it for persist-mode notification.

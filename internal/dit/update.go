@@ -78,10 +78,20 @@ func (s *Store) commit(c Change) CSN {
 		drop := len(s.journal) - s.journalLimit
 		s.journal = append(s.journal[:0:0], s.journal[drop:]...)
 		s.journalBase += CSN(drop)
+		s.journalTrimmed += uint64(drop)
 	}
 	close(s.signal)
 	s.signal = make(chan struct{})
 	return c.CSN
+}
+
+// JournalTrimmed returns the total number of journal records dropped by the
+// WithJournalLimit bound — the changes sync consumers can no longer replay
+// and must cover with a full reload.
+func (s *Store) JournalTrimmed() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.journalTrimmed
 }
 
 // ChangeSignal returns a channel closed at the next committed change;

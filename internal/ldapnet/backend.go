@@ -10,6 +10,7 @@ import (
 
 	"filterdir/internal/dit"
 	"filterdir/internal/dn"
+	"filterdir/internal/metrics"
 	"filterdir/internal/proto"
 	"filterdir/internal/query"
 	"filterdir/internal/resync"
@@ -41,6 +42,13 @@ type Backend interface {
 	ModifyDN(m *proto.ModifyDNRequest) error
 }
 
+// SyncCounterSource is implemented by backends that expose synchronization
+// counters; the server then adds its wire-level streaming accounting
+// (streamed PDUs, including persist-mode pushes) to the same counters.
+type SyncCounterSource interface {
+	SyncCounters() *metrics.SyncCounters
+}
+
 // StoreBackend serves a dit.Store with a resync.Engine, optionally guarded
 // by a single bind credential (empty means anonymous access).
 type StoreBackend struct {
@@ -56,6 +64,11 @@ var _ Backend = (*StoreBackend)(nil)
 // NewStoreBackend wraps a store and creates its sync engine.
 func NewStoreBackend(store *dit.Store) *StoreBackend {
 	return &StoreBackend{Store: store, Engine: resync.NewEngine(store)}
+}
+
+// SyncCounters implements SyncCounterSource with the engine's counters.
+func (b *StoreBackend) SyncCounters() *metrics.SyncCounters {
+	return b.Engine.Counters()
 }
 
 // Bind implements Backend.

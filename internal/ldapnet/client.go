@@ -7,6 +7,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 
 	"filterdir/internal/dn"
 	"filterdir/internal/entry"
@@ -14,6 +15,11 @@ import (
 	"filterdir/internal/query"
 	"filterdir/internal/resync"
 )
+
+// DefaultTimeout bounds dials and each request/response I/O operation of a
+// Client unless overridden; it keeps a replica from blocking forever on a
+// hung master.
+const DefaultTimeout = 30 * time.Second
 
 // ResultError is returned when a server answers with a non-success result.
 type ResultError struct {
@@ -49,19 +55,60 @@ type Client struct {
 	conn   net.Conn
 	r      *bufio.Reader
 	nextID int64
+	// timeout bounds each network read and write (0 = no deadline).
+	timeout time.Duration
 	// RoundTrips counts request/response exchanges with the server; the
 	// referral experiments read it.
 	roundTrips int
 	closed     bool
 }
 
-// Dial connects to an LDAP server.
+// Dial connects to an LDAP server with DefaultTimeout I/O deadlines.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, DefaultTimeout)
+}
+
+// DialTimeout connects to an LDAP server; timeout bounds the dial and every
+// subsequent read/write of one message (0 disables deadlines).
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	var conn net.Conn
+	var err error
+	if timeout > 0 {
+		conn, err = net.DialTimeout("tcp", addr, timeout)
+	} else {
+		conn, err = net.Dial("tcp", addr)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("ldap dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn, r: bufio.NewReader(conn), nextID: 1}, nil
+	return &Client{conn: conn, r: bufio.NewReader(conn), nextID: 1, timeout: timeout}, nil
+}
+
+// SetTimeout changes the per-I/O deadline for subsequent operations
+// (0 disables deadlines).
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timeout = d
+}
+
+// armWrite and armRead (re-)arm the connection deadline for one I/O
+// operation; with no timeout configured any previous deadline is cleared.
+// Callers hold c.mu.
+func (c *Client) armWrite() {
+	var dl time.Time
+	if c.timeout > 0 {
+		dl = time.Now().Add(c.timeout)
+	}
+	_ = c.conn.SetWriteDeadline(dl)
+}
+
+func (c *Client) armRead() {
+	var dl time.Time
+	if c.timeout > 0 {
+		dl = time.Now().Add(c.timeout)
+	}
+	_ = c.conn.SetReadDeadline(dl)
 }
 
 // RoundTrips reports the number of request/response exchanges so far.
@@ -79,6 +126,7 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
+	c.armWrite()
 	m := &proto.Message{ID: c.nextID, Op: &proto.UnbindRequest{}}
 	_ = m.Write(c.conn)
 	return c.conn.Close()
@@ -89,6 +137,7 @@ func (c *Client) send(op proto.Op, controls ...proto.Control) (int64, error) {
 	id := c.nextID
 	c.nextID++
 	m := &proto.Message{ID: id, Op: op, Controls: controls}
+	c.armWrite()
 	if err := m.Write(c.conn); err != nil {
 		return 0, fmt.Errorf("ldap send: %w", err)
 	}
@@ -96,9 +145,12 @@ func (c *Client) send(op proto.Op, controls ...proto.Control) (int64, error) {
 	return id, nil
 }
 
-// read returns the next message for the given ID.
+// read returns the next message for the given ID. The deadline is re-armed
+// per message, so the timeout bounds the idle gap between responses rather
+// than the total length of a streamed result.
 func (c *Client) read(id int64) (*proto.Message, error) {
 	for {
+		c.armRead()
 		m, err := proto.ReadMessage(c.r)
 		if err != nil {
 			return nil, err
@@ -417,9 +469,20 @@ type PersistSession struct {
 }
 
 // Persist opens a dedicated connection and runs a persist-mode sync. The
-// returned session delivers every update (initial content first).
+// returned session delivers every update (initial content first). The dial
+// and request write are bounded by DefaultTimeout; the stream itself has no
+// idle timeout (persist connections legitimately sit quiet between
+// changes) — use PersistTimeout to bound it.
 func Persist(addr string, q query.Query, cookie string) (*PersistSession, error) {
-	c, err := Dial(addr)
+	return PersistTimeout(addr, q, cookie, DefaultTimeout, 0)
+}
+
+// PersistTimeout is Persist with explicit deadlines: dialTimeout bounds the
+// dial and the initial request write (0 = none); idleTimeout, when
+// positive, bounds the gap between streamed messages — a master stalled
+// longer than that ends the subscription.
+func PersistTimeout(addr string, q query.Query, cookie string, dialTimeout, idleTimeout time.Duration) (*PersistSession, error) {
+	c, err := DialTimeout(addr, dialTimeout)
 	if err != nil {
 		return nil, err
 	}
@@ -437,6 +500,11 @@ func Persist(addr string, q query.Query, cookie string) (*PersistSession, error)
 		defer close(ch)
 		defer close(ps.done)
 		for {
+			var dl time.Time
+			if idleTimeout > 0 {
+				dl = time.Now().Add(idleTimeout)
+			}
+			_ = c.conn.SetReadDeadline(dl)
 			m, err := proto.ReadMessage(c.r)
 			if err != nil {
 				return

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"filterdir/internal/entry"
+	"filterdir/internal/metrics"
 	"filterdir/internal/proto"
 	"filterdir/internal/resync"
 )
@@ -19,6 +20,9 @@ import (
 type Server struct {
 	ln      net.Listener
 	backend Backend
+	// sync receives wire-level streaming accounting when the backend
+	// exposes counters (nil otherwise).
+	syncStats *metrics.SyncCounters
 
 	mu     sync.Mutex
 	conns  map[net.Conn]bool
@@ -33,10 +37,17 @@ func Serve(addr string, backend Backend) (*Server, error) {
 		return nil, fmt.Errorf("ldap server listen: %w", err)
 	}
 	s := &Server{ln: ln, backend: backend, conns: make(map[net.Conn]bool)}
+	if src, ok := backend.(SyncCounterSource); ok {
+		s.syncStats = src.SyncCounters()
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
 }
+
+// SyncCounters returns the synchronization counters shared with the
+// backend's engine, or nil when the backend exposes none.
+func (s *Server) SyncCounters() *metrics.SyncCounters { return s.syncStats }
 
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
@@ -413,6 +424,9 @@ func (s *Server) streamUpdates(state *connState, conn net.Conn, id int64, update
 			Controls: []proto.Control{proto.NewEntryChangeControl(action)}}
 		if err := s.send(state, conn, m); err != nil {
 			return err
+		}
+		if s.syncStats != nil {
+			s.syncStats.StreamedPDUs.Add(1)
 		}
 	}
 	return nil

@@ -54,6 +54,7 @@ func (f *Figure) Render(w io.Writer) error {
 
 	// Collect the union of X values in order.
 	xs := f.xValues()
+	idx := f.seriesIndexes()
 	// Header.
 	fmt.Fprintf(&b, "%-14s", f.XLabel)
 	for _, s := range f.Series {
@@ -62,8 +63,8 @@ func (f *Figure) Render(w io.Writer) error {
 	b.WriteString("\n")
 	for _, x := range xs {
 		fmt.Fprintf(&b, "%-14.4g", x)
-		for _, s := range f.Series {
-			if y, ok := lookup(s, x); ok {
+		for i := range f.Series {
+			if y, ok := idx[i][x]; ok {
 				fmt.Fprintf(&b, " %20.4f", y)
 			} else {
 				fmt.Fprintf(&b, " %20s", "-")
@@ -85,10 +86,11 @@ func (f *Figure) CSV(w io.Writer) error {
 		b.WriteString(strings.ReplaceAll(s.Name, ",", ";"))
 	}
 	b.WriteString("\n")
+	idx := f.seriesIndexes()
 	for _, x := range f.xValues() {
 		fmt.Fprintf(&b, "%g", x)
-		for _, s := range f.Series {
-			if y, ok := lookup(s, x); ok {
+		for i := range f.Series {
+			if y, ok := idx[i][x]; ok {
 				fmt.Fprintf(&b, ",%g", y)
 			} else {
 				b.WriteString(",")
@@ -113,6 +115,23 @@ func (f *Figure) xValues() []float64 {
 	}
 	sort.Float64s(xs)
 	return xs
+}
+
+// seriesIndexes builds one X→Y map per series so Render and CSV resolve
+// each (x, series) cell in O(1) instead of rescanning the points slice.
+// The first point at a given X wins, matching lookup's semantics.
+func (f *Figure) seriesIndexes() []map[float64]float64 {
+	idx := make([]map[float64]float64, len(f.Series))
+	for i, s := range f.Series {
+		m := make(map[float64]float64, len(s.Points))
+		for _, p := range s.Points {
+			if _, ok := m[p.X]; !ok {
+				m[p.X] = p.Y
+			}
+		}
+		idx[i] = m
+	}
+	return idx
 }
 
 func lookup(s *Series, x float64) (float64, bool) {

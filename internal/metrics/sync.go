@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// SyncCounters aggregates master-side ReSync activity: session lifecycle
+// events, update PDUs by action, full reloads, persist streaming, and the
+// classification latency of the poll hot path. All fields are atomic, so
+// the counters can sit on concurrent hot paths without a lock; readers
+// take a consistent-enough view via Snapshot.
+type SyncCounters struct {
+	// Session lifecycle.
+	Begins      atomic.Int64 // sessions started (null-cookie syncs)
+	Polls       atomic.Int64 // poll-mode exchanges served
+	RetainPolls atomic.Int64 // retain-mode (equation 3) exchanges served
+	Ends        atomic.Int64 // sessions terminated by sync_end
+
+	// Update PDUs produced by classification, by action.
+	PDUAdds     atomic.Int64
+	PDUDeletes  atomic.Int64
+	PDUModifies atomic.Int64
+	PDURetains  atomic.Int64
+
+	// SuppressedModifies counts net-unchanged modify PDUs dropped by the
+	// minimal-update-set check (e.g. modify-then-revert intervals).
+	SuppressedModifies atomic.Int64
+
+	// FullReloads counts polls answered with a full content transfer
+	// because the journal no longer covered the session's sync point.
+	FullReloads atomic.Int64
+
+	// PersistStreams counts sessions upgraded to persist mode.
+	PersistStreams atomic.Int64
+	// StreamedPDUs counts update PDUs written to the wire by the server,
+	// including persist-mode pushes.
+	StreamedPDUs atomic.Int64
+
+	// Classification latency: total nanoseconds and observations.
+	ClassifyNanos atomic.Int64
+	Classifies    atomic.Int64
+}
+
+// ObserveClassify records one poll's classification latency.
+func (c *SyncCounters) ObserveClassify(d time.Duration) {
+	c.ClassifyNanos.Add(int64(d))
+	c.Classifies.Add(1)
+}
+
+// SyncSnapshot is a point-in-time copy of the counters.
+type SyncSnapshot struct {
+	Begins, Polls, RetainPolls, Ends             int64
+	PDUAdds, PDUDeletes, PDUModifies, PDURetains int64
+	SuppressedModifies                           int64
+	FullReloads                                  int64
+	PersistStreams, StreamedPDUs                 int64
+	Classifies                                   int64
+	AvgClassify                                  time.Duration
+}
+
+// Snapshot copies the current counter values.
+func (c *SyncCounters) Snapshot() SyncSnapshot {
+	s := SyncSnapshot{
+		Begins:             c.Begins.Load(),
+		Polls:              c.Polls.Load(),
+		RetainPolls:        c.RetainPolls.Load(),
+		Ends:               c.Ends.Load(),
+		PDUAdds:            c.PDUAdds.Load(),
+		PDUDeletes:         c.PDUDeletes.Load(),
+		PDUModifies:        c.PDUModifies.Load(),
+		PDURetains:         c.PDURetains.Load(),
+		SuppressedModifies: c.SuppressedModifies.Load(),
+		FullReloads:        c.FullReloads.Load(),
+		PersistStreams:     c.PersistStreams.Load(),
+		StreamedPDUs:       c.StreamedPDUs.Load(),
+		Classifies:         c.Classifies.Load(),
+	}
+	if s.Classifies > 0 {
+		s.AvgClassify = time.Duration(c.ClassifyNanos.Load() / s.Classifies)
+	}
+	return s
+}
+
+// PDUs returns the total update PDUs produced across all actions.
+func (s SyncSnapshot) PDUs() int64 {
+	return s.PDUAdds + s.PDUDeletes + s.PDUModifies + s.PDURetains
+}
+
+// String renders a compact status line for operator output.
+func (s SyncSnapshot) String() string {
+	return fmt.Sprintf(
+		"sync: begins=%d polls=%d retain=%d ends=%d persist=%d | pdus=%d (add=%d del=%d mod=%d ret=%d suppressed=%d) streamed=%d | full-reloads=%d classify-avg=%s",
+		s.Begins, s.Polls, s.RetainPolls, s.Ends, s.PersistStreams,
+		s.PDUs(), s.PDUAdds, s.PDUDeletes, s.PDUModifies, s.PDURetains,
+		s.SuppressedModifies, s.StreamedPDUs, s.FullReloads, s.AvgClassify)
+}

@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSyncCountersSnapshot(t *testing.T) {
+	var c SyncCounters
+	c.Begins.Add(2)
+	c.Polls.Add(5)
+	c.PDUAdds.Add(3)
+	c.PDUDeletes.Add(1)
+	c.PDUModifies.Add(4)
+	c.SuppressedModifies.Add(2)
+	c.FullReloads.Add(1)
+	c.ObserveClassify(10 * time.Millisecond)
+	c.ObserveClassify(20 * time.Millisecond)
+
+	s := c.Snapshot()
+	if s.Begins != 2 || s.Polls != 5 || s.FullReloads != 1 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if got := s.PDUs(); got != 8 {
+		t.Errorf("PDUs() = %d, want 8", got)
+	}
+	if s.AvgClassify != 15*time.Millisecond {
+		t.Errorf("AvgClassify = %v, want 15ms", s.AvgClassify)
+	}
+	line := s.String()
+	for _, want := range []string{"polls=5", "add=3", "suppressed=2", "full-reloads=1"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("String() missing %q: %s", want, line)
+		}
+	}
+}
+
+func TestSyncSnapshotZero(t *testing.T) {
+	var c SyncCounters
+	s := c.Snapshot()
+	if s.AvgClassify != 0 {
+		t.Errorf("zero-sample AvgClassify = %v", s.AvgClassify)
+	}
+	if s.PDUs() != 0 {
+		t.Errorf("zero PDUs() = %d", s.PDUs())
+	}
+}
+
+// TestRenderDuplicateX pins the indexed Render/CSV lookup to the original
+// semantics: when a series holds several points at the same X, the first
+// one wins.
+func TestRenderDuplicateX(t *testing.T) {
+	fig := &Figure{ID: "dup", Title: "dup"}
+	s := fig.AddSeries("s")
+	s.Add(1, 0.25)
+	s.Add(1, 0.75)
+
+	var sb strings.Builder
+	if err := fig.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 || lines[1] != "1,0.25" {
+		t.Errorf("csv with duplicate X = %q, want first point to win", lines)
+	}
+}

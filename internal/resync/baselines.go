@@ -31,12 +31,16 @@ import (
 // full entry. The session's content map tells adds from modifies. The
 // consumer must discard held entries not mentioned in the result.
 func (e *Engine) PollRetain(cookie string) (*PollResult, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	sess, ok := e.sessions[cookie]
-	if !ok {
+	sess, err := e.lookup(cookie)
+	if err != nil {
+		return nil, err
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.ended {
 		return nil, ErrNoSuchSession
 	}
+	e.stats.RetainPolls.Add(1)
 	// Which DNs changed at all since the sync point? With trimmed history,
 	// everything is considered changed.
 	changedDNs := make(map[string]bool)
@@ -52,6 +56,7 @@ func (e *Engine) PollRetain(cookie string) (*PollResult, error) {
 	}
 
 	res := &PollResult{Cookie: sess.id}
+	csn := e.store.LastCSN()
 	entries := e.store.MatchAll(stripAttrs(sess.spec))
 	newContent := make(map[string]dn.DN, len(entries))
 	for _, ent := range entries {
@@ -71,7 +76,8 @@ func (e *Engine) PollRetain(cookie string) (*PollResult, error) {
 		}
 	}
 	sess.content = newContent
-	sess.lastCSN = e.store.LastCSN()
+	sess.lastCSN = csn
+	e.countPDUs(res.Updates)
 	return res, nil
 }
 

@@ -1,0 +1,201 @@
+package resync
+
+import (
+	"errors"
+	"math/rand"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"filterdir/internal/dit"
+	"filterdir/internal/dn"
+	"filterdir/internal/entry"
+	"filterdir/internal/query"
+)
+
+// TestConcurrentBeginPollEnd hammers one engine with concurrent session
+// lifecycles while a writer mutates the store; run with -race. It verifies
+// the registry/per-session locking protocol: no torn state, and a poll
+// racing an End either completes or reports ErrNoSuchSession — never a
+// successful poll of a deregistered session.
+func TestConcurrentBeginPollEnd(t *testing.T) {
+	master := newMaster(t)
+	eng := NewEngine(master)
+	spec := query.MustNew("o=xyz", query.ScopeSubtree, "(objectclass=person)")
+
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			d := dn.MustParse("cn=w" + strconv.Itoa(i) + ",c=us,o=xyz")
+			e := entry.New(d)
+			e.Put("objectclass", "person").Put("cn", "w"+strconv.Itoa(i)).
+				Put("sn", "w").Put("serialNumber", "04"+strconv.Itoa(i%100))
+			if err := master.Add(e); err != nil {
+				t.Errorf("writer add: %v", err)
+				return
+			}
+			if rng.Intn(2) == 0 {
+				_ = master.Delete(d)
+			}
+		}
+	}()
+
+	const workers, rounds = 8, 40
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				res, err := eng.Begin(spec)
+				if err != nil {
+					t.Errorf("begin: %v", err)
+					return
+				}
+				cookie := res.Cookie
+				// Two goroutines poll the same session concurrently; the
+				// session lock serializes them.
+				var inner sync.WaitGroup
+				for g := 0; g < 2; g++ {
+					inner.Add(1)
+					go func() {
+						defer inner.Done()
+						if _, err := eng.Poll(cookie); err != nil && !errors.Is(err, ErrNoSuchSession) {
+							t.Errorf("poll: %v", err)
+						}
+					}()
+				}
+				// End races the polls above.
+				if err := eng.End(cookie); err != nil && !errors.Is(err, ErrNoSuchSession) {
+					t.Errorf("end: %v", err)
+				}
+				inner.Wait()
+				// After End returned, the cookie must be dead.
+				if _, err := eng.Poll(cookie); !errors.Is(err, ErrNoSuchSession) {
+					t.Errorf("poll after end: err=%v, want ErrNoSuchSession", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	writers.Wait()
+
+	if n := eng.Sessions(); n != 0 {
+		t.Errorf("sessions left registered = %d, want 0", n)
+	}
+	snap := eng.Counters().Snapshot()
+	if snap.Begins != workers*rounds || snap.Ends != workers*rounds {
+		t.Errorf("counters begins=%d ends=%d, want %d each", snap.Begins, snap.Ends, workers*rounds)
+	}
+}
+
+// TestSlowSessionDoesNotBlockOthers pins one session mid-synchronization
+// (holding its per-session lock, as a slow trimmed-journal full reload
+// would) and verifies another session's poll still completes, while the
+// pinned session's own poll waits for the lock. Under the old engine-global
+// mutex the second poll deadlocked behind the first.
+func TestSlowSessionDoesNotBlockOthers(t *testing.T) {
+	master, err := dit.NewStore([]string{"o=xyz"}, dit.WithJournalLimit(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	org := entry.New(dn.MustParse("o=xyz"))
+	org.Put("objectclass", "organization").Put("o", "xyz")
+	if err := master.Add(org); err != nil {
+		t.Fatal(err)
+	}
+	us := entry.New(dn.MustParse("c=us,o=xyz"))
+	us.Put("objectclass", "country").Put("c", "us")
+	if err := master.Add(us); err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(master)
+	spec := query.MustNew("o=xyz", query.ScopeSubtree, "(objectclass=person)")
+
+	resA, err := eng.Begin(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := eng.Begin(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Overflow the 4-change journal so session A needs a full reload.
+	for i := 0; i < 8; i++ {
+		addPerson(t, master, "p"+strconv.Itoa(i), "040"+strconv.Itoa(i), "1")
+		// Keep B current so only A falls behind the trimmed history.
+		if i == 3 {
+			if _, err := eng.Poll(resB.Cookie); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := eng.Poll(resB.Cookie); err != nil {
+		t.Fatal(err)
+	}
+
+	sessA, err := eng.lookup(resA.Cookie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessA.mu.Lock() // simulate A stuck mid-full-reload
+
+	// A's own poll must block on the session lock...
+	aDone := make(chan *PollResult, 1)
+	go func() {
+		res, err := eng.Poll(resA.Cookie)
+		if err != nil {
+			t.Errorf("poll A: %v", err)
+		}
+		aDone <- res
+	}()
+	select {
+	case <-aDone:
+		t.Fatal("poll of locked session returned while lock held")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// ...while B's poll proceeds unimpeded.
+	bDone := make(chan struct{})
+	go func() {
+		defer close(bDone)
+		if _, err := eng.Poll(resB.Cookie); err != nil {
+			t.Errorf("poll B: %v", err)
+		}
+	}()
+	select {
+	case <-bDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("session B's poll blocked behind session A")
+	}
+
+	sessA.mu.Unlock()
+	select {
+	case res := <-aDone:
+		if res != nil && !res.FullReload {
+			t.Error("session A expected a full reload after journal trim")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("session A's poll never completed")
+	}
+
+	snap := eng.Counters().Snapshot()
+	if snap.FullReloads < 1 {
+		t.Errorf("FullReloads = %d, want >= 1", snap.FullReloads)
+	}
+	if master.JournalTrimmed() == 0 {
+		t.Error("store reported no trimmed journal records")
+	}
+}

@@ -1,7 +1,6 @@
 package resync
 
 import (
-	"fmt"
 	"sync"
 )
 
@@ -31,12 +30,11 @@ func (s *Subscription) Close() {
 // registered; Close leaves it resumable by cookie (poll mode), matching the
 // protocol's mode switch in Figure 3.
 func (e *Engine) Persist(cookie string) (*Subscription, error) {
-	e.mu.Lock()
-	sess, ok := e.sessions[cookie]
-	e.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNoSuchSession, cookie)
+	sess, err := e.lookup(cookie)
+	if err != nil {
+		return nil, err
 	}
+	e.stats.PersistStreams.Add(1)
 
 	ch := make(chan []Update, 1)
 	sub := &Subscription{
@@ -51,9 +49,13 @@ func (e *Engine) Persist(cookie string) (*Subscription, error) {
 			// Arm the signal before polling so commits between poll and wait
 			// are not missed.
 			sig := e.store.ChangeSignal()
-			e.mu.Lock()
-			res, err := e.pollLocked(sess)
-			e.mu.Unlock()
+			sess.mu.Lock()
+			if sess.ended {
+				sess.mu.Unlock()
+				return
+			}
+			res, err := e.poll(sess)
+			sess.mu.Unlock()
 			if err != nil {
 				return
 			}

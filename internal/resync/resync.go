@@ -23,10 +23,12 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"time"
 
 	"filterdir/internal/dit"
 	"filterdir/internal/dn"
 	"filterdir/internal/entry"
+	"filterdir/internal/metrics"
 	"filterdir/internal/query"
 )
 
@@ -112,10 +114,18 @@ var (
 
 // Engine is the master-side ReSync protocol engine, layered on a DIT store
 // and its update journal. Safe for concurrent use.
+//
+// Concurrency model: mu is a short-lived registry lock guarding only the
+// sessions map and ID counter. Each session carries its own mutex
+// serializing polls of that session, so a slow synchronization (e.g. a
+// trimmed-journal full reload) on one replica never blocks another
+// replica's poll — the underlying dit.Store is RWMutex-protected, so
+// concurrent MatchAll/ChangesSince reads proceed in parallel.
 type Engine struct {
 	store *dit.Store
+	stats *metrics.SyncCounters
 
-	mu       sync.Mutex
+	mu       sync.Mutex // guards sessions and nextID only; never held across store reads
 	sessions map[string]*session
 	nextID   uint64
 }
@@ -125,7 +135,14 @@ type Engine struct {
 // DN set of the content at that CSN (the basis for classifying moves in and
 // out — the "session history" of the paper).
 type session struct {
-	id      string
+	id string
+
+	// mu serializes synchronization exchanges of this session; ended is set
+	// (under mu) by End so that a poll racing a concurrent End cannot
+	// advance a deregistered session and hand its cookie back as live.
+	mu    sync.Mutex
+	ended bool
+
 	spec    query.Query
 	lastCSN dit.CSN
 	content map[string]dn.DN // norm DN -> DN of entries in content at lastCSN
@@ -133,7 +150,43 @@ type session struct {
 
 // NewEngine creates an engine over the master store.
 func NewEngine(store *dit.Store) *Engine {
-	return &Engine{store: store, sessions: make(map[string]*session)}
+	return &Engine{
+		store:    store,
+		stats:    &metrics.SyncCounters{},
+		sessions: make(map[string]*session),
+	}
+}
+
+// Counters exposes the engine's synchronization counters; callers may read
+// them concurrently (and the wire server adds its streaming accounting).
+func (e *Engine) Counters() *metrics.SyncCounters { return e.stats }
+
+// lookup resolves a cookie to its session under one registry-lock
+// acquisition.
+func (e *Engine) lookup(cookie string) (*session, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sess, ok := e.sessions[cookie]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchSession, cookie)
+	}
+	return sess, nil
+}
+
+// countPDUs accounts a produced update batch by action.
+func (e *Engine) countPDUs(updates []Update) {
+	for _, u := range updates {
+		switch u.Action {
+		case ActionAdd:
+			e.stats.PDUAdds.Add(1)
+		case ActionDelete:
+			e.stats.PDUDeletes.Add(1)
+		case ActionModify:
+			e.stats.PDUModifies.Add(1)
+		case ActionRetain:
+			e.stats.PDURetains.Add(1)
+		}
+	}
 }
 
 // PollResult is the outcome of one poll: the update sequence, the cookie
@@ -163,6 +216,8 @@ func (e *Engine) Begin(spec query.Query) (*PollResult, error) {
 	e.sessions[sess.id] = sess
 	e.mu.Unlock()
 	res.Cookie = sess.id
+	e.stats.Begins.Add(1)
+	e.countPDUs(res.Updates)
 	return res, nil
 }
 
@@ -171,37 +226,48 @@ func (e *Engine) Begin(spec query.Query) (*PollResult, error) {
 // longer covers the session's sync point, the full content is re-sent with
 // FullReload set.
 func (e *Engine) Poll(cookie string) (*PollResult, error) {
-	e.mu.Lock()
-	sess, ok := e.sessions[cookie]
-	e.mu.Unlock()
-	if !ok {
+	sess, err := e.lookup(cookie)
+	if err != nil {
+		return nil, err
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.ended {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchSession, cookie)
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.pollLocked(sess)
+	e.stats.Polls.Add(1)
+	return e.poll(sess)
 }
 
-func (e *Engine) pollLocked(sess *session) (*PollResult, error) {
+// poll runs one synchronization exchange; the caller holds sess.mu.
+func (e *Engine) poll(sess *session) (*PollResult, error) {
 	changes, ok := e.store.ChangesSince(sess.lastCSN)
 	if !ok {
-		// History trimmed: full reload.
+		// History trimmed: full reload. The sync point is read before the
+		// content so a change committed between the two reads is re-examined
+		// on the next poll rather than lost.
+		e.stats.FullReloads.Add(1)
+		csn := e.store.LastCSN()
 		entries := e.store.MatchAll(stripAttrs(sess.spec))
-		sess.lastCSN = e.store.LastCSN()
+		sess.lastCSN = csn
 		sess.content = make(map[string]dn.DN, len(entries))
 		res := &PollResult{Cookie: sess.id, FullReload: true}
 		for _, ent := range entries {
 			sess.content[ent.DN().Norm()] = ent.DN()
 			res.Updates = append(res.Updates, Update{Action: ActionAdd, DN: ent.DN(), Entry: ent})
 		}
+		e.countPDUs(res.Updates)
 		return res, nil
 	}
 
 	res := &PollResult{Cookie: sess.id}
+	start := time.Now()
 	res.Updates = e.classify(sess, changes)
+	e.stats.ObserveClassify(time.Since(start))
 	if len(changes) > 0 {
 		sess.lastCSN = changes[len(changes)-1].CSN
 	}
+	e.countPDUs(res.Updates)
 	return res, nil
 }
 
@@ -209,17 +275,21 @@ func (e *Engine) pollLocked(sess *session) (*PollResult, error) {
 // the minimal (net) update set and advancing the content map.
 func (e *Engine) classify(sess *session, changes []dit.Change) []Update {
 	// initial[norm] records whether the DN was in content at the start of
-	// the interval; touched tracks the final entry snapshot per DN.
+	// the interval; firstBefore holds the entry snapshot at that point, the
+	// reference for net-change detection; touched tracks the final entry
+	// snapshot per DN.
 	initial := make(map[string]bool)
+	firstBefore := make(map[string]*entry.Entry)
 	finalEnt := make(map[string]*entry.Entry)
 	finalIn := make(map[string]bool)
 	finalDN := make(map[string]dn.DN)
 	changed := make(map[string]bool)
 
-	note := func(d dn.DN, before bool) {
+	note := func(d dn.DN, before bool, prior *entry.Entry) {
 		norm := d.Norm()
 		if _, seen := initial[norm]; !seen {
 			initial[norm] = before
+			firstBefore[norm] = prior
 		}
 		changed[norm] = true
 		finalDN[norm] = d
@@ -233,24 +303,24 @@ func (e *Engine) classify(sess *session, changes []dit.Change) []Update {
 		case dit.ChangeAdd, dit.ChangeModify:
 			norm := c.DN.Norm()
 			_, wasIn := sess.content[norm]
-			note(c.DN, wasIn)
+			note(c.DN, wasIn, c.Before)
 			finalIn[norm] = inContent(c.After)
 			finalEnt[norm] = c.After
 		case dit.ChangeDelete:
 			norm := c.DN.Norm()
 			_, wasIn := sess.content[norm]
-			note(c.DN, wasIn)
+			note(c.DN, wasIn, c.Before)
 			finalIn[norm] = false
 			finalEnt[norm] = nil
 		case dit.ChangeModifyDN:
 			oldNorm := c.DN.Norm()
 			_, wasIn := sess.content[oldNorm]
-			note(c.DN, wasIn)
+			note(c.DN, wasIn, c.Before)
 			finalIn[oldNorm] = false
 			finalEnt[oldNorm] = nil
 			newNorm := c.NewDN.Norm()
 			_, newWasIn := sess.content[newNorm]
-			note(c.NewDN, newWasIn)
+			note(c.NewDN, newWasIn, nil)
 			finalIn[newNorm] = inContent(c.After)
 			finalEnt[newNorm] = c.After
 		}
@@ -274,6 +344,17 @@ func (e *Engine) classify(sess *session, changes []dit.Change) []Update {
 			delete(sess.content, norm)
 		case was && is:
 			ent := finalEnt[norm].Select(sess.spec.Attrs)
+			// Minimal update set (equation 3): an entry whose selected view
+			// is net-unchanged over the interval — modify-then-revert, or
+			// modifies confined to unselected attributes — produces no PDU.
+			if prior := firstBefore[norm]; prior != nil {
+				pv := prior.Select(sess.spec.Attrs)
+				if pv.Equal(ent) && pv.DN().String() == ent.DN().String() {
+					e.stats.SuppressedModifies.Add(1)
+					sess.content[norm] = ent.DN()
+					continue
+				}
+			}
 			updates = append(updates, Update{Action: ActionModify, DN: ent.DN(), Entry: ent})
 			sess.content[norm] = ent.DN()
 		}
@@ -281,14 +362,22 @@ func (e *Engine) classify(sess *session, changes []dit.Change) []Update {
 	return updates
 }
 
-// End terminates a session (mode "sync_end").
+// End terminates a session (mode "sync_end"). The session is deregistered
+// and marked ended under its own lock, so an exchange racing the End either
+// completes first or observes the termination and fails.
 func (e *Engine) End(cookie string) error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	if _, ok := e.sessions[cookie]; !ok {
+	sess, ok := e.sessions[cookie]
+	if !ok {
+		e.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNoSuchSession, cookie)
 	}
 	delete(e.sessions, cookie)
+	e.mu.Unlock()
+	sess.mu.Lock()
+	sess.ended = true
+	sess.mu.Unlock()
+	e.stats.Ends.Add(1)
 	return nil
 }
 

@@ -55,6 +55,10 @@ type DirectoryConfig struct {
 	PayloadBytes int
 	// IndexAttrs are maintained as indexes on the master store.
 	IndexAttrs []string
+	// JournalLimit bounds the master's in-memory update journal to the most
+	// recent n changes (0 = unbounded); sync sessions that fall further
+	// behind require a full reload.
+	JournalLimit int
 }
 
 // DefaultDirectoryConfig returns a laptop-scale configuration with the
@@ -122,6 +126,9 @@ func BuildDirectory(cfg DirectoryConfig) (*Directory, error) {
 	var opts []dit.Option
 	if len(cfg.IndexAttrs) > 0 {
 		opts = append(opts, dit.WithIndexes(cfg.IndexAttrs...))
+	}
+	if cfg.JournalLimit > 0 {
+		opts = append(opts, dit.WithJournalLimit(cfg.JournalLimit))
 	}
 	master, err := dit.NewStore([]string{Suffix}, opts...)
 	if err != nil {
