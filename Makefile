@@ -1,9 +1,15 @@
 GO ?= go
 
-.PHONY: check vet build test bench
+.PHONY: check fmt vet build test bench
 
-## check: the full verification gate (vet, build, race-enabled tests).
-check: vet build test
+## check: the full verification gate (format, vet, build, race-enabled tests).
+check: fmt vet build test
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...

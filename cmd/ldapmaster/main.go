@@ -3,6 +3,11 @@
 // from LDIF, or generated synthetically; with -data, updates are journaled
 // to disk and a checkpoint is written on shutdown.
 //
+// With -chaos, every accepted connection is wrapped in the fault-injection
+// layer, so replica recovery can be exercised against a real server:
+//
+//	ldapmaster -chaos 'drop-every=40,latency=1ms..5ms,seed=7'
+//
 // Usage:
 //
 //	ldapmaster -addr 127.0.0.1:3890 -employees 5000
@@ -13,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"sort"
@@ -20,6 +26,8 @@ import (
 	"time"
 
 	"filterdir"
+	"filterdir/internal/chaos"
+	"filterdir/internal/ldapnet"
 	"filterdir/internal/ldif"
 	"filterdir/internal/persist"
 	"filterdir/internal/workload"
@@ -35,9 +43,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "deterministic seed for the synthetic directory")
 	statusEvery := flag.Duration("status-every", time.Minute, "sync-counter status report interval (0 disables)")
 	journalLimit := flag.Int("journal-limit", 0, "bound the in-memory update journal to the most recent n changes (0 = unbounded)")
+	chaosSpec := flag.String("chaos", "", `fault-injection plan for accepted connections, e.g. "drop-every=40,latency=1ms..5ms,seed=7" (empty disables)`)
 	flag.Parse()
 
-	if err := run(*addr, *ldifPath, *dataDir, *journalEvery, *suffix, *employees, *seed, *statusEvery, *journalLimit); err != nil {
+	plan, err := chaos.ParsePlan(*chaosSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ldapmaster:", err)
+		os.Exit(2)
+	}
+	if err := run(*addr, *ldifPath, *dataDir, *journalEvery, *suffix, *employees, *seed, *statusEvery, *journalLimit, plan); err != nil {
 		fmt.Fprintln(os.Stderr, "ldapmaster:", err)
 		os.Exit(1)
 	}
@@ -54,17 +68,21 @@ func storeOptions(journalLimit int) []filterdir.DirectoryOption {
 	return opts
 }
 
-// printStatus reports the sync counters and store state on stdout.
-func printStatus(srv *filterdir.Server, store *filterdir.Directory) {
+// printStatus reports the sync counters, store state and injected-fault
+// totals on stdout.
+func printStatus(srv *filterdir.Server, store *filterdir.Directory, inj *chaos.Injector) {
 	c := srv.SyncCounters()
 	if c == nil {
 		return
 	}
 	fmt.Printf("ldapmaster: entries=%d journal-trimmed=%d | %s\n",
 		store.Len(), store.JournalTrimmed(), c.Snapshot())
+	if inj != nil {
+		fmt.Printf("ldapmaster: %s\n", inj.Stats())
+	}
 }
 
-func run(addr, ldifPath, dataDir string, journalEvery time.Duration, suffix string, employees int, seed int64, statusEvery time.Duration, journalLimit int) error {
+func run(addr, ldifPath, dataDir string, journalEvery time.Duration, suffix string, employees int, seed int64, statusEvery time.Duration, journalLimit int, plan chaos.Plan) error {
 	var store *filterdir.Directory
 	var home *persist.Dir
 	if dataDir != "" {
@@ -120,10 +138,17 @@ func run(addr, ldifPath, dataDir string, journalEvery time.Duration, suffix stri
 		store = dir.Master
 	}
 
-	srv, err := filterdir.ServeDirectory(addr, store)
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
+	var inj *chaos.Injector
+	if plan.Active() {
+		inj = chaos.New(plan)
+		ln = inj.Listener(ln)
+		fmt.Println("ldapmaster: chaos plan armed; injected faults count against every connection")
+	}
+	srv := ldapnet.ServeListener(ln, ldapnet.NewStoreBackend(store))
 	fmt.Printf("ldapmaster: serving %d entries on %s (suffix %s)\n", store.Len(), srv.Addr(), suffix)
 
 	sig := make(chan os.Signal, 1)
@@ -137,15 +162,28 @@ func run(addr, ldifPath, dataDir string, journalEvery time.Duration, suffix stri
 		statusC = statusTicker.C
 	}
 
+	// shutdown stops accepting and drops live connections first, so no
+	// update can land mid-checkpoint, then flushes durable state and prints
+	// the final counter snapshot.
+	shutdown := func() error {
+		closeErr := srv.Close()
+		if home != nil {
+			if err := home.Checkpoint(store); err != nil {
+				fmt.Fprintf(os.Stderr, "ldapmaster: checkpoint: %v\n", err)
+			}
+		}
+		printStatus(srv, store, inj)
+		return closeErr
+	}
+
 	if home == nil {
 		for {
 			select {
 			case <-statusC:
-				printStatus(srv, store)
+				printStatus(srv, store, inj)
 			case <-sig:
 				fmt.Println("ldapmaster: shutting down")
-				printStatus(srv, store)
-				return srv.Close()
+				return shutdown()
 			}
 		}
 	}
@@ -165,14 +203,10 @@ func run(addr, ldifPath, dataDir string, journalEvery time.Duration, suffix stri
 			}
 			watermark = w
 		case <-statusC:
-			printStatus(srv, store)
+			printStatus(srv, store, inj)
 		case <-sig:
 			fmt.Println("ldapmaster: checkpointing and shutting down")
-			printStatus(srv, store)
-			if err := home.Checkpoint(store); err != nil {
-				fmt.Fprintf(os.Stderr, "ldapmaster: checkpoint: %v\n", err)
-			}
-			return srv.Close()
+			return shutdown()
 		}
 	}
 }

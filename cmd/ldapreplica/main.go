@@ -1,14 +1,19 @@
 // Command ldapreplica runs a filter-based replica against a master served
-// by ldapmaster: it registers the configured filters, synchronizes their
-// content over the wire with the ReSync protocol, serves contained queries
-// on its own LDAP port (misses are answered with a referral to the
-// master), and keeps polling.
+// by ldapmaster. Each configured filter is owned by a supervisor that
+// drives the full ReSync lifecycle — begin, steady-state poll or persist
+// stream, reconnect with capped backoff, resume by cookie — while the
+// replica serves contained queries on its own LDAP port (misses are
+// answered with a referral to the master).
+//
+// With -state, each filter's cookie and content are checkpointed durably;
+// a restarted replica reloads its content from disk and resumes the master
+// session with a poll instead of a full content transfer.
 //
 // Usage:
 //
 //	ldapreplica -master 127.0.0.1:3890 -addr 127.0.0.1:3891 \
 //	    -filter '(serialnumber=1004*)' -filter '(location=*)' \
-//	    -interval 5s
+//	    -mode persist -state /var/lib/filterdir-replica
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -23,6 +29,7 @@ import (
 	"filterdir"
 	"filterdir/internal/ldapnet"
 	"filterdir/internal/query"
+	"filterdir/internal/supervisor"
 )
 
 type filterList []string
@@ -37,8 +44,14 @@ func (f *filterList) Set(v string) error {
 func main() {
 	master := flag.String("master", "127.0.0.1:3890", "master server address")
 	addr := flag.String("addr", "127.0.0.1:3891", "replica listen address")
+	mode := flag.String("mode", "poll", `steady-state sync mode: "poll" or "persist"`)
+	stateDir := flag.String("state", "", "state directory for durable cookie+content checkpoints (empty disables)")
 	interval := flag.Duration("interval", 5*time.Second, "poll interval")
+	backoffBase := flag.Duration("backoff", 50*time.Millisecond, "reconnect backoff base")
+	backoffMax := flag.Duration("backoff-max", 5*time.Second, "reconnect backoff cap")
+	idleTimeout := flag.Duration("idle-timeout", 0, "persist-stream idle timeout (0 = none)")
 	cacheCap := flag.Int("cache", 64, "recent user-query cache capacity")
+	statusEvery := flag.Duration("status-every", time.Minute, "supervision-counter status report interval (0 disables)")
 	var filters filterList
 	flag.Var(&filters, "filter", "replicated filter (repeatable)")
 	flag.Parse()
@@ -46,37 +59,70 @@ func main() {
 		filters = filterList{"(objectclass=location)"}
 	}
 
-	if err := run(*master, *addr, *interval, *cacheCap, filters); err != nil {
+	var m supervisor.Mode
+	switch *mode {
+	case "poll":
+		m = supervisor.ModePoll
+	case "persist":
+		m = supervisor.ModePersist
+	default:
+		fmt.Fprintf(os.Stderr, "ldapreplica: unknown -mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	err := run(*master, *addr, m, *stateDir, *interval, *backoffBase, *backoffMax,
+		*idleTimeout, *cacheCap, *statusEvery, filters)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ldapreplica:", err)
 		os.Exit(1)
 	}
 }
 
-func run(masterAddr, addr string, interval time.Duration, cacheCap int, filters filterList) error {
-	client, err := filterdir.DialDirectory(masterAddr)
-	if err != nil {
-		return err
-	}
-	defer client.Close()
-
+func run(masterAddr, addr string, mode supervisor.Mode, stateDir string,
+	interval, backoffBase, backoffMax, idleTimeout time.Duration,
+	cacheCap int, statusEvery time.Duration, filters filterList) error {
 	rep, err := filterdir.NewFilterReplica(
 		filterdir.WithCacheCapacity(cacheCap),
 		filterdir.WithContentIndexes("serialnumber", "mail", "dept", "location", "uid"))
 	if err != nil {
 		return err
 	}
-	// Static filter set: the adaptive loop runs without a selector, keeping
-	// only the session and content management.
-	ar := filterdir.NewAdaptiveReplica(rep, nil, filterdir.ClientSupplier(client))
-	for _, f := range filters {
+
+	// One supervisor per filter, all applying into the shared replica; each
+	// owns its own state subdirectory so checkpoints never interleave.
+	sups := make([]*supervisor.Supervisor, 0, len(filters))
+	for i, f := range filters {
 		spec, err := query.New("", filterdir.ScopeSubtree, f)
 		if err != nil {
 			return fmt.Errorf("filter %q: %w", f, err)
 		}
-		if err := ar.AddFilter(spec); err != nil {
-			return fmt.Errorf("initial sync of %q: %w", f, err)
+		cfg := supervisor.Config{
+			Master:       masterAddr,
+			Spec:         spec,
+			Mode:         mode,
+			PollInterval: interval,
+			IdleTimeout:  idleTimeout,
+			BackoffBase:  backoffBase,
+			BackoffMax:   backoffMax,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "ldapreplica: "+format+"\n", args...)
+			},
 		}
-		fmt.Printf("ldapreplica: %q replicated\n", f)
+		if stateDir != "" {
+			cfg.StateDir = filepath.Join(stateDir, fmt.Sprintf("filter%02d", i))
+			if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+				return err
+			}
+		}
+		sup, err := supervisor.New(cfg, rep)
+		if err != nil {
+			return fmt.Errorf("filter %q: %w", f, err)
+		}
+		sups = append(sups, sup)
+	}
+	for i, sup := range sups {
+		sup.Start()
+		fmt.Printf("ldapreplica: supervising %q\n", filters[i])
 	}
 
 	backend := ldapnet.NewReplicaBackend(rep, "ldap://"+masterAddr)
@@ -84,32 +130,44 @@ func run(masterAddr, addr string, interval time.Duration, cacheCap int, filters 
 	if err != nil {
 		return err
 	}
-	fmt.Printf("ldapreplica: serving %d entries on %s, polling every %s\n",
-		rep.EntryCount(), srv.Addr(), interval)
+	fmt.Printf("ldapreplica: serving on %s; %d filters in %s mode\n",
+		srv.Addr(), len(sups), map[supervisor.Mode]string{
+			supervisor.ModePoll: "poll", supervisor.ModePersist: "persist"}[mode])
+
+	printStatus := func() {
+		m := rep.Metrics()
+		fmt.Printf("ldapreplica: %d entries; hit ratio %.2f (%d queries)\n",
+			rep.EntryCount(), m.HitRatio(), m.Queries)
+		for i, sup := range sups {
+			fmt.Printf("ldapreplica: %q [%s] %s\n", filters[i], sup.State(), sup.Counters().Snapshot())
+		}
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
+	var statusC <-chan time.Time
+	if statusEvery > 0 {
+		statusTicker := time.NewTicker(statusEvery)
+		defer statusTicker.Stop()
+		statusC = statusTicker.C
+	}
 	for {
 		select {
-		case <-ticker.C:
-			before := ar.ResyncTraffic.Updates()
-			if err := ar.SyncAll(); err != nil {
-				fmt.Fprintf(os.Stderr, "ldapreplica: sync: %v\n", err)
-				continue
-			}
-			if applied := ar.ResyncTraffic.Updates() - before; applied > 0 {
-				m := rep.Metrics()
-				fmt.Printf("ldapreplica: %d updates applied; %d entries; hit ratio %.2f (%d queries)\n",
-					applied, rep.EntryCount(), m.HitRatio(), m.Queries)
-			}
+		case <-statusC:
+			printStatus()
 		case <-sig:
+			// Graceful shutdown: stop serving queries, then stop each
+			// supervisor (writing its final checkpoint) and report the
+			// final counters.
 			fmt.Println("ldapreplica: shutting down")
-			if err := ar.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "ldapreplica: end sessions: %v\n", err)
+			closeErr := srv.Close()
+			for i, sup := range sups {
+				if err := sup.Stop(); err != nil {
+					fmt.Fprintf(os.Stderr, "ldapreplica: stop %q: %v\n", filters[i], err)
+				}
 			}
-			return srv.Close()
+			printStatus()
+			return closeErr
 		}
 	}
 }

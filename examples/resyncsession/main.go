@@ -105,7 +105,7 @@ func run() error {
 		return err
 	}
 	batch := <-sub.Updates
-	printUpdates("server -> client: change notification (E3 renamed to E5)", batch)
+	printUpdates("server -> client: change notification (E3 renamed to E5)", batch.Updates)
 
 	fmt.Println("client -> server: abandon")
 	sub.Close()

@@ -200,6 +200,10 @@ func resultCodeFor(err error) proto.ResultCode {
 		return proto.ResultReferral
 	case errors.Is(err, ErrReadOnly):
 		return proto.ResultUnwillingToPerform
+	case errors.Is(err, resync.ErrNoSuchSession):
+		// Stale cookie: the consumer must re-Begin; clients map this code
+		// back to resync.ErrNoSuchSession (see ResultError.Unwrap).
+		return proto.ResultESyncRefreshRequired
 	default:
 		return proto.ResultOther
 	}

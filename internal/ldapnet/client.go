@@ -35,6 +35,30 @@ func (e *ResultError) Error() string {
 	return "ldap: " + e.Code.String()
 }
 
+// Unwrap maps distinguished result codes back to their typed sentinel, so
+// errors.Is works identically against a local engine and over the wire: an
+// e-syncRefreshRequired response is resync.ErrNoSuchSession (the consumer
+// must re-Begin rather than retry its cookie).
+func (e *ResultError) Unwrap() error {
+	if e.Code == proto.ResultESyncRefreshRequired {
+		return resync.ErrNoSuchSession
+	}
+	return nil
+}
+
+// IsTransient reports whether err is a transport-level failure (reset,
+// timeout, EOF, torn stream) after which the same session cookie may be
+// retried on a fresh connection — as opposed to a server result, which
+// would just be returned again. Stale-session results in particular are NOT
+// transient: the consumer must re-Begin.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var re *ResultError
+	return !errors.As(err, &re)
+}
+
 // SearchResult collects a search's entries and continuation referrals.
 type SearchResult struct {
 	Entries   []*entry.Entry
@@ -63,6 +87,19 @@ type Client struct {
 	closed     bool
 }
 
+// DialFunc opens the transport connection for a client. Fault-injection
+// layers (internal/chaos) and tests substitute their own; nil means plain
+// TCP.
+type DialFunc func(addr string, timeout time.Duration) (net.Conn, error)
+
+// netDial is the default TCP DialFunc.
+func netDial(addr string, timeout time.Duration) (net.Conn, error) {
+	if timeout > 0 {
+		return net.DialTimeout("tcp", addr, timeout)
+	}
+	return net.Dial("tcp", addr)
+}
+
 // Dial connects to an LDAP server with DefaultTimeout I/O deadlines.
 func Dial(addr string) (*Client, error) {
 	return DialTimeout(addr, DefaultTimeout)
@@ -71,13 +108,15 @@ func Dial(addr string) (*Client, error) {
 // DialTimeout connects to an LDAP server; timeout bounds the dial and every
 // subsequent read/write of one message (0 disables deadlines).
 func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
-	var conn net.Conn
-	var err error
-	if timeout > 0 {
-		conn, err = net.DialTimeout("tcp", addr, timeout)
-	} else {
-		conn, err = net.Dial("tcp", addr)
+	return DialWith(nil, addr, timeout)
+}
+
+// DialWith is DialTimeout through an explicit transport hook (nil = TCP).
+func DialWith(dial DialFunc, addr string, timeout time.Duration) (*Client, error) {
+	if dial == nil {
+		dial = netDial
 	}
+	conn, err := dial(addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("ldap dial %s: %w", addr, err)
 	}
@@ -303,7 +342,7 @@ func (c *Client) Sync(q query.Query, mode proto.ReSyncMode, cookie string) (*Syn
 		}
 		switch op := m.Op.(type) {
 		case *proto.SearchEntry:
-			u, err := decodeUpdate(m, op)
+			u, _, err := decodeUpdate(m, op)
 			if err != nil {
 				return res, err
 			}
@@ -344,18 +383,19 @@ func (c *Client) SyncEnd(cookie string) error {
 	return nil
 }
 
-func decodeUpdate(m *proto.Message, op *proto.SearchEntry) (resync.Update, error) {
+func decodeUpdate(m *proto.Message, op *proto.SearchEntry) (resync.Update, string, error) {
 	action := proto.ChangeActionAdd
+	cookie := ""
 	if cc, ok := m.Control(proto.OIDEntryChange); ok {
-		a, err := proto.ParseEntryChange(cc)
+		a, ck, err := proto.ParseEntryChange(cc)
 		if err != nil {
-			return resync.Update{}, err
+			return resync.Update{}, "", err
 		}
-		action = a
+		action, cookie = a, ck
 	}
 	d, err := dn.Parse(op.DN)
 	if err != nil {
-		return resync.Update{}, err
+		return resync.Update{}, "", err
 	}
 	u := resync.Update{DN: d}
 	switch action {
@@ -371,11 +411,11 @@ func decodeUpdate(m *proto.Message, op *proto.SearchEntry) (resync.Update, error
 	if u.Action == resync.ActionAdd || u.Action == resync.ActionModify {
 		e, err := op.Entry()
 		if err != nil {
-			return resync.Update{}, err
+			return resync.Update{}, "", err
 		}
 		u.Entry = e
 	}
-	return u, nil
+	return u, cookie, nil
 }
 
 // Add inserts an entry.
@@ -456,16 +496,47 @@ func (c *Client) simpleOp(op proto.Op, extract func(*proto.Message) (proto.Resul
 
 // --- Persist mode -------------------------------------------------------------
 
+// StreamUpdate is one pushed update of a persist stream. Cookie is
+// non-empty on the final update of each pushed batch: a consumer that has
+// applied everything up to and including that update holds the named sync
+// point and may adopt the cookie as its resume position.
+type StreamUpdate struct {
+	resync.Update
+	Cookie string
+}
+
 // PersistSession is a persist-mode synchronization over a dedicated
 // connection: initial content and subsequent change batches arrive on
 // Updates until Close.
 type PersistSession struct {
-	Updates <-chan resync.Update
+	Updates <-chan StreamUpdate
 
 	client *Client
 	id     int64
 	once   sync.Once
+	stop   chan struct{}
 	done   chan struct{}
+
+	mu  sync.Mutex
+	err error
+}
+
+// Err reports why the stream ended (nil while it is live or after a clean
+// SearchDone). A *ResultError carrying e-syncRefreshRequired means the
+// session is stale and the consumer must re-Begin; transport errors mean
+// the same cookie is retryable.
+func (p *PersistSession) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+func (p *PersistSession) setErr(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
 }
 
 // Persist opens a dedicated connection and runs a persist-mode sync. The
@@ -482,7 +553,13 @@ func Persist(addr string, q query.Query, cookie string) (*PersistSession, error)
 // positive, bounds the gap between streamed messages — a master stalled
 // longer than that ends the subscription.
 func PersistTimeout(addr string, q query.Query, cookie string, dialTimeout, idleTimeout time.Duration) (*PersistSession, error) {
-	c, err := DialTimeout(addr, dialTimeout)
+	return PersistWith(nil, addr, q, cookie, dialTimeout, idleTimeout)
+}
+
+// PersistWith is PersistTimeout through an explicit transport hook
+// (nil = TCP).
+func PersistWith(dial DialFunc, addr string, q query.Query, cookie string, dialTimeout, idleTimeout time.Duration) (*PersistSession, error) {
+	c, err := DialWith(dial, addr, dialTimeout)
 	if err != nil {
 		return nil, err
 	}
@@ -494,8 +571,9 @@ func PersistTimeout(addr string, q query.Query, cookie string, dialTimeout, idle
 		_ = c.Close()
 		return nil, err
 	}
-	ch := make(chan resync.Update, 64)
-	ps := &PersistSession{Updates: ch, client: c, id: id, done: make(chan struct{})}
+	ch := make(chan StreamUpdate, 64)
+	ps := &PersistSession{Updates: ch, client: c, id: id,
+		stop: make(chan struct{}), done: make(chan struct{})}
 	go func() {
 		defer close(ch)
 		defer close(ps.done)
@@ -507,6 +585,7 @@ func PersistTimeout(addr string, q query.Query, cookie string, dialTimeout, idle
 			_ = c.conn.SetReadDeadline(dl)
 			m, err := proto.ReadMessage(c.r)
 			if err != nil {
+				ps.setErr(err)
 				return
 			}
 			if m.ID != id {
@@ -514,12 +593,20 @@ func PersistTimeout(addr string, q query.Query, cookie string, dialTimeout, idle
 			}
 			switch op := m.Op.(type) {
 			case *proto.SearchEntry:
-				u, err := decodeUpdate(m, op)
+				u, cookie, err := decodeUpdate(m, op)
 				if err != nil {
+					ps.setErr(err)
 					return
 				}
-				ch <- u
+				select {
+				case ch <- StreamUpdate{Update: u, Cookie: cookie}:
+				case <-ps.stop:
+					return
+				}
 			case *proto.SearchDone:
+				if op.Code != proto.ResultSuccess {
+					ps.setErr(&ResultError{Code: op.Code, Message: op.Message})
+				}
 				return
 			}
 		}
@@ -530,6 +617,7 @@ func PersistTimeout(addr string, q query.Query, cookie string, dialTimeout, idle
 // Close abandons the persistent search and closes the connection.
 func (p *PersistSession) Close() {
 	p.once.Do(func() {
+		close(p.stop)
 		p.client.mu.Lock()
 		_, _ = p.client.send(&proto.AbandonRequest{MessageID: p.id})
 		p.client.mu.Unlock()

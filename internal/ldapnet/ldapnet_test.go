@@ -281,6 +281,35 @@ func TestPersistOverWire(t *testing.T) {
 	}
 }
 
+func TestStaleSessionWireError(t *testing.T) {
+	// A stale cookie must surface over the wire as the typed sentinel so
+	// clients can distinguish "re-Begin" from retryable transport faults.
+	store := newTestStore(t)
+	srv, backend := startServer(t, store)
+	c := dialT(t, srv.Addr())
+
+	spec := query.MustNew("o=xyz", query.ScopeSubtree, "(serialnumber=04*)")
+	res, err := c.Sync(spec, proto.ReSyncModePoll, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := backend.Engine.End(res.Cookie); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = c.Sync(spec, proto.ReSyncModePoll, res.Cookie)
+	if !errors.Is(err, resync.ErrNoSuchSession) {
+		t.Fatalf("poll of ended session: err=%v, want resync.ErrNoSuchSession", err)
+	}
+	var re *ResultError
+	if !errors.As(err, &re) || re.Code != proto.ResultESyncRefreshRequired {
+		t.Errorf("result code = %v, want e-syncRefreshRequired", err)
+	}
+	if IsTransient(err) {
+		t.Error("stale session classified as transient; supervisors would retry the dead cookie")
+	}
+}
+
 func TestFigure2ReferralChasing(t *testing.T) {
 	// Three servers jointly serving o=xyz (Figure 2): hostA holds the root
 	// context with referrals; hostB holds ou=research,c=us,o=xyz; hostC

@@ -36,13 +36,19 @@ func Serve(addr string, backend Backend) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ldap server listen: %w", err)
 	}
+	return ServeListener(ln, backend), nil
+}
+
+// ServeListener starts a server on an existing listener; fault-injection
+// layers (internal/chaos) and tests wrap the listener before handing it in.
+func ServeListener(ln net.Listener, backend Backend) *Server {
 	s := &Server{ln: ln, backend: backend, conns: make(map[net.Conn]bool)}
 	if src, ok := backend.(SyncCounterSource); ok {
 		s.syncStats = src.SyncCounters()
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
 
 // SyncCounters returns the synchronization counters shared with the
@@ -361,17 +367,24 @@ func (s *Server) handleReSync(state *connState, conn net.Conn, id int64, op *pro
 		res, err = s.backend.ReSyncPoll(req.Cookie)
 	}
 	if err != nil {
-		s.reply(state, conn, id, &proto.SearchDone{}, proto.ResultOther, err.Error(), nil, nil)
+		s.reply(state, conn, id, &proto.SearchDone{}, resultCodeFor(err), err.Error(), nil, nil)
 		return
 	}
-	if err := s.streamUpdates(state, conn, id, res.Updates); err != nil {
+	// In persist mode the done control only arrives at stream end, so each
+	// batch — including this initial delivery — carries its sync-point
+	// cookie on its last entry PDU instead.
+	initialCookie := ""
+	if req.Mode == proto.ReSyncModePersist {
+		initialCookie = res.Cookie
+	}
+	if err := s.streamUpdates(state, conn, id, res.Updates, initialCookie); err != nil {
 		return
 	}
 
 	if req.Mode == proto.ReSyncModePersist {
 		sub, err := s.backend.ReSyncPersist(res.Cookie)
 		if err != nil {
-			s.reply(state, conn, id, &proto.SearchDone{}, proto.ResultOther, err.Error(), nil, nil)
+			s.reply(state, conn, id, &proto.SearchDone{}, resultCodeFor(err), err.Error(), nil, nil)
 			return
 		}
 		state.addPersist(id, sub)
@@ -383,7 +396,7 @@ func (s *Server) handleReSync(state *connState, conn net.Conn, id int64, op *pro
 		go func() {
 			defer s.wg.Done()
 			for batch := range sub.Updates {
-				if err := s.streamUpdates(state, conn, id, batch); err != nil {
+				if err := s.streamUpdates(state, conn, id, batch.Updates, batch.Cookie); err != nil {
 					sub.Close()
 					return
 				}
@@ -399,9 +412,11 @@ func (s *Server) handleReSync(state *connState, conn net.Conn, id int64, op *pro
 }
 
 // streamUpdates sends each update as a search entry PDU labelled with an
-// entry-change control; delete and retain actions carry the DN only.
-func (s *Server) streamUpdates(state *connState, conn net.Conn, id int64, updates []resync.Update) error {
-	for _, u := range updates {
+// entry-change control; delete and retain actions carry the DN only. A
+// non-empty batchCookie is attached to the final PDU so persist-mode
+// consumers learn the sync point each pushed batch reaches.
+func (s *Server) streamUpdates(state *connState, conn net.Conn, id int64, updates []resync.Update, batchCookie string) error {
+	for i, u := range updates {
 		var se *proto.SearchEntry
 		var action proto.ChangeAction
 		switch u.Action {
@@ -420,8 +435,12 @@ func (s *Server) streamUpdates(state *connState, conn net.Conn, id int64, update
 		default:
 			continue
 		}
+		cookie := ""
+		if i == len(updates)-1 {
+			cookie = batchCookie
+		}
 		m := &proto.Message{ID: id, Op: se,
-			Controls: []proto.Control{proto.NewEntryChangeControl(action)}}
+			Controls: []proto.Control{proto.NewEntryChangeControl(action, cookie)}}
 		if err := s.send(state, conn, m); err != nil {
 			return err
 		}

@@ -8,6 +8,7 @@ import (
 
 	"filterdir/internal/dit"
 	"filterdir/internal/dn"
+	"filterdir/internal/entry"
 )
 
 // WriteChanges renders journal changes as LDIF change records (RFC 2849
@@ -119,22 +120,57 @@ type ChangeRecord struct {
 
 // ReadChanges parses LDIF change records.
 func ReadChanges(r io.Reader) ([]ChangeRecord, error) {
+	recs, torn, err := ReadChangesTail(r)
+	if err == nil && torn {
+		return recs, fmt.Errorf("%w: truncated final change record", ErrBadRecord)
+	}
+	return recs, err
+}
+
+// ReadChangesTail parses LDIF change records from an append-only journal,
+// tolerating a torn final record — the shape a crash mid-append leaves
+// behind. Every complete record is returned; torn reports that the last
+// record block failed to parse and was dropped. A malformed record with
+// further records after it is real corruption and still an error.
+func ReadChangesTail(r io.Reader) (recs []ChangeRecord, torn bool, err error) {
 	rd := NewReader(r)
-	var out []ChangeRecord
+	var blocks [][]string
 	for {
 		lines, err := rd.nextRecordLines()
 		if err == io.EOF {
-			return out, nil
+			break
 		}
 		if err != nil {
-			return out, err
+			return nil, false, err
 		}
+		blocks = append(blocks, lines)
+	}
+	for i, lines := range blocks {
 		rec, err := parseChange(lines)
 		if err != nil {
-			return out, err
+			if i == len(blocks)-1 {
+				return recs, true, nil
+			}
+			return recs, false, err
 		}
-		out = append(out, rec)
+		recs = append(recs, rec)
 	}
+	return recs, false, nil
+}
+
+// AsChange converts a parsed record back into a journal change sufficient
+// for re-serialization with WriteChanges and for store replay. Before
+// snapshots (not part of the interchange format) are not recovered.
+func (rec ChangeRecord) AsChange() (dit.Change, error) {
+	c := dit.Change{Type: rec.Type, DN: rec.DN, NewDN: rec.NewDN, Mods: rec.Mods}
+	if rec.Type == dit.ChangeAdd {
+		e := entry.New(rec.DN)
+		for name, vals := range rec.Attrs {
+			e.Put(name, vals...)
+		}
+		c.After = e
+	}
+	return c, nil
 }
 
 // nextRecordLines exposes the reader's logical-line collection for change

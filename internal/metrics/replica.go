@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ReplicaCounters aggregates replica-side supervision activity: connection
+// lifecycle, session resumption, persist-stream fallbacks and durable
+// checkpointing. All fields are atomic so the supervisor's hot loop never
+// takes a lock to account an attempt.
+type ReplicaCounters struct {
+	// Connection lifecycle.
+	Dials      atomic.Int64 // connection attempts (including the first)
+	Reconnects atomic.Int64 // reconnects after a transport failure
+
+	// Session lifecycle.
+	Begins        atomic.Int64 // full Begin exchanges (null cookie)
+	Resumes       atomic.Int64 // sessions resumed by cookie after a restart or reconnect
+	StaleSessions atomic.Int64 // ErrNoSuchSession responses handled by re-Begin
+	FullReloads   atomic.Int64 // polls answered with a full content transfer
+
+	// Steady state.
+	Polls          atomic.Int64 // poll exchanges completed
+	StreamBatches  atomic.Int64 // persist-stream batches applied
+	Fallbacks      atomic.Int64 // persist streams that died and fell back to polling
+	UpdatesApplied atomic.Int64 // update PDUs applied to the local content
+
+	// Durability.
+	Checkpoints atomic.Int64 // cookie+content checkpoints written
+
+	// Backoff: total time slept and number of waits.
+	BackoffNanos atomic.Int64
+	BackoffWaits atomic.Int64
+}
+
+// ObserveBackoff records one backoff sleep.
+func (c *ReplicaCounters) ObserveBackoff(d time.Duration) {
+	c.BackoffNanos.Add(int64(d))
+	c.BackoffWaits.Add(1)
+}
+
+// ReplicaSnapshot is a point-in-time copy of the counters.
+type ReplicaSnapshot struct {
+	Dials, Reconnects               int64
+	Begins, Resumes, StaleSessions  int64
+	FullReloads                     int64
+	Polls, StreamBatches, Fallbacks int64
+	UpdatesApplied, Checkpoints     int64
+	BackoffWaits                    int64
+	BackoffTotal                    time.Duration
+}
+
+// Snapshot copies the current counter values.
+func (c *ReplicaCounters) Snapshot() ReplicaSnapshot {
+	return ReplicaSnapshot{
+		Dials:          c.Dials.Load(),
+		Reconnects:     c.Reconnects.Load(),
+		Begins:         c.Begins.Load(),
+		Resumes:        c.Resumes.Load(),
+		StaleSessions:  c.StaleSessions.Load(),
+		FullReloads:    c.FullReloads.Load(),
+		Polls:          c.Polls.Load(),
+		StreamBatches:  c.StreamBatches.Load(),
+		Fallbacks:      c.Fallbacks.Load(),
+		UpdatesApplied: c.UpdatesApplied.Load(),
+		Checkpoints:    c.Checkpoints.Load(),
+		BackoffWaits:   c.BackoffWaits.Load(),
+		BackoffTotal:   time.Duration(c.BackoffNanos.Load()),
+	}
+}
+
+// String renders a compact status line for operator output.
+func (s ReplicaSnapshot) String() string {
+	return fmt.Sprintf(
+		"replica: dials=%d reconnects=%d | begins=%d resumes=%d stale=%d full-reloads=%d | polls=%d stream-batches=%d fallbacks=%d applied=%d | checkpoints=%d backoff=%s/%d",
+		s.Dials, s.Reconnects, s.Begins, s.Resumes, s.StaleSessions, s.FullReloads,
+		s.Polls, s.StreamBatches, s.Fallbacks, s.UpdatesApplied,
+		s.Checkpoints, s.BackoffTotal, s.BackoffWaits)
+}

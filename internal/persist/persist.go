@@ -72,6 +72,24 @@ func Replay(r io.Reader, st *dit.Store, skipMissing bool) (applied int, err erro
 	if err != nil {
 		return 0, fmt.Errorf("parse journal: %w", err)
 	}
+	return applyRecords(st, records, skipMissing)
+}
+
+// ReplayRecover is Replay for crash recovery: a torn final record (the
+// shape an interrupted append leaves behind) is dropped and reported
+// instead of failing the whole replay; state is reconstructed up to the
+// last complete record. Corruption before the final record is still an
+// error.
+func ReplayRecover(r io.Reader, st *dit.Store, skipMissing bool) (applied int, torn bool, err error) {
+	records, torn, err := ldif.ReadChangesTail(r)
+	if err != nil {
+		return 0, torn, fmt.Errorf("parse journal: %w", err)
+	}
+	applied, err = applyRecords(st, records, skipMissing)
+	return applied, torn, err
+}
+
+func applyRecords(st *dit.Store, records []ldif.ChangeRecord, skipMissing bool) (applied int, err error) {
 	for _, rec := range records {
 		if err := applyRecord(st, rec); err != nil {
 			if skipMissing && (errors.Is(err, dit.ErrNoSuchObject) || errors.Is(err, dit.ErrAlreadyExists)) {
@@ -120,10 +138,13 @@ const (
 )
 
 // Open loads the directory state from path (creating the path if needed):
-// the snapshot is loaded if present and the journal replayed on top. The
-// returned CSN watermark tells the caller where its in-memory journal
-// starts relative to durable state (always 0 for a fresh store, since
-// loading does not journal).
+// the snapshot is loaded if present and the journal replayed on top. A
+// torn final journal record — a crash mid-append — is recovered from: the
+// state up to the last complete record is reconstructed and the journal
+// file repaired so later appends stay parseable. The returned CSN
+// watermark tells the caller where its in-memory journal starts relative
+// to durable state (always 0 for a fresh store, since loading does not
+// journal).
 func (d Dir) Open(suffixes []string, opts ...dit.Option) (*dit.Store, error) {
 	if err := os.MkdirAll(d.Path, 0o755); err != nil {
 		return nil, err
@@ -147,9 +168,18 @@ func (d Dir) Open(suffixes []string, opts ...dit.Option) (*dit.Store, error) {
 
 	jPath := filepath.Join(d.Path, journalName)
 	if f, err := os.Open(jPath); err == nil {
-		defer f.Close()
-		if _, err := Replay(bufio.NewReader(f), st, false); err != nil {
+		records, torn, rerr := ldif.ReadChangesTail(bufio.NewReader(f))
+		f.Close()
+		if rerr != nil {
+			return nil, fmt.Errorf("parse journal: %w", rerr)
+		}
+		if _, err := applyRecords(st, records, false); err != nil {
 			return nil, err
+		}
+		if torn {
+			if err := rewriteJournal(jPath, records); err != nil {
+				return nil, fmt.Errorf("repair torn journal: %w", err)
+			}
 		}
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, err
@@ -157,19 +187,37 @@ func (d Dir) Open(suffixes []string, opts ...dit.Option) (*dit.Store, error) {
 	return st, nil
 }
 
-// Checkpoint atomically writes a fresh snapshot of the store and truncates
-// the journal: the snapshot now embodies every applied change.
-func (d Dir) Checkpoint(st *dit.Store) error {
-	if err := os.MkdirAll(d.Path, 0o755); err != nil {
+// rewriteJournal atomically replaces the journal with only its complete
+// records, dropping a torn tail so subsequent appends cannot merge into
+// the partial record.
+func rewriteJournal(path string, records []ldif.ChangeRecord) error {
+	changes := make([]dit.Change, 0, len(records))
+	for _, rec := range records {
+		c, err := rec.AsChange()
+		if err != nil {
+			return err
+		}
+		changes = append(changes, c)
+	}
+	return WriteAtomic(path, func(w io.Writer) error {
+		return AppendJournal(w, changes)
+	})
+}
+
+// WriteAtomic writes a file via temp file + fsync + rename in the target's
+// directory, so readers (and crash recovery) never observe a partial file.
+func WriteAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(d.Path, "snapshot-*.tmp")
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+"-*.tmp")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name())
 	bw := bufio.NewWriter(tmp)
-	if err := Save(bw, st); err != nil {
+	if err := write(bw); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -184,7 +232,16 @@ func (d Dir) Checkpoint(st *dit.Store) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(d.Path, snapshotName)); err != nil {
+	return os.Rename(tmp.Name(), path)
+}
+
+// Checkpoint atomically writes a fresh snapshot of the store and truncates
+// the journal: the snapshot now embodies every applied change.
+func (d Dir) Checkpoint(st *dit.Store) error {
+	err := WriteAtomic(filepath.Join(d.Path, snapshotName), func(w io.Writer) error {
+		return Save(w, st)
+	})
+	if err != nil {
 		return err
 	}
 	// The journal's changes are folded into the snapshot.

@@ -1,14 +1,17 @@
 package persist
 
 import (
+	"bufio"
 	"bytes"
 	"fmt"
+	"os"
 	"path/filepath"
 	"testing"
 
 	"filterdir/internal/dit"
 	"filterdir/internal/dn"
 	"filterdir/internal/entry"
+	"filterdir/internal/ldif"
 	"filterdir/internal/query"
 	"filterdir/internal/resync"
 )
@@ -185,6 +188,160 @@ func TestAppendChangesIncremental(t *testing.T) {
 		t.Fatal(err)
 	}
 	identical(t, st, recovered)
+}
+
+// tearTail truncates serialized journal bytes inside the final change
+// record — the shape a crash mid-append leaves on disk — by cutting right
+// after the last record's "changetype" keyword.
+func tearTail(t *testing.T, journal []byte) []byte {
+	t.Helper()
+	idx := bytes.LastIndex(journal, []byte("changetype"))
+	if idx < 0 {
+		t.Fatal("journal holds no change records to tear")
+	}
+	return journal[:idx+len("changety")]
+}
+
+// burst applies one change of each type and returns their journal records.
+func burst(t *testing.T, st *dit.Store) []dit.Change {
+	t.Helper()
+	base := st.LastCSN()
+	if err := st.Modify(dn.MustParse("cn=p1,o=xyz"),
+		[]dit.Mod{{Op: dit.ModReplace, Attr: "sn", Values: []string{"crashed"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete(dn.MustParse("cn=p2,o=xyz")); err != nil {
+		t.Fatal(err)
+	}
+	e := entry.New(dn.MustParse("cn=late,o=xyz"))
+	e.Put("objectclass", "person").Put("cn", "late").Put("sn", "l")
+	if err := st.Add(e); err != nil {
+		t.Fatal(err)
+	}
+	changes, ok := st.ChangesSince(base)
+	if !ok {
+		t.Fatal("journal trimmed")
+	}
+	return changes
+}
+
+func TestReplayRecoverTornFinalRecord(t *testing.T) {
+	st := seedStore(t)
+	changes := burst(t, st)
+	var journal bytes.Buffer
+	if err := AppendJournal(&journal, changes); err != nil {
+		t.Fatal(err)
+	}
+	torn := tearTail(t, journal.Bytes())
+
+	// Recovery replays everything before the torn record and reports it.
+	twin := seedStore(t)
+	applied, wasTorn, err := ReplayRecover(bytes.NewReader(torn), twin, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wasTorn {
+		t.Error("truncated final record not reported as torn")
+	}
+	if applied != len(changes)-1 {
+		t.Errorf("applied %d records, want %d (all but the torn tail)", applied, len(changes)-1)
+	}
+	// The torn record's change (the final add) must not have landed.
+	if _, ok := twin.Get(dn.MustParse("cn=late,o=xyz")); ok {
+		t.Error("torn add record was applied")
+	}
+
+	// Strict Replay of the same bytes must fail: only crash recovery may
+	// drop records.
+	if _, err := Replay(bytes.NewReader(torn), seedStore(t), false); err == nil {
+		t.Error("strict replay accepted a torn journal")
+	}
+}
+
+func TestReplayRecoverMidStreamCorruption(t *testing.T) {
+	st := seedStore(t)
+	changes := burst(t, st)
+	var journal bytes.Buffer
+	if err := AppendJournal(&journal, changes[:2]); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := append(tearTail(t, journal.Bytes()), "\n\n"...)
+	var tail bytes.Buffer
+	if err := AppendJournal(&tail, changes[2:]); err != nil {
+		t.Fatal(err)
+	}
+	corrupt = append(corrupt, tail.Bytes()...)
+
+	// A damaged record followed by a complete one is corruption, not a
+	// crash tail: recovery must refuse rather than silently skip it.
+	if _, _, err := ReplayRecover(bytes.NewReader(corrupt), seedStore(t), false); err == nil {
+		t.Error("mid-stream corruption not rejected")
+	}
+}
+
+func TestDirOpenRepairsTornJournal(t *testing.T) {
+	home := Dir{Path: filepath.Join(t.TempDir(), "torn")}
+	st := seedStore(t)
+	if err := home.Checkpoint(st); err != nil {
+		t.Fatal(err)
+	}
+	watermark := st.LastCSN()
+	burst(t, st)
+	if _, err := home.AppendChanges(st, watermark); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: truncate the journal file inside its
+	// final record.
+	jPath := filepath.Join(home.Path, "journal.ldif")
+	raw, err := os.ReadFile(jPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(jPath, tearTail(t, raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered, err := home.Open([]string{"o=xyz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recovered.Get(dn.MustParse("cn=late,o=xyz")); ok {
+		t.Error("torn final record was applied during recovery")
+	}
+	if _, ok := recovered.Get(dn.MustParse("cn=p2,o=xyz")); ok {
+		t.Error("complete delete record before the tear was not applied")
+	}
+
+	// Open must also have repaired the file: the journal now parses
+	// strictly, and appends continue cleanly after the repair.
+	f, err := os.Open(jPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ldif.ReadChanges(bufio.NewReader(f))
+	f.Close()
+	if err != nil {
+		t.Fatalf("repaired journal does not parse strictly: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Errorf("repaired journal holds %d records, want 2", len(recs))
+	}
+	w2, err := home.AppendChanges(recovered, recovered.LastCSN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recovered.Delete(dn.MustParse("cn=p3,o=xyz")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := home.AppendChanges(recovered, w2); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := home.Open([]string{"o=xyz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	identical(t, recovered, reopened)
 }
 
 func TestReplaySkipMissing(t *testing.T) {

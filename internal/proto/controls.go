@@ -63,7 +63,9 @@ const (
 	// response: value = SEQUENCE { cookie OCTET STRING }.
 	OIDReSyncDone = "1.3.6.1.4.1.55555.1.2"
 	// OIDEntryChange is attached to each update PDU of a ReSync response:
-	// value = SEQUENCE { action ENUMERATED }.
+	// value = SEQUENCE { action ENUMERATED, cookie OCTET STRING OPTIONAL }.
+	// The cookie appears on the last PDU of a persist-mode batch, naming
+	// the sync point the replica reaches by applying the batch.
 	OIDEntryChange = "1.3.6.1.4.1.55555.1.3"
 	// OIDPersistentSearch requests change notification on a plain search,
 	// per the persistent-search draft the paper builds on.
@@ -180,25 +182,37 @@ func (a ChangeAction) String() string {
 	}
 }
 
-// NewEntryChangeControl labels an update PDU with its action.
-func NewEntryChangeControl(action ChangeAction) Control {
+// NewEntryChangeControl labels an update PDU with its action. A non-empty
+// cookie marks the PDU as the last of a pushed batch: applying everything
+// up to and including it brings the replica to the named sync point.
+func NewEntryChangeControl(action ChangeAction, cookie string) Control {
 	var body []byte
 	body = ber.AppendEnum(body, int64(action))
+	if cookie != "" {
+		body = ber.AppendString(body, ber.ClassUniversal, ber.TagOctetString, cookie)
+	}
 	return Control{OID: OIDEntryChange, Value: ber.AppendSequence(nil, body)}
 }
 
-// ParseEntryChange decodes the action from an entry-change control.
-func ParseEntryChange(c Control) (ChangeAction, error) {
+// ParseEntryChange decodes an entry-change control; cookie is "" except on
+// the final PDU of a pushed batch.
+func ParseEntryChange(c Control) (ChangeAction, string, error) {
 	rd := ber.NewReader(c.Value)
 	seq, err := rd.ReadSequence()
 	if err != nil {
-		return 0, fmt.Errorf("entry change control: %w", err)
+		return 0, "", fmt.Errorf("entry change control: %w", err)
 	}
 	a, err := seq.ReadEnum()
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
-	return ChangeAction(a), nil
+	var cookie string
+	if !seq.Empty() {
+		if cookie, err = seq.ReadString(); err != nil {
+			return 0, "", err
+		}
+	}
+	return ChangeAction(a), cookie, nil
 }
 
 // NewPersistentSearchControl requests plain persistent search (changes only

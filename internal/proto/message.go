@@ -51,6 +51,11 @@ const (
 	ResultReferral             ResultCode = 10
 	ResultUnwillingToPerform   ResultCode = 53
 	ResultOther                ResultCode = 80
+	// ResultESyncRefreshRequired (RFC 4533) tells a consumer its sync
+	// session is gone on the server and it must start over with a new
+	// Begin — distinct from transport failure, which is retryable with the
+	// same cookie.
+	ResultESyncRefreshRequired ResultCode = 4096
 )
 
 func (c ResultCode) String() string {
@@ -75,6 +80,8 @@ func (c ResultCode) String() string {
 		return "referral"
 	case ResultUnwillingToPerform:
 		return "unwillingToPerform"
+	case ResultESyncRefreshRequired:
+		return "e-syncRefreshRequired"
 	default:
 		return fmt.Sprintf("resultCode(%d)", int(c))
 	}

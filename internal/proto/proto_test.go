@@ -205,11 +205,17 @@ func TestReSyncDoneControl(t *testing.T) {
 
 func TestEntryChangeControl(t *testing.T) {
 	for _, a := range []ChangeAction{ChangeActionAdd, ChangeActionDelete, ChangeActionModify, ChangeActionRetain} {
-		c := NewEntryChangeControl(a)
-		got, err := ParseEntryChange(c)
-		if err != nil || got != a {
-			t.Errorf("entry change %v: got %v, %v", a, got, err)
+		c := NewEntryChangeControl(a, "")
+		got, cookie, err := ParseEntryChange(c)
+		if err != nil || got != a || cookie != "" {
+			t.Errorf("entry change %v: got %v, %q, %v", a, got, cookie, err)
 		}
+	}
+	// The batch-closing form carries the sync-point cookie.
+	c := NewEntryChangeControl(ChangeActionModify, "sess-3@7")
+	got, cookie, err := ParseEntryChange(c)
+	if err != nil || got != ChangeActionModify || cookie != "sess-3@7" {
+		t.Errorf("entry change with cookie: got %v, %q, %v", got, cookie, err)
 	}
 }
 

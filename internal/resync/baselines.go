@@ -45,7 +45,7 @@ func (e *Engine) PollRetain(cookie string) (*PollResult, error) {
 	// everything is considered changed.
 	changedDNs := make(map[string]bool)
 	haveHistory := false
-	if changes, ok := e.store.ChangesSince(sess.lastCSN); ok {
+	if changes, ok := e.store.ChangesSince(sess.csn); ok {
 		haveHistory = true
 		for _, c := range changes {
 			changedDNs[c.DN.Norm()] = true
@@ -55,7 +55,7 @@ func (e *Engine) PollRetain(cookie string) (*PollResult, error) {
 		}
 	}
 
-	res := &PollResult{Cookie: sess.id}
+	res := &PollResult{}
 	csn := e.store.LastCSN()
 	entries := e.store.MatchAll(stripAttrs(sess.spec))
 	newContent := make(map[string]dn.DN, len(entries))
@@ -75,8 +75,14 @@ func (e *Engine) PollRetain(cookie string) (*PollResult, error) {
 			res.Updates = append(res.Updates, Update{Action: ActionAdd, DN: sel.DN(), Entry: sel})
 		}
 	}
+	// Retain mode has no per-point resume history (it exists to model an
+	// incomplete-history server): the session state is replaced wholesale
+	// and only the new point is resumable.
 	sess.content = newContent
-	sess.lastCSN = csn
+	sess.csn = csn
+	sess.genSeq++
+	sess.points = []syncPoint{{gen: sess.genSeq, csn: csn}}
+	res.Cookie = cookieString(sess.id, sess.genSeq)
 	e.countPDUs(res.Updates)
 	return res, nil
 }

@@ -133,18 +133,23 @@ func TestSlowSessionDoesNotBlockOthers(t *testing.T) {
 	}
 
 	// Overflow the 4-change journal so session A needs a full reload.
+	cookieB := resB.Cookie
 	for i := 0; i < 8; i++ {
 		addPerson(t, master, "p"+strconv.Itoa(i), "040"+strconv.Itoa(i), "1")
 		// Keep B current so only A falls behind the trimmed history.
 		if i == 3 {
-			if _, err := eng.Poll(resB.Cookie); err != nil {
+			resB, err := eng.Poll(cookieB)
+			if err != nil {
 				t.Fatal(err)
 			}
+			cookieB = resB.Cookie
 		}
 	}
-	if _, err := eng.Poll(resB.Cookie); err != nil {
+	resB2, err := eng.Poll(cookieB)
+	if err != nil {
 		t.Fatal(err)
 	}
+	cookieB = resB2.Cookie
 
 	sessA, err := eng.lookup(resA.Cookie)
 	if err != nil {
@@ -171,7 +176,7 @@ func TestSlowSessionDoesNotBlockOthers(t *testing.T) {
 	bDone := make(chan struct{})
 	go func() {
 		defer close(bDone)
-		if _, err := eng.Poll(resB.Cookie); err != nil {
+		if _, err := eng.Poll(cookieB); err != nil {
 			t.Errorf("poll B: %v", err)
 		}
 	}()

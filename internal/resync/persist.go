@@ -1,8 +1,20 @@
 package resync
 
 import (
+	"fmt"
 	"sync"
 )
+
+// Batch is one pushed unit of a persist-mode subscription: the updates of
+// one committed change interval plus the cookie naming the sync point the
+// replica reaches by applying them. A consumer that adopts the cookie (and
+// presents it when it later polls) acknowledges everything up to the batch;
+// a consumer that crashes mid-stream re-presents its last adopted cookie
+// and the missed batches are recomputed.
+type Batch struct {
+	Updates []Update
+	Cookie  string
+}
 
 // Subscription is a persist-mode synchronization: after the initial content
 // (or the updates since the resumed cookie) is delivered, subsequent content
@@ -10,8 +22,10 @@ import (
 // "persist" mode, equivalent to a persistent search held open per filter.
 type Subscription struct {
 	// Updates delivers batches of net updates. The channel is closed when
-	// the subscription ends.
-	Updates <-chan []Update
+	// the subscription ends — including when the master's journal history
+	// no longer covers the stream position, in which case the consumer
+	// must fall back to a poll (which will carry the full reload).
+	Updates <-chan Batch
 
 	closeOnce sync.Once
 	stop      chan struct{}
@@ -25,18 +39,30 @@ func (s *Subscription) Close() {
 }
 
 // Persist upgrades a session to persist mode: the returned subscription
-// first delivers any updates accumulated since the session cookie, then
-// pushes each further change batch as it commits. The session remains
-// registered; Close leaves it resumable by cookie (poll mode), matching the
-// protocol's mode switch in Figure 3.
+// pushes each change batch committed after the presented sync point. The
+// cookie must name a live sync point; newer unacknowledged points are
+// rolled back (their updates will be re-pushed) but nothing is
+// acknowledged — a streamed batch is only acknowledged when the consumer
+// later presents its cookie. The session remains registered; Close leaves
+// it resumable by cookie (poll mode), matching the protocol's mode switch
+// in Figure 3.
 func (e *Engine) Persist(cookie string) (*Subscription, error) {
 	sess, err := e.lookup(cookie)
 	if err != nil {
 		return nil, err
 	}
+	_, gen := splitCookie(cookie)
+	sess.mu.Lock()
+	ok := !sess.ended && sess.rollbackTo(gen)
+	sess.mu.Unlock()
+	if !ok {
+		// An unknown sync point cannot be streamed from incrementally; the
+		// consumer must poll (getting a full reload) and re-subscribe.
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchSession, cookie)
+	}
 	e.stats.PersistStreams.Add(1)
 
-	ch := make(chan []Update, 1)
+	ch := make(chan Batch, 1)
 	sub := &Subscription{
 		Updates: ch,
 		stop:    make(chan struct{}),
@@ -59,9 +85,15 @@ func (e *Engine) Persist(cookie string) (*Subscription, error) {
 			if err != nil {
 				return
 			}
+			if res.FullReload {
+				// The journal no longer covers the stream position; a push
+				// stream cannot convey a reload. End the stream — the
+				// consumer's fallback poll re-delivers the content.
+				return
+			}
 			if len(res.Updates) > 0 {
 				select {
-				case ch <- res.Updates:
+				case ch <- Batch{Updates: res.Updates, Cookie: res.Cookie}:
 				case <-sub.stop:
 					return
 				}

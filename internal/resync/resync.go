@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -134,6 +135,14 @@ type Engine struct {
 // specification, the CSN up to which the replica is synchronized, and the
 // DN set of the content at that CSN (the basis for classifying moves in and
 // out — the "session history" of the paper).
+//
+// Delivery is at-least-once: every response carries a cookie naming the
+// sync point ("sess-N@gen") it brings the replica to, and the session keeps
+// a bounded history of recent points with undo records. A replica that
+// lost a response re-presents its previous cookie; the engine rolls the
+// content map back to that point and recomputes, so a dropped connection
+// never loses updates. Presenting a cookie acknowledges its point —
+// anything older is discarded.
 type session struct {
 	id string
 
@@ -144,8 +153,115 @@ type session struct {
 	ended bool
 
 	spec    query.Query
-	lastCSN dit.CSN
-	content map[string]dn.DN // norm DN -> DN of entries in content at lastCSN
+	genSeq  uint64
+	csn     dit.CSN          // CSN of the newest sync point
+	content map[string]dn.DN // norm DN -> DN of entries in content at csn
+	// points is the resumable history, oldest (last acknowledged) first;
+	// the final element matches csn/content.
+	points []syncPoint
+}
+
+// syncPoint is one replica-visible synchronization state.
+type syncPoint struct {
+	gen  uint64
+	csn  dit.CSN
+	undo []undoOp // restores the previous (older) point's content map
+}
+
+// undoOp reverts one content-map key to its value at the previous point.
+type undoOp struct {
+	norm    string
+	dn      dn.DN
+	present bool
+}
+
+// maxSyncPoints bounds the per-session resume history. A replica further
+// behind than this (e.g. a persist stream that outlived many unacknowledged
+// batches) falls back to a full reload.
+const maxSyncPoints = 64
+
+// cookieString renders the wire cookie for a sync point of a session.
+func cookieString(id string, gen uint64) string {
+	return id + "@" + strconv.FormatUint(gen, 10)
+}
+
+// splitCookie separates a wire cookie into session ID and generation. A
+// cookie without a parseable generation resolves to gen 0, which matches no
+// sync point.
+func splitCookie(cookie string) (id string, gen uint64) {
+	i := strings.LastIndexByte(cookie, '@')
+	if i < 0 {
+		return cookie, 0
+	}
+	g, err := strconv.ParseUint(cookie[i+1:], 10, 64)
+	if err != nil {
+		return cookie, 0
+	}
+	return cookie[:i], g
+}
+
+// rollbackTo rolls the content map back to the sync point gen, discarding
+// newer points — responses the replica evidently never applied, which will
+// be recomputed. Older points are kept: rollback alone does not prove the
+// replica holds gen durably. Reports whether the point was found.
+func (sess *session) rollbackTo(gen uint64) bool {
+	idx := -1
+	for i, p := range sess.points {
+		if p.gen == gen {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	for j := len(sess.points) - 1; j > idx; j-- {
+		for _, u := range sess.points[j].undo {
+			if u.present {
+				sess.content[u.norm] = u.dn
+			} else {
+				delete(sess.content, u.norm)
+			}
+		}
+	}
+	sess.points = sess.points[:idx+1]
+	sess.csn = sess.points[idx].csn
+	return true
+}
+
+// rewindTo repositions the session at the sync point the replica proved it
+// holds by presenting gen: newer points are rolled back, and — since
+// presenting a cookie acknowledges it — older points are dropped.
+func (sess *session) rewindTo(gen uint64) bool {
+	if !sess.rollbackTo(gen) {
+		return false
+	}
+	base := sess.points[len(sess.points)-1]
+	base.undo = nil
+	sess.points = append(sess.points[:0], base)
+	return true
+}
+
+// setContent records an insertion or replacement in the content map with
+// its undo. A no-op write (same DN) records nothing.
+func (sess *session) setContent(norm string, d dn.DN, undo *[]undoOp) {
+	if old, ok := sess.content[norm]; ok {
+		if old.String() == d.String() {
+			return
+		}
+		*undo = append(*undo, undoOp{norm: norm, dn: old, present: true})
+	} else {
+		*undo = append(*undo, undoOp{norm: norm})
+	}
+	sess.content[norm] = d
+}
+
+// delContent records a deletion from the content map with its undo.
+func (sess *session) delContent(norm string, undo *[]undoOp) {
+	if old, ok := sess.content[norm]; ok {
+		*undo = append(*undo, undoOp{norm: norm, dn: old, present: true})
+		delete(sess.content, norm)
+	}
 }
 
 // NewEngine creates an engine over the master store.
@@ -162,11 +278,12 @@ func NewEngine(store *dit.Store) *Engine {
 func (e *Engine) Counters() *metrics.SyncCounters { return e.stats }
 
 // lookup resolves a cookie to its session under one registry-lock
-// acquisition.
+// acquisition; the generation part is ignored here.
 func (e *Engine) lookup(cookie string) (*session, error) {
+	id, _ := splitCookie(cookie)
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	sess, ok := e.sessions[cookie]
+	sess, ok := e.sessions[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchSession, cookie)
 	}
@@ -204,7 +321,8 @@ type PollResult struct {
 func (e *Engine) Begin(spec query.Query) (*PollResult, error) {
 	csn := e.store.LastCSN()
 	entries := e.store.MatchAll(stripAttrs(spec))
-	sess := &session{spec: spec, lastCSN: csn, content: make(map[string]dn.DN, len(entries))}
+	sess := &session{spec: spec, genSeq: 1, csn: csn, content: make(map[string]dn.DN, len(entries))}
+	sess.points = []syncPoint{{gen: 1, csn: csn}}
 	res := &PollResult{FullReload: false}
 	for _, ent := range entries {
 		sess.content[ent.DN().Norm()] = ent.DN()
@@ -215,7 +333,7 @@ func (e *Engine) Begin(spec query.Query) (*PollResult, error) {
 	sess.id = "sess-" + strconv.FormatUint(e.nextID, 10)
 	e.sessions[sess.id] = sess
 	e.mu.Unlock()
-	res.Cookie = sess.id
+	res.Cookie = cookieString(sess.id, 1)
 	e.stats.Begins.Add(1)
 	e.countPDUs(res.Updates)
 	return res, nil
@@ -230,50 +348,88 @@ func (e *Engine) Poll(cookie string) (*PollResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	_, gen := splitCookie(cookie)
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	if sess.ended {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchSession, cookie)
 	}
 	e.stats.Polls.Add(1)
+	if !sess.rewindTo(gen) {
+		// The presented sync point is no longer in the resume history (or
+		// never existed): the only safe answer is the full content.
+		return e.reload(sess), nil
+	}
 	return e.poll(sess)
 }
 
-// poll runs one synchronization exchange; the caller holds sess.mu.
+// poll runs one synchronization exchange from the session's newest sync
+// point; the caller holds sess.mu.
 func (e *Engine) poll(sess *session) (*PollResult, error) {
-	changes, ok := e.store.ChangesSince(sess.lastCSN)
+	changes, ok := e.store.ChangesSince(sess.csn)
 	if !ok {
-		// History trimmed: full reload. The sync point is read before the
-		// content so a change committed between the two reads is re-examined
-		// on the next poll rather than lost.
-		e.stats.FullReloads.Add(1)
-		csn := e.store.LastCSN()
-		entries := e.store.MatchAll(stripAttrs(sess.spec))
-		sess.lastCSN = csn
-		sess.content = make(map[string]dn.DN, len(entries))
-		res := &PollResult{Cookie: sess.id, FullReload: true}
-		for _, ent := range entries {
-			sess.content[ent.DN().Norm()] = ent.DN()
-			res.Updates = append(res.Updates, Update{Action: ActionAdd, DN: ent.DN(), Entry: ent})
-		}
-		e.countPDUs(res.Updates)
-		return res, nil
+		return e.reload(sess), nil
 	}
 
-	res := &PollResult{Cookie: sess.id}
+	res := &PollResult{}
 	start := time.Now()
-	res.Updates = e.classify(sess, changes)
+	updates, undo := e.classify(sess, changes)
+	res.Updates = updates
 	e.stats.ObserveClassify(time.Since(start))
+	csn := sess.csn
 	if len(changes) > 0 {
-		sess.lastCSN = changes[len(changes)-1].CSN
+		csn = changes[len(changes)-1].CSN
+	}
+	last := &sess.points[len(sess.points)-1]
+	if len(updates) == 0 && len(undo) == 0 {
+		// Nothing the replica must apply: advance the current point in
+		// place so idle polls do not grow the resume history, and the
+		// replica keeps presenting the same cookie.
+		last.csn = csn
+		sess.csn = csn
+		res.Cookie = cookieString(sess.id, last.gen)
+	} else {
+		sess.genSeq++
+		sess.csn = csn
+		sess.points = append(sess.points, syncPoint{gen: sess.genSeq, csn: csn, undo: undo})
+		if len(sess.points) > maxSyncPoints {
+			sess.points = sess.points[1:]
+			sess.points[0].undo = nil
+		}
+		res.Cookie = cookieString(sess.id, sess.genSeq)
 	}
 	e.countPDUs(res.Updates)
 	return res, nil
 }
 
+// reload re-sends the full content and resets the session's resume history
+// to the new sync point — used when journal history no longer covers the
+// session's sync point, or the replica presented an unknown one. The sync
+// point is read before the content so a change committed between the two
+// reads is re-examined on the next poll rather than lost. The caller holds
+// sess.mu.
+func (e *Engine) reload(sess *session) *PollResult {
+	e.stats.FullReloads.Add(1)
+	csn := e.store.LastCSN()
+	entries := e.store.MatchAll(stripAttrs(sess.spec))
+	sess.genSeq++
+	sess.csn = csn
+	sess.content = make(map[string]dn.DN, len(entries))
+	sess.points = []syncPoint{{gen: sess.genSeq, csn: csn}}
+	res := &PollResult{Cookie: cookieString(sess.id, sess.genSeq), FullReload: true}
+	for _, ent := range entries {
+		sess.content[ent.DN().Norm()] = ent.DN()
+		res.Updates = append(res.Updates, Update{Action: ActionAdd, DN: ent.DN(), Entry: ent})
+	}
+	e.countPDUs(res.Updates)
+	return res
+}
+
 // classify replays journal changes against the session content, producing
-// the minimal (net) update set and advancing the content map.
-func (e *Engine) classify(sess *session, changes []dit.Change) []Update {
+// the minimal (net) update set and advancing the content map, plus the undo
+// records that restore the map to its pre-classify state.
+func (e *Engine) classify(sess *session, changes []dit.Change) ([]Update, []undoOp) {
+	var undo []undoOp
 	// initial[norm] records whether the DN was in content at the start of
 	// the interval; firstBefore holds the entry snapshot at that point, the
 	// reference for net-change detection; touched tracks the final entry
@@ -334,14 +490,14 @@ func (e *Engine) classify(sess *session, changes []dit.Change) []Update {
 		case !was && is:
 			ent := finalEnt[norm].Select(sess.spec.Attrs)
 			updates = append(updates, Update{Action: ActionAdd, DN: ent.DN(), Entry: ent})
-			sess.content[norm] = ent.DN()
+			sess.setContent(norm, ent.DN(), &undo)
 		case was && !is:
 			d := finalDN[norm]
 			if held, ok := sess.content[norm]; ok {
 				d = held
 			}
 			updates = append(updates, Update{Action: ActionDelete, DN: d})
-			delete(sess.content, norm)
+			sess.delContent(norm, &undo)
 		case was && is:
 			ent := finalEnt[norm].Select(sess.spec.Attrs)
 			// Minimal update set (equation 3): an entry whose selected view
@@ -351,28 +507,29 @@ func (e *Engine) classify(sess *session, changes []dit.Change) []Update {
 				pv := prior.Select(sess.spec.Attrs)
 				if pv.Equal(ent) && pv.DN().String() == ent.DN().String() {
 					e.stats.SuppressedModifies.Add(1)
-					sess.content[norm] = ent.DN()
+					sess.setContent(norm, ent.DN(), &undo)
 					continue
 				}
 			}
 			updates = append(updates, Update{Action: ActionModify, DN: ent.DN(), Entry: ent})
-			sess.content[norm] = ent.DN()
+			sess.setContent(norm, ent.DN(), &undo)
 		}
 	}
-	return updates
+	return updates, undo
 }
 
 // End terminates a session (mode "sync_end"). The session is deregistered
 // and marked ended under its own lock, so an exchange racing the End either
 // completes first or observes the termination and fails.
 func (e *Engine) End(cookie string) error {
+	id, _ := splitCookie(cookie)
 	e.mu.Lock()
-	sess, ok := e.sessions[cookie]
+	sess, ok := e.sessions[id]
 	if !ok {
 		e.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNoSuchSession, cookie)
 	}
-	delete(e.sessions, cookie)
+	delete(e.sessions, id)
 	e.mu.Unlock()
 	sess.mu.Lock()
 	sess.ended = true

@@ -254,8 +254,11 @@ func TestFigure3Session(t *testing.T) {
 	batch := <-sub.Updates
 	sub.Close()
 	acts := map[string]Action{}
-	for _, u := range batch {
+	for _, u := range batch.Updates {
 		acts[u.DN.String()] = u.Action
+	}
+	if batch.Cookie == "" {
+		t.Error("pushed batch carried no sync-point cookie")
 	}
 	if acts["cn=E3,c=us,o=xyz"] != ActionDelete || acts["cn=E5,c=us,o=xyz"] != ActionAdd {
 		t.Errorf("persist rename = %v", acts)
@@ -425,6 +428,7 @@ func TestConvergenceUnderRandomStream(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			cookie = res.Cookie
 			if err := ap.Apply(specSerial04, res); err != nil {
 				t.Fatal(err)
 			}

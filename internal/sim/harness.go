@@ -164,13 +164,15 @@ func newSubtreeNode(eng *resync.Engine, suffixes []dn.DN) (*subtreeNode, error) 
 	return n, nil
 }
 
-// SyncAll polls every context session.
+// SyncAll polls every context session, adopting each returned cookie —
+// presenting it on the next poll acknowledges this exchange.
 func (n *subtreeNode) SyncAll() error {
 	for i, cookie := range n.cookies {
 		res, err := n.eng.Poll(cookie)
 		if err != nil {
 			return err
 		}
+		n.cookies[i] = res.Cookie
 		for _, u := range res.Updates {
 			n.SyncTraffic.Add(u)
 			switch u.Action {

@@ -1,0 +1,109 @@
+package supervisor
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"filterdir/internal/ldif"
+	"filterdir/internal/persist"
+	"filterdir/internal/resync"
+)
+
+// Durable replica state is two files in the state directory, both written
+// atomically (temp file + fsync + rename via internal/persist):
+//
+//	content.ldif — the replicated entries at the last checkpoint
+//	state.json   — the session cookie and the spec key the content belongs to
+//
+// The state file is written after the content file, so its cookie is never
+// newer than the content on disk; a crash between the two writes leaves a
+// slightly-older cookie whose resume-poll re-sends updates the content
+// already holds — updates apply idempotently, so that is safe.
+const (
+	contentFile = "content.ldif"
+	stateFile   = "state.json"
+)
+
+// diskState is the JSON body of the state file.
+type diskState struct {
+	// Cookie resumes the master session.
+	Cookie string `json:"cookie"`
+	// SpecKey identifies the content spec the checkpoint belongs to; a
+	// mismatch (the operator changed -filter) invalidates the checkpoint.
+	SpecKey string `json:"spec_key"`
+}
+
+// checkpoint durably records the cookie and content (no-op without a state
+// directory).
+func (s *Supervisor) checkpoint() error {
+	if s.cfg.StateDir == "" {
+		return nil
+	}
+	spec := s.cfg.Spec
+	spec.Attrs = nil // content entries already carry only selected attributes
+	entries := s.rep.Store().MatchAll(spec)
+	err := persist.WriteAtomic(filepath.Join(s.cfg.StateDir, contentFile), func(w io.Writer) error {
+		return ldif.Write(w, entries...)
+	})
+	if err != nil {
+		return err
+	}
+	state := diskState{Cookie: s.Cookie(), SpecKey: s.cfg.specKey}
+	err = persist.WriteAtomic(filepath.Join(s.cfg.StateDir, stateFile), func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(state)
+	})
+	if err != nil {
+		return err
+	}
+	s.counters.Checkpoints.Add(1)
+	return nil
+}
+
+// restore loads a previous incarnation's checkpoint into the replica,
+// returning the saved cookie. A missing, unreadable or spec-mismatched
+// checkpoint restores nothing: the supervisor then starts with a fresh
+// Begin, which is always correct, just more expensive.
+func (s *Supervisor) restore() (cookie string, restored bool, err error) {
+	raw, err := os.ReadFile(filepath.Join(s.cfg.StateDir, stateFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return "", false, nil
+	}
+	if err != nil {
+		return "", false, err
+	}
+	var state diskState
+	if err := json.Unmarshal(raw, &state); err != nil {
+		s.cfg.Logf("supervisor: discarding corrupt state file: %v", err)
+		return "", false, nil
+	}
+	if state.SpecKey != s.cfg.specKey || state.Cookie == "" {
+		return "", false, nil
+	}
+	f, err := os.Open(filepath.Join(s.cfg.StateDir, contentFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return "", false, nil
+	}
+	if err != nil {
+		return "", false, err
+	}
+	defer f.Close()
+	entries, err := ldif.Read(bufio.NewReader(f))
+	if err != nil {
+		s.cfg.Logf("supervisor: discarding corrupt content checkpoint: %v", err)
+		return "", false, nil
+	}
+	updates := make([]resync.Update, 0, len(entries))
+	for _, e := range entries {
+		updates = append(updates, resync.Update{Action: resync.ActionAdd, DN: e.DN(), Entry: e})
+	}
+	s.rep.AddStored(s.cfg.Spec, state.Cookie)
+	if err := s.rep.ApplySync(s.cfg.Spec, updates); err != nil {
+		return "", false, fmt.Errorf("reload checkpointed content: %w", err)
+	}
+	return state.Cookie, true, nil
+}

@@ -1,0 +1,471 @@
+// Package supervisor owns the replica side of the ReSync lifecycle end to
+// end, so replication survives real-world failure instead of degenerating
+// into the full-reload baseline the paper argues against (Section 5: the
+// cookie exists precisely so a disconnected replica resumes with a poll).
+//
+// The supervision loop is a small state machine:
+//
+//	connect → begin|resume → stream|poll → backoff → connect → …
+//
+// A transport failure anywhere closes the connection and re-enters connect
+// after a capped, jittered exponential backoff; the session cookie is kept
+// and the next exchange is a resume-poll, not a reload. A stale-session
+// response (the typed e-syncRefreshRequired wire error) instead clears the
+// cookie and content and re-Begins. In persist mode a dead stream falls
+// back to polling and the stream is re-established on the next cycle.
+//
+// With a state directory configured, the cookie and the replicated content
+// are checkpointed through internal/persist (atomic temp-file + rename)
+// after every applied batch, so a rebooted replica reloads its content
+// locally and resumes the master session via poll — the restart costs one
+// resume exchange, not a full content transfer.
+package supervisor
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"filterdir/internal/ldapnet"
+	"filterdir/internal/metrics"
+	"filterdir/internal/proto"
+	"filterdir/internal/query"
+	"filterdir/internal/replica"
+	"filterdir/internal/resync"
+)
+
+// State is the supervisor's position in its lifecycle state machine.
+type State int32
+
+// Supervisor states; see the package comment for the transitions.
+const (
+	StateIdle State = iota
+	StateConnecting
+	StateSyncing // begin or resume exchange in flight
+	StatePolling
+	StateStreaming
+	StateBackoff
+	StateStopped
+)
+
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateConnecting:
+		return "connecting"
+	case StateSyncing:
+		return "syncing"
+	case StatePolling:
+		return "polling"
+	case StateStreaming:
+		return "streaming"
+	case StateBackoff:
+		return "backoff"
+	case StateStopped:
+		return "stopped"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
+// Mode selects the steady-state synchronization style.
+type Mode int
+
+const (
+	// ModePoll re-polls the session on every PollInterval tick.
+	ModePoll Mode = iota
+	// ModePersist holds a persist-mode stream open and falls back to
+	// polling (then re-establishes the stream) whenever it dies.
+	ModePersist
+)
+
+// Config parameterizes a Supervisor. Master and Spec are required;
+// everything else has serviceable defaults.
+type Config struct {
+	// Master is the master server's address.
+	Master string
+	// Spec is the replicated content specification.
+	Spec query.Query
+	// Mode selects polling or persist-stream steady state.
+	Mode Mode
+	// StateDir durably checkpoints cookie and content when non-empty.
+	StateDir string
+	// PollInterval is the steady-state poll cadence (default 1s).
+	PollInterval time.Duration
+	// IdleTimeout bounds the gap between persist-stream messages
+	// (0 = none): a master stalled longer counts as a dead stream.
+	IdleTimeout time.Duration
+	// BackoffBase/BackoffMax bound the capped exponential reconnect
+	// backoff (defaults 50ms / 5s). Each wait is jittered to
+	// [d/2, d) so restarting replicas do not reconnect in lockstep.
+	BackoffBase, BackoffMax time.Duration
+	// DialTimeout bounds dials and per-message I/O (default
+	// ldapnet.DefaultTimeout).
+	DialTimeout time.Duration
+	// Seed makes the backoff jitter deterministic for tests.
+	Seed int64
+	// Dial is the transport hook (nil = TCP); the chaos layer wraps it.
+	Dial ldapnet.DialFunc
+	// Logf receives progress lines (nil discards them).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() {
+	if c.PollInterval <= 0 {
+		c.PollInterval = time.Second
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 50 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 5 * time.Second
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = ldapnet.DefaultTimeout
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// Supervisor drives one replicated content spec against one master.
+type Supervisor struct {
+	cfg      config
+	rep      *replica.FilterReplica
+	counters *metrics.ReplicaCounters
+	rng      *rand.Rand // used by the run goroutine only
+
+	mu     sync.Mutex
+	cookie string
+	state  State
+
+	synced    chan struct{} // closed after the first successful exchange
+	syncOnce  sync.Once
+	stop      chan struct{}
+	stopOnce  sync.Once
+	done      chan struct{}
+	startOnce sync.Once
+}
+
+// config is Config after default-filling plus derived values.
+type config struct {
+	Config
+	specKey string
+}
+
+// New creates a supervisor applying the spec's content into rep. With a
+// state directory configured, durable state from a previous incarnation is
+// restored immediately: the content is loaded into rep and the saved
+// cookie armed, so the first exchange after Start is a resume-poll.
+func New(cfg Config, rep *replica.FilterReplica) (*Supervisor, error) {
+	cfg.fillDefaults()
+	s := &Supervisor{
+		cfg:      config{Config: cfg, specKey: cfg.Spec.Normalize().Key()},
+		rep:      rep,
+		counters: &metrics.ReplicaCounters{},
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		synced:   make(chan struct{}),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	if cfg.StateDir != "" {
+		cookie, restored, err := s.restore()
+		if err != nil {
+			return nil, fmt.Errorf("restore replica state: %w", err)
+		}
+		if restored {
+			s.cookie = cookie
+			s.cfg.Logf("supervisor: restored %d entries, resuming session %q",
+				rep.EntryCount(), cookie)
+		}
+	}
+	return s, nil
+}
+
+// Counters exposes the supervision counters for status reporting.
+func (s *Supervisor) Counters() *metrics.ReplicaCounters { return s.counters }
+
+// State reports the current lifecycle state.
+func (s *Supervisor) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Cookie returns the current session cookie ("" before the first Begin).
+func (s *Supervisor) Cookie() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cookie
+}
+
+// Synced is closed after the first successful synchronization exchange.
+func (s *Supervisor) Synced() <-chan struct{} { return s.synced }
+
+// Start launches the supervision loop (idempotent).
+func (s *Supervisor) Start() {
+	s.startOnce.Do(func() { go s.run() })
+}
+
+// Stop terminates the loop, waits for it to exit and writes a final
+// checkpoint so a later incarnation resumes from the exact stop point.
+func (s *Supervisor) Stop() error {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+	s.setState(StateStopped)
+	return s.checkpoint()
+}
+
+func (s *Supervisor) setState(st State) {
+	s.mu.Lock()
+	s.state = st
+	s.mu.Unlock()
+}
+
+func (s *Supervisor) setCookie(c string) {
+	s.mu.Lock()
+	s.cookie = c
+	s.mu.Unlock()
+}
+
+func (s *Supervisor) stopped() bool {
+	select {
+	case <-s.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// run is the outer supervision loop: each cycle dials, synchronizes until
+// an error, classifies the error and backs off.
+func (s *Supervisor) run() {
+	defer close(s.done)
+	attempt := 0
+	for !s.stopped() {
+		s.setState(StateConnecting)
+		s.counters.Dials.Add(1)
+		client, err := ldapnet.DialWith(s.cfg.Dial, s.cfg.Master, s.cfg.DialTimeout)
+		if err != nil {
+			s.cfg.Logf("supervisor: dial %s: %v", s.cfg.Master, err)
+			s.backoff(&attempt)
+			continue
+		}
+		err = s.syncLoop(client, &attempt)
+		_ = client.Close()
+		if s.stopped() {
+			return
+		}
+		switch {
+		case errors.Is(err, resync.ErrNoSuchSession):
+			// The master no longer knows our cookie (restart, expiry,
+			// explicit end): drop content and session, re-Begin fresh.
+			s.counters.StaleSessions.Add(1)
+			s.cfg.Logf("supervisor: session stale, re-beginning: %v", err)
+			s.resetContent("")
+			attempt = 0
+		case err != nil:
+			s.counters.Reconnects.Add(1)
+			s.cfg.Logf("supervisor: connection lost: %v", err)
+			s.backoff(&attempt)
+		}
+	}
+}
+
+// syncLoop performs the begin-or-resume exchange and then the steady-state
+// mode on one connection, returning the error that ended it.
+func (s *Supervisor) syncLoop(client *ldapnet.Client, attempt *int) error {
+	s.setState(StateSyncing)
+	cookie := s.Cookie()
+	var res *ldapnet.SyncResult
+	var err error
+	if cookie == "" {
+		res, err = client.Sync(s.cfg.Spec, proto.ReSyncModePoll, "")
+		if err != nil {
+			return err
+		}
+		s.counters.Begins.Add(1)
+		s.resetContent(res.Cookie)
+	} else {
+		res, err = client.Sync(s.cfg.Spec, proto.ReSyncModePoll, cookie)
+		if err != nil {
+			return err
+		}
+		s.counters.Resumes.Add(1)
+		s.counters.Polls.Add(1)
+	}
+	*attempt = 0
+	if err := s.apply(res); err != nil {
+		return err
+	}
+	s.syncOnce.Do(func() { close(s.synced) })
+
+	if s.cfg.Mode == ModePersist {
+		return s.streamSteadyState(client)
+	}
+	return s.pollSteadyState(client)
+}
+
+// pollSteadyState re-polls the session on every tick until stop or error.
+func (s *Supervisor) pollSteadyState(client *ldapnet.Client) error {
+	s.setState(StatePolling)
+	ticker := time.NewTicker(s.cfg.PollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return nil
+		case <-ticker.C:
+			res, err := client.Sync(s.cfg.Spec, proto.ReSyncModePoll, s.Cookie())
+			if err != nil {
+				return err
+			}
+			s.counters.Polls.Add(1)
+			if err := s.apply(res); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// streamSteadyState holds a persist stream open on a dedicated connection,
+// applying pushed batches. When the stream dies it falls back to one
+// resume-poll on the primary connection (so nothing pushed-but-lost is
+// missed) and returns, letting the outer loop re-establish the stream.
+func (s *Supervisor) streamSteadyState(client *ldapnet.Client) error {
+	s.setState(StateStreaming)
+	ps, err := ldapnet.PersistWith(s.cfg.Dial, s.cfg.Master, s.cfg.Spec,
+		s.Cookie(), s.cfg.DialTimeout, s.cfg.IdleTimeout)
+	if err != nil {
+		return err
+	}
+	defer ps.Close()
+	var batch []resync.Update
+	var batchCookie string
+	take := func(u ldapnet.StreamUpdate) {
+		batch = append(batch, u.Update)
+		if u.Cookie != "" {
+			batchCookie = u.Cookie
+		}
+	}
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		// The batch cookie is adopted inside applyUpdates only after the
+		// updates landed, so a checkpoint never names a sync point ahead of
+		// its content.
+		err := s.applyUpdates(batch, batchCookie, false)
+		s.counters.StreamBatches.Add(1)
+		batch, batchCookie = batch[:0], ""
+		return err
+	}
+	for {
+		select {
+		case <-s.stop:
+			return flush()
+		case u, ok := <-ps.Updates:
+			if !ok {
+				if err := flush(); err != nil {
+					return err
+				}
+				if serr := ps.Err(); errors.Is(serr, resync.ErrNoSuchSession) {
+					return serr
+				}
+				// Stream died: catch up with one resume-poll before the
+				// outer loop rebuilds the stream.
+				s.counters.Fallbacks.Add(1)
+				s.setState(StatePolling)
+				res, err := client.Sync(s.cfg.Spec, proto.ReSyncModePoll, s.Cookie())
+				if err != nil {
+					return err
+				}
+				s.counters.Polls.Add(1)
+				if err := s.apply(res); err != nil {
+					return err
+				}
+				return errStreamLost
+			}
+			take(u)
+			// Drain whatever else is already buffered, then apply as one
+			// batch so checkpoints amortize across a burst.
+			for len(ps.Updates) > 0 {
+				if u, ok := <-ps.Updates; ok {
+					take(u)
+				}
+			}
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// errStreamLost re-enters the outer loop (reconnect + resume) after a
+// persist stream died and the fallback poll succeeded.
+var errStreamLost = errors.New("persist stream lost")
+
+// apply installs one exchange's updates; a full reload replaces the
+// content wholesale.
+func (s *Supervisor) apply(res *ldapnet.SyncResult) error {
+	if res.Cookie != "" {
+		s.setCookie(res.Cookie)
+	}
+	if res.FullReload {
+		s.counters.FullReloads.Add(1)
+		s.resetContent(res.Cookie)
+	}
+	return s.applyUpdates(res.Updates, "", len(res.Updates) > 0)
+}
+
+// applyUpdates applies a batch to the replica and checkpoints when
+// anything changed (or when force is set). A non-empty cookie — the sync
+// point a pushed batch reaches — is adopted between apply and checkpoint,
+// so the durable state never claims a position its content hasn't reached.
+func (s *Supervisor) applyUpdates(updates []resync.Update, cookie string, force bool) error {
+	if len(updates) == 0 && !force {
+		return nil
+	}
+	if err := s.rep.ApplySync(s.cfg.Spec, updates); err != nil {
+		return fmt.Errorf("apply updates: %w", err)
+	}
+	s.counters.UpdatesApplied.Add(int64(len(updates)))
+	if cookie != "" {
+		s.setCookie(cookie)
+	}
+	if err := s.checkpoint(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// resetContent drops the spec's replicated content and re-registers it
+// under the given cookie (Begin, full reload, stale session).
+func (s *Supervisor) resetContent(cookie string) {
+	s.rep.RemoveStored(s.cfg.Spec)
+	s.rep.AddStored(s.cfg.Spec, cookie)
+	s.setCookie(cookie)
+}
+
+// backoff sleeps the capped, jittered exponential delay for the attempt
+// counter, abandoning the wait on stop.
+func (s *Supervisor) backoff(attempt *int) {
+	s.setState(StateBackoff)
+	d := s.cfg.BackoffBase << *attempt
+	if d > s.cfg.BackoffMax || d <= 0 {
+		d = s.cfg.BackoffMax
+	} else {
+		*attempt++
+	}
+	// Jitter to [d/2, d).
+	d = d/2 + time.Duration(s.rng.Int63n(int64(d/2)+1))
+	start := time.Now()
+	select {
+	case <-time.After(d):
+	case <-s.stop:
+	}
+	s.counters.ObserveBackoff(time.Since(start))
+}
