@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench
+# Oracle sweep controls: make oracle SEED=7 N=5000
+SEED ?= 42
+N ?= 1000
+
+.PHONY: check fmt vet build test bench oracle fuzz-smoke cover
 
 ## check: the full verification gate (format, vet, build, race-enabled tests).
 check: fmt vet build test
@@ -20,6 +24,25 @@ build:
 test:
 	$(GO) test -race ./...
 
-## bench: regenerate every paper figure as benchmark metrics.
+## bench: regenerate every paper figure as benchmark metrics and write the
+## machine-readable regression baseline.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem -benchtime=1x ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_resync.json
+
+## oracle: the long randomized model-checking sweep (engine level plus one
+## wire-level history per 50 engine histories). A divergence prints a
+## shrunk history and a one-line replay command.
+oracle:
+	$(GO) test ./internal/oracle -race -run 'TestOracleSweep|TestOracleWireSweep' \
+		-oracle.seed=$(SEED) -oracle.n=$(N) -v -timeout 30m
+
+## fuzz-smoke: 30 seconds of native fuzzing per wire-parser target.
+fuzz-smoke:
+	$(GO) test ./internal/ber -run '^$$' -fuzz FuzzParseTLV -fuzztime 30s
+	$(GO) test ./internal/filter -run '^$$' -fuzz FuzzParseFilter -fuzztime 30s
+	$(GO) test ./internal/dn -run '^$$' -fuzz FuzzParseDN -fuzztime 30s
+
+## cover: per-function coverage summary.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 30

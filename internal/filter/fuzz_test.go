@@ -1,0 +1,37 @@
+package filter
+
+import "testing"
+
+// FuzzParseFilter feeds arbitrary strings to the LDAP filter parser.
+// Property: Parse never panics, and for every accepted filter the printed
+// form is a parse/print fixed point: it parses again and prints
+// identically (the canonical form the containment checker keys on).
+func FuzzParseFilter(f *testing.F) {
+	f.Add("(cn=e*)")
+	f.Add("(&(grp=0)(val>=2))")
+	f.Add("(|(grp=2)(val=0))")
+	f.Add("(!(objectclass=person))")
+	f.Add("(&(a=1)(|(b=*)(c<=3))(!(d=x\\2ay)))")
+	f.Add("(cn=*mid*dle*)")
+	f.Add("(cn>=)")
+	f.Add("(&)")
+	f.Add("((a=b))")
+	f.Add("(a=b")
+	f.Add("")
+	f.Add("(objectclass=*)")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		n, err := Parse(s)
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		printed := n.String()
+		n2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed filter %q (from %q) does not re-parse: %v", printed, s, err)
+		}
+		if again := n2.String(); again != printed {
+			t.Fatalf("print not a fixed point: %q -> %q (input %q)", printed, again, s)
+		}
+	})
+}

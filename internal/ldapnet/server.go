@@ -58,6 +58,15 @@ func (s *Server) SyncCounters() *metrics.SyncCounters { return s.syncStats }
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
+// ActiveConns reports the number of live client connections — a
+// test-visible probe used by the convergence oracle and fault-injection
+// tests to observe connection churn.
+func (s *Server) ActiveConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
 // Close stops the listener, closes all connections and waits for the
 // handler goroutines to exit.
 func (s *Server) Close() error {

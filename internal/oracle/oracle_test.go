@@ -1,0 +1,109 @@
+package oracle
+
+import (
+	"flag"
+	"testing"
+)
+
+// Sweep controls; see `make oracle`. A failing history prints its own
+// one-line replay command using these flags.
+var (
+	oracleSeed  = flag.Int64("oracle.seed", 42, "base seed for oracle sweep histories")
+	oracleN     = flag.Int("oracle.n", 0, "number of sweep histories (0 skips the sweep tests)")
+	oracleSteps = flag.Int("oracle.steps", 80, "events per sweep history")
+)
+
+// TestOracleQuick is the tier-1 engine-level oracle run: a small
+// deterministic batch of histories checked after every sync point.
+func TestOracleQuick(t *testing.T) {
+	rep := Run(Config{Seed: 42, Histories: 12, Steps: 40})
+	if rep.Failure != nil {
+		t.Fatal(rep.Failure.Format())
+	}
+	t.Logf("oracle quick: %d histories, %d events, %d exchanges, traffic %+v",
+		rep.Histories, rep.Events, rep.Polls, rep.Traffic)
+}
+
+// TestOracleQuickWire drives the full wire loop (ldapnet master,
+// supervisor replicas, chaos injection) for two short histories — one
+// poll-mode, one persist-mode.
+func TestOracleQuickWire(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wire oracle skipped in -short mode")
+	}
+	rep := RunWire(WireConfig{Seed: 42, Histories: 2, Steps: 12, Chaos: true})
+	if rep.Failure != nil {
+		t.Fatal(rep.Failure.Format())
+	}
+	t.Logf("oracle quick wire: %d histories, %d events, %d exchanges, traffic %+v",
+		rep.Histories, rep.Events, rep.Polls, rep.Traffic)
+}
+
+// TestOracleSweep is the long engine-level sweep, enabled by -oracle.n.
+func TestOracleSweep(t *testing.T) {
+	if *oracleN <= 0 {
+		t.Skip("sweep disabled; run via make oracle or -oracle.n=N")
+	}
+	rep := Run(Config{Seed: *oracleSeed, Histories: *oracleN, Steps: *oracleSteps})
+	if rep.Failure != nil {
+		t.Fatal(rep.Failure.Format())
+	}
+	t.Logf("oracle sweep: %d histories, %d events, %d exchanges, traffic %+v",
+		rep.Histories, rep.Events, rep.Polls, rep.Traffic)
+}
+
+// TestOracleWireSweep is the long wire-level sweep: one wire history per
+// 50 engine histories requested (at least one).
+func TestOracleWireSweep(t *testing.T) {
+	if *oracleN <= 0 {
+		t.Skip("sweep disabled; run via make oracle or -oracle.n=N")
+	}
+	n := (*oracleN + 49) / 50
+	rep := RunWire(WireConfig{Seed: *oracleSeed, Histories: n, Steps: *oracleSteps / 3, Chaos: true})
+	if rep.Failure != nil {
+		t.Fatal(rep.Failure.Format())
+	}
+	t.Logf("oracle wire sweep: %d histories, %d events, %d exchanges, traffic %+v",
+		rep.Histories, rep.Events, rep.Polls, rep.Traffic)
+}
+
+// TestOracleDetectsDroppedDeletes is the oracle's own acceptance test:
+// with the consumer-side E10 fault injected (delete PDUs dropped), the
+// oracle must flag a divergence, shrink the history to a reproducing
+// subsequence, and emit a replay command.
+func TestOracleDetectsDroppedDeletes(t *testing.T) {
+	rep := Run(Config{Seed: 42, Histories: 8, Steps: 60, BreakE10: true})
+	f := rep.Failure
+	if f == nil {
+		t.Fatal("oracle missed the injected E10 fault: no divergence reported")
+	}
+	if len(f.Minimal) == 0 {
+		t.Fatal("failure reported without a shrunk history")
+	}
+	if len(f.Minimal) > len(f.History) {
+		t.Fatalf("shrunk history longer than original: %d > %d", len(f.Minimal), len(f.History))
+	}
+	if f.Replay == "" {
+		t.Fatal("failure reported without a replay command")
+	}
+	// The minimal history must still reproduce under the same fault.
+	if runEngine(Config{BreakE10: true}, f.HistorySeed, f.Minimal, nil) == nil {
+		t.Fatal("shrunk history does not reproduce the divergence")
+	}
+	// ...and a correct consumer must pass it.
+	if clean := runEngine(Config{}, f.HistorySeed, f.Minimal, nil); clean != nil {
+		t.Fatalf("shrunk history fails even without the injected fault:\n%s", clean.Msg)
+	}
+	t.Logf("injected E10 fault detected and shrunk %d -> %d events:\n%s",
+		len(f.History), len(f.Minimal), f.Format())
+}
+
+// TestCorruptCookie pins the corruption helper used by EvBadCookie.
+func TestCorruptCookie(t *testing.T) {
+	if got := corruptCookie("sess-3@17"); got != "sess-3@999999999" {
+		t.Fatalf("corruptCookie: got %q", got)
+	}
+	if got := corruptCookie("nogen"); got != "nogen@999999999" {
+		t.Fatalf("corruptCookie: got %q", got)
+	}
+}

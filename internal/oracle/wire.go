@@ -1,0 +1,264 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"filterdir/internal/chaos"
+	"filterdir/internal/entry"
+	"filterdir/internal/ldapnet"
+	"filterdir/internal/replica"
+	"filterdir/internal/resync"
+	"filterdir/internal/sim"
+	"filterdir/internal/supervisor"
+)
+
+// WireConfig parameterizes a wire-level oracle run: a real ldapnet master
+// serving a TCP listener, one supervisor-driven FilterReplica per spec, and
+// (optionally) chaos fault injection on both sides of the connection.
+type WireConfig struct {
+	Seed      int64
+	Histories int
+	Steps     int
+	// Chaos wraps listener and dialer in a fault injector (dropped
+	// connections, refused dials, latency jitter).
+	Chaos bool
+}
+
+func (c *WireConfig) fillDefaults() {
+	if c.Histories <= 0 {
+		c.Histories = 2
+	}
+	if c.Steps <= 0 {
+		c.Steps = 24
+	}
+}
+
+// synthWireConfig mirrors synthConfig but with a journal bound large
+// enough that bursts between polls fit; every third seed still forces
+// trim-induced full reloads under load.
+func synthWireConfig(hseed int64) sim.SynthConfig {
+	cfg := sim.SynthConfig{Seed: hseed}
+	if hseed%3 == 2 || hseed%3 == -2 {
+		cfg.JournalLimit = 32
+	}
+	return cfg
+}
+
+// genWireHistory generates a wire-level history: operations, convergence
+// checkpoints, and server-side stale-session injections. Polls themselves
+// are driven autonomously by the supervisors; EvPoll here means "wait
+// until every replica has converged to the reference selection".
+func genWireHistory(cfg WireConfig, hseed int64) []Event {
+	gen := sim.NewOpGen(synthWireConfig(hseed))
+	rng := rand.New(rand.NewSource(hseed*1315423911 + 31))
+	nReps := len(specs())
+	events := make([]Event, 0, cfg.Steps+1)
+	for i := 0; i < cfg.Steps; i++ {
+		r := rng.Float64()
+		switch {
+		case r < 0.72:
+			events = append(events, Event{Kind: EvOp, Op: gen.Next()})
+		case r < 0.92:
+			events = append(events, Event{Kind: EvPoll})
+		default:
+			events = append(events, Event{Kind: EvEnd, Rep: rng.Intn(nReps)})
+		}
+	}
+	return append(events, Event{Kind: EvPoll})
+}
+
+// RunWire executes a wire-level oracle run. Histories alternate between
+// poll and persist steady-state modes so both supervisor loops are
+// checked end to end.
+func RunWire(cfg WireConfig) *Report {
+	cfg.fillDefaults()
+	rep := &Report{}
+	for h := 0; h < cfg.Histories; h++ {
+		hseed := historySeed(cfg.Seed, h)
+		// Derive the mode from the history seed (odd stride alternates it
+		// across h) so a -oracle.n=1 replay reruns the same mode.
+		mode := supervisor.ModePoll
+		if hseed%2 != 0 {
+			mode = supervisor.ModePersist
+		}
+		events := genWireHistory(cfg, hseed)
+		if f := runWire(cfg, hseed, mode, events, rep); f != nil {
+			f.History = events
+			f.Minimal = shrinkWire(cfg, hseed, mode, events)
+			f.Replay = replayCmd("TestOracleWireSweep", hseed, cfg.Steps)
+			rep.Failure = f
+			return rep
+		}
+		rep.Histories++
+	}
+	return rep
+}
+
+// shrinkWire is the bounded wire-level shrinker: re-running a wire history
+// spins up real listeners and supervisors, so the re-execution budget is
+// kept small and the original history is reported if shrinking stalls.
+func shrinkWire(cfg WireConfig, hseed int64, mode supervisor.Mode, events []Event) []Event {
+	budget := 24
+	return shrinkEvents(events, func(ev []Event) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		return runWire(cfg, hseed, mode, ev, nil) != nil
+	})
+}
+
+func runWire(cfg WireConfig, hseed int64, mode supervisor.Mode, events []Event, rep *Report) (failure *Failure) {
+	st, err := sim.BuildSynthStore(synthWireConfig(hseed))
+	if err != nil {
+		return &Failure{HistorySeed: hseed, Msg: "build synthetic store: " + err.Error()}
+	}
+	mdl := newModel(st)
+	backend := ldapnet.NewStoreBackend(st)
+
+	// Retains must never reach a poll/persist consumer (the replica's
+	// ApplySync rejects them); count them at the source.
+	var tmu sync.Mutex
+	var retains int
+	backend.Engine.SetObserver(func(_ string, ups []resync.Update, _ bool) {
+		tmu.Lock()
+		defer tmu.Unlock()
+		for _, u := range ups {
+			if u.Action == resync.ActionRetain {
+				retains++
+			}
+			if rep != nil {
+				rep.Traffic.Add(u)
+			}
+		}
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return &Failure{HistorySeed: hseed, Msg: "listen: " + err.Error()}
+	}
+	addr := ln.Addr().String()
+	lnUse := ln
+	var dial ldapnet.DialFunc
+	if cfg.Chaos {
+		inj := chaos.New(chaos.Plan{
+			Seed:               hseed,
+			DropEveryNOps:      89,
+			RefuseEveryNthConn: 9,
+			LatencyMax:         300 * time.Microsecond,
+		})
+		lnUse = inj.Listener(ln)
+		dial = inj.Dial(nil)
+	}
+	srv := ldapnet.ServeListener(lnUse, backend)
+	defer srv.Close()
+
+	type wireRep struct {
+		frep *replica.FilterReplica
+		sup  *supervisor.Supervisor
+	}
+	var wreps []*wireRep
+	defer func() {
+		for _, w := range wreps {
+			_ = w.sup.Stop()
+		}
+		if rep != nil {
+			for _, w := range wreps {
+				rep.Polls += int(w.sup.Exchanges())
+			}
+		}
+	}()
+	for i, spec := range specs() {
+		frep, err := replica.NewFilterReplica()
+		if err != nil {
+			return &Failure{HistorySeed: hseed, Msg: "new replica: " + err.Error()}
+		}
+		sup, err := supervisor.New(supervisor.Config{
+			Master:       addr,
+			Spec:         spec,
+			Mode:         mode,
+			PollInterval: 3 * time.Millisecond,
+			IdleTimeout:  300 * time.Millisecond,
+			BackoffBase:  2 * time.Millisecond,
+			BackoffMax:   40 * time.Millisecond,
+			DialTimeout:  2 * time.Second,
+			Seed:         hseed + int64(i),
+			Dial:         dial,
+		}, frep)
+		if err != nil {
+			return &Failure{HistorySeed: hseed, Msg: "new supervisor: " + err.Error()}
+		}
+		sup.Start()
+		wreps = append(wreps, &wireRep{frep: frep, sup: sup})
+	}
+
+	for i, ev := range events {
+		if rep != nil {
+			rep.Events++
+		}
+		switch ev.Kind {
+		case EvOp:
+			if !mdl.valid(ev.Op) {
+				continue
+			}
+			if err := sim.ApplyOp(st, ev.Op); err != nil {
+				return &Failure{HistorySeed: hseed, Step: i,
+					Msg: fmt.Sprintf("op %q valid in model but rejected by store: %v", ev.Op, err)}
+			}
+			mdl.apply(ev.Op)
+		case EvPoll: // checkpoint: wait for every replica to converge
+			for ri, w := range wreps {
+				if f := waitConverged(w.frep, w.sup, mdl, ri, hseed); f != nil {
+					f.Step = i
+					return f
+				}
+			}
+		case EvEnd: // operator abandons the session server-side
+			if c := wreps[ev.Rep].sup.Cookie(); c != "" {
+				_ = backend.Engine.End(c)
+			}
+		}
+	}
+
+	tmu.Lock()
+	defer tmu.Unlock()
+	if retains > 0 {
+		return &Failure{HistorySeed: hseed,
+			Msg: fmt.Sprintf("master emitted %d retain PDUs to poll/persist consumers", retains)}
+	}
+	return nil
+}
+
+// waitConverged blocks until the replica's content equals the reference
+// selection, or reports a divergence after the deadline.
+func waitConverged(frep *replica.FilterReplica, sup *supervisor.Supervisor, mdl model, ri int, hseed int64) *Failure {
+	spec := specs()[ri]
+	ref := mdl.selection(spec)
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		got := wireSnapshot(frep)
+		diff := describeDiff(got, ref)
+		if diff == "" {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return &Failure{HistorySeed: hseed, Msg: fmt.Sprintf(
+				"replica r%d (%q) did not converge within 15s (state %v, %d exchanges):\n%s",
+				ri, spec, sup.State(), sup.Exchanges(), diff)}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// wireSnapshot captures the replica's held content by normalized DN.
+func wireSnapshot(frep *replica.FilterReplica) map[string]*entry.Entry {
+	out := make(map[string]*entry.Entry)
+	for _, e := range frep.Store().All() {
+		out[e.DN().Norm()] = e
+	}
+	return out
+}

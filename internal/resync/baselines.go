@@ -41,6 +41,18 @@ func (e *Engine) PollRetain(cookie string) (*PollResult, error) {
 		return nil, ErrNoSuchSession
 	}
 	e.stats.RetainPolls.Add(1)
+	// The session's content map describes the replica only if the replica
+	// is positioned at a known sync point: rewind to the presented
+	// generation, rolling back state from responses the replica evidently
+	// never applied. If the point is gone (lost response whose state was
+	// already replaced, or evicted history), nothing can be proven held —
+	// a DN-only retain would then reference an entry the replica may never
+	// have received. Degrade to a full transfer: clear the held set so
+	// every content entry ships as a full entry and nothing is retained.
+	_, gen := splitCookie(cookie)
+	if !sess.rewindTo(gen) {
+		sess.content = make(map[string]dn.DN)
+	}
 	// Which DNs changed at all since the sync point? With trimmed history,
 	// everything is considered changed.
 	changedDNs := make(map[string]bool)
@@ -84,6 +96,7 @@ func (e *Engine) PollRetain(cookie string) (*PollResult, error) {
 	sess.points = []syncPoint{{gen: sess.genSeq, csn: csn}}
 	res.Cookie = cookieString(sess.id, sess.genSeq)
 	e.countPDUs(res.Updates)
+	e.observe(sess.id, res.Updates, false)
 	return res, nil
 }
 

@@ -129,6 +129,33 @@ type Engine struct {
 	mu       sync.Mutex // guards sessions and nextID only; never held across store reads
 	sessions map[string]*session
 	nextID   uint64
+
+	obsMu sync.Mutex // guards obs; separate so observe never touches mu
+	obs   Observer
+}
+
+// Observer receives every update batch the engine emits, right before it is
+// returned (or pushed) to the consumer: the session ID, the batch, and
+// whether it is a full content transfer. The convergence oracle uses it to
+// account server-side update traffic. The callback runs while the session's
+// lock is held and must not call back into the engine.
+type Observer func(sessionID string, updates []Update, fullReload bool)
+
+// SetObserver installs (or clears, with nil) the emission observer.
+func (e *Engine) SetObserver(fn Observer) {
+	e.obsMu.Lock()
+	e.obs = fn
+	e.obsMu.Unlock()
+}
+
+// observe notifies the installed observer, if any, of an emitted batch.
+func (e *Engine) observe(id string, updates []Update, fullReload bool) {
+	e.obsMu.Lock()
+	fn := e.obs
+	e.obsMu.Unlock()
+	if fn != nil {
+		fn(id, updates, fullReload)
+	}
 }
 
 // session records the per-replica synchronization state: the content
@@ -326,7 +353,8 @@ func (e *Engine) Begin(spec query.Query) (*PollResult, error) {
 	res := &PollResult{FullReload: false}
 	for _, ent := range entries {
 		sess.content[ent.DN().Norm()] = ent.DN()
-		res.Updates = append(res.Updates, Update{Action: ActionAdd, DN: ent.DN(), Entry: ent})
+		sel := ent.Select(spec.Attrs)
+		res.Updates = append(res.Updates, Update{Action: ActionAdd, DN: sel.DN(), Entry: sel})
 	}
 	e.mu.Lock()
 	e.nextID++
@@ -336,6 +364,7 @@ func (e *Engine) Begin(spec query.Query) (*PollResult, error) {
 	res.Cookie = cookieString(sess.id, 1)
 	e.stats.Begins.Add(1)
 	e.countPDUs(res.Updates)
+	e.observe(sess.id, res.Updates, true)
 	return res, nil
 }
 
@@ -399,6 +428,7 @@ func (e *Engine) poll(sess *session) (*PollResult, error) {
 		res.Cookie = cookieString(sess.id, sess.genSeq)
 	}
 	e.countPDUs(res.Updates)
+	e.observe(sess.id, res.Updates, false)
 	return res, nil
 }
 
@@ -419,9 +449,11 @@ func (e *Engine) reload(sess *session) *PollResult {
 	res := &PollResult{Cookie: cookieString(sess.id, sess.genSeq), FullReload: true}
 	for _, ent := range entries {
 		sess.content[ent.DN().Norm()] = ent.DN()
-		res.Updates = append(res.Updates, Update{Action: ActionAdd, DN: ent.DN(), Entry: ent})
+		sel := ent.Select(sess.spec.Attrs)
+		res.Updates = append(res.Updates, Update{Action: ActionAdd, DN: sel.DN(), Entry: sel})
 	}
 	e.countPDUs(res.Updates)
+	e.observe(sess.id, res.Updates, true)
 	return res
 }
 

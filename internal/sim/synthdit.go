@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"filterdir/internal/dit"
+	"filterdir/internal/dn"
+	"filterdir/internal/entry"
+)
+
+// This file exports the synthetic-DIT generators used by the convergence
+// oracle (internal/oracle): a small flat subtree whose entries carry two
+// low-cardinality attributes, so random modifies flip filter membership
+// often enough to exercise every ReSync classification (E01 moved in, E10
+// moved out, E11 changed within) within short histories.
+
+// SynthSuffix is the suffix of the oracle's synthetic DIT.
+const SynthSuffix = "ou=oracle,o=xyz"
+
+// SynthConfig sizes the synthetic DIT and its operation generator. All
+// randomness derives from Seed; equal configs generate equal histories.
+type SynthConfig struct {
+	Seed    int64
+	Entries int // initial entry count (default 12)
+	Groups  int // cardinality of the grp attribute domain (default 3)
+	Vals    int // cardinality of the val attribute domain (default 4)
+	// JournalLimit bounds the master journal (0 = unbounded); small limits
+	// force full-reload degradation under churn.
+	JournalLimit int
+}
+
+func (c *SynthConfig) fillDefaults() {
+	if c.Entries <= 0 {
+		c.Entries = 12
+	}
+	if c.Groups <= 0 {
+		c.Groups = 3
+	}
+	if c.Vals <= 0 {
+		c.Vals = 4
+	}
+}
+
+// SynthBase returns the parsed synthetic suffix.
+func SynthBase() dn.DN { return dn.MustParse(SynthSuffix) }
+
+// SynthEntry builds the entry for one synthetic leaf. The same function is
+// used to populate the real store and the oracle's reference model, so the
+// two agree byte-for-byte on entry content.
+func SynthEntry(name string, grp, val int) *entry.Entry {
+	e := entry.New(dn.MustParse("cn=" + name + "," + SynthSuffix))
+	e.Put("objectclass", "device")
+	e.Put("cn", name)
+	e.Put("grp", strconv.Itoa(grp))
+	e.Put("val", strconv.Itoa(val))
+	return e
+}
+
+// initialLeaf derives the deterministic initial attribute values of leaf i.
+func initialLeaf(cfg SynthConfig, i int) (name string, grp, val int) {
+	return "e" + strconv.Itoa(i+1), i % cfg.Groups, i % cfg.Vals
+}
+
+// BuildSynthStore creates the synthetic master DIT: the suffix entry plus
+// cfg.Entries leaves named e1..eN with deterministic grp/val values.
+func BuildSynthStore(cfg SynthConfig) (*dit.Store, error) {
+	cfg.fillDefaults()
+	var opts []dit.Option
+	if cfg.JournalLimit > 0 {
+		opts = append(opts, dit.WithJournalLimit(cfg.JournalLimit))
+	}
+	st, err := dit.NewStore([]string{SynthSuffix}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	root := entry.New(SynthBase())
+	root.Put("objectclass", "organizationalUnit")
+	root.Put("ou", "oracle")
+	if err := st.Add(root); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Entries; i++ {
+		name, grp, val := initialLeaf(cfg, i)
+		if err := st.Add(SynthEntry(name, grp, val)); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// OpKind identifies one synthetic DIT operation.
+type OpKind int
+
+// The four LDAP update operations over the synthetic DIT.
+const (
+	OpAdd OpKind = iota + 1
+	OpDelete
+	OpModify
+	OpModDN
+)
+
+// Op is one randomly generated directory operation. Name is the target
+// leaf's cn; NewName is the renamed cn for OpModDN; Grp/Val carry the
+// attribute values for OpAdd and OpModify.
+type Op struct {
+	Kind     OpKind
+	Name     string
+	NewName  string
+	Grp, Val int
+}
+
+// DN returns the target DN of the operation.
+func (op Op) DN() dn.DN { return dn.MustParse("cn=" + op.Name + "," + SynthSuffix) }
+
+// NewDN returns the post-rename DN of an OpModDN.
+func (op Op) NewDN() dn.DN { return dn.MustParse("cn=" + op.NewName + "," + SynthSuffix) }
+
+func (op Op) String() string {
+	switch op.Kind {
+	case OpAdd:
+		return fmt.Sprintf("add %s grp=%d val=%d", op.Name, op.Grp, op.Val)
+	case OpDelete:
+		return fmt.Sprintf("delete %s", op.Name)
+	case OpModify:
+		return fmt.Sprintf("modify %s grp=%d val=%d", op.Name, op.Grp, op.Val)
+	case OpModDN:
+		return fmt.Sprintf("moddn %s -> %s", op.Name, op.NewName)
+	default:
+		return fmt.Sprintf("op(%d)", int(op.Kind))
+	}
+}
+
+// ApplyOp applies a synthetic operation to a store. OpModify replaces both
+// grp and val; OpModDN is a pure rename under the synthetic suffix.
+func ApplyOp(st *dit.Store, op Op) error {
+	switch op.Kind {
+	case OpAdd:
+		return st.Add(SynthEntry(op.Name, op.Grp, op.Val))
+	case OpDelete:
+		return st.Delete(op.DN())
+	case OpModify:
+		return st.Modify(op.DN(), []dit.Mod{
+			{Op: dit.ModReplace, Attr: "grp", Values: []string{strconv.Itoa(op.Grp)}},
+			{Op: dit.ModReplace, Attr: "val", Values: []string{strconv.Itoa(op.Val)}},
+		})
+	case OpModDN:
+		return st.ModifyDN(op.DN(), dn.RDN{Attr: "cn", Value: op.NewName}, SynthBase())
+	default:
+		return fmt.Errorf("unknown op kind %d", op.Kind)
+	}
+}
+
+// OpGen generates a random but deterministic operation stream over the
+// synthetic DIT. It tracks the live leaf set itself, so generation does not
+// depend on a store: the same seed always yields the same ops.
+type OpGen struct {
+	cfg  SynthConfig
+	rng  *rand.Rand
+	live []string
+	seq  int
+}
+
+// NewOpGen creates a generator matching the initial state produced by
+// BuildSynthStore with the same config.
+func NewOpGen(cfg SynthConfig) *OpGen {
+	cfg.fillDefaults()
+	g := &OpGen{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), seq: cfg.Entries}
+	for i := 0; i < cfg.Entries; i++ {
+		name, _, _ := initialLeaf(cfg, i)
+		g.live = append(g.live, name)
+	}
+	return g
+}
+
+// Next generates the next operation, updating the tracked live set.
+func (g *OpGen) Next() Op {
+	roll := g.rng.Float64()
+	// Bias toward adds when the population halves, so histories keep churn.
+	if len(g.live) == 0 || (len(g.live) < g.cfg.Entries/2 && roll < 0.5) {
+		return g.genAdd()
+	}
+	switch {
+	case roll < 0.50:
+		i := g.rng.Intn(len(g.live))
+		return Op{Kind: OpModify, Name: g.live[i],
+			Grp: g.rng.Intn(g.cfg.Groups), Val: g.rng.Intn(g.cfg.Vals)}
+	case roll < 0.70:
+		return g.genAdd()
+	case roll < 0.85:
+		i := g.rng.Intn(len(g.live))
+		op := Op{Kind: OpDelete, Name: g.live[i]}
+		g.live = append(g.live[:i], g.live[i+1:]...)
+		return op
+	default:
+		i := g.rng.Intn(len(g.live))
+		g.seq++
+		op := Op{Kind: OpModDN, Name: g.live[i], NewName: "e" + strconv.Itoa(g.seq)}
+		g.live[i] = op.NewName
+		return op
+	}
+}
+
+func (g *OpGen) genAdd() Op {
+	g.seq++
+	op := Op{Kind: OpAdd, Name: "e" + strconv.Itoa(g.seq),
+		Grp: g.rng.Intn(g.cfg.Groups), Val: g.rng.Intn(g.cfg.Vals)}
+	g.live = append(g.live, op.Name)
+	return op
+}

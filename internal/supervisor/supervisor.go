@@ -138,9 +138,11 @@ type Supervisor struct {
 	counters *metrics.ReplicaCounters
 	rng      *rand.Rand // used by the run goroutine only
 
-	mu     sync.Mutex
-	cookie string
-	state  State
+	mu         sync.Mutex
+	cookie     string
+	state      State
+	exchanges  int64     // successful synchronization exchanges applied
+	lastSyncAt time.Time // completion time of the newest applied exchange
 
 	synced    chan struct{} // closed after the first successful exchange
 	syncOnce  sync.Once
@@ -204,6 +206,32 @@ func (s *Supervisor) Cookie() string {
 
 // Synced is closed after the first successful synchronization exchange.
 func (s *Supervisor) Synced() <-chan struct{} { return s.synced }
+
+// Exchanges reports the number of synchronization exchanges (begin, poll,
+// or stream batch) whose updates have been fully applied to the replica — a
+// test-visible convergence probe: an Exchanges() advance after the master
+// quiesced means a whole exchange completed against the settled content.
+func (s *Supervisor) Exchanges() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.exchanges
+}
+
+// LastSyncAt reports when the newest applied exchange completed (zero
+// before the first).
+func (s *Supervisor) LastSyncAt() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSyncAt
+}
+
+// noteExchange records one fully applied exchange for the probes.
+func (s *Supervisor) noteExchange() {
+	s.mu.Lock()
+	s.exchanges++
+	s.lastSyncAt = time.Now()
+	s.mu.Unlock()
+}
 
 // Start launches the supervision loop (idempotent).
 func (s *Supervisor) Start() {
@@ -360,6 +388,9 @@ func (s *Supervisor) streamSteadyState(client *ldapnet.Client) error {
 		// its content.
 		err := s.applyUpdates(batch, batchCookie, false)
 		s.counters.StreamBatches.Add(1)
+		if err == nil {
+			s.noteExchange()
+		}
 		batch, batchCookie = batch[:0], ""
 		return err
 	}
@@ -418,7 +449,11 @@ func (s *Supervisor) apply(res *ldapnet.SyncResult) error {
 		s.counters.FullReloads.Add(1)
 		s.resetContent(res.Cookie)
 	}
-	return s.applyUpdates(res.Updates, "", len(res.Updates) > 0)
+	if err := s.applyUpdates(res.Updates, "", len(res.Updates) > 0); err != nil {
+		return err
+	}
+	s.noteExchange()
+	return nil
 }
 
 // applyUpdates applies a batch to the replica and checkpoints when
