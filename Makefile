@@ -4,7 +4,7 @@ GO ?= go
 SEED ?= 42
 N ?= 1000
 
-.PHONY: check fmt vet build test bench oracle fuzz-smoke cover
+.PHONY: check fmt vet build test bench bench-diff oracle fuzz-smoke cover
 
 ## check: the full verification gate (format, vet, build, race-enabled tests).
 check: fmt vet build test
@@ -25,9 +25,17 @@ test:
 	$(GO) test -race ./...
 
 ## bench: regenerate every paper figure as benchmark metrics and write the
-## machine-readable regression baseline.
+## machine-readable regression baseline. -count=3 runs each benchmark three
+## times; benchjson keeps the fastest run so the baseline is a min-of-3,
+## not a single GC-perturbed sample.
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=1x ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_resync.json
+	$(GO) test -bench=. -benchmem -benchtime=1x -count=3 ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_resync.json
+
+## bench-diff: rerun the benchmarks (min-of-3, matching how the baseline
+## was recorded) and compare against the checked-in baseline; fails on a
+## >20% ns/op regression (noise-floored — see cmd/benchjson -minns).
+bench-diff:
+	$(GO) test -bench=. -benchmem -benchtime=1x -count=3 ./... | $(GO) run ./cmd/benchjson -baseline BENCH_resync.json
 
 ## oracle: the long randomized model-checking sweep (engine level plus one
 ## wire-level history per 50 engine histories). A divergence prints a

@@ -19,6 +19,7 @@ import (
 	"filterdir/internal/filter"
 	"filterdir/internal/ldapnet"
 	"filterdir/internal/metrics"
+	"filterdir/internal/proto"
 	"filterdir/internal/query"
 	"filterdir/internal/resync"
 	"filterdir/internal/selection"
@@ -416,6 +417,132 @@ func BenchmarkResyncConcurrentPolls(b *testing.B) {
 	}
 	b.Run("per-session", func(b *testing.B) { run(b, false) })
 	b.Run("global-lock", func(b *testing.B) { run(b, true) })
+}
+
+// encodeFanoutBatch mirrors the wire server's streamUpdates encoding work:
+// every update becomes a search-entry PDU with an entry-change control.
+// With a shared-encoding memo the BER body is built once per content view
+// and only the envelope (message ID + per-session cookie) is rebuilt per
+// session; without one the whole message is encoded from scratch.
+func encodeFanoutBatch(b *testing.B, id int64, res *resync.PollResult) int {
+	b.Helper()
+	total := 0
+	envelope := &proto.SearchEntry{} // supplies only the application tag
+	for i, u := range res.Updates {
+		u := u
+		action := proto.ChangeActionDelete
+		switch u.Action {
+		case resync.ActionAdd:
+			action = proto.ChangeActionAdd
+		case resync.ActionModify:
+			action = proto.ChangeActionModify
+		}
+		mkOp := func() *proto.SearchEntry {
+			if u.Entry != nil {
+				return proto.EntryToWire(u.Entry)
+			}
+			return &proto.SearchEntry{DN: u.DN.String()}
+		}
+		cookie := ""
+		if i == len(res.Updates)-1 {
+			cookie = res.Cookie
+		}
+		controls := []proto.Control{proto.NewEntryChangeControl(action, cookie)}
+		if res.Enc != nil {
+			if cookie == "" {
+				tail, _, err := res.Enc.GetTail(i, func() ([]byte, error) {
+					body, berr := proto.EncodeOpBody(mkOp())
+					if berr != nil {
+						return nil, berr
+					}
+					return proto.EncodeMessageTail(envelope, body, controls), nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += len(proto.EncodeWithTail(id, tail))
+				continue
+			}
+			body, _, err := res.Enc.Get(i, func() ([]byte, error) { return proto.EncodeOpBody(mkOp()) })
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += len(proto.EncodeWithOpBody(id, envelope, body, controls))
+		} else {
+			msg, err := (&proto.Message{ID: id, Op: mkOp(), Controls: controls}).Encode()
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += len(msg)
+		}
+	}
+	return total
+}
+
+// BenchmarkPersistFanout measures the master-side cost of one update cycle
+// fanned out to many same-filter sessions: classify the change interval,
+// replay each session's content delta, and BER-encode every update PDU —
+// exactly the work the persist broadcaster performs per cycle. "shared" is
+// the content-group engine (classification and PDU bodies computed once per
+// group and view); "baseline" is the WithoutGrouping ablation doing full
+// per-session work. ns/op is the whole cycle, so per-session cost is
+// ns/op ÷ sessions; the fanout win is baseline ns/op over shared ns/op at
+// equal session counts.
+func BenchmarkPersistFanout(b *testing.B) {
+	const burst = 200
+	for _, sessions := range []int{1, 10, 100, 1000} {
+		for _, mode := range []struct {
+			name string
+			opts []resync.EngineOption
+		}{
+			{"shared", nil},
+			{"baseline", []resync.EngineOption{resync.WithoutGrouping()}},
+		} {
+			b.Run(fmt.Sprintf("sessions=%d/%s", sessions, mode.name), func(b *testing.B) {
+				cfg := workload.DefaultDirectoryConfig(1000)
+				cfg.PayloadBytes = 64
+				dir, err := workload.BuildDirectory(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng := resync.NewEngine(dir.Master, mode.opts...)
+				spec := query.MustNew("", query.ScopeSubtree, "(serialnumber=1*)")
+				cookies := make([]string, sessions)
+				for i := range cookies {
+					res, err := eng.Begin(spec)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cookies[i] = res.Cookie
+				}
+				upd := workload.NewUpdater(dir, workload.DefaultUpdateConfig())
+
+				encoded := 0
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					if _, err := upd.Apply(burst); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					for s, c := range cookies {
+						res, err := eng.Poll(c)
+						if err != nil {
+							b.Fatal(err)
+						}
+						cookies[s] = res.Cookie
+						encoded += encodeFanoutBatch(b, int64(s), res)
+					}
+				}
+				b.StopTimer()
+				snap := eng.Counters().Snapshot()
+				if hm := snap.SharedClassifyHits + snap.SharedClassifyMisses; hm > 0 {
+					b.ReportMetric(float64(snap.SharedClassifyHits)/float64(hm), "classify_dedup")
+				}
+				b.ReportMetric(float64(encoded)/float64(b.N), "wire_bytes/cycle")
+			})
+		}
+	}
 }
 
 // BenchmarkSelectionPolicies compares the paper's periodic benefit/size

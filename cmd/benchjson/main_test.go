@@ -1,0 +1,146 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: filterdir
+BenchmarkPersistFanout/sessions=100/shared-8         	       1	  1200000 ns/op	        0.990 classify_dedup
+BenchmarkPersistFanout/sessions=100/baseline-8       	       1	  9000000 ns/op
+BenchmarkTiny-8                                      	       1	      500 ns/op
+PASS
+`
+
+func parsed(t *testing.T, text string) document {
+	t.Helper()
+	doc, err := parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	doc := parsed(t, sampleBench)
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	if doc.GoOS != "linux" || doc.GoArch != "amd64" {
+		t.Errorf("goos/goarch = %q/%q", doc.GoOS, doc.GoArch)
+	}
+	// Sorted by qualified name, GOMAXPROCS suffix stripped.
+	want := []string{
+		"filterdir:BenchmarkPersistFanout/sessions=100/baseline",
+		"filterdir:BenchmarkPersistFanout/sessions=100/shared",
+		"filterdir:BenchmarkTiny",
+	}
+	for i, b := range doc.Benchmarks {
+		if b.Name != want[i] {
+			t.Errorf("benchmark[%d] = %q, want %q", i, b.Name, want[i])
+		}
+	}
+	shared := doc.Benchmarks[1]
+	if shared.NsPerOp != 1200000 {
+		t.Errorf("shared ns/op = %v", shared.NsPerOp)
+	}
+	if shared.Metrics["classify_dedup"] != 0.990 {
+		t.Errorf("shared classify_dedup = %v", shared.Metrics["classify_dedup"])
+	}
+}
+
+func TestParseQualifiesAcrossPackages(t *testing.T) {
+	doc := parsed(t, `pkg: filterdir/internal/dn
+BenchmarkParse-8 10 1000 ns/op
+pkg: filterdir/internal/filter
+BenchmarkParse-8 10 2000 ns/op
+`)
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2 (same name, distinct packages)", len(doc.Benchmarks))
+	}
+	if doc.Benchmarks[0].Name != "filterdir/internal/dn:BenchmarkParse" ||
+		doc.Benchmarks[1].Name != "filterdir/internal/filter:BenchmarkParse" {
+		t.Errorf("names = %q, %q", doc.Benchmarks[0].Name, doc.Benchmarks[1].Name)
+	}
+}
+
+func TestParseKeepsFastestOfRepeatedRuns(t *testing.T) {
+	doc := parsed(t, `pkg: filterdir
+BenchmarkX-8 1 3000 ns/op 7.0 widgets
+BenchmarkX-8 1 1000 ns/op 5.0 widgets
+BenchmarkX-8 1 2000 ns/op 6.0 widgets
+`)
+	if len(doc.Benchmarks) != 1 {
+		t.Fatalf("parsed %d benchmarks, want 1 (count=3 runs collapse)", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.NsPerOp != 1000 {
+		t.Errorf("ns/op = %v, want the minimum 1000", b.NsPerOp)
+	}
+	if b.Metrics["widgets"] != 5.0 {
+		t.Errorf("metrics should come from the fastest run, got %v", b.Metrics["widgets"])
+	}
+}
+
+func TestDiffGatesRegressions(t *testing.T) {
+	base := parsed(t, sampleBench)
+	tests := []struct {
+		name        string
+		current     string
+		regressions int
+		contains    []string
+	}{
+		{
+			name:        "unchanged",
+			current:     sampleBench,
+			regressions: 0,
+			contains:    []string{"  ok   ", "+0.0%"},
+		},
+		{
+			name: "regression beyond tolerance",
+			current: `pkg: filterdir
+BenchmarkPersistFanout/sessions=100/shared-8 1 2000000 ns/op
+BenchmarkPersistFanout/sessions=100/baseline-8 1 9000000 ns/op
+BenchmarkTiny-8 1 500 ns/op
+`,
+			regressions: 1,
+			contains:    []string{"  FAIL ", "+66.7%"},
+		},
+		{
+			name: "improvement and noise-floor skip",
+			current: `pkg: filterdir
+BenchmarkPersistFanout/sessions=100/shared-8 1 600000 ns/op
+BenchmarkPersistFanout/sessions=100/baseline-8 1 9000000 ns/op
+BenchmarkTiny-8 1 50000 ns/op
+`,
+			// Tiny slowed 100x but its baseline is under the noise floor.
+			regressions: 0,
+			contains:    []string{"-50.0%", "  noise"},
+		},
+		{
+			name: "renames reported but not gated",
+			current: `pkg: filterdir
+BenchmarkPersistFanout/sessions=100/shared-8 1 1200000 ns/op
+BenchmarkPersistFanout/sessions=100/baseline-8 1 9000000 ns/op
+BenchmarkRenamed-8 1 500 ns/op
+`,
+			regressions: 0,
+			contains:    []string{"  new   filterdir:BenchmarkRenamed", "  gone  filterdir:BenchmarkTiny"},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			report, n := diff(base, parsed(t, tc.current), 0.20, 100_000)
+			if n != tc.regressions {
+				t.Errorf("regressions = %d, want %d\n%s", n, tc.regressions, report)
+			}
+			for _, want := range tc.contains {
+				if !strings.Contains(report, want) {
+					t.Errorf("report missing %q:\n%s", want, report)
+				}
+			}
+		})
+	}
+}

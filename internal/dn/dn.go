@@ -43,6 +43,23 @@ func (r RDN) Equal(o RDN) bool {
 	return r.Attr == o.Attr && strings.EqualFold(foldSpaces(r.Value), foldSpaces(o.Value))
 }
 
+// SameSpelling reports whether two DNs have identical presentation forms —
+// the allocation-free equivalent of d.String() == o.String(). Equal DNs can
+// differ in spelling (value case, escaped spacing); spelling-sensitive
+// callers (e.g. change classification deciding whether a rename is visible)
+// use this on hot paths instead of rendering both strings.
+func (d DN) SameSpelling(o DN) bool {
+	if len(d.rdns) != len(o.rdns) {
+		return false
+	}
+	for i, r := range d.rdns {
+		if r.Attr != o.rdns[i].Attr || r.Value != o.rdns[i].Value {
+			return false
+		}
+	}
+	return true
+}
+
 // DN is a parsed distinguished name. The zero value is the root ("null") DN.
 // RDNs are stored leaf-first, mirroring the string representation: for
 // "cn=a,o=b", RDNs[0] is cn=a and RDNs[1] is o=b.

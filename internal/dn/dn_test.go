@@ -284,3 +284,28 @@ func BenchmarkIsSuffix(b *testing.B) {
 		}
 	}
 }
+
+func TestSameSpelling(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"cn=Ann,o=xyz", "cn=Ann,o=xyz", true},
+		{"cn=Ann,o=xyz", "cn=ann,o=xyz", false}, // Equal, but spelled differently
+		{"cn=Ann,o=xyz", "cn=Ann,o=abc", false},
+		{"cn=Ann,o=xyz", "cn=Ann", false},
+		{"", "", true},
+		{"", "o=xyz", false},
+	}
+	for _, tc := range cases {
+		a, b := MustParse(tc.a), MustParse(tc.b)
+		if got := a.SameSpelling(b); got != tc.want {
+			t.Errorf("SameSpelling(%q, %q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+		// SameSpelling is exactly String-equality, allocation-free.
+		if got, strEq := a.SameSpelling(b), a.String() == b.String(); got != strEq {
+			t.Errorf("SameSpelling(%q, %q) = %v disagrees with String comparison %v",
+				tc.a, tc.b, got, strEq)
+		}
+	}
+}

@@ -113,11 +113,12 @@ func (s *Server) dropConn(conn net.Conn) {
 	_ = conn.Close()
 }
 
-// connState tracks per-connection persistent searches for abandon.
+// connState tracks per-connection persistent searches for abandon, plus
+// the connection's write queue.
 type connState struct {
 	mu       sync.Mutex
 	persists map[int64]*resync.Subscription
-	writeMu  sync.Mutex
+	w        *connWriter
 }
 
 func (cs *connState) addPersist(id int64, sub *resync.Subscription) {
@@ -150,7 +151,8 @@ func (cs *connState) closeAll() {
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	defer s.dropConn(conn)
-	state := &connState{persists: make(map[int64]*resync.Subscription)}
+	state := &connState{persists: make(map[int64]*resync.Subscription), w: newConnWriter(conn, s.syncStats)}
+	defer state.w.close()
 	defer state.closeAll()
 	r := bufio.NewReader(conn)
 	for {
@@ -205,9 +207,9 @@ func (s *Server) reply(state *connState, conn net.Conn, id int64, op proto.Op,
 	code proto.ResultCode, msg string, referrals []string, controls []proto.Control) {
 	setResult(op, code, msg, referrals)
 	m := &proto.Message{ID: id, Op: op, Controls: controls}
-	state.writeMu.Lock()
-	defer state.writeMu.Unlock()
-	_ = m.Write(conn)
+	if enc, err := m.Encode(); err == nil {
+		_ = state.w.writeSync(enc)
+	}
 }
 
 // setResult injects the LDAPResult into a response op.
@@ -230,9 +232,11 @@ func setResult(op proto.Op, code proto.ResultCode, msg string, referrals []strin
 }
 
 func (s *Server) send(state *connState, conn net.Conn, m *proto.Message) error {
-	state.writeMu.Lock()
-	defer state.writeMu.Unlock()
-	return m.Write(conn)
+	enc, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	return state.w.writeSync(enc)
 }
 
 func (s *Server) handleSearch(state *connState, conn net.Conn, msg *proto.Message, op *proto.SearchRequest) {
@@ -386,7 +390,7 @@ func (s *Server) handleReSync(state *connState, conn net.Conn, id int64, op *pro
 	if req.Mode == proto.ReSyncModePersist {
 		initialCookie = res.Cookie
 	}
-	if err := s.streamUpdates(state, conn, id, res.Updates, initialCookie); err != nil {
+	if err := s.streamUpdates(state, conn, id, res.Updates, initialCookie, res.Enc, false); err != nil {
 		return
 	}
 
@@ -398,20 +402,22 @@ func (s *Server) handleReSync(state *connState, conn net.Conn, id int64, op *pro
 		}
 		state.addPersist(id, sub)
 		// Stream in a separate goroutine so the connection's read loop keeps
-		// processing abandon and unbind requests. The subscription ends via
-		// abandon (takePersist), connection teardown (closeAll) or a write
-		// failure here.
+		// processing abandon and unbind requests. Pushed batches go through
+		// the connection's bounded write queue; the subscription ends via
+		// abandon (takePersist), connection teardown (closeAll), engine-side
+		// slow-consumer demotion (channel close) or a write failure here.
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			for batch := range sub.Updates {
-				if err := s.streamUpdates(state, conn, id, batch.Updates, batch.Cookie); err != nil {
+				if err := s.streamUpdates(state, conn, id, batch.Updates, batch.Cookie, batch.Enc, true); err != nil {
 					sub.Close()
 					return
 				}
 			}
-			s.reply(state, conn, id, &proto.SearchDone{}, proto.ResultSuccess, "",
-				nil, []proto.Control{proto.NewReSyncDoneControl(res.Cookie, false)})
+			// The done must trail the queued batch PDUs of this stream, so
+			// it rides the same queue.
+			s.streamDone(state, conn, id, res.Cookie)
 		}()
 		return
 	}
@@ -420,37 +426,111 @@ func (s *Server) handleReSync(state *connState, conn net.Conn, id int64, op *pro
 		nil, []proto.Control{proto.NewReSyncDoneControl(res.Cookie, res.FullReload)})
 }
 
+// errSlowConsumer tears down a persist stream whose connection write queue
+// stayed full past the enqueue deadline.
+var errSlowConsumer = errors.New("ldapnet: persist consumer too slow, write queue full")
+
+// searchEntryTag supplies only the application tag to the pre-encoded-body
+// wrappers; the PDU body comes from the shared memo.
+var searchEntryTag = &proto.SearchEntry{}
+
 // streamUpdates sends each update as a search entry PDU labelled with an
 // entry-change control; delete and retain actions carry the DN only. A
 // non-empty batchCookie is attached to the final PDU so persist-mode
 // consumers learn the sync point each pushed batch reaches.
-func (s *Server) streamUpdates(state *connState, conn net.Conn, id int64, updates []resync.Update, batchCookie string) error {
+//
+// When the batch carries a shared-encoding memo, the PDU is BER-encoded
+// once per content view and reused across every session fanned the batch:
+// for all but the final update the message differs between sessions only
+// in its message ID, so the whole tail (op TLV + entry-change control) is
+// cached and only the ID envelope is stamped per consumer; the final
+// update carries the per-session cookie, so its control is rebuilt around
+// the cached PDU body. Queued mode routes the PDUs through the
+// connection's bounded write queue (persist pushes); otherwise they are
+// written synchronously.
+func (s *Server) streamUpdates(state *connState, conn net.Conn, id int64, updates []resync.Update, batchCookie string, enc *resync.SharedEnc, queued bool) error {
 	for i, u := range updates {
-		var se *proto.SearchEntry
+		u := u
 		var action proto.ChangeAction
 		switch u.Action {
 		case resync.ActionAdd:
-			se = proto.EntryToWire(u.Entry)
 			action = proto.ChangeActionAdd
 		case resync.ActionModify:
-			se = proto.EntryToWire(u.Entry)
 			action = proto.ChangeActionModify
 		case resync.ActionDelete:
-			se = &proto.SearchEntry{DN: u.DN.String()}
 			action = proto.ChangeActionDelete
 		case resync.ActionRetain:
-			se = &proto.SearchEntry{DN: u.DN.String()}
 			action = proto.ChangeActionRetain
 		default:
 			continue
+		}
+		// The wire op is built lazily: on the shared-memo hit path the PDU
+		// body already exists and converting the entry again per session
+		// would cost more than the memo saves.
+		mkOp := func() *proto.SearchEntry {
+			if u.Entry != nil && (u.Action == resync.ActionAdd || u.Action == resync.ActionModify) {
+				return proto.EntryToWire(u.Entry)
+			}
+			return &proto.SearchEntry{DN: u.DN.String()}
 		}
 		cookie := ""
 		if i == len(updates)-1 {
 			cookie = batchCookie
 		}
-		m := &proto.Message{ID: id, Op: se,
-			Controls: []proto.Control{proto.NewEntryChangeControl(action, cookie)}}
-		if err := s.send(state, conn, m); err != nil {
+		controls := []proto.Control{proto.NewEntryChangeControl(action, cookie)}
+		var msgBytes []byte
+		if enc != nil {
+			var built bool
+			var err error
+			if cookie == "" {
+				// Session-independent message: share the whole tail and
+				// stamp only the message ID.
+				var tail []byte
+				tail, built, err = enc.GetTail(i, func() ([]byte, error) {
+					body, berr := proto.EncodeOpBody(mkOp())
+					if berr != nil {
+						return nil, berr
+					}
+					return proto.EncodeMessageTail(searchEntryTag, body, controls), nil
+				})
+				if err == nil {
+					msgBytes = proto.EncodeWithTail(id, tail)
+				}
+			} else {
+				// The per-session cookie control forces a per-session tail;
+				// the PDU body is still shared.
+				var body []byte
+				body, built, err = enc.Get(i, func() ([]byte, error) { return proto.EncodeOpBody(mkOp()) })
+				if err == nil {
+					msgBytes = proto.EncodeWithOpBody(id, searchEntryTag, body, controls)
+				}
+			}
+			if err != nil {
+				return err
+			}
+			if s.syncStats != nil {
+				if built {
+					s.syncStats.StreamEncodes.Add(1)
+				} else {
+					s.syncStats.StreamDedupPDUs.Add(1)
+				}
+			}
+		} else {
+			var err error
+			msgBytes, err = (&proto.Message{ID: id, Op: mkOp(), Controls: controls}).Encode()
+			if err != nil {
+				return err
+			}
+		}
+		if queued {
+			if !state.w.enqueue(msgBytes) {
+				if s.syncStats != nil {
+					s.syncStats.StreamQueueDrops.Add(1)
+				}
+				s.dropConn(conn)
+				return errSlowConsumer
+			}
+		} else if err := state.w.writeSync(msgBytes); err != nil {
 			return err
 		}
 		if s.syncStats != nil {
@@ -458,4 +538,20 @@ func (s *Server) streamUpdates(state *connState, conn net.Conn, id int64, update
 		}
 	}
 	return nil
+}
+
+// streamDone ends a persist stream with its SearchDone, routed through the
+// write queue so it trails the stream's queued PDUs.
+func (s *Server) streamDone(state *connState, conn net.Conn, id int64, cookie string) {
+	op := &proto.SearchDone{}
+	setResult(op, proto.ResultSuccess, "", nil)
+	m := &proto.Message{ID: id, Op: op,
+		Controls: []proto.Control{proto.NewReSyncDoneControl(cookie, false)}}
+	b, err := m.Encode()
+	if err != nil {
+		return
+	}
+	if !state.w.enqueue(b) {
+		s.dropConn(conn)
+	}
 }

@@ -1,0 +1,128 @@
+package ldapnet
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"filterdir/internal/metrics"
+)
+
+// Write-queue policy: a connection buffers up to streamQueueCap encoded
+// persist-stream messages; a push waits up to enqueueWait for space before
+// the stream is torn down (the engine-level slow-consumer policy usually
+// trips first — this is the transport backstop). A wedged consumer socket
+// is detected by writeTimeout on the drain goroutine's writes.
+const (
+	streamQueueCap = 64
+	enqueueWait    = 250 * time.Millisecond
+	writeTimeout   = 30 * time.Second
+)
+
+// connWriter serializes all writes to one connection. Synchronous
+// request/response traffic writes directly under mu; persist-stream pushes
+// go through a bounded queue drained by a dedicated goroutine, so one
+// connection's slow consumer exerts backpressure on its own stream instead
+// of blocking the engine's broadcaster or other sessions sharing the
+// process. Interleaving is at whole-message granularity, which LDAP
+// permits across message IDs; all messages of one stream use the queue, so
+// they stay ordered among themselves.
+type connWriter struct {
+	conn  net.Conn
+	stats *metrics.SyncCounters // nil when the backend exposes no counters
+
+	mu sync.Mutex // serializes writes to conn
+
+	q      chan []byte
+	stop   chan struct{}
+	done   chan struct{}
+	once   sync.Once
+	failed atomic.Bool
+}
+
+func newConnWriter(conn net.Conn, stats *metrics.SyncCounters) *connWriter {
+	w := &connWriter{
+		conn:  conn,
+		stats: stats,
+		q:     make(chan []byte, streamQueueCap),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go w.drain()
+	return w
+}
+
+// writeSync writes one encoded message directly; used for synchronous
+// request/response traffic.
+func (w *connWriter) writeSync(b []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, err := w.conn.Write(b)
+	return err
+}
+
+// enqueue queues one encoded stream message, waiting up to enqueueWait for
+// space. A false return means the queue stayed full (or the connection
+// already failed) and the stream should be torn down.
+func (w *connWriter) enqueue(b []byte) bool {
+	if w.failed.Load() {
+		return false
+	}
+	if w.stats != nil {
+		w.stats.ObserveQueueDepth(len(w.q) + 1)
+	}
+	select {
+	case w.q <- b:
+		return true
+	default:
+	}
+	t := time.NewTimer(enqueueWait)
+	defer t.Stop()
+	select {
+	case w.q <- b:
+		return true
+	case <-t.C:
+		return false
+	case <-w.stop:
+		return false
+	}
+}
+
+// drain writes queued stream messages in order. After a write failure the
+// connection is closed and remaining messages are discarded, so enqueuers
+// are never blocked by a dead consumer.
+func (w *connWriter) drain() {
+	defer close(w.done)
+	for {
+		select {
+		case b := <-w.q:
+			if w.failed.Load() {
+				continue
+			}
+			w.mu.Lock()
+			_ = w.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+			_, err := w.conn.Write(b)
+			_ = w.conn.SetWriteDeadline(time.Time{})
+			w.mu.Unlock()
+			if err != nil {
+				w.fail()
+			}
+		case <-w.stop:
+			return
+		}
+	}
+}
+
+// fail marks the connection dead and closes it, unblocking its reader.
+func (w *connWriter) fail() {
+	if w.failed.CompareAndSwap(false, true) {
+		_ = w.conn.Close()
+	}
+}
+
+// close stops the drain goroutine and waits for it.
+func (w *connWriter) close() {
+	w.once.Do(func() { close(w.stop) })
+	<-w.done
+}

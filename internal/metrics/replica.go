@@ -25,6 +25,7 @@ type ReplicaCounters struct {
 	Polls          atomic.Int64 // poll exchanges completed
 	StreamBatches  atomic.Int64 // persist-stream batches applied
 	Fallbacks      atomic.Int64 // persist streams that died and fell back to polling
+	Demotions      atomic.Int64 // streams abandoned for a poll-mode cooldown after repeated fast deaths
 	UpdatesApplied atomic.Int64 // update PDUs applied to the local content
 
 	// Durability.
@@ -43,13 +44,13 @@ func (c *ReplicaCounters) ObserveBackoff(d time.Duration) {
 
 // ReplicaSnapshot is a point-in-time copy of the counters.
 type ReplicaSnapshot struct {
-	Dials, Reconnects               int64
-	Begins, Resumes, StaleSessions  int64
-	FullReloads                     int64
-	Polls, StreamBatches, Fallbacks int64
-	UpdatesApplied, Checkpoints     int64
-	BackoffWaits                    int64
-	BackoffTotal                    time.Duration
+	Dials, Reconnects                          int64
+	Begins, Resumes, StaleSessions             int64
+	FullReloads                                int64
+	Polls, StreamBatches, Fallbacks, Demotions int64
+	UpdatesApplied, Checkpoints                int64
+	BackoffWaits                               int64
+	BackoffTotal                               time.Duration
 }
 
 // Snapshot copies the current counter values.
@@ -64,6 +65,7 @@ func (c *ReplicaCounters) Snapshot() ReplicaSnapshot {
 		Polls:          c.Polls.Load(),
 		StreamBatches:  c.StreamBatches.Load(),
 		Fallbacks:      c.Fallbacks.Load(),
+		Demotions:      c.Demotions.Load(),
 		UpdatesApplied: c.UpdatesApplied.Load(),
 		Checkpoints:    c.Checkpoints.Load(),
 		BackoffWaits:   c.BackoffWaits.Load(),
@@ -74,8 +76,8 @@ func (c *ReplicaCounters) Snapshot() ReplicaSnapshot {
 // String renders a compact status line for operator output.
 func (s ReplicaSnapshot) String() string {
 	return fmt.Sprintf(
-		"replica: dials=%d reconnects=%d | begins=%d resumes=%d stale=%d full-reloads=%d | polls=%d stream-batches=%d fallbacks=%d applied=%d | checkpoints=%d backoff=%s/%d",
+		"replica: dials=%d reconnects=%d | begins=%d resumes=%d stale=%d full-reloads=%d | polls=%d stream-batches=%d fallbacks=%d demotions=%d applied=%d | checkpoints=%d backoff=%s/%d",
 		s.Dials, s.Reconnects, s.Begins, s.Resumes, s.StaleSessions, s.FullReloads,
-		s.Polls, s.StreamBatches, s.Fallbacks, s.UpdatesApplied,
+		s.Polls, s.StreamBatches, s.Fallbacks, s.Demotions, s.UpdatesApplied,
 		s.Checkpoints, s.BackoffTotal, s.BackoffWaits)
 }

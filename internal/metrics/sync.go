@@ -41,6 +41,53 @@ type SyncCounters struct {
 	// Classification latency: total nanoseconds and observations.
 	ClassifyNanos atomic.Int64
 	Classifies    atomic.Int64
+
+	// Content-group fan-out. GroupJoins counts sessions that joined a
+	// content group (GroupEquivJoins the subset admitted by containment
+	// equivalence rather than an identical key); GroupLeaves counts
+	// departures on sync_end.
+	GroupJoins      atomic.Int64
+	GroupEquivJoins atomic.Int64
+	GroupLeaves     atomic.Int64
+
+	// Shared-classification cache: a miss classifies a change interval for
+	// real; a hit reuses another group member's result. The dedup ratio of
+	// the master's hottest path is Hits/(Hits+Misses).
+	SharedClassifyHits   atomic.Int64
+	SharedClassifyMisses atomic.Int64
+
+	// Persist fan-out slow-consumer policy: CoalescedCycles counts update
+	// cycles deferred because a subscriber's queue was full (the lagging
+	// session is left at its old sync point, so the next batch coalesces
+	// the backlog); SlowDemotions counts subscriptions closed after too
+	// many consecutive deferrals, demoting the consumer to poll mode.
+	CoalescedCycles atomic.Int64
+	SlowDemotions   atomic.Int64
+
+	// Wire-level dedup on the persist broadcast path: StreamEncodes counts
+	// PDU bodies actually BER-encoded, StreamDedupPDUs counts PDUs written
+	// from an already-encoded shared body.
+	StreamEncodes   atomic.Int64
+	StreamDedupPDUs atomic.Int64
+
+	// Per-connection write-queue pressure: StreamQueueDrops counts persist
+	// streams torn down because the connection's bounded write queue stayed
+	// full past the enqueue deadline; StreamQueueHighWater is the deepest
+	// queue observed.
+	StreamQueueDrops     atomic.Int64
+	StreamQueueHighWater atomic.Int64
+}
+
+// ObserveQueueDepth folds one observed write-queue depth into the
+// high-water mark.
+func (c *SyncCounters) ObserveQueueDepth(depth int) {
+	d := int64(depth)
+	for {
+		cur := c.StreamQueueHighWater.Load()
+		if d <= cur || c.StreamQueueHighWater.CompareAndSwap(cur, d) {
+			return
+		}
+	}
 }
 
 // ObserveClassify records one poll's classification latency.
@@ -58,6 +105,12 @@ type SyncSnapshot struct {
 	PersistStreams, StreamedPDUs                 int64
 	Classifies                                   int64
 	AvgClassify                                  time.Duration
+
+	GroupJoins, GroupEquivJoins, GroupLeaves int64
+	SharedClassifyHits, SharedClassifyMisses int64
+	CoalescedCycles, SlowDemotions           int64
+	StreamEncodes, StreamDedupPDUs           int64
+	StreamQueueDrops, StreamQueueHighWater   int64
 }
 
 // Snapshot copies the current counter values.
@@ -76,11 +129,33 @@ func (c *SyncCounters) Snapshot() SyncSnapshot {
 		PersistStreams:     c.PersistStreams.Load(),
 		StreamedPDUs:       c.StreamedPDUs.Load(),
 		Classifies:         c.Classifies.Load(),
+
+		GroupJoins:           c.GroupJoins.Load(),
+		GroupEquivJoins:      c.GroupEquivJoins.Load(),
+		GroupLeaves:          c.GroupLeaves.Load(),
+		SharedClassifyHits:   c.SharedClassifyHits.Load(),
+		SharedClassifyMisses: c.SharedClassifyMisses.Load(),
+		CoalescedCycles:      c.CoalescedCycles.Load(),
+		SlowDemotions:        c.SlowDemotions.Load(),
+		StreamEncodes:        c.StreamEncodes.Load(),
+		StreamDedupPDUs:      c.StreamDedupPDUs.Load(),
+		StreamQueueDrops:     c.StreamQueueDrops.Load(),
+		StreamQueueHighWater: c.StreamQueueHighWater.Load(),
 	}
 	if s.Classifies > 0 {
 		s.AvgClassify = time.Duration(c.ClassifyNanos.Load() / s.Classifies)
 	}
 	return s
+}
+
+// ClassifyDedupRatio returns the fraction of classification demand served
+// from the shared per-group cache (0 when nothing was classified).
+func (s SyncSnapshot) ClassifyDedupRatio() float64 {
+	total := s.SharedClassifyHits + s.SharedClassifyMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.SharedClassifyHits) / float64(total)
 }
 
 // PDUs returns the total update PDUs produced across all actions.
@@ -91,8 +166,11 @@ func (s SyncSnapshot) PDUs() int64 {
 // String renders a compact status line for operator output.
 func (s SyncSnapshot) String() string {
 	return fmt.Sprintf(
-		"sync: begins=%d polls=%d retain=%d ends=%d persist=%d | pdus=%d (add=%d del=%d mod=%d ret=%d suppressed=%d) streamed=%d | full-reloads=%d classify-avg=%s",
+		"sync: begins=%d polls=%d retain=%d ends=%d persist=%d | pdus=%d (add=%d del=%d mod=%d ret=%d suppressed=%d) streamed=%d | full-reloads=%d classify-avg=%s | groups: joins=%d (equiv=%d) leaves=%d classify-dedup=%.2f enc-dedup=%d/%d | slow: coalesced=%d demoted=%d qdrops=%d qmax=%d",
 		s.Begins, s.Polls, s.RetainPolls, s.Ends, s.PersistStreams,
 		s.PDUs(), s.PDUAdds, s.PDUDeletes, s.PDUModifies, s.PDURetains,
-		s.SuppressedModifies, s.StreamedPDUs, s.FullReloads, s.AvgClassify)
+		s.SuppressedModifies, s.StreamedPDUs, s.FullReloads, s.AvgClassify,
+		s.GroupJoins, s.GroupEquivJoins, s.GroupLeaves, s.ClassifyDedupRatio(),
+		s.StreamDedupPDUs, s.StreamEncodes,
+		s.CoalescedCycles, s.SlowDemotions, s.StreamQueueDrops, s.StreamQueueHighWater)
 }

@@ -69,7 +69,7 @@ func (e Event) String() string {
 func genHistory(cfg Config, hseed int64) []Event {
 	gen := sim.NewOpGen(synthConfig(hseed))
 	rng := rand.New(rand.NewSource(hseed*2654435761 + 97))
-	nReps := len(specs())
+	nReps := len(cfg.specList())
 	events := make([]Event, 0, cfg.Steps+nReps)
 	for i := 0; i < cfg.Steps; i++ {
 		r := rng.Float64()

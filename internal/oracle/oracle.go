@@ -46,6 +46,18 @@ type Config struct {
 	// every delete PDU, modeling an engine that loses E10 classifications.
 	// A correct oracle must detect the divergence and shrink it.
 	BreakE10 bool
+	// Specs overrides the default replicated content specifications, e.g.
+	// with many sessions over one shared filter to exercise the
+	// content-group fan-out layer. Empty means specs().
+	Specs []query.Query
+}
+
+// specList resolves the run's content specifications.
+func (c Config) specList() []query.Query {
+	if len(c.Specs) > 0 {
+		return c.Specs
+	}
+	return specs()
 }
 
 func (c *Config) fillDefaults() {
@@ -64,6 +76,14 @@ type Report struct {
 	Polls     int // synchronization exchanges performed
 	Traffic   resync.Traffic
 	Failure   *Failure
+
+	// Content-group fan-out accounting, accumulated across histories:
+	// shared-interval classification reuse on the engine, and shared-PDU
+	// encoding reuse on the wire (wire runs only).
+	SharedClassifyHits   int64
+	SharedClassifyMisses int64
+	StreamEncodes        int64
+	StreamDedupPDUs      int64
 }
 
 // historySeed derives the h-th history's seed, so a failing history is
@@ -91,6 +111,27 @@ func specs() []query.Query {
 		query.MustNew(sim.SynthSuffix, query.ScopeSubtree, "(|(grp=2)(val=0))"),
 		query.MustNew(sim.SynthSuffix, query.ScopeSubtree, "(cn=e*)", "cn", "grp"),
 	}
+}
+
+// sharedSpecs builds the fan-out stress spec set: n replicas over ONE
+// content — cycling through the plain spelling, an attribute-selected view
+// of it, and a containment-equivalent (absorption) spelling — plus a final
+// odd-one-out replica whose filter shares no group with the rest. The
+// grouped engine must be observationally identical to per-session
+// classification for every one of them.
+func sharedSpecs(n int) []query.Query {
+	out := make([]query.Query, 0, n+1)
+	for i := 0; i < n; i++ {
+		switch i % 3 {
+		case 0:
+			out = append(out, query.MustNew(sim.SynthSuffix, query.ScopeSubtree, "(grp=1)"))
+		case 1:
+			out = append(out, query.MustNew(sim.SynthSuffix, query.ScopeSubtree, "(grp=1)", "cn", "grp"))
+		default:
+			out = append(out, query.MustNew(sim.SynthSuffix, query.ScopeSubtree, "(|(grp=1)(&(grp=1)(val>=0)))"))
+		}
+	}
+	return append(out, query.MustNew(sim.SynthSuffix, query.ScopeSubtree, "(&(grp=0)(val>=2))"))
 }
 
 // --- Reference model ------------------------------------------------------
@@ -200,8 +241,13 @@ func runEngine(cfg Config, hseed int64, events []Event, rep *Report) *Failure {
 				rep.Traffic.Add(u)
 			}
 		})
+		defer func() {
+			snap := h.eng.Counters().Snapshot()
+			rep.SharedClassifyHits += snap.SharedClassifyHits
+			rep.SharedClassifyMisses += snap.SharedClassifyMisses
+		}()
 	}
-	for _, spec := range specs() {
+	for _, spec := range cfg.specList() {
 		h.reps = append(h.reps, &replicaSt{spec: spec, content: make(map[string]*entry.Entry)})
 	}
 	for i, ev := range events {

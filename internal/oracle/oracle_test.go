@@ -3,6 +3,8 @@ package oracle
 import (
 	"flag"
 	"testing"
+
+	"filterdir/internal/supervisor"
 )
 
 // Sweep controls; see `make oracle`. A failing history prints its own
@@ -65,6 +67,51 @@ func TestOracleWireSweep(t *testing.T) {
 	}
 	t.Logf("oracle wire sweep: %d histories, %d events, %d exchanges, traffic %+v",
 		rep.Histories, rep.Events, rep.Polls, rep.Traffic)
+}
+
+// TestOracleSharedFilterHistories runs the fan-out stress spec set — many
+// replicas over one shared filter (including an attribute-selected view and
+// a containment-equivalent spelling) plus one odd-one-out — through the
+// engine-level oracle. The grouped engine must be observationally
+// indistinguishable from per-session classification: every replica
+// converges at every sync point and every incremental batch stays minimal.
+// It also asserts the grouping actually engaged: shared classifications
+// were reused across members, not recomputed per session.
+func TestOracleSharedFilterHistories(t *testing.T) {
+	rep := Run(Config{Seed: 42, Histories: 10, Steps: 50, Specs: sharedSpecs(5)})
+	if rep.Failure != nil {
+		t.Fatal(rep.Failure.Format())
+	}
+	if rep.SharedClassifyHits == 0 {
+		t.Error("no shared-classification reuse recorded across same-filter replicas")
+	}
+	t.Logf("shared-filter oracle: %d histories, %d events, %d exchanges, classify hits/misses=%d/%d",
+		rep.Histories, rep.Events, rep.Polls, rep.SharedClassifyHits, rep.SharedClassifyMisses)
+}
+
+// TestOracleSharedFilterWireDedup drives the wire loop with persist-mode
+// supervisors over the shared-filter spec set and asserts the master
+// BER-encoded shared update PDUs once per view, re-sending the bytes to the
+// remaining streams (wire-level fan-out dedup) — while every replica still
+// converges.
+func TestOracleSharedFilterWireDedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wire oracle skipped in -short mode")
+	}
+	cfg := WireConfig{Seed: 42, Histories: 1, Steps: 24, Specs: sharedSpecs(4)}
+	cfg.fillDefaults()
+	hseed := historySeed(cfg.Seed, 0)
+	events := genWireHistory(cfg, hseed)
+	rep := &Report{}
+	if f := runWire(cfg, hseed, supervisor.ModePersist, events, rep); f != nil {
+		t.Fatal(f.Format())
+	}
+	if rep.StreamDedupPDUs == 0 {
+		t.Errorf("no shared-PDU encoding reuse on same-filter persist streams (encodes=%d)",
+			rep.StreamEncodes)
+	}
+	t.Logf("wire dedup: %d events, %d exchanges, stream encodes=%d dedup=%d",
+		rep.Events, rep.Polls, rep.StreamEncodes, rep.StreamDedupPDUs)
 }
 
 // TestOracleDetectsDroppedDeletes is the oracle's own acceptance test:

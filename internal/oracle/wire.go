@@ -10,6 +10,7 @@ import (
 	"filterdir/internal/chaos"
 	"filterdir/internal/entry"
 	"filterdir/internal/ldapnet"
+	"filterdir/internal/query"
 	"filterdir/internal/replica"
 	"filterdir/internal/resync"
 	"filterdir/internal/sim"
@@ -26,6 +27,16 @@ type WireConfig struct {
 	// Chaos wraps listener and dialer in a fault injector (dropped
 	// connections, refused dials, latency jitter).
 	Chaos bool
+	// Specs overrides the replicated content specifications (empty: specs()).
+	Specs []query.Query
+}
+
+// specList resolves the run's content specifications.
+func (c WireConfig) specList() []query.Query {
+	if len(c.Specs) > 0 {
+		return c.Specs
+	}
+	return specs()
 }
 
 func (c *WireConfig) fillDefaults() {
@@ -55,7 +66,7 @@ func synthWireConfig(hseed int64) sim.SynthConfig {
 func genWireHistory(cfg WireConfig, hseed int64) []Event {
 	gen := sim.NewOpGen(synthWireConfig(hseed))
 	rng := rand.New(rand.NewSource(hseed*1315423911 + 31))
-	nReps := len(specs())
+	nReps := len(cfg.specList())
 	events := make([]Event, 0, cfg.Steps+1)
 	for i := 0; i < cfg.Steps; i++ {
 		r := rng.Float64()
@@ -170,9 +181,15 @@ func runWire(cfg WireConfig, hseed int64, mode supervisor.Mode, events []Event, 
 			for _, w := range wreps {
 				rep.Polls += int(w.sup.Exchanges())
 			}
+			snap := backend.Engine.Counters().Snapshot()
+			rep.SharedClassifyHits += snap.SharedClassifyHits
+			rep.SharedClassifyMisses += snap.SharedClassifyMisses
+			rep.StreamEncodes += snap.StreamEncodes
+			rep.StreamDedupPDUs += snap.StreamDedupPDUs
 		}
 	}()
-	for i, spec := range specs() {
+	wspecs := cfg.specList()
+	for i, spec := range wspecs {
 		frep, err := replica.NewFilterReplica()
 		if err != nil {
 			return &Failure{HistorySeed: hseed, Msg: "new replica: " + err.Error()}
@@ -212,7 +229,7 @@ func runWire(cfg WireConfig, hseed int64, mode supervisor.Mode, events []Event, 
 			mdl.apply(ev.Op)
 		case EvPoll: // checkpoint: wait for every replica to converge
 			for ri, w := range wreps {
-				if f := waitConverged(w.frep, w.sup, mdl, ri, hseed); f != nil {
+				if f := waitConverged(w.frep, w.sup, mdl, wspecs[ri], ri, hseed); f != nil {
 					f.Step = i
 					return f
 				}
@@ -235,8 +252,7 @@ func runWire(cfg WireConfig, hseed int64, mode supervisor.Mode, events []Event, 
 
 // waitConverged blocks until the replica's content equals the reference
 // selection, or reports a divergence after the deadline.
-func waitConverged(frep *replica.FilterReplica, sup *supervisor.Supervisor, mdl model, ri int, hseed int64) *Failure {
-	spec := specs()[ri]
+func waitConverged(frep *replica.FilterReplica, sup *supervisor.Supervisor, mdl model, spec query.Query, ri int, hseed int64) *Failure {
 	ref := mdl.selection(spec)
 	deadline := time.Now().Add(15 * time.Second)
 	for {

@@ -128,6 +128,50 @@ func (m *Message) Encode() ([]byte, error) {
 	return ber.AppendSequence(nil, body), nil
 }
 
+// EncodeOpBody BER-encodes just the operation's application-TLV content.
+// The result is envelope-independent, so a PDU fanned out to many
+// consumers can be encoded once and wrapped per message with
+// EncodeWithOpBody.
+func EncodeOpBody(op Op) ([]byte, error) {
+	return op.encodeBody(nil)
+}
+
+// EncodeMessageTail BER-encodes the message-ID-independent suffix of a
+// message: the operation TLV (around a pre-encoded body from EncodeOpBody)
+// followed by the controls TLV. A PDU fanned out to many consumers whose
+// messages differ only in message ID caches this tail once and wraps it
+// per consumer with EncodeWithTail. op supplies only the application tag;
+// its fields are not re-encoded.
+func EncodeMessageTail(op Op, opBody []byte, controls []Control) []byte {
+	tail := ber.AppendTLV(nil, ber.ClassApplication, true, op.appTag(), opBody)
+	if len(controls) > 0 {
+		var cs []byte
+		for _, c := range controls {
+			cs = c.append(cs)
+		}
+		tail = ber.AppendTLV(tail, ber.ClassContext, true, 0, cs)
+	}
+	return tail
+}
+
+// EncodeWithTail serializes a complete message around a pre-encoded tail
+// (from EncodeMessageTail): just the message-ID TLV and the outer envelope
+// are built here.
+func EncodeWithTail(id int64, tail []byte) []byte {
+	body := make([]byte, 0, 16+len(tail))
+	body = ber.AppendInt(body, ber.ClassUniversal, ber.TagInteger, id)
+	body = append(body, tail...)
+	return ber.AppendSequence(nil, body)
+}
+
+// EncodeWithOpBody serializes a message around a pre-encoded operation
+// body (from EncodeOpBody). op supplies only the application tag; its
+// fields are not re-encoded. Used when the controls vary per consumer
+// (e.g. a per-session cookie), so the tail cannot be shared.
+func EncodeWithOpBody(id int64, op Op, opBody []byte, controls []Control) []byte {
+	return EncodeWithTail(id, EncodeMessageTail(op, opBody, controls))
+}
+
 // Write encodes the message and writes it to w.
 func (m *Message) Write(w io.Writer) error {
 	enc, err := m.Encode()

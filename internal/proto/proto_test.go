@@ -331,3 +331,53 @@ func TestOversizeMessageRejected(t *testing.T) {
 		t.Error("oversize message accepted")
 	}
 }
+
+// TestSharedEncodingEquivalence pins the fan-out encoding contract: a
+// message assembled from a pre-encoded op body (EncodeWithOpBody) or from a
+// pre-encoded message tail (EncodeMessageTail + EncodeWithTail) must be
+// byte-identical to the message encoded whole — a divergence would corrupt
+// every session served from the shared memo.
+func TestSharedEncodingEquivalence(t *testing.T) {
+	e := entry.New(dn.MustParse("cn=Ann,o=xyz"))
+	e.Put("objectclass", "person").Put("cn", "Ann").Put("sn", "A")
+	ops := []struct {
+		name string
+		op   Op
+	}{
+		{"entry", EntryToWire(e)},
+		{"dn-only", &SearchEntry{DN: "cn=Ann,o=xyz"}},
+	}
+	controlSets := [][]Control{
+		nil,
+		{NewEntryChangeControl(ChangeActionAdd, "")},
+		{NewEntryChangeControl(ChangeActionDelete, "sess-9@4")},
+	}
+	for _, tc := range ops {
+		for ci, controls := range controlSets {
+			want, err := (&Message{ID: 7, Op: tc.op, Controls: controls}).Encode()
+			if err != nil {
+				t.Fatalf("%s/%d: Encode: %v", tc.name, ci, err)
+			}
+			body, err := EncodeOpBody(tc.op)
+			if err != nil {
+				t.Fatalf("%s/%d: EncodeOpBody: %v", tc.name, ci, err)
+			}
+			if got := EncodeWithOpBody(7, &SearchEntry{}, body, controls); !bytes.Equal(got, want) {
+				t.Errorf("%s/%d: EncodeWithOpBody diverges from Message.Encode", tc.name, ci)
+			}
+			tail := EncodeMessageTail(&SearchEntry{}, body, controls)
+			if got := EncodeWithTail(7, tail); !bytes.Equal(got, want) {
+				t.Errorf("%s/%d: EncodeWithTail diverges from Message.Encode", tc.name, ci)
+			}
+			// The tail is message-ID independent: rewrapping under another
+			// ID must equal that message's whole encoding.
+			want2, err := (&Message{ID: 123456, Op: tc.op, Controls: controls}).Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := EncodeWithTail(123456, tail); !bytes.Equal(got, want2) {
+				t.Errorf("%s/%d: tail rewrap under new ID diverges", tc.name, ci)
+			}
+		}
+	}
+}

@@ -204,3 +204,155 @@ func TestSlowSessionDoesNotBlockOthers(t *testing.T) {
 		t.Error("store reported no trimmed journal records")
 	}
 }
+
+// TestConcurrentGroupJoinLeaveDemotion hammers the content-group fan-out
+// layer under -race: workers churn Begin/Persist/Poll/End across several
+// specs (so groups form and tear down repeatedly) while a writer drives
+// update cycles, and deliberately slow subscribers force the coalesce →
+// demote slow-consumer path. The invariants: no data race, every torn-down
+// stream's channel closes, and the registries drain to empty.
+func TestConcurrentGroupJoinLeaveDemotion(t *testing.T) {
+	master := newMaster(t)
+	// Tiny queue, hair-trigger demotion: two consecutive full-queue cycles
+	// close the stream.
+	eng := NewEngine(master, WithSlowConsumerPolicy(1, 2))
+	specs := []query.Query{
+		query.MustNew("o=xyz", query.ScopeSubtree, "(objectclass=person)"),
+		query.MustNew("o=xyz", query.ScopeSubtree, "(serialnumber=04*)"),
+		query.MustNew("o=xyz", query.ScopeSubtree, "(&(objectclass=person)(serialnumber=04*))", "cn"),
+	}
+
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			d := dn.MustParse("cn=g" + strconv.Itoa(i) + ",c=us,o=xyz")
+			e := entry.New(d)
+			e.Put("objectclass", "person").Put("cn", "g"+strconv.Itoa(i)).
+				Put("sn", "g").Put("serialNumber", "04"+strconv.Itoa(i%100))
+			if err := master.Add(e); err != nil {
+				t.Errorf("writer add: %v", err)
+				return
+			}
+			if rng.Intn(3) == 0 {
+				_ = master.Delete(d)
+			}
+		}
+	}()
+
+	const workers, rounds = 6, 20
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < rounds; i++ {
+				spec := specs[rng.Intn(len(specs))]
+				res, err := eng.Begin(spec)
+				if err != nil {
+					t.Errorf("begin: %v", err)
+					return
+				}
+				cookie := res.Cookie
+				switch rng.Intn(3) {
+				case 0:
+					// Healthy persist consumer: drain a few batches, close.
+					sub, err := eng.Persist(cookie)
+					if err != nil {
+						t.Errorf("persist: %v", err)
+						return
+					}
+					timeout := time.After(20 * time.Millisecond)
+				drain:
+					for {
+						select {
+						case b, ok := <-sub.Updates:
+							if !ok {
+								break drain
+							}
+							cookie = b.Cookie
+						case <-timeout:
+							break drain
+						}
+					}
+					sub.Close()
+				case 1:
+					// Slow consumer: subscribe, then drain with exponentially
+					// growing gaps. Demotion fires only when the 1-deep queue
+					// stays full across consecutive update cycles, i.e. when
+					// the consumer's drain gap exceeds a few cycle periods —
+					// a fixed gap would bake in an assumption about how fast
+					// the contended broadcaster cycles, so the gap doubles
+					// until it is slower than any plausible cycle rate and
+					// the engine must demote the stream by closing the
+					// channel.
+					sub, err := eng.Persist(cookie)
+					if err != nil {
+						t.Errorf("persist: %v", err)
+						return
+					}
+					deadline := time.Now().Add(15 * time.Second)
+					gap := 2 * time.Millisecond
+					closed := false
+					for !closed {
+						if time.Now().After(deadline) {
+							t.Error("slow subscriber never demoted")
+							break
+						}
+						time.Sleep(gap)
+						if gap < time.Second {
+							gap *= 2
+						}
+						select {
+						case _, ok := <-sub.Updates:
+							closed = !ok
+						default:
+						}
+					}
+					sub.Close()
+				default:
+					// Plain poller.
+					if res, err := eng.Poll(cookie); err == nil {
+						cookie = res.Cookie
+					} else if !errors.Is(err, ErrNoSuchSession) {
+						t.Errorf("poll: %v", err)
+					}
+				}
+				if err := eng.End(cookie); err != nil && !errors.Is(err, ErrNoSuchSession) {
+					t.Errorf("end: %v", err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	writers.Wait()
+
+	if n := eng.Sessions(); n != 0 {
+		t.Errorf("sessions left registered = %d, want 0", n)
+	}
+	if n := eng.Groups(); n != 0 {
+		t.Errorf("groups left registered = %d, want 0", n)
+	}
+	snap := eng.Counters().Snapshot()
+	if snap.GroupJoins != workers*rounds || snap.GroupLeaves != workers*rounds {
+		t.Errorf("group joins=%d leaves=%d, want %d each",
+			snap.GroupJoins, snap.GroupLeaves, workers*rounds)
+	}
+	if snap.SlowDemotions == 0 {
+		t.Error("no slow-consumer demotions recorded")
+	}
+	if snap.CoalescedCycles < snap.SlowDemotions {
+		t.Errorf("coalesced=%d < demotions=%d: demotion without prior coalescing",
+			snap.CoalescedCycles, snap.SlowDemotions)
+	}
+}

@@ -1,0 +1,579 @@
+package resync
+
+import (
+	"sort"
+	"sync"
+
+	"filterdir/internal/containment"
+	"filterdir/internal/dit"
+	"filterdir/internal/dn"
+	"filterdir/internal/entry"
+	"filterdir/internal/query"
+)
+
+// Content-group fan-out (DESIGN.md §10). Sessions whose (base, scope,
+// filter) triples are equal — or provably equivalent via the containment
+// checker — share a content group. A session's content map is a pure
+// function of (spec, CSN), so every member standing at the same sync CSN
+// classifies the same change interval to the same result; the group caches
+// that classification and each member applies it as a cheap content-map
+// delta replay, keeping its own generation cookies and undo history intact.
+// Attribute selection stays per-session: members are sub-grouped into
+// views (one per distinct attrs list) and the selected update batch is
+// built once per view.
+
+// contentKey canonicalizes the part of a spec that determines content
+// membership — attrs are a per-session presentation concern.
+func contentKey(q query.Query) string {
+	n := stripAttrs(q).Normalize()
+	return n.Base.Norm() + "\x00" + n.Scope.String() + "\x00" + n.FilterString()
+}
+
+// viewKey canonicalizes an attribute selection within a group.
+func viewKey(attrs []string) string {
+	if len(attrs) == 0 {
+		return "*"
+	}
+	sorted := make([]string, len(attrs))
+	copy(sorted, attrs)
+	sort.Strings(sorted)
+	key := ""
+	for i, a := range sorted {
+		if i > 0 {
+			key += ","
+		}
+		key += a
+	}
+	return key
+}
+
+// equivalentSpecs reports whether two specs denote the same content: their
+// base/scope regions contain each other and their filters contain each
+// other (both decided by the paper's containment machinery).
+func (e *Engine) equivalentSpecs(a, b query.Query) bool {
+	return containment.ScopeContains(a, b) && containment.ScopeContains(b, a) &&
+		e.checker.FilterContains(a.Filter, b.Filter) &&
+		e.checker.FilterContains(b.Filter, a.Filter)
+}
+
+// rawUpdate is one classified net change before attribute selection: add
+// and modify carry the full-attribute final entry (plus, for modify, the
+// start-of-interval snapshot that the per-view suppression check needs);
+// delete carries only the DN the replica holds.
+type rawUpdate struct {
+	action Action
+	dn     dn.DN
+	ent    *entry.Entry
+	prior  *entry.Entry
+}
+
+// contentOp is one content-map transition of the interval; replaying the
+// list through setContent/delContent yields the member's undo record.
+type contentOp struct {
+	norm    string
+	dn      dn.DN
+	present bool
+}
+
+// viewBatch is the update set of one interval as seen through one
+// attribute selection, plus its shared wire-encoding memo.
+type viewBatch struct {
+	updates    []Update
+	suppressed int64
+	enc        *SharedEnc
+}
+
+// sharedInterval is one classified change interval (fromCSN → toCSN),
+// computed once per group and consumed by every member that crosses it.
+type sharedInterval struct {
+	from, to dit.CSN
+	raws     []rawUpdate
+	delta    []contentOp
+
+	mu    sync.Mutex
+	views map[string]*viewBatch
+}
+
+// view returns the interval's update batch under one attribute selection,
+// building (and memoizing) it on first use.
+func (si *sharedInterval) view(key string, attrs []string) *viewBatch {
+	si.mu.Lock()
+	defer si.mu.Unlock()
+	if vb, ok := si.views[key]; ok {
+		return vb
+	}
+	vb := &viewBatch{enc: &SharedEnc{}}
+	for _, r := range si.raws {
+		switch r.action {
+		case ActionAdd:
+			sel := r.ent.Select(attrs)
+			vb.updates = append(vb.updates, Update{Action: ActionAdd, DN: sel.DN(), Entry: sel})
+		case ActionDelete:
+			vb.updates = append(vb.updates, Update{Action: ActionDelete, DN: r.dn})
+		case ActionModify:
+			sel := r.ent.Select(attrs)
+			// Minimal update set (equation 3): an entry whose selected view
+			// is net-unchanged over the interval — modify-then-revert, or
+			// modifies confined to unselected attributes — produces no PDU.
+			if r.prior != nil {
+				pv := r.prior.Select(attrs)
+				if pv.Equal(sel) && pv.DN().SameSpelling(sel.DN()) {
+					vb.suppressed++
+					continue
+				}
+			}
+			vb.updates = append(vb.updates, Update{Action: ActionModify, DN: sel.DN(), Entry: sel})
+		}
+	}
+	si.views[key] = vb
+	return vb
+}
+
+// maxSharedIntervals bounds the per-group interval cache. Members of one
+// group poll at similar cadence, so they cross the same few intervals; a
+// straggler beyond the window just classifies its own (larger) interval.
+const maxSharedIntervals = 8
+
+// group is one shared-content fan-out unit.
+type group struct {
+	e    *Engine
+	key  string      // content key of the founding member
+	spec query.Query // founding spec, attrs stripped
+
+	// cycleMu is held by the broadcaster for the span of one update cycle;
+	// Subscription.Close takes it (empty) so that after Close returns the
+	// broadcaster is provably not mid-sync on the closed stream's session.
+	cycleMu sync.Mutex
+
+	mu        sync.Mutex
+	members   int
+	aliasKeys []string // every content key resolved to this group
+	intervals []*sharedInterval
+
+	// Persist broadcaster state: one goroutine per group pushes update
+	// batches to all subscribers; it runs only while subscribers exist.
+	subs  map[*Subscription]*subscriber
+	wake  chan struct{}
+	bstop chan struct{}
+	bdone chan struct{}
+}
+
+// subscriber is one persist-mode member stream with its bounded queue.
+type subscriber struct {
+	sub    *Subscription
+	sess   *session
+	ch     chan Batch
+	missed int // consecutive cycles skipped because ch was full
+}
+
+func newGroup(e *Engine, key string, spec query.Query) *group {
+	return &group{
+		e:    e,
+		key:  key,
+		spec: spec,
+		subs: make(map[*Subscription]*subscriber),
+		wake: make(chan struct{}, 1),
+	}
+}
+
+// joinGroup finds or creates the content group for spec and adds a member.
+// Returns nil when grouping is disabled.
+func (e *Engine) joinGroup(spec query.Query) *group {
+	if !e.grouping {
+		return nil
+	}
+	key := contentKey(spec)
+	e.groupMu.Lock()
+	g := e.aliases[key]
+	equiv := false
+	if g == nil {
+		// No identical group: probe existing groups for provable
+		// equivalence, so e.g. (&(a=1)(b=2)) joins (&(b=2)(a=1)).
+		for _, cand := range e.groups {
+			if e.equivalentSpecs(spec, cand.spec) {
+				g = cand
+				equiv = true
+				break
+			}
+		}
+		if g != nil {
+			e.aliases[key] = g
+			g.aliasKeys = append(g.aliasKeys, key)
+		}
+	}
+	if g == nil {
+		g = newGroup(e, key, stripAttrs(spec))
+		g.aliasKeys = []string{key}
+		e.groups[key] = g
+		e.aliases[key] = g
+	}
+	g.mu.Lock()
+	g.members++
+	g.mu.Unlock()
+	e.groupMu.Unlock()
+	e.stats.GroupJoins.Add(1)
+	if equiv {
+		e.stats.GroupEquivJoins.Add(1)
+	}
+	return g
+}
+
+// leaveGroup removes a member; the last member out frees the group's
+// cached state and stops its broadcaster.
+func (e *Engine) leaveGroup(g *group) {
+	if g == nil {
+		return
+	}
+	e.groupMu.Lock()
+	g.mu.Lock()
+	g.members--
+	last := g.members == 0
+	if last {
+		for _, k := range g.aliasKeys {
+			delete(e.aliases, k)
+		}
+		delete(e.groups, g.key)
+		g.intervals = nil
+		g.stopLocked()
+	}
+	g.mu.Unlock()
+	e.groupMu.Unlock()
+	e.stats.GroupLeaves.Add(1)
+}
+
+// Groups reports the number of live content groups — an operator gauge and
+// a test probe for last-member teardown.
+func (e *Engine) Groups() int {
+	e.groupMu.Lock()
+	defer e.groupMu.Unlock()
+	return len(e.groups)
+}
+
+// lookupInterval returns the cached classification for [from, to], if any.
+func (g *group) lookupInterval(from, to dit.CSN) *sharedInterval {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, si := range g.intervals {
+		if si.from == from && si.to == to {
+			return si
+		}
+	}
+	return nil
+}
+
+// storeInterval caches a classification, keeping the first result when two
+// members raced on the same interval.
+func (g *group) storeInterval(si *sharedInterval) *sharedInterval {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, have := range g.intervals {
+		if have.from == si.from && have.to == si.to {
+			return have
+		}
+	}
+	g.intervals = append(g.intervals, si)
+	if len(g.intervals) > maxSharedIntervals {
+		g.intervals = g.intervals[1:]
+	}
+	return si
+}
+
+// classifyFor produces one session's update batch and undo record for a
+// change interval: the raw classification is computed once per group (or
+// inline for ungrouped engines), the session's content map replays the
+// interval's delta, and the attribute-selected batch comes from the
+// per-view overlay. The caller holds sess.mu.
+func (e *Engine) classifyFor(sess *session, changes []dit.Change) ([]Update, []undoOp, *SharedEnc) {
+	if len(changes) == 0 {
+		return nil, nil, nil
+	}
+	g := sess.group
+	if g == nil {
+		si := computeInterval(sess.spec, sess.content, changes)
+		undo := applyInterval(sess, si)
+		vb := si.view(sess.viewKey, sess.spec.Attrs)
+		if vb.suppressed > 0 {
+			e.stats.SuppressedModifies.Add(vb.suppressed)
+		}
+		return vb.updates, undo, nil
+	}
+	from, to := sess.csn, changes[len(changes)-1].CSN
+	si := g.lookupInterval(from, to)
+	if si == nil {
+		si = computeInterval(g.spec, sess.content, changes)
+		si.from, si.to = from, to
+		si = g.storeInterval(si)
+		e.stats.SharedClassifyMisses.Add(1)
+	} else {
+		e.stats.SharedClassifyHits.Add(1)
+	}
+	undo := applyInterval(sess, si)
+	vb := si.view(sess.viewKey, sess.spec.Attrs)
+	if vb.suppressed > 0 {
+		e.stats.SuppressedModifies.Add(vb.suppressed)
+	}
+	return vb.updates, undo, vb.enc
+}
+
+// applyInterval replays the interval's content-map transitions through the
+// session, producing the undo record for its new sync point.
+func applyInterval(sess *session, si *sharedInterval) []undoOp {
+	var undo []undoOp
+	for _, op := range si.delta {
+		if op.present {
+			sess.setContent(op.norm, op.dn, &undo)
+		} else {
+			sess.delContent(op.norm, &undo)
+		}
+	}
+	return undo
+}
+
+// computeInterval replays journal changes against the start-of-interval
+// content, classifying every touched DN to its net E01/E10/E11 action.
+// content is read, never written: the per-session delta replay owns
+// content-map mutation. The result is valid for every session of the spec
+// standing at the interval's starting CSN — a session's content is a pure
+// function of (spec, CSN).
+func computeInterval(spec query.Query, content map[string]dn.DN, changes []dit.Change) *sharedInterval {
+	// initial[norm] records whether the DN was in content at the start of
+	// the interval; firstBefore holds the entry snapshot at that point, the
+	// reference for net-change detection; finalEnt tracks the final entry
+	// snapshot per DN.
+	initial := make(map[string]bool)
+	firstBefore := make(map[string]*entry.Entry)
+	finalEnt := make(map[string]*entry.Entry)
+	finalIn := make(map[string]bool)
+	finalDN := make(map[string]dn.DN)
+	changed := make(map[string]bool)
+
+	note := func(d dn.DN, before bool, prior *entry.Entry) {
+		norm := d.Norm()
+		if _, seen := initial[norm]; !seen {
+			initial[norm] = before
+			firstBefore[norm] = prior
+		}
+		changed[norm] = true
+		finalDN[norm] = d
+	}
+	inContent := func(ent *entry.Entry) bool {
+		return ent != nil && spec.InScope(ent.DN()) && specFilter(spec).Matches(ent)
+	}
+
+	for _, c := range changes {
+		switch c.Type {
+		case dit.ChangeAdd, dit.ChangeModify:
+			norm := c.DN.Norm()
+			_, wasIn := content[norm]
+			note(c.DN, wasIn, c.Before)
+			finalIn[norm] = inContent(c.After)
+			finalEnt[norm] = c.After
+		case dit.ChangeDelete:
+			norm := c.DN.Norm()
+			_, wasIn := content[norm]
+			note(c.DN, wasIn, c.Before)
+			finalIn[norm] = false
+			finalEnt[norm] = nil
+		case dit.ChangeModifyDN:
+			oldNorm := c.DN.Norm()
+			_, wasIn := content[oldNorm]
+			note(c.DN, wasIn, c.Before)
+			finalIn[oldNorm] = false
+			finalEnt[oldNorm] = nil
+			newNorm := c.NewDN.Norm()
+			_, newWasIn := content[newNorm]
+			note(c.NewDN, newWasIn, nil)
+			finalIn[newNorm] = inContent(c.After)
+			finalEnt[newNorm] = c.After
+		}
+	}
+
+	si := &sharedInterval{views: make(map[string]*viewBatch)}
+	norms := make([]string, 0, len(changed))
+	for norm := range changed {
+		norms = append(norms, norm)
+	}
+	sort.Strings(norms)
+	for _, norm := range norms {
+		was, is := initial[norm], finalIn[norm]
+		switch {
+		case !was && is:
+			ent := finalEnt[norm]
+			si.raws = append(si.raws, rawUpdate{action: ActionAdd, ent: ent})
+			si.delta = append(si.delta, contentOp{norm: norm, dn: ent.DN(), present: true})
+		case was && !is:
+			d := finalDN[norm]
+			if held, ok := content[norm]; ok {
+				d = held
+			}
+			si.raws = append(si.raws, rawUpdate{action: ActionDelete, dn: d})
+			si.delta = append(si.delta, contentOp{norm: norm})
+		case was && is:
+			ent := finalEnt[norm]
+			si.raws = append(si.raws, rawUpdate{action: ActionModify, ent: ent, prior: firstBefore[norm]})
+			si.delta = append(si.delta, contentOp{norm: norm, dn: ent.DN(), present: true})
+		}
+	}
+	return si
+}
+
+// attach adds a persist subscriber to the group, starting the broadcaster
+// if it is not running, and kicks a cycle so a stream resumed behind the
+// head receives its due batch promptly.
+func (g *group) attach(sess *session) *Subscription {
+	ch := make(chan Batch, g.e.persistQueueCap)
+	sub := &Subscription{Updates: ch}
+	st := &subscriber{sub: sub, sess: sess, ch: ch}
+	sub.detach = func() {
+		g.remove(sub)
+		// Barrier: wait out any in-flight update cycle so the session is
+		// quiescent once Close returns (matching the old per-stream
+		// goroutine join).
+		g.cycleMu.Lock()
+		//lint:ignore SA2001 empty critical section is the barrier
+		g.cycleMu.Unlock()
+	}
+	g.mu.Lock()
+	g.subs[sub] = st
+	if g.bstop == nil {
+		g.bstop = make(chan struct{})
+		g.bdone = make(chan struct{})
+		go g.broadcast(g.bstop, g.bdone)
+	}
+	g.mu.Unlock()
+	g.kick()
+	return sub
+}
+
+// remove detaches a subscriber and closes its channel; the last subscriber
+// out stops the broadcaster.
+func (g *group) remove(sub *Subscription) {
+	g.mu.Lock()
+	g.removeLocked(sub)
+	g.mu.Unlock()
+}
+
+func (g *group) removeLocked(sub *Subscription) {
+	st, ok := g.subs[sub]
+	if !ok {
+		return
+	}
+	delete(g.subs, sub)
+	close(st.ch)
+	if len(g.subs) == 0 {
+		g.stopLocked()
+	}
+}
+
+// stopLocked stops the broadcaster (if running) and closes any remaining
+// subscriber channels; the caller holds g.mu.
+func (g *group) stopLocked() {
+	for sub, st := range g.subs {
+		delete(g.subs, sub)
+		close(st.ch)
+	}
+	if g.bstop != nil {
+		close(g.bstop)
+		g.bstop, g.bdone = nil, nil
+	}
+}
+
+// kick nudges the broadcaster outside the store's change signal, e.g. for
+// a freshly attached subscriber.
+func (g *group) kick() {
+	select {
+	case g.wake <- struct{}{}:
+	default:
+	}
+}
+
+// broadcast is the group's persist fan-out loop: on every store commit (or
+// kick) it runs one update cycle over all subscribers. The change signal is
+// armed before the cycle so commits landing mid-cycle are not missed.
+func (g *group) broadcast(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	for {
+		sig := g.e.store.ChangeSignal()
+		g.cycle()
+		select {
+		case <-sig:
+		case <-g.wake:
+		case <-stop:
+			return
+		}
+	}
+}
+
+// cycle synchronizes every subscriber once. The shared-interval cache
+// makes this one real classification plus a map-delta replay per member.
+func (g *group) cycle() {
+	g.cycleMu.Lock()
+	defer g.cycleMu.Unlock()
+	g.mu.Lock()
+	subs := make([]*subscriber, 0, len(g.subs))
+	for _, st := range g.subs {
+		subs = append(subs, st)
+	}
+	g.mu.Unlock()
+	for _, st := range subs {
+		g.syncOne(st)
+	}
+}
+
+// syncOne advances one subscriber by one poll and queues the batch.
+//
+// Slow-consumer policy: a subscriber whose queue is full is skipped — its
+// session stays at its old sync point, so the next successful cycle emits
+// one net batch covering the whole backlog (coalescing, not buffering).
+// After demoteAfter consecutive skips the stream is closed and the
+// consumer falls back to poll mode (the wire maps this to a clean stream
+// end; the session itself stays resumable by cookie).
+func (g *group) syncOne(st *subscriber) {
+	e := g.e
+	g.mu.Lock()
+	if _, live := g.subs[st.sub]; !live {
+		g.mu.Unlock()
+		return
+	}
+	if len(st.ch) == cap(st.ch) {
+		st.missed++
+		e.stats.CoalescedCycles.Add(1)
+		if st.missed >= e.demoteAfter {
+			e.stats.SlowDemotions.Add(1)
+			g.removeLocked(st.sub)
+		}
+		g.mu.Unlock()
+		return
+	}
+	g.mu.Unlock()
+
+	st.sess.mu.Lock()
+	if st.sess.ended {
+		st.sess.mu.Unlock()
+		g.remove(st.sub)
+		return
+	}
+	res, err := e.poll(st.sess)
+	st.sess.mu.Unlock()
+	if err != nil || res.FullReload {
+		// A push stream cannot convey a reload; end it — the consumer's
+		// fallback poll re-delivers the content.
+		g.remove(st.sub)
+		return
+	}
+	st.missed = 0
+	if len(res.Updates) == 0 {
+		return
+	}
+	batch := Batch{Updates: res.Updates, Cookie: res.Cookie, Enc: res.Enc}
+	g.mu.Lock()
+	if _, live := g.subs[st.sub]; live {
+		// Space was observed above and this goroutine is the only sender,
+		// so the send cannot block.
+		select {
+		case st.ch <- batch:
+		default:
+		}
+	}
+	g.mu.Unlock()
+}

@@ -14,6 +14,56 @@ import (
 type Batch struct {
 	Updates []Update
 	Cookie  string
+	// Enc, when non-nil, memoizes the wire encoding of each update: a
+	// batch fanned out to many sessions of one content view is BER-encoded
+	// once, not once per session.
+	Enc *SharedEnc
+}
+
+// SharedEnc memoizes wire encodings per update of a shared batch: the
+// BER-encoded PDU body, and — for updates whose controls carry no
+// per-session state — the whole message tail (op TLV + controls), so the
+// per-consumer work shrinks to stamping a message ID. Safe for concurrent
+// use; the zero value is ready.
+type SharedEnc struct {
+	mu   sync.Mutex
+	enc  map[int][]byte
+	tail map[int][]byte
+}
+
+// Get returns the cached PDU-body encoding of update i, building and
+// caching it via build on first use. The second result reports whether
+// build ran (i.e. this call paid for the encoding).
+func (s *SharedEnc) Get(i int, build func() ([]byte, error)) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return memo(&s.enc, i, build)
+}
+
+// GetTail is Get for the message-ID-independent tail of update i. Callers
+// must only share tails for updates whose controls are identical across
+// consumers (in particular: no per-session cookie).
+func (s *SharedEnc) GetTail(i int, build func() ([]byte, error)) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return memo(&s.tail, i, build)
+}
+
+// memo resolves index i in *m, building on first use. The caller holds the
+// SharedEnc lock, so build must not call back into Get/GetTail.
+func memo(m *map[int][]byte, i int, build func() ([]byte, error)) ([]byte, bool, error) {
+	if b, ok := (*m)[i]; ok {
+		return b, false, nil
+	}
+	b, err := build()
+	if err != nil {
+		return nil, true, err
+	}
+	if *m == nil {
+		*m = make(map[int][]byte)
+	}
+	(*m)[i] = b
+	return b, true, nil
 }
 
 // Subscription is a persist-mode synchronization: after the initial content
@@ -23,19 +73,19 @@ type Batch struct {
 type Subscription struct {
 	// Updates delivers batches of net updates. The channel is closed when
 	// the subscription ends — including when the master's journal history
-	// no longer covers the stream position, in which case the consumer
-	// must fall back to a poll (which will carry the full reload).
+	// no longer covers the stream position (the consumer must fall back to
+	// a poll, which will carry the full reload) and when the slow-consumer
+	// policy demotes a lagging stream back to poll mode.
 	Updates <-chan Batch
 
 	closeOnce sync.Once
-	stop      chan struct{}
-	done      chan struct{}
+	detach    func()
 }
 
-// Close ends the subscription and waits for its goroutine to exit.
+// Close ends the subscription. On return the stream no longer advances the
+// session; it stays registered and resumable by cookie.
 func (s *Subscription) Close() {
-	s.closeOnce.Do(func() { close(s.stop) })
-	<-s.done
+	s.closeOnce.Do(s.detach)
 }
 
 // Persist upgrades a session to persist mode: the returned subscription
@@ -46,6 +96,11 @@ func (s *Subscription) Close() {
 // later presents its cookie. The session remains registered; Close leaves
 // it resumable by cookie (poll mode), matching the protocol's mode switch
 // in Figure 3.
+//
+// Grouped sessions are served by their group's broadcaster — one update
+// cycle per commit for the whole group — behind a bounded per-subscriber
+// queue with the slow-consumer policy described in group.go. Ungrouped
+// sessions keep a dedicated streaming goroutine.
 func (e *Engine) Persist(cookie string) (*Subscription, error) {
 	sess, err := e.lookup(cookie)
 	if err != nil {
@@ -61,15 +116,26 @@ func (e *Engine) Persist(cookie string) (*Subscription, error) {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchSession, cookie)
 	}
 	e.stats.PersistStreams.Add(1)
+	if sess.group != nil {
+		return sess.group.attach(sess), nil
+	}
+	return e.persistSolo(sess), nil
+}
 
+// persistSolo streams one ungrouped session from a dedicated goroutine.
+func (e *Engine) persistSolo(sess *session) *Subscription {
 	ch := make(chan Batch, 1)
+	stop := make(chan struct{})
+	done := make(chan struct{})
 	sub := &Subscription{
 		Updates: ch,
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+		detach: func() {
+			close(stop)
+			<-done
+		},
 	}
 	go func() {
-		defer close(sub.done)
+		defer close(done)
 		defer close(ch)
 		for {
 			// Arm the signal before polling so commits between poll and wait
@@ -94,16 +160,16 @@ func (e *Engine) Persist(cookie string) (*Subscription, error) {
 			if len(res.Updates) > 0 {
 				select {
 				case ch <- Batch{Updates: res.Updates, Cookie: res.Cookie}:
-				case <-sub.stop:
+				case <-stop:
 					return
 				}
 			}
 			select {
 			case <-sig:
-			case <-sub.stop:
+			case <-stop:
 				return
 			}
 		}
 	}()
-	return sub, nil
+	return sub
 }

@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"filterdir/internal/containment"
 	"filterdir/internal/dit"
 	"filterdir/internal/dn"
 	"filterdir/internal/entry"
@@ -132,6 +133,18 @@ type Engine struct {
 
 	obsMu sync.Mutex // guards obs; separate so observe never touches mu
 	obs   Observer
+
+	// Content-group fan-out (group.go). groupMu guards the registries;
+	// each group carries its own lock for member/cache/broadcast state.
+	grouping bool
+	checker  *containment.Checker
+	groupMu  sync.Mutex
+	groups   map[string]*group // founding content key -> group
+	aliases  map[string]*group // every resolved content key -> group
+
+	// Persist slow-consumer policy knobs (see group.syncOne).
+	persistQueueCap int
+	demoteAfter     int
 }
 
 // Observer receives every update batch the engine emits, right before it is
@@ -180,6 +193,8 @@ type session struct {
 	ended bool
 
 	spec    query.Query
+	group   *group // content group, nil when grouping is disabled
+	viewKey string // attribute-selection key within the group
 	genSeq  uint64
 	csn     dit.CSN          // CSN of the newest sync point
 	content map[string]dn.DN // norm DN -> DN of entries in content at csn
@@ -273,7 +288,7 @@ func (sess *session) rewindTo(gen uint64) bool {
 // its undo. A no-op write (same DN) records nothing.
 func (sess *session) setContent(norm string, d dn.DN, undo *[]undoOp) {
 	if old, ok := sess.content[norm]; ok {
-		if old.String() == d.String() {
+		if old.SameSpelling(d) {
 			return
 		}
 		*undo = append(*undo, undoOp{norm: norm, dn: old, present: true})
@@ -291,13 +306,54 @@ func (sess *session) delContent(norm string, undo *[]undoOp) {
 	}
 }
 
-// NewEngine creates an engine over the master store.
-func NewEngine(store *dit.Store) *Engine {
-	return &Engine{
-		store:    store,
-		stats:    &metrics.SyncCounters{},
-		sessions: make(map[string]*session),
+// EngineOption configures NewEngine.
+type EngineOption func(*Engine)
+
+// WithoutGrouping disables the content-group fan-out layer: every session
+// classifies and streams independently, as in the pre-fan-out engine. Used
+// as the ablation baseline in benchmarks.
+func WithoutGrouping() EngineOption {
+	return func(e *Engine) { e.grouping = false }
+}
+
+// WithSlowConsumerPolicy overrides the persist fan-out queue capacity and
+// the number of consecutive coalesced (skipped) cycles after which a
+// lagging subscriber is demoted to poll mode.
+func WithSlowConsumerPolicy(queueCap, demoteAfter int) EngineOption {
+	return func(e *Engine) {
+		if queueCap > 0 {
+			e.persistQueueCap = queueCap
+		}
+		if demoteAfter > 0 {
+			e.demoteAfter = demoteAfter
+		}
 	}
+}
+
+// Default slow-consumer policy: a subscriber buffers up to 4 batches; a
+// subscriber that stays full for 8 consecutive update cycles is demoted.
+const (
+	defaultPersistQueueCap = 4
+	defaultDemoteAfter     = 8
+)
+
+// NewEngine creates an engine over the master store.
+func NewEngine(store *dit.Store, opts ...EngineOption) *Engine {
+	e := &Engine{
+		store:           store,
+		stats:           &metrics.SyncCounters{},
+		sessions:        make(map[string]*session),
+		grouping:        true,
+		checker:         containment.NewChecker(),
+		groups:          make(map[string]*group),
+		aliases:         make(map[string]*group),
+		persistQueueCap: defaultPersistQueueCap,
+		demoteAfter:     defaultDemoteAfter,
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
 }
 
 // Counters exposes the engine's synchronization counters; callers may read
@@ -340,6 +396,10 @@ type PollResult struct {
 	Updates    []Update
 	Cookie     string
 	FullReload bool
+	// Enc, when non-nil, memoizes the wire encoding of Updates, shared
+	// with every other session of the same content view crossing the same
+	// change interval (group.go).
+	Enc *SharedEnc
 }
 
 // Begin starts a synchronization session for the content of spec: the
@@ -348,7 +408,8 @@ type PollResult struct {
 func (e *Engine) Begin(spec query.Query) (*PollResult, error) {
 	csn := e.store.LastCSN()
 	entries := e.store.MatchAll(stripAttrs(spec))
-	sess := &session{spec: spec, genSeq: 1, csn: csn, content: make(map[string]dn.DN, len(entries))}
+	sess := &session{spec: spec, viewKey: viewKey(spec.Attrs), genSeq: 1, csn: csn, content: make(map[string]dn.DN, len(entries))}
+	sess.group = e.joinGroup(spec)
 	sess.points = []syncPoint{{gen: 1, csn: csn}}
 	res := &PollResult{FullReload: false}
 	for _, ent := range entries {
@@ -402,8 +463,9 @@ func (e *Engine) poll(sess *session) (*PollResult, error) {
 
 	res := &PollResult{}
 	start := time.Now()
-	updates, undo := e.classify(sess, changes)
+	updates, undo, enc := e.classifyFor(sess, changes)
 	res.Updates = updates
+	res.Enc = enc
 	e.stats.ObserveClassify(time.Since(start))
 	csn := sess.csn
 	if len(changes) > 0 {
@@ -457,102 +519,11 @@ func (e *Engine) reload(sess *session) *PollResult {
 	return res
 }
 
-// classify replays journal changes against the session content, producing
-// the minimal (net) update set and advancing the content map, plus the undo
-// records that restore the map to its pre-classify state.
-func (e *Engine) classify(sess *session, changes []dit.Change) ([]Update, []undoOp) {
-	var undo []undoOp
-	// initial[norm] records whether the DN was in content at the start of
-	// the interval; firstBefore holds the entry snapshot at that point, the
-	// reference for net-change detection; touched tracks the final entry
-	// snapshot per DN.
-	initial := make(map[string]bool)
-	firstBefore := make(map[string]*entry.Entry)
-	finalEnt := make(map[string]*entry.Entry)
-	finalIn := make(map[string]bool)
-	finalDN := make(map[string]dn.DN)
-	changed := make(map[string]bool)
-
-	note := func(d dn.DN, before bool, prior *entry.Entry) {
-		norm := d.Norm()
-		if _, seen := initial[norm]; !seen {
-			initial[norm] = before
-			firstBefore[norm] = prior
-		}
-		changed[norm] = true
-		finalDN[norm] = d
-	}
-	inContent := func(ent *entry.Entry) bool {
-		return ent != nil && sess.spec.InScope(ent.DN()) && specFilter(sess.spec).Matches(ent)
-	}
-
-	for _, c := range changes {
-		switch c.Type {
-		case dit.ChangeAdd, dit.ChangeModify:
-			norm := c.DN.Norm()
-			_, wasIn := sess.content[norm]
-			note(c.DN, wasIn, c.Before)
-			finalIn[norm] = inContent(c.After)
-			finalEnt[norm] = c.After
-		case dit.ChangeDelete:
-			norm := c.DN.Norm()
-			_, wasIn := sess.content[norm]
-			note(c.DN, wasIn, c.Before)
-			finalIn[norm] = false
-			finalEnt[norm] = nil
-		case dit.ChangeModifyDN:
-			oldNorm := c.DN.Norm()
-			_, wasIn := sess.content[oldNorm]
-			note(c.DN, wasIn, c.Before)
-			finalIn[oldNorm] = false
-			finalEnt[oldNorm] = nil
-			newNorm := c.NewDN.Norm()
-			_, newWasIn := sess.content[newNorm]
-			note(c.NewDN, newWasIn, nil)
-			finalIn[newNorm] = inContent(c.After)
-			finalEnt[newNorm] = c.After
-		}
-	}
-
-	var updates []Update
-	for norm := range changed {
-		was := initial[norm]
-		is := finalIn[norm]
-		switch {
-		case !was && is:
-			ent := finalEnt[norm].Select(sess.spec.Attrs)
-			updates = append(updates, Update{Action: ActionAdd, DN: ent.DN(), Entry: ent})
-			sess.setContent(norm, ent.DN(), &undo)
-		case was && !is:
-			d := finalDN[norm]
-			if held, ok := sess.content[norm]; ok {
-				d = held
-			}
-			updates = append(updates, Update{Action: ActionDelete, DN: d})
-			sess.delContent(norm, &undo)
-		case was && is:
-			ent := finalEnt[norm].Select(sess.spec.Attrs)
-			// Minimal update set (equation 3): an entry whose selected view
-			// is net-unchanged over the interval — modify-then-revert, or
-			// modifies confined to unselected attributes — produces no PDU.
-			if prior := firstBefore[norm]; prior != nil {
-				pv := prior.Select(sess.spec.Attrs)
-				if pv.Equal(ent) && pv.DN().String() == ent.DN().String() {
-					e.stats.SuppressedModifies.Add(1)
-					sess.setContent(norm, ent.DN(), &undo)
-					continue
-				}
-			}
-			updates = append(updates, Update{Action: ActionModify, DN: ent.DN(), Entry: ent})
-			sess.setContent(norm, ent.DN(), &undo)
-		}
-	}
-	return updates, undo
-}
-
 // End terminates a session (mode "sync_end"). The session is deregistered
 // and marked ended under its own lock, so an exchange racing the End either
-// completes first or observes the termination and fails.
+// completes first or observes the termination and fails. The session also
+// leaves its content group; the last member out frees the group's shared
+// state.
 func (e *Engine) End(cookie string) error {
 	id, _ := splitCookie(cookie)
 	e.mu.Lock()
@@ -566,6 +537,7 @@ func (e *Engine) End(cookie string) error {
 	sess.mu.Lock()
 	sess.ended = true
 	sess.mu.Unlock()
+	e.leaveGroup(sess.group)
 	e.stats.Ends.Add(1)
 	return nil
 }

@@ -1,0 +1,98 @@
+package supervisor
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"filterdir/internal/query"
+	"filterdir/internal/replica"
+)
+
+// TestBackoffJitterSeededOnce pins the determinism contract of the backoff
+// jitter: the supervisor owns ONE random source, seeded once at
+// construction, and the nth backoff consumes the nth draw. A regression
+// that reseeds the source per retry would replay the seed's first draw
+// forever — chaos replays would desynchronize and "jittered" replicas
+// would reconnect in lockstep.
+func TestBackoffJitterSeededOnce(t *testing.T) {
+	const (
+		base = 50 * time.Millisecond
+		max  = 5 * time.Second
+		n    = 64
+	)
+	seq := func(seed int64) []time.Duration {
+		rng := rand.New(rand.NewSource(seed))
+		attempt := 0
+		out := make([]time.Duration, n)
+		for i := range out {
+			out[i] = nextBackoff(rng, base, max, &attempt)
+		}
+		return out
+	}
+
+	// Equal seeds must produce identical schedules (replay determinism).
+	a, b := seq(7), seq(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed schedules diverge at draw %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+
+	// Once the exponential delay is capped, every call computes the jitter
+	// over the same interval [max/2, max); a per-retry reseed would then
+	// return one constant value forever. The real sequence must keep
+	// consuming fresh draws and vary.
+	capped := a[len(a)-16:]
+	allEqual := true
+	for _, d := range capped[1:] {
+		if d != capped[0] {
+			allEqual = false
+			break
+		}
+	}
+	if allEqual {
+		t.Fatalf("capped backoff delays are constant (%v): jitter source looks reseeded per retry", capped[0])
+	}
+	for i, d := range capped {
+		if d < max/2 || d >= max+1 {
+			t.Fatalf("capped delay %d = %v outside [max/2, max]", i, d)
+		}
+	}
+
+	// Different seeds should give different schedules (the point of Seed).
+	c := seq(8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("seed has no effect on the backoff schedule")
+	}
+
+	// The supervisor must wire cfg.Seed into that single source: two
+	// supervisors with equal seeds draw identical schedules from s.rng.
+	mk := func(seed int64) *Supervisor {
+		rep, err := replica.NewFilterReplica()
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := query.MustNew("o=xyz", query.ScopeSubtree, "(serialnumber=04*)")
+		s, err := New(Config{Master: "127.0.0.1:1", Spec: spec, Seed: seed}, rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s1, s2 := mk(42), mk(42)
+	a1, a2 := 0, 0
+	for i := 0; i < n; i++ {
+		d1 := nextBackoff(s1.rng, base, max, &a1)
+		d2 := nextBackoff(s2.rng, base, max, &a2)
+		if d1 != d2 {
+			t.Fatalf("same-seed supervisors diverge at backoff %d: %v vs %v", i, d1, d2)
+		}
+	}
+}

@@ -105,7 +105,17 @@ type Config struct {
 	// DialTimeout bounds dials and per-message I/O (default
 	// ldapnet.DefaultTimeout).
 	DialTimeout time.Duration
-	// Seed makes the backoff jitter deterministic for tests.
+	// DemoteAfter is the number of consecutive fast persist-stream deaths
+	// (the master's slow-consumer policy closing the stream right after it
+	// is built) after which the supervisor stops rebuilding the stream and
+	// polls for DemoteCooldown instead (default 3).
+	DemoteAfter int
+	// DemoteCooldown is how long a demoted supervisor stays in poll mode
+	// before trying the stream again (default 10×PollInterval).
+	DemoteCooldown time.Duration
+	// Seed makes the backoff jitter deterministic: it seeds the
+	// supervisor's single random source exactly once, in New, so a chaos
+	// replay with the same seed sees the same backoff schedule.
 	Seed int64
 	// Dial is the transport hook (nil = TCP); the chaos layer wraps it.
 	Dial ldapnet.DialFunc
@@ -126,6 +136,12 @@ func (c *Config) fillDefaults() {
 	if c.DialTimeout <= 0 {
 		c.DialTimeout = ldapnet.DefaultTimeout
 	}
+	if c.DemoteAfter <= 0 {
+		c.DemoteAfter = 3
+	}
+	if c.DemoteCooldown <= 0 {
+		c.DemoteCooldown = 10 * c.PollInterval
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -136,7 +152,15 @@ type Supervisor struct {
 	cfg      config
 	rep      *replica.FilterReplica
 	counters *metrics.ReplicaCounters
-	rng      *rand.Rand // used by the run goroutine only
+	// rng drives the backoff jitter. It is seeded exactly once (in New,
+	// from cfg.Seed) and consumed only by the run goroutine; reseeding it
+	// per retry would make every jitter draw the source's first value and
+	// break deterministic chaos replays.
+	rng *rand.Rand
+
+	// Persist-stream demotion tracking; run goroutine only.
+	fastDeaths   int       // consecutive streams that died young
+	demotedUntil time.Time // poll-only until this instant
 
 	mu         sync.Mutex
 	cookie     string
@@ -332,9 +356,42 @@ func (s *Supervisor) syncLoop(client *ldapnet.Client, attempt *int) error {
 	s.syncOnce.Do(func() { close(s.synced) })
 
 	if s.cfg.Mode == ModePersist {
+		if wait := time.Until(s.demotedUntil); wait > 0 {
+			// Recently demoted by the master's slow-consumer policy:
+			// sit out the cooldown in poll mode, then let the outer
+			// loop rebuild the stream.
+			return s.pollFor(client, wait)
+		}
 		return s.streamSteadyState(client)
 	}
 	return s.pollSteadyState(client)
+}
+
+// pollFor polls like pollSteadyState but returns cleanly once d elapses,
+// so a demoted persist supervisor re-attempts its stream after cooldown.
+func (s *Supervisor) pollFor(client *ldapnet.Client, d time.Duration) error {
+	s.setState(StatePolling)
+	ticker := time.NewTicker(s.cfg.PollInterval)
+	defer ticker.Stop()
+	deadline := time.NewTimer(d)
+	defer deadline.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return nil
+		case <-deadline.C:
+			return nil
+		case <-ticker.C:
+			res, err := client.Sync(s.cfg.Spec, proto.ReSyncModePoll, s.Cookie())
+			if err != nil {
+				return err
+			}
+			s.counters.Polls.Add(1)
+			if err := s.apply(res); err != nil {
+				return err
+			}
+		}
+	}
 }
 
 // pollSteadyState re-polls the session on every tick until stop or error.
@@ -371,6 +428,7 @@ func (s *Supervisor) streamSteadyState(client *ldapnet.Client) error {
 		return err
 	}
 	defer ps.Close()
+	started := time.Now()
 	var batch []resync.Update
 	var batchCookie string
 	take := func(u ldapnet.StreamUpdate) {
@@ -407,8 +465,22 @@ func (s *Supervisor) streamSteadyState(client *ldapnet.Client) error {
 					return serr
 				}
 				// Stream died: catch up with one resume-poll before the
-				// outer loop rebuilds the stream.
+				// outer loop rebuilds the stream. A stream that keeps
+				// dying young — the signature of the master's
+				// slow-consumer demotion — earns a poll-mode cooldown
+				// instead of rebuild churn.
 				s.counters.Fallbacks.Add(1)
+				if time.Since(started) < s.cfg.PollInterval {
+					s.fastDeaths++
+					if s.fastDeaths >= s.cfg.DemoteAfter {
+						s.fastDeaths = 0
+						s.demotedUntil = time.Now().Add(s.cfg.DemoteCooldown)
+						s.counters.Demotions.Add(1)
+						s.cfg.Logf("supervisor: persist stream demoted, polling for %s", s.cfg.DemoteCooldown)
+					}
+				} else {
+					s.fastDeaths = 0
+				}
 				s.setState(StatePolling)
 				res, err := client.Sync(s.cfg.Spec, proto.ReSyncModePoll, s.Cookie())
 				if err != nil {
@@ -489,18 +561,28 @@ func (s *Supervisor) resetContent(cookie string) {
 // counter, abandoning the wait on stop.
 func (s *Supervisor) backoff(attempt *int) {
 	s.setState(StateBackoff)
-	d := s.cfg.BackoffBase << *attempt
-	if d > s.cfg.BackoffMax || d <= 0 {
-		d = s.cfg.BackoffMax
-	} else {
-		*attempt++
-	}
-	// Jitter to [d/2, d).
-	d = d/2 + time.Duration(s.rng.Int63n(int64(d/2)+1))
+	d := nextBackoff(s.rng, s.cfg.BackoffBase, s.cfg.BackoffMax, attempt)
 	start := time.Now()
 	select {
 	case <-time.After(d):
 	case <-s.stop:
 	}
 	s.counters.ObserveBackoff(time.Since(start))
+}
+
+// nextBackoff computes one capped exponential backoff delay, jittered to
+// [d/2, d), and advances the attempt counter while below the cap. rng must
+// be the supervisor's single source, seeded once at construction: drawing
+// jitter from a source reseeded per retry would replay the seed's first
+// value forever and make "jittered" replicas reconnect in lockstep — and
+// would desynchronize deterministic chaos replays, which assume the nth
+// backoff consumes the nth draw.
+func nextBackoff(rng *rand.Rand, base, max time.Duration, attempt *int) time.Duration {
+	d := base << *attempt
+	if d > max || d <= 0 {
+		d = max
+	} else {
+		*attempt++
+	}
+	return d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
 }
