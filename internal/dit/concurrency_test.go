@@ -104,3 +104,49 @@ func TestConcurrentSearchAndUpdate(t *testing.T) {
 		}
 	}
 }
+
+// TestSnapshotAtomic pins the Snapshot contract the resync group cache
+// relies on: the returned (csn, entries) pair must be exactly the store's
+// content at that CSN, never a mix of two commits. Each committed add
+// grows the content by one, so at CSN base+k the match count must be
+// initial+k; separate LastCSN/MatchAll reads racing the writer would break
+// that equality. Run with -race.
+func TestSnapshotAtomic(t *testing.T) {
+	st, err := NewStore([]string{"o=xyz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	org := entry.New(dn.MustParse("o=xyz"))
+	org.Put("objectclass", "organization").Put("o", "xyz")
+	if err := st.Add(org); err != nil {
+		t.Fatal(err)
+	}
+	base := st.LastCSN()
+	initial := len(st.MatchAll(query.MustNew("", query.ScopeSubtree, "(objectclass=*)")))
+
+	const adds = 500
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < adds; i++ {
+			e := entry.New(dn.MustParse(fmt.Sprintf("cn=s%d,o=xyz", i)))
+			e.Put("objectclass", "person").Put("cn", fmt.Sprintf("s%d", i)).Put("sn", "x")
+			if err := st.Add(e); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	q := query.MustNew("", query.ScopeSubtree, "(objectclass=*)")
+	for {
+		csn, entries := st.Snapshot(q)
+		if want := initial + int(csn-base); len(entries) != want {
+			t.Fatalf("Snapshot at CSN %d returned %d entries, want %d", csn, len(entries), want)
+		}
+		select {
+		case <-done:
+			return
+		default:
+		}
+	}
+}

@@ -349,6 +349,23 @@ func (s *Store) Contexts() []Context {
 func (s *Store) MatchAll(q query.Query) []*entry.Entry {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	return s.matchAllLocked(q)
+}
+
+// Snapshot returns the last committed CSN together with the entries
+// matching q, both read under one lock acquisition so the pair is mutually
+// consistent. ReSync session setup and reload depend on this: the engine's
+// content-group cache treats a session's content as a pure function of
+// (spec, CSN), so a commit landing between a LastCSN read and a MatchAll
+// read would fabricate a (CSN, content) pair that never existed in the
+// store's history.
+func (s *Store) Snapshot(q query.Query) (CSN, []*entry.Entry) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.nextCSN - 1, s.matchAllLocked(q)
+}
+
+func (s *Store) matchAllLocked(q query.Query) []*entry.Entry {
 	f := q.Filter
 	if f == nil {
 		f = filter.NewPresent(entry.AttrObjectClass)

@@ -63,54 +63,87 @@ func (w *connWriter) writeSync(b []byte) error {
 }
 
 // enqueue queues one encoded stream message, waiting up to enqueueWait for
-// space. A false return means the queue stayed full (or the connection
-// already failed) and the stream should be torn down.
+// space. A false return means the queue stayed full, the connection already
+// failed, or the writer was closed — the stream should be torn down.
+//
+// A true return guarantees the message reaches the drain goroutine's write
+// path: the send is rechecked against w.stop, and drain flushes messages
+// queued before the stop, so close() racing an enqueue cannot strand a PDU
+// that was reported as delivered (e.g. a stream's final SearchDone during
+// connection teardown).
 func (w *connWriter) enqueue(b []byte) bool {
 	if w.failed.Load() {
 		return false
 	}
-	if w.stats != nil {
-		w.stats.ObserveQueueDepth(len(w.q) + 1)
-	}
 	select {
-	case w.q <- b:
-		return true
-	default:
-	}
-	t := time.NewTimer(enqueueWait)
-	defer t.Stop()
-	select {
-	case w.q <- b:
-		return true
-	case <-t.C:
-		return false
 	case <-w.stop:
 		return false
+	default:
 	}
+	select {
+	case w.q <- b:
+	default:
+		t := time.NewTimer(enqueueWait)
+		defer t.Stop()
+		select {
+		case w.q <- b:
+		case <-t.C:
+			return false
+		case <-w.stop:
+			return false
+		}
+	}
+	// The send can race close(): if stop is already closed the drain
+	// goroutine may have finished its final flush before the message
+	// landed, so it must be reported undelivered.
+	select {
+	case <-w.stop:
+		return false
+	default:
+	}
+	if w.stats != nil {
+		w.stats.ObserveQueueDepth(len(w.q))
+	}
+	return true
 }
 
 // drain writes queued stream messages in order. After a write failure the
 // connection is closed and remaining messages are discarded, so enqueuers
-// are never blocked by a dead consumer.
+// are never blocked by a dead consumer. On stop, messages already queued
+// are flushed before exiting — a successful enqueue promises delivery to
+// the socket (unless the connection fails).
 func (w *connWriter) drain() {
 	defer close(w.done)
 	for {
 		select {
 		case b := <-w.q:
-			if w.failed.Load() {
-				continue
-			}
-			w.mu.Lock()
-			_ = w.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
-			_, err := w.conn.Write(b)
-			_ = w.conn.SetWriteDeadline(time.Time{})
-			w.mu.Unlock()
-			if err != nil {
-				w.fail()
-			}
+			w.write(b)
 		case <-w.stop:
-			return
+			for {
+				select {
+				case b := <-w.q:
+					w.write(b)
+				default:
+					return
+				}
+			}
 		}
+	}
+}
+
+// write sends one queued message to the connection, failing the writer on
+// error; writes after a failure are discarded.
+func (w *connWriter) write(b []byte) {
+	if w.failed.Load() {
+		return
+	}
+	w.mu.Lock()
+	_ = w.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+	_, err := w.conn.Write(b)
+	_ = w.conn.SetWriteDeadline(time.Time{})
+	w.mu.Unlock()
+	if err != nil {
+		w.fail()
 	}
 }
 

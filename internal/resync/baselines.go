@@ -68,8 +68,10 @@ func (e *Engine) PollRetain(cookie string) (*PollResult, error) {
 	}
 
 	res := &PollResult{}
-	csn := e.store.LastCSN()
-	entries := e.store.MatchAll(stripAttrs(sess.spec))
+	// Atomic (csn, entries) read: the session may belong to a content group,
+	// whose shared-interval cache requires the content map to be exactly the
+	// store's content at the recorded CSN (see Engine.Begin).
+	csn, entries := e.store.Snapshot(stripAttrs(sess.spec))
 	newContent := make(map[string]dn.DN, len(entries))
 	for _, ent := range entries {
 		norm := ent.DN().Norm()

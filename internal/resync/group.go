@@ -29,6 +29,15 @@ func contentKey(q query.Query) string {
 	return n.Base.Norm() + "\x00" + n.Scope.String() + "\x00" + n.FilterString()
 }
 
+// regionKey canonicalizes a spec's base/scope region. Two specs can only be
+// content-equivalent if their regions contain each other, and mutual
+// ScopeContains holds exactly for an identical normalized (base, scope) —
+// so the equivalence probe in joinGroup need only consider groups sharing
+// this key, instead of running the containment checker against every group.
+func regionKey(q query.Query) string {
+	return q.Base.Norm() + "\x00" + q.Scope.String()
+}
+
 // viewKey canonicalizes an attribute selection within a group.
 func viewKey(attrs []string) string {
 	if len(attrs) == 0 {
@@ -136,9 +145,10 @@ const maxSharedIntervals = 8
 
 // group is one shared-content fan-out unit.
 type group struct {
-	e    *Engine
-	key  string      // content key of the founding member
-	spec query.Query // founding spec, attrs stripped
+	e      *Engine
+	key    string      // content key of the founding member
+	region string      // base/scope region key, for the engine's region index
+	spec   query.Query // founding spec, attrs stripped
 
 	// cycleMu is held by the broadcaster for the span of one update cycle;
 	// Subscription.Close takes it (empty) so that after Close returns the
@@ -183,13 +193,17 @@ func (e *Engine) joinGroup(spec query.Query) *group {
 		return nil
 	}
 	key := contentKey(spec)
+	rkey := regionKey(spec)
 	e.groupMu.Lock()
 	g := e.aliases[key]
 	equiv := false
 	if g == nil {
-		// No identical group: probe existing groups for provable
-		// equivalence, so e.g. (&(a=1)(b=2)) joins (&(b=2)(a=1)).
-		for _, cand := range e.groups {
+		// No identical group: probe same-region groups for provable filter
+		// equivalence, so e.g. (&(a=1)(b=2)) joins (&(b=2)(a=1)). The
+		// region index keeps this proportional to groups over the same
+		// base/scope rather than all groups, since the containment checks
+		// run under groupMu on every first-of-its-key Begin.
+		for _, cand := range e.regions[rkey] {
 			if e.equivalentSpecs(spec, cand.spec) {
 				g = cand
 				equiv = true
@@ -204,8 +218,10 @@ func (e *Engine) joinGroup(spec query.Query) *group {
 	if g == nil {
 		g = newGroup(e, key, stripAttrs(spec))
 		g.aliasKeys = []string{key}
+		g.region = rkey
 		e.groups[key] = g
 		e.aliases[key] = g
+		e.regions[rkey] = append(e.regions[rkey], g)
 	}
 	g.mu.Lock()
 	g.members++
@@ -233,6 +249,19 @@ func (e *Engine) leaveGroup(g *group) {
 			delete(e.aliases, k)
 		}
 		delete(e.groups, g.key)
+		peers := e.regions[g.region]
+		for i, cand := range peers {
+			if cand == g {
+				peers[i] = peers[len(peers)-1]
+				peers = peers[:len(peers)-1]
+				break
+			}
+		}
+		if len(peers) == 0 {
+			delete(e.regions, g.region)
+		} else {
+			e.regions[g.region] = peers
+		}
 		g.intervals = nil
 		g.stopLocked()
 	}
@@ -436,11 +465,22 @@ func (g *group) attach(sess *session) *Subscription {
 	g.mu.Lock()
 	g.subs[sub] = st
 	if g.bstop == nil {
-		g.bstop = make(chan struct{})
-		g.bdone = make(chan struct{})
-		go g.broadcast(g.bstop, g.bdone)
+		// Join the previous broadcaster (if a stop is still in flight)
+		// before starting its replacement, so one group never runs two
+		// broadcasters — syncOne's non-blocking queue send relies on being
+		// the only sender observing free space.
+		join := g.bdone
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		g.bstop, g.bdone = stop, done
+		g.mu.Unlock()
+		if join != nil {
+			<-join
+		}
+		go g.broadcast(stop, done)
+	} else {
+		g.mu.Unlock()
 	}
-	g.mu.Unlock()
 	g.kick()
 	return sub
 }
@@ -466,7 +506,9 @@ func (g *group) removeLocked(sub *Subscription) {
 }
 
 // stopLocked stops the broadcaster (if running) and closes any remaining
-// subscriber channels; the caller holds g.mu.
+// subscriber channels; the caller holds g.mu. bdone is deliberately kept:
+// the stopping broadcaster closes it on exit, and the next attach waits on
+// it before starting a replacement (single-broadcaster invariant).
 func (g *group) stopLocked() {
 	for sub, st := range g.subs {
 		delete(g.subs, sub)
@@ -474,7 +516,7 @@ func (g *group) stopLocked() {
 	}
 	if g.bstop != nil {
 		close(g.bstop)
-		g.bstop, g.bdone = nil, nil
+		g.bstop = nil
 	}
 }
 

@@ -139,8 +139,9 @@ type Engine struct {
 	grouping bool
 	checker  *containment.Checker
 	groupMu  sync.Mutex
-	groups   map[string]*group // founding content key -> group
-	aliases  map[string]*group // every resolved content key -> group
+	groups   map[string]*group   // founding content key -> group
+	aliases  map[string]*group   // every resolved content key -> group
+	regions  map[string][]*group // base/scope region key -> groups in it
 
 	// Persist slow-consumer policy knobs (see group.syncOne).
 	persistQueueCap int
@@ -347,6 +348,7 @@ func NewEngine(store *dit.Store, opts ...EngineOption) *Engine {
 		checker:         containment.NewChecker(),
 		groups:          make(map[string]*group),
 		aliases:         make(map[string]*group),
+		regions:         make(map[string][]*group),
 		persistQueueCap: defaultPersistQueueCap,
 		demoteAfter:     defaultDemoteAfter,
 	}
@@ -404,10 +406,13 @@ type PollResult struct {
 
 // Begin starts a synchronization session for the content of spec: the
 // entire current content is returned as add actions together with the
-// session cookie (the null-cookie case of Section 5.2).
+// session cookie (the null-cookie case of Section 5.2). The sync CSN and
+// the content are read atomically (Store.Snapshot): the group cache keys
+// shared classifications by (spec, CSN) only, so a content map that did
+// not match its CSN would be replayed onto every other member standing at
+// that CSN and diverge them permanently.
 func (e *Engine) Begin(spec query.Query) (*PollResult, error) {
-	csn := e.store.LastCSN()
-	entries := e.store.MatchAll(stripAttrs(spec))
+	csn, entries := e.store.Snapshot(stripAttrs(spec))
 	sess := &session{spec: spec, viewKey: viewKey(spec.Attrs), genSeq: 1, csn: csn, content: make(map[string]dn.DN, len(entries))}
 	sess.group = e.joinGroup(spec)
 	sess.points = []syncPoint{{gen: 1, csn: csn}}
@@ -497,13 +502,13 @@ func (e *Engine) poll(sess *session) (*PollResult, error) {
 // reload re-sends the full content and resets the session's resume history
 // to the new sync point — used when journal history no longer covers the
 // session's sync point, or the replica presented an unknown one. The sync
-// point is read before the content so a change committed between the two
-// reads is re-examined on the next poll rather than lost. The caller holds
-// sess.mu.
+// point and the content are read atomically (Store.Snapshot): content
+// purity w.r.t. CSN is load-bearing for the group's shared-interval cache,
+// so a commit between the two reads must not be able to skew the pair.
+// The caller holds sess.mu.
 func (e *Engine) reload(sess *session) *PollResult {
 	e.stats.FullReloads.Add(1)
-	csn := e.store.LastCSN()
-	entries := e.store.MatchAll(stripAttrs(sess.spec))
+	csn, entries := e.store.Snapshot(stripAttrs(sess.spec))
 	sess.genSeq++
 	sess.csn = csn
 	sess.content = make(map[string]dn.DN, len(entries))
