@@ -1,8 +1,11 @@
 GO ?= go
 
 # Oracle sweep controls: make oracle SEED=7 N=5000
+# ORACLE_TESTS narrows the sweep to one topology tier, e.g.
+#   make oracle ORACLE_TESTS='TestOracleCascadeSweep|TestOracleCascadeWireSweep'
 SEED ?= 42
 N ?= 1000
+ORACLE_TESTS ?= TestOracleSweep|TestOracleWireSweep|TestOracleCascadeSweep|TestOracleCascadeWireSweep
 
 .PHONY: check fmt vet build test bench bench-diff oracle fuzz-smoke cover
 
@@ -38,10 +41,11 @@ bench-diff:
 	$(GO) test -bench=. -benchmem -benchtime=1x -count=3 ./... | $(GO) run ./cmd/benchjson -baseline BENCH_resync.json
 
 ## oracle: the long randomized model-checking sweep (engine level plus one
-## wire-level history per 50 engine histories). A divergence prints a
+## wire-level history per 50 engine histories), including the three-tier
+## cascade sweeps (master → mid-tier → leaves). A divergence prints a
 ## shrunk history and a one-line replay command.
 oracle:
-	$(GO) test ./internal/oracle -race -run 'TestOracleSweep|TestOracleWireSweep' \
+	$(GO) test ./internal/oracle -race -run '$(ORACLE_TESTS)' \
 		-oracle.seed=$(SEED) -oracle.n=$(N) -v -timeout 30m
 
 ## fuzz-smoke: 30 seconds of native fuzzing per wire-parser target.

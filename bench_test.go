@@ -21,6 +21,7 @@ import (
 	"filterdir/internal/metrics"
 	"filterdir/internal/proto"
 	"filterdir/internal/query"
+	"filterdir/internal/replica"
 	"filterdir/internal/resync"
 	"filterdir/internal/selection"
 	"filterdir/internal/sim"
@@ -605,4 +606,143 @@ func BenchmarkSelectionPolicies(b *testing.B) {
 	b.ReportMetric(periodicHits, "periodic_hit_ratio")
 	b.ReportMetric(evoHits, "evolution_hit_ratio")
 	b.ReportMetric(evoChurn, "evolution_churn")
+}
+
+// BenchmarkCascadeFanout compares the MASTER-side cost of one update cycle
+// delivered to N leaves in a flat topology (every leaf holds a session at
+// the master) against a two-tier cascade (√N mid-tier replicas hold the
+// master sessions; each mid re-serves √N leaves from its own engine). Only
+// master-engine work is on the clock: in the cascade the mid-tier
+// application and the leaf polls run on other machines' budgets, so they
+// happen off-timer here. master_pdus/cycle counts update PDUs the master
+// emits per cycle; leaf_pdus/cycle confirms both topologies deliver the
+// same downstream traffic.
+func BenchmarkCascadeFanout(b *testing.B) {
+	const burst = 200
+	spec := query.MustNew("", query.ScopeSubtree, "(serialnumber=1*)")
+	for _, leaves := range []int{16, 64, 256} {
+		mids := 4
+		for mids*mids < leaves {
+			mids *= 2
+		}
+		b.Run(fmt.Sprintf("leaves=%d/flat", leaves), func(b *testing.B) {
+			cfg := workload.DefaultDirectoryConfig(1000)
+			cfg.PayloadBytes = 64
+			dir, err := workload.BuildDirectory(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng := resync.NewEngine(dir.Master)
+			cookies := make([]string, leaves)
+			for i := range cookies {
+				res, err := eng.Begin(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cookies[i] = res.Cookie
+			}
+			upd := workload.NewUpdater(dir, workload.DefaultUpdateConfig())
+			var masterPDUs, leafPDUs int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				if _, err := upd.Apply(burst); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for s, c := range cookies {
+					res, err := eng.Poll(c)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cookies[s] = res.Cookie
+					masterPDUs += len(res.Updates)
+				}
+			}
+			b.StopTimer()
+			leafPDUs = masterPDUs // flat: every master PDU goes to a leaf
+			b.ReportMetric(float64(masterPDUs)/float64(b.N), "master_pdus/cycle")
+			b.ReportMetric(float64(leafPDUs)/float64(b.N), "leaf_pdus/cycle")
+		})
+		b.Run(fmt.Sprintf("leaves=%d/two-tier", leaves), func(b *testing.B) {
+			cfg := workload.DefaultDirectoryConfig(1000)
+			cfg.PayloadBytes = 64
+			dir, err := workload.BuildDirectory(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng := resync.NewEngine(dir.Master)
+			type mid struct {
+				frep   *replica.FilterReplica
+				eng    *resync.Engine
+				cookie string
+				leaves []string
+			}
+			tiers := make([]*mid, mids)
+			perMid := (leaves + mids - 1) / mids
+			for i := range tiers {
+				frep, err := replica.NewFilterReplica()
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := eng.Begin(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				frep.AddStored(spec, res.Cookie)
+				if err := frep.ApplySync(spec, res.Updates); err != nil {
+					b.Fatal(err)
+				}
+				m := &mid{frep: frep, eng: resync.NewEngine(frep.Store()), cookie: res.Cookie}
+				for l := 0; l < perMid; l++ {
+					lres, err := m.eng.Begin(spec)
+					if err != nil {
+						b.Fatal(err)
+					}
+					m.leaves = append(m.leaves, lres.Cookie)
+				}
+				tiers[i] = m
+			}
+			upd := workload.NewUpdater(dir, workload.DefaultUpdateConfig())
+			var masterPDUs, leafPDUs int
+			results := make([]*resync.PollResult, mids)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				if _, err := upd.Apply(burst); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				// Master-side work: one poll per mid-tier, nothing else.
+				for mi, m := range tiers {
+					res, err := eng.Poll(m.cookie)
+					if err != nil {
+						b.Fatal(err)
+					}
+					m.cookie = res.Cookie
+					masterPDUs += len(res.Updates)
+					results[mi] = res
+				}
+				b.StopTimer()
+				// Downstream propagation happens on the mids' own budgets.
+				for mi, m := range tiers {
+					if err := m.frep.ApplySync(spec, results[mi].Updates); err != nil {
+						b.Fatal(err)
+					}
+					for l, c := range m.leaves {
+						lres, err := m.eng.Poll(c)
+						if err != nil {
+							b.Fatal(err)
+						}
+						m.leaves[l] = lres.Cookie
+						leafPDUs += len(lres.Updates)
+					}
+				}
+				b.StartTimer()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(masterPDUs)/float64(b.N), "master_pdus/cycle")
+			b.ReportMetric(float64(leafPDUs)/float64(b.N), "leaf_pdus/cycle")
+		})
+	}
 }

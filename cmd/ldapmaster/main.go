@@ -68,15 +68,16 @@ func storeOptions(journalLimit int) []filterdir.DirectoryOption {
 	return opts
 }
 
-// printStatus reports the sync counters, store state and injected-fault
-// totals on stdout.
-func printStatus(srv *filterdir.Server, store *filterdir.Directory, inj *chaos.Injector) {
+// printStatus reports the sync counters, store state, fan-out (live
+// downstream sessions and connections — in a cascaded topology these count
+// mid-tiers, not leaves) and injected-fault totals on stdout.
+func printStatus(srv *filterdir.Server, backend *ldapnet.StoreBackend, store *filterdir.Directory, inj *chaos.Injector) {
 	c := srv.SyncCounters()
 	if c == nil {
 		return
 	}
-	fmt.Printf("ldapmaster: entries=%d journal-trimmed=%d | %s\n",
-		store.Len(), store.JournalTrimmed(), c.Snapshot())
+	fmt.Printf("ldapmaster: entries=%d journal-trimmed=%d sessions=%d conns=%d | %s\n",
+		store.Len(), store.JournalTrimmed(), backend.Engine.Sessions(), srv.ActiveConns(), c.Snapshot())
 	if inj != nil {
 		fmt.Printf("ldapmaster: %s\n", inj.Stats())
 	}
@@ -148,7 +149,8 @@ func run(addr, ldifPath, dataDir string, journalEvery time.Duration, suffix stri
 		ln = inj.Listener(ln)
 		fmt.Println("ldapmaster: chaos plan armed; injected faults count against every connection")
 	}
-	srv := ldapnet.ServeListener(ln, ldapnet.NewStoreBackend(store))
+	backend := ldapnet.NewStoreBackend(store)
+	srv := ldapnet.ServeListener(ln, backend)
 	fmt.Printf("ldapmaster: serving %d entries on %s (suffix %s)\n", store.Len(), srv.Addr(), suffix)
 
 	sig := make(chan os.Signal, 1)
@@ -172,7 +174,7 @@ func run(addr, ldifPath, dataDir string, journalEvery time.Duration, suffix stri
 				fmt.Fprintf(os.Stderr, "ldapmaster: checkpoint: %v\n", err)
 			}
 		}
-		printStatus(srv, store, inj)
+		printStatus(srv, backend, store, inj)
 		return closeErr
 	}
 
@@ -180,7 +182,7 @@ func run(addr, ldifPath, dataDir string, journalEvery time.Duration, suffix stri
 		for {
 			select {
 			case <-statusC:
-				printStatus(srv, store, inj)
+				printStatus(srv, backend, store, inj)
 			case <-sig:
 				fmt.Println("ldapmaster: shutting down")
 				return shutdown()
@@ -203,7 +205,7 @@ func run(addr, ldifPath, dataDir string, journalEvery time.Duration, suffix stri
 			}
 			watermark = w
 		case <-statusC:
-			printStatus(srv, store, inj)
+			printStatus(srv, backend, store, inj)
 		case <-sig:
 			fmt.Println("ldapmaster: checkpointing and shutting down")
 			return shutdown()

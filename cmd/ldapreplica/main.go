@@ -9,11 +9,26 @@
 // a restarted replica reloads its content from disk and resumes the master
 // session with a poll instead of a full content transfer.
 //
+// Cascaded topologies: -upstream points the replica at a mid-tier replica
+// instead of the master (-master stays the fallback the supervisors divert
+// to when the upstream rejects their spec or forgets their session), and
+// -serve turns this replica into a mid-tier itself — it runs its own sync
+// engine over the replicated content and serves ReSync to downstream
+// replicas, admitting only specs provably contained in its filters.
+//
 // Usage:
 //
 //	ldapreplica -master 127.0.0.1:3890 -addr 127.0.0.1:3891 \
 //	    -filter '(serialnumber=1004*)' -filter '(location=*)' \
 //	    -mode persist -state /var/lib/filterdir-replica
+//
+//	# mid-tier: pulls (location=*) from the master, serves it downstream
+//	ldapreplica -master 127.0.0.1:3890 -addr 127.0.0.1:3892 -serve \
+//	    -filter '(location=*)'
+//
+//	# leaf attached to the mid-tier, falling back to the master
+//	ldapreplica -master 127.0.0.1:3890 -upstream 127.0.0.1:3892 \
+//	    -addr 127.0.0.1:3893 -filter '(location=site001)'
 package main
 
 import (
@@ -27,6 +42,7 @@ import (
 	"time"
 
 	"filterdir"
+	"filterdir/internal/cascade"
 	"filterdir/internal/ldapnet"
 	"filterdir/internal/query"
 	"filterdir/internal/supervisor"
@@ -41,108 +57,99 @@ func (f *filterList) Set(v string) error {
 	return nil
 }
 
+// options carries the parsed command line.
+type options struct {
+	master, upstream, addr string
+	serve                  bool
+	mode                   supervisor.Mode
+	stateDir               string
+	interval               time.Duration
+	backoffBase            time.Duration
+	backoffMax             time.Duration
+	idleTimeout            time.Duration
+	retryUpstream          time.Duration
+	journalLimit           int
+	checkpointEvery        time.Duration
+	depth                  int
+	cacheCap               int
+	statusEvery            time.Duration
+	filters                filterList
+}
+
 func main() {
-	master := flag.String("master", "127.0.0.1:3890", "master server address")
-	addr := flag.String("addr", "127.0.0.1:3891", "replica listen address")
+	var o options
+	flag.StringVar(&o.master, "master", "127.0.0.1:3890", "root master server address (the fallback when -upstream is set)")
+	flag.StringVar(&o.upstream, "upstream", "", "upstream to synchronize from when it is not the master (e.g. a mid-tier replica)")
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:3891", "replica listen address")
+	flag.BoolVar(&o.serve, "serve", false, "serve ReSync to downstream replicas (cascade mid-tier mode)")
 	mode := flag.String("mode", "poll", `steady-state sync mode: "poll" or "persist"`)
-	stateDir := flag.String("state", "", "state directory for durable cookie+content checkpoints (empty disables)")
-	interval := flag.Duration("interval", 5*time.Second, "poll interval")
-	backoffBase := flag.Duration("backoff", 50*time.Millisecond, "reconnect backoff base")
-	backoffMax := flag.Duration("backoff-max", 5*time.Second, "reconnect backoff cap")
-	idleTimeout := flag.Duration("idle-timeout", 0, "persist-stream idle timeout (0 = none)")
-	cacheCap := flag.Int("cache", 64, "recent user-query cache capacity")
-	statusEvery := flag.Duration("status-every", time.Minute, "supervision-counter status report interval (0 disables)")
-	var filters filterList
-	flag.Var(&filters, "filter", "replicated filter (repeatable)")
+	flag.StringVar(&o.stateDir, "state", "", "state directory for durable cookie+content checkpoints (empty disables)")
+	flag.DurationVar(&o.interval, "interval", 5*time.Second, "poll interval")
+	flag.DurationVar(&o.backoffBase, "backoff", 50*time.Millisecond, "reconnect backoff base")
+	flag.DurationVar(&o.backoffMax, "backoff-max", 5*time.Second, "reconnect backoff cap")
+	flag.DurationVar(&o.idleTimeout, "idle-timeout", 0, "persist-stream idle timeout (0 = none)")
+	flag.DurationVar(&o.retryUpstream, "retry-upstream", time.Minute, "how long a diverted supervisor stays on the fallback master before re-probing -upstream")
+	flag.IntVar(&o.journalLimit, "journal-limit", 4096, "mid-tier store journal bound (with -serve): how far a downstream session may lag before a full reload")
+	flag.DurationVar(&o.checkpointEvery, "checkpoint-every", 2*time.Second, "mid-tier durability cadence (with -serve and -state)")
+	flag.IntVar(&o.depth, "depth", 1, "tier depth below the master (with -serve; reporting only)")
+	flag.IntVar(&o.cacheCap, "cache", 64, "recent user-query cache capacity")
+	flag.DurationVar(&o.statusEvery, "status-every", time.Minute, "supervision-counter status report interval (0 disables)")
+	flag.Var(&o.filters, "filter", "replicated filter (repeatable)")
 	flag.Parse()
-	if len(filters) == 0 {
-		filters = filterList{"(objectclass=location)"}
+	if len(o.filters) == 0 {
+		o.filters = filterList{"(objectclass=location)"}
 	}
 
-	var m supervisor.Mode
 	switch *mode {
 	case "poll":
-		m = supervisor.ModePoll
+		o.mode = supervisor.ModePoll
 	case "persist":
-		m = supervisor.ModePersist
+		o.mode = supervisor.ModePersist
 	default:
 		fmt.Fprintf(os.Stderr, "ldapreplica: unknown -mode %q\n", *mode)
 		os.Exit(2)
 	}
 
-	err := run(*master, *addr, m, *stateDir, *interval, *backoffBase, *backoffMax,
-		*idleTimeout, *cacheCap, *statusEvery, filters)
+	var err error
+	if o.serve {
+		err = runTier(o)
+	} else {
+		err = runLeaf(o)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ldapreplica:", err)
 		os.Exit(1)
 	}
 }
 
-func run(masterAddr, addr string, mode supervisor.Mode, stateDir string,
-	interval, backoffBase, backoffMax, idleTimeout time.Duration,
-	cacheCap int, statusEvery time.Duration, filters filterList) error {
-	rep, err := filterdir.NewFilterReplica(
-		filterdir.WithCacheCapacity(cacheCap),
-		filterdir.WithContentIndexes("serialnumber", "mail", "dept", "location", "uid"))
-	if err != nil {
-		return err
-	}
-
-	// One supervisor per filter, all applying into the shared replica; each
-	// owns its own state subdirectory so checkpoints never interleave.
-	sups := make([]*supervisor.Supervisor, 0, len(filters))
-	for i, f := range filters {
+// specs parses the -filter list into subtree queries.
+func specs(filters filterList) ([]query.Query, error) {
+	out := make([]query.Query, 0, len(filters))
+	for _, f := range filters {
 		spec, err := query.New("", filterdir.ScopeSubtree, f)
 		if err != nil {
-			return fmt.Errorf("filter %q: %w", f, err)
+			return nil, fmt.Errorf("filter %q: %w", f, err)
 		}
-		cfg := supervisor.Config{
-			Master:       masterAddr,
-			Spec:         spec,
-			Mode:         mode,
-			PollInterval: interval,
-			IdleTimeout:  idleTimeout,
-			BackoffBase:  backoffBase,
-			BackoffMax:   backoffMax,
-			Logf: func(format string, args ...any) {
-				fmt.Fprintf(os.Stderr, "ldapreplica: "+format+"\n", args...)
-			},
-		}
-		if stateDir != "" {
-			cfg.StateDir = filepath.Join(stateDir, fmt.Sprintf("filter%02d", i))
-			if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
-				return err
-			}
-		}
-		sup, err := supervisor.New(cfg, rep)
-		if err != nil {
-			return fmt.Errorf("filter %q: %w", f, err)
-		}
-		sups = append(sups, sup)
+		out = append(out, spec)
 	}
-	for i, sup := range sups {
-		sup.Start()
-		fmt.Printf("ldapreplica: supervising %q\n", filters[i])
-	}
+	return out, nil
+}
 
-	backend := ldapnet.NewReplicaBackend(rep, "ldap://"+masterAddr)
-	srv, err := ldapnet.Serve(addr, backend)
-	if err != nil {
-		return err
+// upstreamOf resolves which address the supervisors synchronize from and
+// which (if any) they fall back to.
+func upstreamOf(o options) (upstream, fallback string) {
+	if o.upstream != "" && o.upstream != o.master {
+		return o.upstream, o.master
 	}
-	fmt.Printf("ldapreplica: serving on %s; %d filters in %s mode\n",
-		srv.Addr(), len(sups), map[supervisor.Mode]string{
-			supervisor.ModePoll: "poll", supervisor.ModePersist: "persist"}[mode])
+	return o.master, ""
+}
 
-	printStatus := func() {
-		m := rep.Metrics()
-		fmt.Printf("ldapreplica: %d entries; hit ratio %.2f (%d queries)\n",
-			rep.EntryCount(), m.HitRatio(), m.Queries)
-		for i, sup := range sups {
-			fmt.Printf("ldapreplica: %q [%s] %s\n", filters[i], sup.State(), sup.Counters().Snapshot())
-		}
-	}
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ldapreplica: "+format+"\n", args...)
+}
 
+// serveLoop runs the status/shutdown select shared by both modes.
+func serveLoop(srv *ldapnet.Server, statusEvery time.Duration, printStatus func(), shutdown func()) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	var statusC <-chan time.Time
@@ -156,18 +163,154 @@ func run(masterAddr, addr string, mode supervisor.Mode, stateDir string,
 		case <-statusC:
 			printStatus()
 		case <-sig:
-			// Graceful shutdown: stop serving queries, then stop each
-			// supervisor (writing its final checkpoint) and report the
-			// final counters.
+			// Graceful shutdown: stop serving queries, then stop the
+			// synchronization machinery and report the final counters.
 			fmt.Println("ldapreplica: shutting down")
 			closeErr := srv.Close()
-			for i, sup := range sups {
-				if err := sup.Stop(); err != nil {
-					fmt.Fprintf(os.Stderr, "ldapreplica: stop %q: %v\n", filters[i], err)
-				}
-			}
+			shutdown()
 			printStatus()
 			return closeErr
 		}
 	}
+}
+
+// runLeaf is the classic consumer replica: one supervisor per filter, no
+// downstream service.
+func runLeaf(o options) error {
+	rep, err := filterdir.NewFilterReplica(
+		filterdir.WithCacheCapacity(o.cacheCap),
+		filterdir.WithContentIndexes("serialnumber", "mail", "dept", "location", "uid"))
+	if err != nil {
+		return err
+	}
+	qs, err := specs(o.filters)
+	if err != nil {
+		return err
+	}
+	upstream, fallback := upstreamOf(o)
+
+	// One supervisor per filter, all applying into the shared replica; each
+	// owns its own state subdirectory so checkpoints never interleave.
+	sups := make([]*supervisor.Supervisor, 0, len(qs))
+	for i, spec := range qs {
+		cfg := supervisor.Config{
+			Master:             upstream,
+			Fallback:           fallback,
+			RetryUpstreamAfter: o.retryUpstream,
+			Spec:               spec,
+			Mode:               o.mode,
+			PollInterval:       o.interval,
+			IdleTimeout:        o.idleTimeout,
+			BackoffBase:        o.backoffBase,
+			BackoffMax:         o.backoffMax,
+			Logf:               logf,
+		}
+		if o.stateDir != "" {
+			cfg.StateDir = filepath.Join(o.stateDir, fmt.Sprintf("filter%02d", i))
+			if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+				return err
+			}
+		}
+		sup, err := supervisor.New(cfg, rep)
+		if err != nil {
+			return fmt.Errorf("filter %q: %w", o.filters[i], err)
+		}
+		sups = append(sups, sup)
+	}
+	for i, sup := range sups {
+		sup.Start()
+		fmt.Printf("ldapreplica: supervising %q against %s\n", o.filters[i], upstream)
+	}
+
+	backend := ldapnet.NewReplicaBackend(rep, "ldap://"+o.master)
+	srv, err := ldapnet.Serve(o.addr, backend)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ldapreplica: serving on %s; %d filters in %s mode\n",
+		srv.Addr(), len(sups), map[supervisor.Mode]string{
+			supervisor.ModePoll: "poll", supervisor.ModePersist: "persist"}[o.mode])
+
+	printStatus := func() {
+		m := rep.Metrics()
+		fmt.Printf("ldapreplica: %d entries; hit ratio %.2f (%d queries)\n",
+			rep.EntryCount(), m.HitRatio(), m.Queries)
+		for i, sup := range sups {
+			fmt.Printf("ldapreplica: %q [%s→%s] %s\n", o.filters[i], sup.State(), sup.Target(), sup.Counters().Snapshot())
+		}
+	}
+	return serveLoop(srv, o.statusEvery, printStatus, func() {
+		for i, sup := range sups {
+			if err := sup.Stop(); err != nil {
+				fmt.Fprintf(os.Stderr, "ldapreplica: stop %q: %v\n", o.filters[i], err)
+			}
+		}
+	})
+}
+
+// runTier is the cascade mid-tier: the replica both consumes its filters
+// from upstream and serves ReSync to downstream replicas.
+func runTier(o options) error {
+	qs, err := specs(o.filters)
+	if err != nil {
+		return err
+	}
+	upstream, fallback := upstreamOf(o)
+	stateDir := o.stateDir
+	if stateDir != "" {
+		stateDir = filepath.Join(stateDir, "cascade")
+		if err := os.MkdirAll(stateDir, 0o755); err != nil {
+			return err
+		}
+	}
+	tier, err := cascade.New(cascade.Config{
+		Upstream:           upstream,
+		Fallback:           fallback,
+		RetryUpstreamAfter: o.retryUpstream,
+		Specs:              qs,
+		Depth:              o.depth,
+		Mode:               o.mode,
+		StateDir:           stateDir,
+		CheckpointEvery:    o.checkpointEvery,
+		JournalLimit:       o.journalLimit,
+		ContentIndexes:     []string{"serialnumber", "mail", "dept", "location", "uid"},
+		PollInterval:       o.interval,
+		IdleTimeout:        o.idleTimeout,
+		BackoffBase:        o.backoffBase,
+		BackoffMax:         o.backoffMax,
+		Logf:               logf,
+	})
+	if err != nil {
+		return err
+	}
+	tier.Start()
+	for i := range qs {
+		fmt.Printf("ldapreplica: supervising %q against %s (serving downstream)\n", o.filters[i], upstream)
+	}
+
+	backend := ldapnet.NewCascadeBackend(tier.Replica(), tier, "ldap://"+o.master)
+	srv, err := ldapnet.Serve(o.addr, backend)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ldapreplica: mid-tier serving on %s; %d filters in %s mode, depth %d\n",
+		srv.Addr(), len(qs), map[supervisor.Mode]string{
+			supervisor.ModePoll: "poll", supervisor.ModePersist: "persist"}[o.mode], o.depth)
+
+	printStatus := func() {
+		rep := tier.Replica()
+		m := rep.Metrics()
+		fmt.Printf("ldapreplica: %d entries; hit ratio %.2f (%d queries)\n",
+			rep.EntryCount(), m.HitRatio(), m.Queries)
+		fmt.Printf("ldapreplica: %s\n", tier.Counters().Snapshot())
+		fmt.Printf("ldapreplica: downstream %s\n", tier.SyncCounters().Snapshot())
+		for i, sup := range tier.Supervisors() {
+			fmt.Printf("ldapreplica: %q [%s→%s] %s\n", o.filters[i], sup.State(), sup.Target(), sup.Counters().Snapshot())
+		}
+	}
+	return serveLoop(srv, o.statusEvery, printStatus, func() {
+		if err := tier.Stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "ldapreplica: stop tier: %v\n", err)
+		}
+	})
 }

@@ -29,6 +29,7 @@ func main() {
 	scopeStr := flag.String("s", "sub", "scope: base, one, sub")
 	sortAttr := flag.String("sort", "", "server-side sort attribute (prefix '-' for descending)")
 	chase := flag.Bool("chase", false, "chase referrals (register the referred host as the same address)")
+	maxChase := flag.Int("max-chase", 0, "referral chain hop bound when chasing (0 = default)")
 	page := flag.Int("page", 0, "RFC 2696 paged results with this page size (0 = off)")
 	limit := flag.Int("z", 0, "size limit (0 = unlimited)")
 	flag.Parse()
@@ -39,13 +40,13 @@ func main() {
 		filterStr = flag.Arg(0)
 		attrs = flag.Args()[1:]
 	}
-	if err := run(*host, *base, *scopeStr, filterStr, *sortAttr, *chase, *page, *limit, attrs); err != nil {
+	if err := run(*host, *base, *scopeStr, filterStr, *sortAttr, *chase, *maxChase, *page, *limit, attrs); err != nil {
 		fmt.Fprintln(os.Stderr, "ldapsearch:", err)
 		os.Exit(1)
 	}
 }
 
-func run(host, base, scopeStr, filterStr, sortAttr string, chase bool, page, limit int, attrs []string) error {
+func run(host, base, scopeStr, filterStr, sortAttr string, chase bool, maxChase, page, limit int, attrs []string) error {
 	scope, err := query.ParseScope(scopeStr)
 	if err != nil {
 		return err
@@ -58,6 +59,7 @@ func run(host, base, scopeStr, filterStr, sortAttr string, chase bool, page, lim
 	var res *ldapnet.SearchResult
 	if chase {
 		r := ldapnet.NewResolver()
+		r.MaxDepth = maxChase
 		defer r.Close()
 		// Without a directory of hosts, referred symbolic hosts resolve to
 		// the contacted server's address; register common names too.
@@ -65,6 +67,9 @@ func run(host, base, scopeStr, filterStr, sortAttr string, chase bool, page, lim
 			r.Register(h, host)
 		}
 		res, err = r.SearchChasing(host, q)
+		if errors.Is(err, ldapnet.ErrReferralLoop) {
+			return fmt.Errorf("%w (the contacted servers refer this query to each other; it cannot complete anywhere — check the topology or query a server that holds the content)", err)
+		}
 	} else {
 		c, cerr := filterdir.DialDirectory(host)
 		if cerr != nil {

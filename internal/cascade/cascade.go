@@ -1,0 +1,363 @@
+// Package cascade builds replication trees out of filter-based replicas: a
+// mid-tier replica consumes one or more content specs from its upstream
+// (the master, or another mid-tier) exactly like a leaf replica does, and
+// at the same time runs its own resynchronization engine over the local
+// content store so downstream replicas can attach to it instead of the
+// master. The master's fan-out then scales with the number of mid-tiers,
+// not the number of leaves.
+//
+// Admission is containment-gated: a downstream spec is served only when
+// the paper's QC algorithm proves it contained in one of the tier's
+// configured specs — the tier provably holds every entry the downstream
+// selects, so serving it locally is byte-equivalent to serving it from the
+// master. A spec that cannot be proven contained is rejected with
+// ldapnet.ErrNotContained (a referral on the wire); the downstream
+// supervisor reacts by diverting to its fallback master.
+//
+// Update propagation needs no translation layer: the tier's supervisors
+// apply upstream batches into the shared replica store, which journals
+// each change under a local CSN and fires the store's change signal; the
+// tier engine's sessions classify those journal entries per downstream
+// spec (the net E01/E10/E11 sets), so a delta arriving from upstream
+// re-broadcasts to every affected downstream group as a minimal update
+// set. An upstream full reload becomes a mass delete+add in the local
+// journal and is absorbed by the same classification — a downstream that
+// polls across it still receives only its net difference, which is the
+// transitive form of the paper's equation 3 argument. Only when the local
+// journal has been trimmed past a downstream's sync point does the tier
+// degrade that session to a full reload, which is sound, just bigger.
+package cascade
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"filterdir/internal/containment"
+	"filterdir/internal/ldapnet"
+	"filterdir/internal/metrics"
+	"filterdir/internal/query"
+	"filterdir/internal/replica"
+	"filterdir/internal/resync"
+	"filterdir/internal/supervisor"
+)
+
+// Config parameterizes a Tier. Upstream and Specs are required.
+type Config struct {
+	// Upstream is the address this tier synchronizes from (the master, or
+	// a higher mid-tier).
+	Upstream string
+	// Fallback is the root master's address. The tier's own supervisors
+	// divert to it when Upstream rejects or forgets them (see
+	// supervisor.Config.Fallback); leave empty when Upstream is the master.
+	Fallback string
+	// RetryUpstreamAfter is forwarded to the supervisors (how long a
+	// diverted supervisor stays on the fallback before re-probing).
+	RetryUpstreamAfter time.Duration
+	// Specs are the tier's replicated content specs — both what it pulls
+	// from upstream and the admission universe for downstream sessions.
+	Specs []query.Query
+	// Depth is this tier's distance from the master (1 = directly below
+	// it); reported through the cascade counters.
+	Depth int
+	// Mode selects the upstream steady state (poll or persist stream).
+	Mode supervisor.Mode
+	// StateDir durably checkpoints the store and upstream cookies when
+	// non-empty (via internal/persist: snapshot + journal + cookies file).
+	StateDir string
+	// CheckpointEvery is the durability cadence (default 2s).
+	CheckpointEvery time.Duration
+	// JournalLimit bounds the local store's journal, and with it how far
+	// behind a downstream session may lag before degrading to a full
+	// reload (default 4096 changes).
+	JournalLimit int
+	// ContentIndexes maintains equality/prefix indexes on the tier store.
+	ContentIndexes []string
+	// Checker shares a containment checker (and its compiled plans).
+	Checker *containment.Checker
+	// PollInterval, IdleTimeout, BackoffBase, BackoffMax and DialTimeout
+	// are forwarded to the upstream supervisors.
+	PollInterval, IdleTimeout time.Duration
+	BackoffBase, BackoffMax   time.Duration
+	DialTimeout               time.Duration
+	// Seed makes supervisor backoff jitter deterministic (supervisor i
+	// gets Seed+i).
+	Seed int64
+	// Dial is the upstream transport hook (nil = TCP).
+	Dial ldapnet.DialFunc
+	// Logf receives progress lines (nil discards them).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() {
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 2 * time.Second
+	}
+	if c.JournalLimit <= 0 {
+		c.JournalLimit = 4096
+	}
+	if c.Depth <= 0 {
+		c.Depth = 1
+	}
+	if c.Checker == nil {
+		c.Checker = containment.NewChecker()
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// Tier is one mid-tier node: a filter replica fed by upstream supervisors,
+// plus a resync engine over the replica's store serving downstream
+// replicas, plus the containment gate between them. It implements
+// ldapnet.SyncSupplier, so wrapping it in an ldapnet.CascadeBackend and a
+// server makes it network-attachable.
+type Tier struct {
+	cfg      Config
+	specs    []query.Query // normalized admission universe
+	rep      *replica.FilterReplica
+	eng      *resync.Engine
+	sups     []*supervisor.Supervisor
+	counters *metrics.CascadeCounters
+
+	// Apply→rebroadcast latency: the supervisor's OnApplied stamps
+	// lastApply and arms applyPending; the engine observer consumes the
+	// flag on the first downstream delivery that follows.
+	lastApply    atomic.Int64 // UnixNano of the newest upstream apply
+	applyPending atomic.Bool
+
+	st *tierState // durable state (nil without StateDir)
+
+	stop      chan struct{}
+	stopOnce  sync.Once
+	loopDone  chan struct{}
+	startOnce sync.Once
+}
+
+var _ ldapnet.SyncSupplier = (*Tier)(nil)
+
+// New builds a tier: restores durable state if present, then constructs
+// the engine and one upstream supervisor per spec (armed with any restored
+// resume cookie). Start launches them.
+func New(cfg Config) (*Tier, error) {
+	cfg.fillDefaults()
+	if cfg.Upstream == "" {
+		return nil, fmt.Errorf("cascade: upstream address required")
+	}
+	if len(cfg.Specs) == 0 {
+		return nil, fmt.Errorf("cascade: at least one content spec required")
+	}
+	rep, err := replica.NewFilterReplica(
+		replica.WithChecker(cfg.Checker),
+		replica.WithJournalLimit(cfg.JournalLimit),
+		replica.WithContentIndexes(cfg.ContentIndexes...),
+	)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tier{
+		cfg:      cfg,
+		rep:      rep,
+		counters: &metrics.CascadeCounters{},
+		stop:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	t.counters.TierDepth.Store(int64(cfg.Depth))
+	for _, q := range cfg.Specs {
+		t.specs = append(t.specs, q.Normalize())
+	}
+
+	cookies := map[string]string{}
+	if cfg.StateDir != "" {
+		st, restored, err := openState(cfg, rep, t.counters)
+		if err != nil {
+			return nil, fmt.Errorf("cascade: restore state: %w", err)
+		}
+		t.st = st
+		cookies = restored
+	}
+
+	// The engine runs over the same store the supervisors apply into:
+	// upstream batches journal local CSNs there, and downstream sessions
+	// classify against that journal.
+	t.eng = resync.NewEngine(rep.Store())
+	t.eng.SetObserver(func(_ string, updates []resync.Update, fullReload bool) {
+		if len(updates) == 0 && !fullReload {
+			return
+		}
+		if t.applyPending.CompareAndSwap(true, false) {
+			d := time.Duration(time.Now().UnixNano() - t.lastApply.Load())
+			t.counters.ObserveRebroadcast(d)
+		}
+	})
+
+	for i, spec := range t.specs {
+		sup, err := supervisor.New(supervisor.Config{
+			Master:             cfg.Upstream,
+			Fallback:           cfg.Fallback,
+			RetryUpstreamAfter: cfg.RetryUpstreamAfter,
+			Spec:               spec,
+			Mode:               cfg.Mode,
+			PollInterval:       cfg.PollInterval,
+			IdleTimeout:        cfg.IdleTimeout,
+			BackoffBase:        cfg.BackoffBase,
+			BackoffMax:         cfg.BackoffMax,
+			DialTimeout:        cfg.DialTimeout,
+			Seed:               cfg.Seed + int64(i),
+			Dial:               cfg.Dial,
+			Logf:               cfg.Logf,
+			ResumeCookie:       cookies[spec.Key()],
+			OnApplied:          t.noteApply,
+		}, rep)
+		if err != nil {
+			return nil, err
+		}
+		t.sups = append(t.sups, sup)
+	}
+	return t, nil
+}
+
+// noteApply records one applied upstream batch and stamps the latency
+// clock for the next downstream rebroadcast.
+func (t *Tier) noteApply(n int) {
+	t.counters.UpstreamBatches.Add(1)
+	t.counters.UpstreamUpdates.Add(int64(n))
+	if n > 0 {
+		t.lastApply.Store(time.Now().UnixNano())
+		t.applyPending.Store(true)
+	}
+}
+
+// Start launches the upstream supervisors and the checkpoint loop
+// (idempotent).
+func (t *Tier) Start() {
+	t.startOnce.Do(func() {
+		for _, sup := range t.sups {
+			sup.Start()
+		}
+		go t.persistLoop()
+	})
+}
+
+// Stop halts the supervisors and the checkpoint loop, then writes a final
+// checkpoint so a restart resumes from the stop point.
+func (t *Tier) Stop() error {
+	t.stopOnce.Do(func() { close(t.stop) })
+	<-t.loopDone
+	var firstErr error
+	for _, sup := range t.sups {
+		if err := sup.Stop(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := t.Checkpoint(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// persistLoop checkpoints on the configured cadence until Stop.
+func (t *Tier) persistLoop() {
+	defer close(t.loopDone)
+	if t.st == nil {
+		<-t.stop
+		return
+	}
+	ticker := time.NewTicker(t.cfg.CheckpointEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-ticker.C:
+			if err := t.Checkpoint(); err != nil {
+				t.cfg.Logf("cascade: checkpoint: %v", err)
+			}
+		}
+	}
+}
+
+// Checkpoint durably records the store and the upstream cookies (no-op
+// without a state directory). Cookies are captured before the content is
+// written, so the durable cookie is never newer than the durable content;
+// a crash between the two leaves a slightly-older cookie whose resume
+// re-sends updates the content already holds, which applies idempotently.
+func (t *Tier) Checkpoint() error {
+	if t.st == nil {
+		return nil
+	}
+	cookies := make(map[string]cookieEntry, len(t.sups))
+	for i, sup := range t.sups {
+		cookies[t.specs[i].Key()] = cookieEntry{Cookie: sup.Cookie(), Addr: sup.Target()}
+	}
+	return t.st.checkpoint(t.rep.Store(), cookies, t.counters)
+}
+
+// Admit checks a downstream spec against the tier's configured specs with
+// the QC algorithm, returning nil when some spec provably contains it. The
+// gate uses the static configuration, not the replica's live stored-query
+// set, so a supervisor mid-reset (content momentarily unregistered) cannot
+// reject a spec the tier is configured to serve.
+func (t *Tier) Admit(q query.Query) error {
+	t.counters.AdmitChecks.Add(1)
+	nq := q.Normalize()
+	for _, spec := range t.specs {
+		if t.cfg.Checker.QueryContains(nq, spec) {
+			t.counters.Admitted.Add(1)
+			return nil
+		}
+	}
+	t.counters.Rejected.Add(1)
+	return fmt.Errorf("%w: %s", ldapnet.ErrNotContained, q.FilterString())
+}
+
+// SyncBegin implements ldapnet.SyncSupplier: containment-gated session
+// establishment against the tier engine.
+func (t *Tier) SyncBegin(q query.Query) (*resync.PollResult, error) {
+	if err := t.Admit(q); err != nil {
+		return nil, err
+	}
+	res, err := t.eng.Begin(q)
+	t.counters.DownstreamSessions.Store(int64(t.eng.Sessions()))
+	return res, err
+}
+
+// SyncPoll implements ldapnet.SyncSupplier.
+func (t *Tier) SyncPoll(cookie string) (*resync.PollResult, error) {
+	return t.eng.Poll(cookie)
+}
+
+// SyncRetain implements ldapnet.SyncSupplier (equation 3 mode).
+func (t *Tier) SyncRetain(cookie string) (*resync.PollResult, error) {
+	return t.eng.PollRetain(cookie)
+}
+
+// SyncPersist implements ldapnet.SyncSupplier.
+func (t *Tier) SyncPersist(cookie string) (*resync.Subscription, error) {
+	return t.eng.Persist(cookie)
+}
+
+// SyncEnd implements ldapnet.SyncSupplier.
+func (t *Tier) SyncEnd(cookie string) error {
+	err := t.eng.End(cookie)
+	t.counters.DownstreamSessions.Store(int64(t.eng.Sessions()))
+	return err
+}
+
+// SyncCounters implements ldapnet.SyncSupplier with the tier engine's
+// counters.
+func (t *Tier) SyncCounters() *metrics.SyncCounters { return t.eng.Counters() }
+
+// Counters exposes the cascade counters for status reporting.
+func (t *Tier) Counters() *metrics.CascadeCounters { return t.counters }
+
+// Replica exposes the tier's filter replica (searches, status).
+func (t *Tier) Replica() *replica.FilterReplica { return t.rep }
+
+// Engine exposes the downstream-facing engine (tests, status).
+func (t *Tier) Engine() *resync.Engine { return t.eng }
+
+// Supervisors exposes the upstream supervisors, one per spec, in Specs
+// order (status reporting and convergence probes).
+func (t *Tier) Supervisors() []*supervisor.Supervisor { return t.sups }

@@ -1,0 +1,167 @@
+package cascade
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"filterdir/internal/dit"
+	"filterdir/internal/metrics"
+	"filterdir/internal/persist"
+	"filterdir/internal/replica"
+	"filterdir/internal/resync"
+)
+
+// Durable tier state reuses internal/persist.Dir for the content — a
+// snapshot.ldif plus journal.ldif pair with torn-tail repair on open — and
+// adds a cookies.json recording, per spec, the upstream session cookie and
+// the address it was issued by:
+//
+//	<StateDir>/store/snapshot.ldif   content at the last full checkpoint
+//	<StateDir>/store/journal.ldif    changes appended since
+//	<StateDir>/cookies.json          {spec key → {cookie, addr}}
+//
+// Most checkpoints are journal appends; a full snapshot (which also
+// truncates the journal) is taken on the first checkpoint after a restart
+// — the restored store's CSNs restart from zero, so the old journal's
+// watermark is meaningless — and every fullCheckpointEvery appends to
+// bound journal growth.
+const (
+	storeDirName    = "store"
+	cookiesFileName = "cookies.json"
+
+	fullCheckpointEvery = 64
+)
+
+// cookieEntry is one spec's durable session position.
+type cookieEntry struct {
+	Cookie string `json:"cookie"`
+	// Addr is the upstream that issued the cookie; a restart resumes with
+	// the cookie only when it matches the configured upstream (a cookie
+	// from the fallback is dropped — the tier re-begins at its upstream).
+	Addr string `json:"addr,omitempty"`
+}
+
+// diskCookies is the JSON body of cookies.json.
+type diskCookies struct {
+	Cookies map[string]cookieEntry `json:"cookies"`
+}
+
+// tierState owns the durable files and the journal watermark.
+type tierState struct {
+	dir         persist.Dir
+	cookiesPath string
+	logf        func(string, ...any)
+
+	mu        sync.Mutex
+	watermark dit.CSN
+	needFull  bool
+	appends   int // journal appends since the last full snapshot
+}
+
+// openState loads a previous incarnation's checkpoint into rep and returns
+// the state handle plus the per-spec resume cookies. Content is restored
+// by replaying the durable store through each configured spec — MatchAll
+// selects the spec's entries, AddStored+ApplySync rebuild the replica's
+// reference counts exactly as live synchronization would have.
+func openState(cfg Config, rep *replica.FilterReplica, counters *metrics.CascadeCounters) (*tierState, map[string]string, error) {
+	st := &tierState{
+		dir:         persist.Dir{Path: filepath.Join(cfg.StateDir, storeDirName)},
+		cookiesPath: filepath.Join(cfg.StateDir, cookiesFileName),
+		logf:        cfg.Logf,
+		needFull:    true,
+	}
+	var disk diskCookies
+	raw, err := os.ReadFile(st.cookiesPath)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// Fresh directory (or a crash before the first cookie write).
+	case err != nil:
+		return nil, nil, err
+	default:
+		if err := json.Unmarshal(raw, &disk); err != nil {
+			// A corrupt cookie file costs a re-Begin, not the content.
+			cfg.Logf("cascade: discarding corrupt cookies file: %v", err)
+			disk.Cookies = nil
+		}
+	}
+
+	// The tier's content is sparse — selected entries without their
+	// ancestors — so journal replay must use upsert semantics.
+	store, err := st.dir.OpenSparse([]string{""})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	cookies := make(map[string]string, len(cfg.Specs))
+	restored := false
+	for _, spec := range cfg.Specs {
+		spec = spec.Normalize()
+		resume := ""
+		if ce, ok := disk.Cookies[spec.Key()]; ok && ce.Cookie != "" {
+			if ce.Addr == "" || ce.Addr == cfg.Upstream {
+				resume = ce.Cookie
+			} else {
+				cfg.Logf("cascade: dropping cookie issued by %s (upstream is %s)", ce.Addr, cfg.Upstream)
+			}
+		}
+		sel := spec
+		sel.Attrs = nil // stored entries already carry only selected attributes
+		entries := store.MatchAll(sel)
+		if len(entries) == 0 && resume == "" {
+			continue
+		}
+		updates := make([]resync.Update, 0, len(entries))
+		for _, e := range entries {
+			updates = append(updates, resync.Update{Action: resync.ActionAdd, DN: e.DN(), Entry: e})
+		}
+		rep.AddStored(spec, resume)
+		if err := rep.ApplySync(spec, updates); err != nil {
+			return nil, nil, err
+		}
+		cookies[spec.Key()] = resume
+		restored = true
+	}
+	if restored {
+		counters.Restores.Add(1)
+		cfg.Logf("cascade: restored %d entries from %s", rep.EntryCount(), cfg.StateDir)
+	}
+	return st, cookies, nil
+}
+
+// checkpoint writes content first (full snapshot or journal append), then
+// the cookie file with values the caller captured before the content
+// write, preserving the cookie-not-newer-than-content invariant.
+func (s *tierState) checkpoint(store *dit.Store, cookies map[string]cookieEntry, counters *metrics.CascadeCounters) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	full := s.needFull || s.appends >= fullCheckpointEvery
+	if !full {
+		wm, err := s.dir.AppendChanges(store, s.watermark)
+		switch {
+		case err != nil:
+			// The store's journal no longer covers our watermark (bounded
+			// history trimmed it): fall back to a full snapshot.
+			full = true
+		case wm != s.watermark:
+			s.watermark = wm
+			s.appends++
+			counters.JournalAppends.Add(1)
+		}
+	}
+	if full {
+		if err := s.dir.Checkpoint(store); err != nil {
+			return err
+		}
+		s.watermark = store.LastCSN()
+		s.needFull = false
+		s.appends = 0
+		counters.Checkpoints.Add(1)
+	}
+	return persist.WriteAtomic(s.cookiesPath, func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(diskCookies{Cookies: cookies})
+	})
+}

@@ -196,7 +196,7 @@ func resultCodeFor(err error) proto.ResultCode {
 		return proto.ResultObjectClassViolation
 	case errors.Is(err, dit.ErrNoSuchContext):
 		return proto.ResultReferral
-	case errors.Is(err, ErrNotAnswerable):
+	case errors.Is(err, ErrNotAnswerable), errors.Is(err, ErrNotContained):
 		return proto.ResultReferral
 	case errors.Is(err, ErrReadOnly):
 		return proto.ResultUnwillingToPerform

@@ -1,0 +1,94 @@
+package ldapnet
+
+import (
+	"errors"
+
+	"filterdir/internal/metrics"
+	"filterdir/internal/proto"
+	"filterdir/internal/query"
+	"filterdir/internal/replica"
+	"filterdir/internal/resync"
+)
+
+// ErrNotContained marks a downstream synchronization spec that is not
+// contained in the serving replica's stored queries: the mid-tier cannot
+// prove it holds every entry the spec selects, so the session must be
+// established upstream instead. On the wire it maps to a referral result;
+// the client maps the referral back to this sentinel so a supervisor can
+// divert to its fallback master with errors.Is.
+var ErrNotContained = errors.New("sync spec not contained in replica's stored queries")
+
+// SyncSupplier is the replica-side supplier surface of a cascade mid-tier:
+// the ReSync control served over the tier's own engine, with Begin gated by
+// query containment (internal/cascade.Tier implements it).
+type SyncSupplier interface {
+	SyncBegin(q query.Query) (*resync.PollResult, error)
+	SyncPoll(cookie string) (*resync.PollResult, error)
+	SyncRetain(cookie string) (*resync.PollResult, error)
+	SyncPersist(cookie string) (*resync.Subscription, error)
+	SyncEnd(cookie string) error
+	SyncCounters() *metrics.SyncCounters
+}
+
+// CascadeBackend serves a mid-tier cascade replica over the wire: searches
+// behave exactly like ReplicaBackend (containment hit → local answer, miss
+// → referral), but ReSync operations are served from the tier's own engine
+// instead of being refused — the replica acts as a containment-gated
+// supplier for downstream replicas. Directory updates remain refused; the
+// tier's content changes only through its upstream session.
+type CascadeBackend struct {
+	*ReplicaBackend
+	Supplier SyncSupplier
+}
+
+var (
+	_ Backend           = (*CascadeBackend)(nil)
+	_ SyncCounterSource = (*CascadeBackend)(nil)
+)
+
+// NewCascadeBackend wraps a filter replica and its tier supplier. masterURL
+// is the referral target for search misses and rejected sync specs.
+func NewCascadeBackend(rep *replica.FilterReplica, sup SyncSupplier, masterURL string) *CascadeBackend {
+	return &CascadeBackend{
+		ReplicaBackend: NewReplicaBackend(rep, masterURL),
+		Supplier:       sup,
+	}
+}
+
+// SyncCounters implements SyncCounterSource with the tier engine's
+// counters, so the server's streaming accounting lands in the same place.
+func (b *CascadeBackend) SyncCounters() *metrics.SyncCounters {
+	return b.Supplier.SyncCounters()
+}
+
+// ReSyncBegin implements Backend: the spec is admitted only when contained
+// in the tier's stored queries; a rejection surfaces as a referral carrying
+// ErrNotContained semantics.
+func (b *CascadeBackend) ReSyncBegin(q query.Query) (*resync.PollResult, error) {
+	return b.Supplier.SyncBegin(q)
+}
+
+// ReSyncPoll implements Backend via the tier engine.
+func (b *CascadeBackend) ReSyncPoll(cookie string) (*resync.PollResult, error) {
+	return b.Supplier.SyncPoll(cookie)
+}
+
+// ReSyncRetain implements Backend via the tier engine.
+func (b *CascadeBackend) ReSyncRetain(cookie string) (*resync.PollResult, error) {
+	return b.Supplier.SyncRetain(cookie)
+}
+
+// ReSyncPersist implements Backend via the tier engine.
+func (b *CascadeBackend) ReSyncPersist(cookie string) (*resync.Subscription, error) {
+	return b.Supplier.SyncPersist(cookie)
+}
+
+// ReSyncEnd implements Backend via the tier engine.
+func (b *CascadeBackend) ReSyncEnd(cookie string) error {
+	return b.Supplier.SyncEnd(cookie)
+}
+
+// Bind implements Backend (anonymous only, like ReplicaBackend).
+func (b *CascadeBackend) Bind(name, password string) proto.ResultCode {
+	return b.ReplicaBackend.Bind(name, password)
+}

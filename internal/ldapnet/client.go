@@ -38,12 +38,19 @@ func (e *ResultError) Error() string {
 // Unwrap maps distinguished result codes back to their typed sentinel, so
 // errors.Is works identically against a local engine and over the wire: an
 // e-syncRefreshRequired response is resync.ErrNoSuchSession (the consumer
-// must re-Begin rather than retry its cookie).
+// must re-Begin rather than retry its cookie), and a referral result is
+// ErrNotContained (a mid-tier replica refusing to supply a sync spec it
+// cannot prove containment for — the supervisor diverts to its fallback
+// master).
 func (e *ResultError) Unwrap() error {
-	if e.Code == proto.ResultESyncRefreshRequired {
+	switch e.Code {
+	case proto.ResultESyncRefreshRequired:
 		return resync.ErrNoSuchSession
+	case proto.ResultReferral:
+		return ErrNotContained
+	default:
+		return nil
 	}
-	return nil
 }
 
 // IsTransient reports whether err is a transport-level failure (reset,
@@ -632,6 +639,12 @@ func (p *PersistSession) Close() {
 // distributed operation processing of Figure 2. Host names in LDAP URLs are
 // mapped to TCP addresses via the registry.
 type Resolver struct {
+	// MaxDepth bounds referral chains (0 = DefaultMaxChase). A cascaded
+	// topology makes long chains legitimate (leaf → mid → master), so the
+	// bound is configurable; genuine cycles are caught separately and
+	// immediately by the visited-set check, whatever the depth limit.
+	MaxDepth int
+
 	mu      sync.Mutex
 	addrs   map[string]string
 	clients map[string]*Client
@@ -688,20 +701,62 @@ func (r *Resolver) RoundTrips() int {
 	return n
 }
 
-// maxChase bounds referral chains.
-const maxChase = 16
+// DefaultMaxChase bounds referral chains when Resolver.MaxDepth is unset.
+const DefaultMaxChase = 16
+
+// ErrReferralLoop marks a referral chain that revisited a (server, query)
+// pair it had already asked: the servers are referring the operation in a
+// cycle (e.g. a replica referring to a master that refers back), so no
+// amount of chasing can complete it. The wrapped message names the chain.
+var ErrReferralLoop = errors.New("referral loop detected")
+
+// chaseState is the per-operation loop-detection state threaded through
+// one SearchChasing call: the (host, query) pairs already visited, and the
+// visit order for rendering a useful error.
+type chaseState struct {
+	visited map[string]bool
+	chain   []string
+}
+
+// chaseKey identifies one (server, query) step of a referral chain. The
+// query is part of the key because subordinate references legitimately
+// revisit a host with a different base: only re-asking the same question
+// of the same server is a cycle.
+func chaseKey(host string, q query.Query) string {
+	return host + "\x00" + q.Key()
+}
 
 // SearchChasing evaluates the query starting at the named server, following
 // superior referrals (name resolution) and subordinate references
-// (operation completion) until the result is complete.
+// (operation completion) until the result is complete. Chains are bounded
+// by MaxDepth and cycles across (server, query) pairs are detected
+// eagerly, so two servers referring to each other fail with
+// ErrReferralLoop on the first revisit instead of burning the depth
+// budget.
 func (r *Resolver) SearchChasing(host string, q query.Query) (*SearchResult, error) {
-	return r.chase(host, q, 0)
+	st := &chaseState{visited: make(map[string]bool)}
+	return r.chase(host, q, 0, st)
 }
 
-func (r *Resolver) chase(host string, q query.Query, depth int) (*SearchResult, error) {
-	if depth > maxChase {
-		return nil, errors.New("ldap resolver: referral chain too long")
+func (r *Resolver) maxDepth() int {
+	if r.MaxDepth > 0 {
+		return r.MaxDepth
 	}
+	return DefaultMaxChase
+}
+
+func (r *Resolver) chase(host string, q query.Query, depth int, st *chaseState) (*SearchResult, error) {
+	if depth > r.maxDepth() {
+		return nil, fmt.Errorf("ldap resolver: referral chain exceeds %d hops: %s",
+			r.maxDepth(), strings.Join(append(st.chain, host), " -> "))
+	}
+	key := chaseKey(host, q)
+	if st.visited[key] {
+		return nil, fmt.Errorf("ldap resolver: %w: %s revisits %s",
+			ErrReferralLoop, strings.Join(st.chain, " -> "), host)
+	}
+	st.visited[key] = true
+	st.chain = append(st.chain, host)
 	c, err := r.client(host)
 	if err != nil {
 		return nil, err
@@ -716,7 +771,7 @@ func (r *Resolver) chase(host string, q query.Query, depth int) (*SearchResult, 
 			if perr != nil {
 				return nil, perr
 			}
-			return r.chase(nextHost, q, depth+1)
+			return r.chase(nextHost, q, depth+1, st)
 		}
 		return res, err
 	}
@@ -731,7 +786,7 @@ func (r *Resolver) chase(host string, q query.Query, depth int) (*SearchResult, 
 		if !refBase.IsRoot() {
 			sub.Base = refBase
 		}
-		subRes, err := r.chase(refHost, sub, depth+1)
+		subRes, err := r.chase(refHost, sub, depth+1, st)
 		if err != nil {
 			return out, err
 		}

@@ -1,0 +1,105 @@
+package ldapnet
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"filterdir/internal/query"
+	"filterdir/internal/replica"
+)
+
+// serveEmptyReplica serves a replica holding no stored queries, so every
+// search misses and is answered with a referral to masterURL.
+func serveEmptyReplica(t *testing.T, masterURL string) *Server {
+	t.Helper()
+	rep, err := replica.NewFilterReplica()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve("127.0.0.1:0", NewReplicaBackend(rep, masterURL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv
+}
+
+// TestReferralLoopDetected: two replicas referring every miss to each other
+// form a referral cycle; the chasing resolver must detect the revisit and
+// fail with the typed sentinel instead of recursing to the depth bound.
+func TestReferralLoopDetected(t *testing.T) {
+	srvA := serveEmptyReplica(t, "ldap://hostB")
+	srvB := serveEmptyReplica(t, "ldap://hostA")
+
+	r := NewResolver()
+	defer r.Close()
+	r.Register("hostA", srvA.Addr())
+	r.Register("hostB", srvB.Addr())
+
+	_, err := r.SearchChasing("hostA", query.MustNew("o=xyz", query.ScopeSubtree, "(cn=nobody)"))
+	if !errors.Is(err, ErrReferralLoop) {
+		t.Fatalf("err = %v, want ErrReferralLoop", err)
+	}
+	// The error narrates the chain so an operator can see the cycle.
+	if msg := err.Error(); !strings.Contains(msg, "hostA -> hostB") {
+		t.Errorf("error does not render the referral chain: %q", msg)
+	}
+	// Loop detection fires on the revisit: A, B, then the attempted return
+	// to A — two round trips, not DefaultMaxChase.
+	if got := r.RoundTrips(); got != 2 {
+		t.Errorf("round trips = %d, want 2", got)
+	}
+}
+
+// TestReferralLoopSameHostDifferentQuery: the visited set is keyed by
+// (server, query), so a legitimate re-contact of an earlier host for a
+// different subordinate query is NOT flagged as a loop. This is the
+// Figure 2 topology shape, asserted against the loop detector directly.
+func TestReferralLoopSameHostDifferentQuery(t *testing.T) {
+	st := &chaseState{visited: make(map[string]bool)}
+	q1 := query.MustNew("o=xyz", query.ScopeSubtree, "(objectclass=*)")
+	q2 := query.MustNew("ou=research,c=us,o=xyz", query.ScopeSubtree, "(objectclass=*)")
+	st.visited[chaseKey("hostA", q1)] = true
+	if st.visited[chaseKey("hostA", q2)] {
+		t.Fatal("distinct queries on one host must not collide in the visited set")
+	}
+	if !st.visited[chaseKey("hostA", q1)] {
+		t.Fatal("identical (host, query) pair must collide")
+	}
+}
+
+// TestReferralDepthBound: a non-repeating chain longer than MaxDepth is cut
+// off with a clear hop-count error rather than chased forever.
+func TestReferralDepthBound(t *testing.T) {
+	// hostA -> hostB -> hostC -> hostD: distinct hosts, so the visited set
+	// never fires and only the depth bound can stop the chase.
+	srvA := serveEmptyReplica(t, "ldap://hostB")
+	srvB := serveEmptyReplica(t, "ldap://hostC")
+	srvC := serveEmptyReplica(t, "ldap://hostD")
+	srvD := serveEmptyReplica(t, "ldap://hostE")
+
+	r := NewResolver()
+	defer r.Close()
+	r.MaxDepth = 2
+	r.Register("hostA", srvA.Addr())
+	r.Register("hostB", srvB.Addr())
+	r.Register("hostC", srvC.Addr())
+	r.Register("hostD", srvD.Addr())
+
+	_, err := r.SearchChasing("hostA", query.MustNew("o=xyz", query.ScopeSubtree, "(cn=nobody)"))
+	if err == nil {
+		t.Fatal("unbounded chase succeeded, want depth error")
+	}
+	if errors.Is(err, ErrReferralLoop) {
+		t.Fatalf("distinct-host chain misreported as loop: %v", err)
+	}
+	if msg := err.Error(); !strings.Contains(msg, "exceeds 2 hops") {
+		t.Errorf("error does not name the hop bound: %q", msg)
+	}
+	// hostA (depth 0), hostB (1), hostC (2); the hop to hostD would be
+	// depth 3 and is refused before dialing.
+	if got := r.RoundTrips(); got != 3 {
+		t.Errorf("round trips = %d, want 3", got)
+	}
+}

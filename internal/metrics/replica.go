@@ -28,6 +28,11 @@ type ReplicaCounters struct {
 	Demotions      atomic.Int64 // streams abandoned for a poll-mode cooldown after repeated fast deaths
 	UpdatesApplied atomic.Int64 // update PDUs applied to the local content
 
+	// Cascade topology: supervisors diverted from their configured
+	// upstream (a mid-tier replica) to the fallback master after a
+	// containment rejection, a stale session, or a failed upstream probe.
+	UpstreamFallbacks atomic.Int64
+
 	// Durability.
 	Checkpoints atomic.Int64 // cookie+content checkpoints written
 
@@ -49,6 +54,7 @@ type ReplicaSnapshot struct {
 	FullReloads                                int64
 	Polls, StreamBatches, Fallbacks, Demotions int64
 	UpdatesApplied, Checkpoints                int64
+	UpstreamFallbacks                          int64
 	BackoffWaits                               int64
 	BackoffTotal                               time.Duration
 }
@@ -56,28 +62,29 @@ type ReplicaSnapshot struct {
 // Snapshot copies the current counter values.
 func (c *ReplicaCounters) Snapshot() ReplicaSnapshot {
 	return ReplicaSnapshot{
-		Dials:          c.Dials.Load(),
-		Reconnects:     c.Reconnects.Load(),
-		Begins:         c.Begins.Load(),
-		Resumes:        c.Resumes.Load(),
-		StaleSessions:  c.StaleSessions.Load(),
-		FullReloads:    c.FullReloads.Load(),
-		Polls:          c.Polls.Load(),
-		StreamBatches:  c.StreamBatches.Load(),
-		Fallbacks:      c.Fallbacks.Load(),
-		Demotions:      c.Demotions.Load(),
-		UpdatesApplied: c.UpdatesApplied.Load(),
-		Checkpoints:    c.Checkpoints.Load(),
-		BackoffWaits:   c.BackoffWaits.Load(),
-		BackoffTotal:   time.Duration(c.BackoffNanos.Load()),
+		Dials:             c.Dials.Load(),
+		Reconnects:        c.Reconnects.Load(),
+		Begins:            c.Begins.Load(),
+		Resumes:           c.Resumes.Load(),
+		StaleSessions:     c.StaleSessions.Load(),
+		FullReloads:       c.FullReloads.Load(),
+		Polls:             c.Polls.Load(),
+		StreamBatches:     c.StreamBatches.Load(),
+		Fallbacks:         c.Fallbacks.Load(),
+		Demotions:         c.Demotions.Load(),
+		UpdatesApplied:    c.UpdatesApplied.Load(),
+		UpstreamFallbacks: c.UpstreamFallbacks.Load(),
+		Checkpoints:       c.Checkpoints.Load(),
+		BackoffWaits:      c.BackoffWaits.Load(),
+		BackoffTotal:      time.Duration(c.BackoffNanos.Load()),
 	}
 }
 
 // String renders a compact status line for operator output.
 func (s ReplicaSnapshot) String() string {
 	return fmt.Sprintf(
-		"replica: dials=%d reconnects=%d | begins=%d resumes=%d stale=%d full-reloads=%d | polls=%d stream-batches=%d fallbacks=%d demotions=%d applied=%d | checkpoints=%d backoff=%s/%d",
+		"replica: dials=%d reconnects=%d | begins=%d resumes=%d stale=%d full-reloads=%d | polls=%d stream-batches=%d fallbacks=%d demotions=%d applied=%d upstream-fallbacks=%d | checkpoints=%d backoff=%s/%d",
 		s.Dials, s.Reconnects, s.Begins, s.Resumes, s.StaleSessions, s.FullReloads,
 		s.Polls, s.StreamBatches, s.Fallbacks, s.Demotions, s.UpdatesApplied,
-		s.Checkpoints, s.BackoffTotal, s.BackoffWaits)
+		s.UpstreamFallbacks, s.Checkpoints, s.BackoffTotal, s.BackoffWaits)
 }

@@ -69,6 +69,63 @@ func TestOracleWireSweep(t *testing.T) {
 		rep.Histories, rep.Events, rep.Polls, rep.Traffic)
 }
 
+// TestOracleCascadeQuick is the tier-1 three-tier oracle run: a mid-tier
+// replica fed from the master engine serves leaves from its own engine;
+// every leaf exchange is checked for exact minimality and convergence
+// against the mid's store, and every history ends with a transitive
+// convergence check against the master's reference model.
+func TestOracleCascadeQuick(t *testing.T) {
+	rep := RunCascade(CascadeConfig{Seed: 42, Histories: 10, Steps: 40})
+	if rep.Failure != nil {
+		t.Fatal(rep.Failure.Format())
+	}
+	t.Logf("oracle cascade quick: %d histories, %d events, %d exchanges",
+		rep.Histories, rep.Events, rep.Polls)
+}
+
+// TestOracleCascadeQuickWire stands up the real three-tier topology —
+// ldapnet master, cascade.Tier, supervisor leaves including a rejected
+// outsider — with chaos on both links.
+func TestOracleCascadeQuickWire(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wire oracle skipped in -short mode")
+	}
+	rep := RunCascadeWire(CascadeWireConfig{Seed: 42, Histories: 1, Steps: 18})
+	if rep.Failure != nil {
+		t.Fatal(rep.Failure.Format())
+	}
+	t.Logf("oracle cascade wire: %d histories, %d events, %d exchanges",
+		rep.Histories, rep.Events, rep.Polls)
+}
+
+// TestOracleCascadeSweep is the long three-tier engine sweep.
+func TestOracleCascadeSweep(t *testing.T) {
+	if *oracleN <= 0 {
+		t.Skip("sweep disabled; run via make oracle or -oracle.n=N")
+	}
+	rep := RunCascade(CascadeConfig{Seed: *oracleSeed, Histories: *oracleN, Steps: *oracleSteps})
+	if rep.Failure != nil {
+		t.Fatal(rep.Failure.Format())
+	}
+	t.Logf("oracle cascade sweep: %d histories, %d events, %d exchanges",
+		rep.Histories, rep.Events, rep.Polls)
+}
+
+// TestOracleCascadeWireSweep is the long three-tier wire sweep: one wire
+// history per 50 engine histories requested (at least one).
+func TestOracleCascadeWireSweep(t *testing.T) {
+	if *oracleN <= 0 {
+		t.Skip("sweep disabled; run via make oracle or -oracle.n=N")
+	}
+	n := (*oracleN + 49) / 50
+	rep := RunCascadeWire(CascadeWireConfig{Seed: *oracleSeed, Histories: n, Steps: *oracleSteps / 4})
+	if rep.Failure != nil {
+		t.Fatal(rep.Failure.Format())
+	}
+	t.Logf("oracle cascade wire sweep: %d histories, %d events, %d exchanges",
+		rep.Histories, rep.Events, rep.Polls)
+}
+
 // TestOracleSharedFilterHistories runs the fan-out stress spec set — many
 // replicas over one shared filter (including an attribute-selected view and
 // a containment-equivalent spelling) plus one odd-one-out — through the

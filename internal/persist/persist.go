@@ -72,7 +72,7 @@ func Replay(r io.Reader, st *dit.Store, skipMissing bool) (applied int, err erro
 	if err != nil {
 		return 0, fmt.Errorf("parse journal: %w", err)
 	}
-	return applyRecords(st, records, skipMissing)
+	return applyRecords(st, records, skipMissing, false)
 }
 
 // ReplayRecover is Replay for crash recovery: a torn final record (the
@@ -85,13 +85,13 @@ func ReplayRecover(r io.Reader, st *dit.Store, skipMissing bool) (applied int, t
 	if err != nil {
 		return 0, torn, fmt.Errorf("parse journal: %w", err)
 	}
-	applied, err = applyRecords(st, records, skipMissing)
+	applied, err = applyRecords(st, records, skipMissing, false)
 	return applied, torn, err
 }
 
-func applyRecords(st *dit.Store, records []ldif.ChangeRecord, skipMissing bool) (applied int, err error) {
+func applyRecords(st *dit.Store, records []ldif.ChangeRecord, skipMissing, sparse bool) (applied int, err error) {
 	for _, rec := range records {
-		if err := applyRecord(st, rec); err != nil {
+		if err := applyRecord(st, rec, sparse); err != nil {
 			if skipMissing && (errors.Is(err, dit.ErrNoSuchObject) || errors.Is(err, dit.ErrAlreadyExists)) {
 				continue
 			}
@@ -102,15 +102,21 @@ func applyRecords(st *dit.Store, records []ldif.ChangeRecord, skipMissing bool) 
 	return applied, nil
 }
 
-func applyRecord(st *dit.Store, rec ldif.ChangeRecord) error {
+func applyRecord(st *dit.Store, rec ldif.ChangeRecord, sparse bool) error {
 	switch rec.Type {
 	case dit.ChangeAdd:
 		e := entry.New(rec.DN)
 		for name, vals := range rec.Attrs {
 			e.Put(name, vals...)
 		}
+		if sparse {
+			return st.Upsert(e)
+		}
 		return st.Add(e)
 	case dit.ChangeDelete:
+		if sparse {
+			return st.RemoveAny(rec.DN)
+		}
 		return st.Delete(rec.DN)
 	case dit.ChangeModify:
 		return st.Modify(rec.DN, rec.Mods)
@@ -146,6 +152,20 @@ const (
 // to durable state (always 0 for a fresh store, since loading does not
 // journal).
 func (d Dir) Open(suffixes []string, opts ...dit.Option) (*dit.Store, error) {
+	return d.open(suffixes, false, opts)
+}
+
+// OpenSparse is Open for sparse replica content: stores that do not
+// maintain tree completeness (a filter replica holds matching entries
+// without their ancestors). Journal adds are applied as upserts and
+// deletes ignore children — exactly how live synchronization applies
+// updates (dit.Store.Upsert / RemoveAny) — so an add whose parent lies
+// outside the selection replays cleanly.
+func (d Dir) OpenSparse(suffixes []string, opts ...dit.Option) (*dit.Store, error) {
+	return d.open(suffixes, true, opts)
+}
+
+func (d Dir) open(suffixes []string, sparse bool, opts []dit.Option) (*dit.Store, error) {
 	if err := os.MkdirAll(d.Path, 0o755); err != nil {
 		return nil, err
 	}
@@ -173,7 +193,7 @@ func (d Dir) Open(suffixes []string, opts ...dit.Option) (*dit.Store, error) {
 		if rerr != nil {
 			return nil, fmt.Errorf("parse journal: %w", rerr)
 		}
-		if _, err := applyRecords(st, records, false); err != nil {
+		if _, err := applyRecords(st, records, false, sparse); err != nil {
 			return nil, err
 		}
 		if torn {

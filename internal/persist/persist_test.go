@@ -145,6 +145,46 @@ func TestDirOpenCheckpointCycle(t *testing.T) {
 	identical(t, st, recovered2)
 }
 
+// TestDirOpenSparseOrphanJournal pins sparse replay: a replica content
+// store holds selected entries without their ancestors, so its journal
+// contains adds whose parent is absent. Strict Open must reject such a
+// journal; OpenSparse must replay it with upsert semantics.
+func TestDirOpenSparseOrphanJournal(t *testing.T) {
+	home := Dir{Path: filepath.Join(t.TempDir(), "sparse")}
+	st, err := dit.NewStore([]string{""})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot is empty; every entry arrives via the journal, orphan-style
+	// (parent o=xyz never stored), exactly as live ApplySync upserts them.
+	if err := home.Checkpoint(st); err != nil {
+		t.Fatal(err)
+	}
+	watermark := st.LastCSN()
+	for i := 0; i < 3; i++ {
+		e := entry.New(dn.MustParse(fmt.Sprintf("cn=s%d,o=xyz", i)))
+		e.Put("objectclass", "person").Put("cn", fmt.Sprintf("s%d", i)).Put("sn", "x")
+		if err := st.Upsert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.RemoveAny(dn.MustParse("cn=s2,o=xyz")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := home.AppendChanges(st, watermark); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := home.Open([]string{""}); err == nil {
+		t.Error("strict Open replayed an orphan add without error")
+	}
+	recovered, err := home.OpenSparse([]string{""})
+	if err != nil {
+		t.Fatal(err)
+	}
+	identical(t, st, recovered)
+}
+
 func TestDirOpenFreshPath(t *testing.T) {
 	home := Dir{Path: filepath.Join(t.TempDir(), "fresh")}
 	st, err := home.Open([]string{"o=xyz"})

@@ -48,6 +48,7 @@ type FilterReplica struct {
 	dns      map[string]dn.DN
 
 	contentIndexes []string
+	journalLimit   int
 
 	m Metrics
 }
@@ -73,6 +74,15 @@ func WithContentIndexes(attrs ...string) FROption {
 	return func(r *FilterReplica) { r.contentIndexes = attrs }
 }
 
+// WithJournalLimit bounds the content store's update journal. A cascade
+// mid-tier serving ReSync to downstream replicas needs the journal for
+// incremental classification, but unbounded history would grow without
+// limit; past the bound a lagging downstream session degrades soundly to a
+// full reload (0 = unbounded, the default for plain consumer replicas).
+func WithJournalLimit(n int) FROption {
+	return func(r *FilterReplica) { r.journalLimit = n }
+}
+
 // NewFilterReplica creates an empty filter-based replica.
 func NewFilterReplica(opts ...FROption) (*FilterReplica, error) {
 	r := &FilterReplica{
@@ -90,6 +100,9 @@ func NewFilterReplica(opts ...FROption) (*FilterReplica, error) {
 	var ditOpts []dit.Option
 	if len(r.contentIndexes) > 0 {
 		ditOpts = append(ditOpts, dit.WithIndexes(r.contentIndexes...))
+	}
+	if r.journalLimit > 0 {
+		ditOpts = append(ditOpts, dit.WithJournalLimit(r.journalLimit))
 	}
 	st, err := dit.NewStore([]string{""}, ditOpts...)
 	if err != nil {

@@ -1,0 +1,142 @@
+package supervisor
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"filterdir/internal/ldapnet"
+	"filterdir/internal/query"
+	"filterdir/internal/resync"
+)
+
+// gatedBackend serves the master store but answers new sync sessions with
+// the containment rejection until allowed — a stand-in for a mid-tier whose
+// stored queries do not (yet) cover the leaf's spec.
+type gatedBackend struct {
+	*ldapnet.StoreBackend
+	allow atomic.Bool
+}
+
+func (b *gatedBackend) ReSyncBegin(q query.Query) (*resync.PollResult, error) {
+	if !b.allow.Load() {
+		return nil, ldapnet.ErrNotContained
+	}
+	return b.StoreBackend.ReSyncBegin(q)
+}
+
+// serveGated serves a gated backend over the harness store on its own
+// listener (no fault injection — the rejection itself is the fault).
+func serveGated(t *testing.T, h *harness) (*gatedBackend, *ldapnet.Server) {
+	t.Helper()
+	gb := &gatedBackend{StoreBackend: ldapnet.NewStoreBackend(h.store)}
+	srv, err := ldapnet.Serve("127.0.0.1:0", gb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return gb, srv
+}
+
+// TestContainmentRejectionDiverts: the preferred upstream rejects the spec,
+// so the supervisor must divert to the fallback master and converge there.
+func TestContainmentRejectionDiverts(t *testing.T) {
+	h := newHarness(t)
+	_, gatedSrv := serveGated(t, h)
+
+	cfg := h.config(t)
+	cfg.Master = gatedSrv.Addr()
+	cfg.Fallback = h.srv.Addr()
+	cfg.RetryUpstreamAfter = time.Hour
+	sup := startSupervisor(t, cfg)
+
+	waitSynced(t, sup)
+	if got := sup.Target(); got != h.srv.Addr() {
+		t.Errorf("target = %s, want fallback %s", got, h.srv.Addr())
+	}
+	if got := sup.Counters().UpstreamFallbacks.Load(); got != 1 {
+		t.Errorf("upstream fallbacks = %d, want 1", got)
+	}
+	mutate(t, h.store, 0)
+	waitConverged(t, h, sup, 10*time.Second)
+}
+
+// TestStaleSessionAtUpstreamDiverts: a resume rejected with
+// e-syncRefreshRequired at the preferred upstream (a mid-tier that
+// restarted empty or trimmed past us) diverts to the fallback instead of
+// re-beginning against the server that just lost the session.
+func TestStaleSessionAtUpstreamDiverts(t *testing.T) {
+	h := newHarness(t)
+	gb, gatedSrv := serveGated(t, h)
+	gb.allow.Store(true) // sessions allowed; the stale cookie is the fault
+
+	cfg := h.config(t)
+	cfg.Master = gatedSrv.Addr()
+	cfg.Fallback = h.srv.Addr()
+	cfg.RetryUpstreamAfter = time.Hour
+	cfg.ResumeCookie = "sess-999@12345" // names no session at the upstream
+	sup := startSupervisor(t, cfg)
+
+	waitSynced(t, sup)
+	if got := sup.Target(); got != h.srv.Addr() {
+		t.Errorf("target = %s, want fallback %s", got, h.srv.Addr())
+	}
+	waitCounter(t, "stale sessions", 10*time.Second,
+		func() int64 { return sup.Counters().StaleSessions.Load() }, 1)
+	waitCounter(t, "upstream fallbacks", 10*time.Second,
+		func() int64 { return sup.Counters().UpstreamFallbacks.Load() }, 1)
+	waitConverged(t, h, sup, 10*time.Second)
+}
+
+// TestProbeReturnsToPreferredUpstream: after RetryUpstreamAfter on the
+// fallback, the supervisor probes the preferred upstream again; once the
+// upstream admits the spec the supervisor stays there for good.
+func TestProbeReturnsToPreferredUpstream(t *testing.T) {
+	h := newHarness(t)
+	gb, gatedSrv := serveGated(t, h)
+
+	cfg := h.config(t)
+	cfg.Master = gatedSrv.Addr()
+	cfg.Fallback = h.srv.Addr()
+	cfg.RetryUpstreamAfter = 40 * time.Millisecond
+	sup := startSupervisor(t, cfg)
+
+	waitSynced(t, sup) // first exchange lands on the fallback
+	waitCounter(t, "upstream fallbacks", 10*time.Second,
+		func() int64 { return sup.Counters().UpstreamFallbacks.Load() }, 1)
+
+	// The upstream starts admitting the spec; the next probe must stick.
+	gb.allow.Store(true)
+	waitCounter(t, "upstream begins", 10*time.Second,
+		func() int64 { return gb.Engine.Counters().Snapshot().Begins }, 1)
+	deadline := time.Now().Add(10 * time.Second)
+	for sup.Target() != gatedSrv.Addr() {
+		if time.Now().After(deadline) {
+			t.Fatalf("target = %s, want preferred upstream %s", sup.Target(), gatedSrv.Addr())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mutate(t, h.store, 0)
+	waitConverged(t, h, sup, 10*time.Second)
+}
+
+// TestRetryWithoutFallbackBacksOff: with no fallback configured, a
+// containment rejection keeps the supervisor retrying with backoff; once
+// the upstream's stored queries grow to cover the spec it synchronizes.
+func TestRetryWithoutFallbackBacksOff(t *testing.T) {
+	h := newHarness(t)
+	gb, gatedSrv := serveGated(t, h)
+
+	cfg := h.config(t)
+	cfg.Master = gatedSrv.Addr()
+	sup := startSupervisor(t, cfg)
+
+	waitCounter(t, "dials", 10*time.Second,
+		func() int64 { return sup.Counters().Dials.Load() }, 3)
+	if sup.Counters().UpstreamFallbacks.Load() != 0 {
+		t.Error("diverted with no fallback configured")
+	}
+	gb.allow.Store(true)
+	waitSynced(t, sup)
+	waitConverged(t, h, sup, 10*time.Second)
+}

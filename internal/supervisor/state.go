@@ -31,11 +31,18 @@ const (
 
 // diskState is the JSON body of the state file.
 type diskState struct {
-	// Cookie resumes the master session.
+	// Cookie resumes the upstream session.
 	Cookie string `json:"cookie"`
 	// SpecKey identifies the content spec the checkpoint belongs to; a
 	// mismatch (the operator changed -filter) invalidates the checkpoint.
 	SpecKey string `json:"spec_key"`
+	// Addr is the upstream the cookie was issued by — the configured
+	// Master, or the Fallback when the supervisor was diverted at
+	// checkpoint time. A restart resumes against this address; an address
+	// matching neither side of the current configuration invalidates the
+	// checkpoint (empty means Master, for checkpoints written before
+	// cascading existed).
+	Addr string `json:"addr,omitempty"`
 }
 
 // checkpoint durably records the cookie and content (no-op without a state
@@ -53,7 +60,7 @@ func (s *Supervisor) checkpoint() error {
 	if err != nil {
 		return err
 	}
-	state := diskState{Cookie: s.Cookie(), SpecKey: s.cfg.specKey}
+	state := diskState{Cookie: s.Cookie(), SpecKey: s.cfg.specKey, Addr: s.Target()}
 	err = persist.WriteAtomic(filepath.Join(s.cfg.StateDir, stateFile), func(w io.Writer) error {
 		return json.NewEncoder(w).Encode(state)
 	})
@@ -65,37 +72,42 @@ func (s *Supervisor) checkpoint() error {
 }
 
 // restore loads a previous incarnation's checkpoint into the replica,
-// returning the saved cookie. A missing, unreadable or spec-mismatched
-// checkpoint restores nothing: the supervisor then starts with a fresh
-// Begin, which is always correct, just more expensive.
-func (s *Supervisor) restore() (cookie string, restored bool, err error) {
+// returning the saved cookie and the upstream address it belongs to. A
+// missing, unreadable, spec-mismatched or unknown-address checkpoint
+// restores nothing: the supervisor then starts with a fresh Begin, which
+// is always correct, just more expensive.
+func (s *Supervisor) restore() (cookie, addr string, restored bool, err error) {
 	raw, err := os.ReadFile(filepath.Join(s.cfg.StateDir, stateFile))
 	if errors.Is(err, os.ErrNotExist) {
-		return "", false, nil
+		return "", "", false, nil
 	}
 	if err != nil {
-		return "", false, err
+		return "", "", false, err
 	}
 	var state diskState
 	if err := json.Unmarshal(raw, &state); err != nil {
 		s.cfg.Logf("supervisor: discarding corrupt state file: %v", err)
-		return "", false, nil
+		return "", "", false, nil
 	}
 	if state.SpecKey != s.cfg.specKey || state.Cookie == "" {
-		return "", false, nil
+		return "", "", false, nil
+	}
+	if state.Addr != "" && state.Addr != s.cfg.Master && state.Addr != s.cfg.Fallback {
+		s.cfg.Logf("supervisor: discarding checkpoint for unknown upstream %s", state.Addr)
+		return "", "", false, nil
 	}
 	f, err := os.Open(filepath.Join(s.cfg.StateDir, contentFile))
 	if errors.Is(err, os.ErrNotExist) {
-		return "", false, nil
+		return "", "", false, nil
 	}
 	if err != nil {
-		return "", false, err
+		return "", "", false, err
 	}
 	defer f.Close()
 	entries, err := ldif.Read(bufio.NewReader(f))
 	if err != nil {
 		s.cfg.Logf("supervisor: discarding corrupt content checkpoint: %v", err)
-		return "", false, nil
+		return "", "", false, nil
 	}
 	updates := make([]resync.Update, 0, len(entries))
 	for _, e := range entries {
@@ -103,7 +115,7 @@ func (s *Supervisor) restore() (cookie string, restored bool, err error) {
 	}
 	s.rep.AddStored(s.cfg.Spec, state.Cookie)
 	if err := s.rep.ApplySync(s.cfg.Spec, updates); err != nil {
-		return "", false, fmt.Errorf("reload checkpointed content: %w", err)
+		return "", "", false, fmt.Errorf("reload checkpointed content: %w", err)
 	}
-	return state.Cookie, true, nil
+	return state.Cookie, state.Addr, true, nil
 }

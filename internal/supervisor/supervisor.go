@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"filterdir/internal/ldapnet"
@@ -85,8 +86,31 @@ const (
 // Config parameterizes a Supervisor. Master and Spec are required;
 // everything else has serviceable defaults.
 type Config struct {
-	// Master is the master server's address.
+	// Master is the upstream server's address. In a cascaded topology this
+	// may be a mid-tier replica serving ReSync rather than the root master.
 	Master string
+	// Fallback is the root master's address for cascaded topologies. When
+	// the configured upstream rejects the spec as not contained (wire
+	// referral → ldapnet.ErrNotContained) or answers with a stale-session
+	// error, the supervisor diverts to the fallback and re-Begins there;
+	// after RetryUpstreamAfter it probes the preferred upstream again.
+	// Empty disables diversion (any upstream error is handled in place).
+	Fallback string
+	// RetryUpstreamAfter is how long a diverted supervisor stays on the
+	// fallback before probing the preferred upstream again (default 1m).
+	RetryUpstreamAfter time.Duration
+	// ResumeCookie arms a session cookie restored by the caller (e.g. a
+	// cascade tier that checkpoints its upstream cookie alongside its own
+	// store) so the first exchange is a resume-poll. The caller must have
+	// registered the spec's content in the replica already. Ignored when a
+	// StateDir checkpoint supplies its own cookie.
+	ResumeCookie string
+	// OnApplied, when non-nil, is called after each exchange's updates have
+	// been applied to the replica (with the update count), before the
+	// checkpoint. A cascade tier uses it to stamp apply time for its
+	// apply→rebroadcast latency metric. Called from the supervision loop;
+	// it must not block.
+	OnApplied func(n int)
 	// Spec is the replicated content specification.
 	Spec query.Query
 	// Mode selects polling or persist-stream steady state.
@@ -136,6 +160,9 @@ func (c *Config) fillDefaults() {
 	if c.DialTimeout <= 0 {
 		c.DialTimeout = ldapnet.DefaultTimeout
 	}
+	if c.RetryUpstreamAfter <= 0 {
+		c.RetryUpstreamAfter = time.Minute
+	}
 	if c.DemoteAfter <= 0 {
 		c.DemoteAfter = 3
 	}
@@ -162,8 +189,15 @@ type Supervisor struct {
 	fastDeaths   int       // consecutive streams that died young
 	demotedUntil time.Time // poll-only until this instant
 
+	// probeDeadline (UnixNano, 0 = disarmed) is set when the loop diverts
+	// to the fallback; the steady-state loops return errProbeDue once it
+	// passes, so a healthy fallback session still yields to re-prefer the
+	// configured Master.
+	probeDeadline atomic.Int64
+
 	mu         sync.Mutex
 	cookie     string
+	target     string // current upstream address (Master, or Fallback when diverted)
 	state      State
 	exchanges  int64     // successful synchronization exchanges applied
 	lastSyncAt time.Time // completion time of the newest applied exchange
@@ -197,19 +231,79 @@ func New(cfg Config, rep *replica.FilterReplica) (*Supervisor, error) {
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	s.target = cfg.Master
 	if cfg.StateDir != "" {
-		cookie, restored, err := s.restore()
+		cookie, addr, restored, err := s.restore()
 		if err != nil {
 			return nil, fmt.Errorf("restore replica state: %w", err)
 		}
 		if restored {
 			s.cookie = cookie
-			s.cfg.Logf("supervisor: restored %d entries, resuming session %q",
-				rep.EntryCount(), cookie)
+			if addr != "" {
+				// The cookie names a session at the server it was issued
+				// by; resume against that address even if it is the
+				// fallback (the probe-back timer re-prefers Master).
+				s.target = addr
+			}
+			s.cfg.Logf("supervisor: restored %d entries, resuming session %q at %s",
+				rep.EntryCount(), cookie, s.target)
 		}
+	}
+	if s.cookie == "" && cfg.ResumeCookie != "" {
+		s.cookie = cfg.ResumeCookie
 	}
 	return s, nil
 }
+
+// Target reports the upstream address currently synchronized against: the
+// configured Master, or the Fallback while diverted.
+func (s *Supervisor) Target() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.target
+}
+
+// canFallback reports whether a divert to the fallback is possible and
+// would change anything.
+func (s *Supervisor) canFallback() bool {
+	return s.cfg.Fallback != "" && s.Target() != s.cfg.Fallback
+}
+
+// switchTo repoints the supervision loop at addr and clears the session
+// cookie (cookies are per-server); the content itself is kept and replaced
+// wholesale by the Begin at the new upstream, so the replica keeps serving
+// its last-known-good content across the switch.
+func (s *Supervisor) switchTo(addr string) {
+	s.mu.Lock()
+	s.target = addr
+	s.cookie = ""
+	s.mu.Unlock()
+}
+
+// divert moves the loop to the fallback master after the preferred
+// upstream proved unusable.
+func (s *Supervisor) divert(reason string) {
+	s.counters.UpstreamFallbacks.Add(1)
+	s.cfg.Logf("supervisor: diverting to fallback %s: %s", s.cfg.Fallback, reason)
+	s.switchTo(s.cfg.Fallback)
+}
+
+// armProbe schedules the next upstream probe RetryUpstreamAfter from now;
+// disarmProbe cancels it (the loop is back on the preferred upstream).
+func (s *Supervisor) armProbe() {
+	s.probeDeadline.Store(time.Now().Add(s.cfg.RetryUpstreamAfter).UnixNano())
+}
+func (s *Supervisor) disarmProbe() { s.probeDeadline.Store(0) }
+
+// probeDue reports whether a scheduled upstream probe has come due.
+func (s *Supervisor) probeDue() bool {
+	d := s.probeDeadline.Load()
+	return d != 0 && time.Now().UnixNano() >= d
+}
+
+// errProbeDue unwinds a healthy fallback session so the outer loop can
+// probe the preferred upstream again.
+var errProbeDue = errors.New("upstream probe due")
 
 // Counters exposes the supervision counters for status reporting.
 func (s *Supervisor) Counters() *metrics.ReplicaCounters { return s.counters }
@@ -293,16 +387,47 @@ func (s *Supervisor) stopped() bool {
 }
 
 // run is the outer supervision loop: each cycle dials, synchronizes until
-// an error, classifies the error and backs off.
+// an error, classifies the error and backs off. With a fallback configured,
+// a containment rejection or stale session at the preferred upstream
+// diverts the loop to the fallback master; after RetryUpstreamAfter it
+// probes the upstream again and sticks with whichever side completes an
+// exchange first.
 func (s *Supervisor) run() {
 	defer close(s.done)
 	attempt := 0
+	var (
+		divertedAt time.Time // when the loop last moved to the fallback
+		probing    bool      // currently trying the preferred upstream again
+		probeStart int64     // Exchanges() when the probe began
+	)
+	if s.cfg.Fallback != "" && s.Target() == s.cfg.Fallback && s.cfg.Fallback != s.cfg.Master {
+		divertedAt = time.Now() // restored onto the fallback: start the timer
+		s.armProbe()
+	}
 	for !s.stopped() {
+		if !probing && !divertedAt.IsZero() && s.Target() == s.cfg.Fallback &&
+			s.cfg.Fallback != s.cfg.Master &&
+			time.Since(divertedAt) >= s.cfg.RetryUpstreamAfter {
+			s.cfg.Logf("supervisor: probing preferred upstream %s", s.cfg.Master)
+			s.switchTo(s.cfg.Master)
+			s.disarmProbe()
+			probing, probeStart = true, s.Exchanges()
+		}
+		target := s.Target()
 		s.setState(StateConnecting)
 		s.counters.Dials.Add(1)
-		client, err := ldapnet.DialWith(s.cfg.Dial, s.cfg.Master, s.cfg.DialTimeout)
+		client, err := ldapnet.DialWith(s.cfg.Dial, target, s.cfg.DialTimeout)
 		if err != nil {
-			s.cfg.Logf("supervisor: dial %s: %v", s.cfg.Master, err)
+			s.cfg.Logf("supervisor: dial %s: %v", target, err)
+			if probing {
+				// Upstream still unreachable: go straight back to the
+				// fallback instead of backing off against a dead server.
+				s.divert("upstream probe dial failed: " + err.Error())
+				divertedAt, probing = time.Now(), false
+				s.armProbe()
+				attempt = 0
+				continue
+			}
 			s.backoff(&attempt)
 			continue
 		}
@@ -311,7 +436,42 @@ func (s *Supervisor) run() {
 		if s.stopped() {
 			return
 		}
+		if probing {
+			if s.Exchanges() > probeStart {
+				// The upstream completed at least one exchange: the probe
+				// succeeded, stay here and forget the diversion.
+				probing, divertedAt = false, time.Time{}
+				s.disarmProbe()
+			} else if err != nil {
+				// The probe died before a single exchange (rejection,
+				// stale session, transport): divert back immediately.
+				s.divert("upstream probe failed: " + err.Error())
+				divertedAt, probing = time.Now(), false
+				s.armProbe()
+				attempt = 0
+				continue
+			}
+		}
 		switch {
+		case errors.Is(err, errProbeDue):
+			// The fallback session yielded for a scheduled probe; the next
+			// iteration's deadline check performs the switch.
+			attempt = 0
+		case errors.Is(err, ldapnet.ErrNotContained) && s.canFallback():
+			// The upstream replica cannot prove containment for our spec:
+			// it will never serve this session, so take it to the master.
+			s.divert("spec not contained at upstream: " + err.Error())
+			divertedAt = time.Now()
+			s.armProbe()
+			attempt = 0
+		case errors.Is(err, resync.ErrNoSuchSession) && s.canFallback():
+			// A mid-tier that lost our session likely restarted empty or
+			// trimmed past us; the fallback master can always serve us.
+			s.counters.StaleSessions.Add(1)
+			s.divert("stale session at upstream: " + err.Error())
+			divertedAt = time.Now()
+			s.armProbe()
+			attempt = 0
 		case errors.Is(err, resync.ErrNoSuchSession):
 			// The master no longer knows our cookie (restart, expiry,
 			// explicit end): drop content and session, re-Begin fresh.
@@ -319,6 +479,11 @@ func (s *Supervisor) run() {
 			s.cfg.Logf("supervisor: session stale, re-beginning: %v", err)
 			s.resetContent("")
 			attempt = 0
+		case errors.Is(err, ldapnet.ErrNotContained):
+			// No fallback to divert to: keep retrying with backoff in case
+			// the upstream's stored queries grow to cover us.
+			s.cfg.Logf("supervisor: spec rejected by upstream (no fallback): %v", err)
+			s.backoff(&attempt)
 		case err != nil:
 			s.counters.Reconnects.Add(1)
 			s.cfg.Logf("supervisor: connection lost: %v", err)
@@ -382,6 +547,9 @@ func (s *Supervisor) pollFor(client *ldapnet.Client, d time.Duration) error {
 		case <-deadline.C:
 			return nil
 		case <-ticker.C:
+			if s.probeDue() {
+				return errProbeDue
+			}
 			res, err := client.Sync(s.cfg.Spec, proto.ReSyncModePoll, s.Cookie())
 			if err != nil {
 				return err
@@ -404,6 +572,9 @@ func (s *Supervisor) pollSteadyState(client *ldapnet.Client) error {
 		case <-s.stop:
 			return nil
 		case <-ticker.C:
+			if s.probeDue() {
+				return errProbeDue
+			}
 			res, err := client.Sync(s.cfg.Spec, proto.ReSyncModePoll, s.Cookie())
 			if err != nil {
 				return err
@@ -422,13 +593,15 @@ func (s *Supervisor) pollSteadyState(client *ldapnet.Client) error {
 // missed) and returns, letting the outer loop re-establish the stream.
 func (s *Supervisor) streamSteadyState(client *ldapnet.Client) error {
 	s.setState(StateStreaming)
-	ps, err := ldapnet.PersistWith(s.cfg.Dial, s.cfg.Master, s.cfg.Spec,
+	ps, err := ldapnet.PersistWith(s.cfg.Dial, s.Target(), s.cfg.Spec,
 		s.Cookie(), s.cfg.DialTimeout, s.cfg.IdleTimeout)
 	if err != nil {
 		return err
 	}
 	defer ps.Close()
 	started := time.Now()
+	probeTick := time.NewTicker(s.cfg.PollInterval)
+	defer probeTick.Stop()
 	var batch []resync.Update
 	var batchCookie string
 	take := func(u ldapnet.StreamUpdate) {
@@ -456,6 +629,13 @@ func (s *Supervisor) streamSteadyState(client *ldapnet.Client) error {
 		select {
 		case <-s.stop:
 			return flush()
+		case <-probeTick.C:
+			if s.probeDue() {
+				if err := flush(); err != nil {
+					return err
+				}
+				return errProbeDue
+			}
 		case u, ok := <-ps.Updates:
 			if !ok {
 				if err := flush(); err != nil {
@@ -542,6 +722,9 @@ func (s *Supervisor) applyUpdates(updates []resync.Update, cookie string, force 
 	s.counters.UpdatesApplied.Add(int64(len(updates)))
 	if cookie != "" {
 		s.setCookie(cookie)
+	}
+	if s.cfg.OnApplied != nil {
+		s.cfg.OnApplied(len(updates))
 	}
 	if err := s.checkpoint(); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
