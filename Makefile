@@ -1,11 +1,17 @@
 GO ?= go
 
+# bench pipes `go test` through benchjson; without pipefail a test failure
+# mid-suite would be masked by benchjson's exit 0 and quietly truncate the
+# baseline.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -c
+
 # Oracle sweep controls: make oracle SEED=7 N=5000
 # ORACLE_TESTS narrows the sweep to one topology tier, e.g.
 #   make oracle ORACLE_TESTS='TestOracleCascadeSweep|TestOracleCascadeWireSweep'
 SEED ?= 42
 N ?= 1000
-ORACLE_TESTS ?= TestOracleSweep|TestOracleWireSweep|TestOracleCascadeSweep|TestOracleCascadeWireSweep
+ORACLE_TESTS ?= TestOracleSweep|TestOracleWireSweep|TestOracleCascadeSweep|TestOracleCascadeWireSweep|TestOracleEdgeWriteSweep
 
 .PHONY: check fmt vet build test bench bench-diff oracle fuzz-smoke cover
 
@@ -30,15 +36,17 @@ test:
 ## bench: regenerate every paper figure as benchmark metrics and write the
 ## machine-readable regression baseline. -count=3 runs each benchmark three
 ## times; benchjson keeps the fastest run so the baseline is a min-of-3,
-## not a single GC-perturbed sample.
+## not a single GC-perturbed sample. -run '^$' skips unit tests (make test
+## covers those) and -p 1 serializes packages: benchmarks timed while other
+## packages' tests chew the same cores swing 30-40% run to run.
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=1x -count=3 ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_resync.json
+	$(GO) test -run '^$$' -p 1 -bench=. -benchmem -benchtime=1x -count=3 ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_resync.json
 
-## bench-diff: rerun the benchmarks (min-of-3, matching how the baseline
-## was recorded) and compare against the checked-in baseline; fails on a
-## >20% ns/op regression (noise-floored — see cmd/benchjson -minns).
+## bench-diff: rerun the benchmarks (min-of-3, serial, matching how the
+## baseline was recorded) and compare against the checked-in baseline; fails
+## on a >20% ns/op regression (noise-floored — see cmd/benchjson -minns).
 bench-diff:
-	$(GO) test -bench=. -benchmem -benchtime=1x -count=3 ./... | $(GO) run ./cmd/benchjson -baseline BENCH_resync.json
+	$(GO) test -run '^$$' -p 1 -bench=. -benchmem -benchtime=1x -count=3 ./... | $(GO) run ./cmd/benchjson -baseline BENCH_resync.json
 
 ## oracle: the long randomized model-checking sweep (engine level plus one
 ## wire-level history per 50 engine histories), including the three-tier
@@ -53,6 +61,7 @@ fuzz-smoke:
 	$(GO) test ./internal/ber -run '^$$' -fuzz FuzzParseTLV -fuzztime 30s
 	$(GO) test ./internal/filter -run '^$$' -fuzz FuzzParseFilter -fuzztime 30s
 	$(GO) test ./internal/dn -run '^$$' -fuzz FuzzParseDN -fuzztime 30s
+	$(GO) test ./internal/proto -run '^$$' -fuzz FuzzDecodeWriteRequest -fuzztime 30s
 
 ## cover: per-function coverage summary.
 cover:

@@ -448,7 +448,7 @@ func encodeFanoutBatch(b *testing.B, id int64, res *resync.PollResult) int {
 		if i == len(res.Updates)-1 {
 			cookie = res.Cookie
 		}
-		controls := []proto.Control{proto.NewEntryChangeControl(action, cookie)}
+		controls := []proto.Control{proto.NewEntryChangeControl(action, cookie, 0)}
 		if res.Enc != nil {
 			if cookie == "" {
 				tail, _, err := res.Enc.GetTail(i, func() ([]byte, error) {

@@ -78,6 +78,9 @@ func printStatus(srv *filterdir.Server, backend *ldapnet.StoreBackend, store *fi
 	}
 	fmt.Printf("ldapmaster: entries=%d journal-trimmed=%d sessions=%d conns=%d | %s\n",
 		store.Len(), store.JournalTrimmed(), backend.Engine.Sessions(), srv.ActiveConns(), c.Snapshot())
+	if w := backend.Writes.Snapshot(); w.Applied > 0 || w.Duplicates > 0 {
+		fmt.Printf("ldapmaster: edge writes applied=%d duplicates=%d\n", w.Applied, w.Duplicates)
+	}
 	if inj != nil {
 		fmt.Printf("ldapmaster: %s\n", inj.Stats())
 	}

@@ -1,5 +1,13 @@
 // Command ldapmodify applies update operations to an LDAP server.
 //
+// Writes may land on a replica running with -edge-writes: the replica
+// journals and forwards the op, and a target outside its filters comes back
+// as a referral to the master. ldapmodify chases such referrals itself
+// (bounded by -max-chase, with loop detection), retries transient
+// transport failures (-retry), and bounds each attempt with -timeout. A
+// busy result means the replica accepted and journaled the write but the
+// upstream commit is still pending — the replica's replay loop finishes it.
+//
 // Usage:
 //
 //	ldapmodify -h 127.0.0.1:3890 -dn 'cn=x,o=xyz' -replace 'mail=new@x' -add 'phone=123'
@@ -7,15 +15,20 @@
 //	ldapmodify -h 127.0.0.1:3890 -dn 'cn=x,o=xyz' -delete            # delete the entry
 //	ldapmodify -h 127.0.0.1:3890 -addentry -dn 'cn=y,o=xyz' -replace 'objectclass=person' -replace 'cn=y' -replace 'sn=y'
 //	ldapmodify -h 127.0.0.1:3890 -dn 'cn=x,o=xyz' -rename 'cn=z' -newsuperior 'ou=a,o=xyz'
+//	ldapmodify -h 127.0.0.1:3893 -retry 3 -timeout 2s -dn 'cn=x,o=xyz' -replace 'mail=new@x'
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"filterdir"
+	"filterdir/internal/ldapnet"
+	"filterdir/internal/proto"
 )
 
 type kvList []string
@@ -27,6 +40,15 @@ func (l *kvList) Set(v string) error {
 	return nil
 }
 
+// netOptions bounds one write's networking: per-attempt dial/operation
+// timeout, transient-failure retries per server, and the referral-chain
+// hop limit.
+type netOptions struct {
+	timeout  time.Duration
+	retry    int
+	maxChase int
+}
+
 func main() {
 	host := flag.String("h", "127.0.0.1:3890", "server address")
 	dnStr := flag.String("dn", "", "target entry DN")
@@ -34,13 +56,17 @@ func main() {
 	addEntry := flag.Bool("addentry", false, "add a new entry from -replace pairs")
 	rename := flag.String("rename", "", "new RDN (modifyDN)")
 	newSuperior := flag.String("newsuperior", "", "new parent DN for -rename")
+	var n netOptions
+	flag.DurationVar(&n.timeout, "timeout", 5*time.Second, "dial and per-operation timeout (0 = none)")
+	flag.IntVar(&n.retry, "retry", 2, "transient-failure retries per server")
+	flag.IntVar(&n.maxChase, "max-chase", ldapnet.DefaultMaxChase, "referral-chain hop bound")
 	var replaces, adds, deletes kvList
 	flag.Var(&replaces, "replace", "attr=value to replace (repeatable)")
 	flag.Var(&adds, "add", "attr=value to add (repeatable)")
 	flag.Var(&deletes, "deleteattr", "attr (or attr=value) to delete (repeatable)")
 	flag.Parse()
 
-	if err := run(*host, *dnStr, *del, *addEntry, *rename, *newSuperior, replaces, adds, deletes); err != nil {
+	if err := run(*host, *dnStr, *del, *addEntry, *rename, *newSuperior, replaces, adds, deletes, n); err != nil {
 		fmt.Fprintln(os.Stderr, "ldapmodify:", err)
 		os.Exit(1)
 	}
@@ -51,28 +77,23 @@ func split(kv string) (string, string) {
 	return attr, val
 }
 
-func run(host, dnStr string, del, addEntry bool, rename, newSuperior string,
-	replaces, adds, deletes kvList) error {
+// buildOp translates the flags into a single write closure plus its success
+// message, so the chase/retry loop can re-run it verbatim on every server
+// in a referral chain.
+func buildOp(dnStr string, del, addEntry bool, rename, newSuperior string,
+	replaces, adds, deletes kvList) (func(c *filterdir.Client) error, string, error) {
 	if dnStr == "" {
-		return fmt.Errorf("-dn is required")
+		return nil, "", fmt.Errorf("-dn is required")
 	}
 	d, err := filterdir.ParseDN(dnStr)
 	if err != nil {
-		return err
+		return nil, "", err
 	}
-	c, err := filterdir.DialDirectory(host)
-	if err != nil {
-		return err
-	}
-	defer c.Close()
 
 	switch {
 	case del:
-		if err := c.Delete(d); err != nil {
-			return err
-		}
-		fmt.Printf("deleted %s\n", d)
-		return nil
+		return func(c *filterdir.Client) error { return c.Delete(d) },
+			fmt.Sprintf("deleted %s", d), nil
 
 	case addEntry:
 		e := filterdir.NewEntry(d)
@@ -80,33 +101,27 @@ func run(host, dnStr string, del, addEntry bool, rename, newSuperior string,
 			attr, val := split(kv)
 			e.Add(attr, val)
 		}
-		if err := c.Add(e); err != nil {
-			return err
-		}
-		fmt.Printf("added %s\n", d)
-		return nil
+		return func(c *filterdir.Client) error { return c.Add(e) },
+			fmt.Sprintf("added %s", d), nil
 
 	case rename != "":
 		rdnDN, err := filterdir.ParseDN(rename)
 		if err != nil {
-			return fmt.Errorf("new RDN: %w", err)
+			return nil, "", fmt.Errorf("new RDN: %w", err)
 		}
 		leaf, ok := rdnDN.Leaf()
 		if !ok {
-			return fmt.Errorf("empty new RDN")
+			return nil, "", fmt.Errorf("empty new RDN")
 		}
 		superior, _ := d.Parent()
 		if newSuperior != "" {
 			superior, err = filterdir.ParseDN(newSuperior)
 			if err != nil {
-				return fmt.Errorf("new superior: %w", err)
+				return nil, "", fmt.Errorf("new superior: %w", err)
 			}
 		}
-		if err := c.ModifyDN(d, leaf, superior); err != nil {
-			return err
-		}
-		fmt.Printf("renamed %s -> %s\n", d, superior.Child(leaf))
-		return nil
+		return func(c *filterdir.Client) error { return c.ModifyDN(d, leaf, superior) },
+			fmt.Sprintf("renamed %s -> %s", d, superior.Child(leaf)), nil
 
 	default:
 		var changes []filterdir.ModifyChange
@@ -129,12 +144,98 @@ func run(host, dnStr string, del, addEntry bool, rename, newSuperior string,
 			changes = append(changes, ch)
 		}
 		if len(changes) == 0 {
-			return fmt.Errorf("nothing to do: give -replace/-add/-deleteattr, -delete, -addentry or -rename")
+			return nil, "", fmt.Errorf("nothing to do: give -replace/-add/-deleteattr, -delete, -addentry or -rename")
 		}
-		if err := c.Modify(d, changes); err != nil {
+		return func(c *filterdir.Client) error { return c.Modify(d, changes) },
+			fmt.Sprintf("modified %s (%d changes)", d, len(changes)), nil
+	}
+}
+
+func run(host, dnStr string, del, addEntry bool, rename, newSuperior string,
+	replaces, adds, deletes kvList, n netOptions) error {
+	apply, okMsg, err := buildOp(dnStr, del, addEntry, rename, newSuperior, replaces, adds, deletes)
+	if err != nil {
+		return err
+	}
+	chased, err := chase(host, apply, n)
+	if err != nil {
+		return err
+	}
+	fmt.Println(okMsg)
+	if len(chased) > 1 {
+		fmt.Printf("via %s\n", strings.Join(chased, " -> "))
+	}
+	return nil
+}
+
+// chase runs the write against host, following referral results to the
+// named server until one accepts, a (visited) server repeats, or the hop
+// bound is hit. It returns the chain of servers visited, in order; on
+// failure the error renders the chain so a misrouted write is debuggable.
+func chase(host string, apply func(c *filterdir.Client) error, n netOptions) ([]string, error) {
+	visited := make(map[string]bool)
+	var chain []string
+	addr := host
+	for {
+		if len(chain) >= n.maxChase {
+			return chain, fmt.Errorf("referral chain exceeds %d hops: %s",
+				n.maxChase, strings.Join(append(chain, addr), " -> "))
+		}
+		if visited[addr] {
+			return chain, fmt.Errorf("referral loop: %s -> %s",
+				strings.Join(chain, " -> "), addr)
+		}
+		visited[addr] = true
+		chain = append(chain, addr)
+
+		err := attempt(addr, apply, n)
+		if err == nil {
+			return chain, nil
+		}
+		var re *ldapnet.ResultError
+		if errors.As(err, &re) {
+			switch {
+			case re.Code == proto.ResultReferral && len(re.Referrals) > 0:
+				next, _, perr := ldapnet.ParseURL(re.Referrals[0])
+				if perr != nil {
+					return chain, fmt.Errorf("%s referred to unusable URL %q: %w", addr, re.Referrals[0], perr)
+				}
+				addr = next
+				continue
+			case re.Code == proto.ResultBusy:
+				// The replica journaled the op durably; its replay loop will
+				// finish the upstream commit. Not a failure.
+				fmt.Printf("accepted at %s; upstream commit pending (journaled, will replay)\n", addr)
+				return chain, nil
+			}
+		}
+		if len(chain) > 1 {
+			return chain, fmt.Errorf("%w (chain %s)", err, strings.Join(chain, " -> "))
+		}
+		return chain, err
+	}
+}
+
+// attempt runs the write once against addr, redialing and retrying up to
+// n.retry extra times on transient transport failures. Server verdicts
+// (result errors, including referrals) return immediately — retrying
+// cannot change them.
+func attempt(addr string, apply func(c *filterdir.Client) error, n netOptions) error {
+	var err error
+	for try := 0; try <= n.retry; try++ {
+		if try > 0 {
+			time.Sleep(time.Duration(try) * 50 * time.Millisecond)
+		}
+		var c *filterdir.Client
+		c, err = ldapnet.DialTimeout(addr, n.timeout)
+		if err != nil {
+			continue
+		}
+		err = apply(c)
+		c.Close()
+		if err == nil || !ldapnet.IsTransient(err) {
 			return err
 		}
-		fmt.Printf("modified %s (%d changes)\n", d, len(changes))
-		return nil
 	}
+	return err
 }

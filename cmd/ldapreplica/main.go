@@ -43,7 +43,12 @@ import (
 
 	"filterdir"
 	"filterdir/internal/cascade"
+	"filterdir/internal/dit"
+	"filterdir/internal/dn"
+	"filterdir/internal/edgewrite"
+	"filterdir/internal/entry"
 	"filterdir/internal/ldapnet"
+	"filterdir/internal/metrics"
 	"filterdir/internal/query"
 	"filterdir/internal/supervisor"
 )
@@ -73,6 +78,7 @@ type options struct {
 	depth                  int
 	cacheCap               int
 	statusEvery            time.Duration
+	edgeWrites             bool
 	filters                filterList
 }
 
@@ -94,6 +100,7 @@ func main() {
 	flag.IntVar(&o.depth, "depth", 1, "tier depth below the master (with -serve; reporting only)")
 	flag.IntVar(&o.cacheCap, "cache", 64, "recent user-query cache capacity")
 	flag.DurationVar(&o.statusEvery, "status-every", time.Minute, "supervision-counter status report interval (0 disables)")
+	flag.BoolVar(&o.edgeWrites, "edge-writes", false, "accept LDAP writes here: journal to a per-replica WAL, forward upstream for commit, overlay locally until the CSN echoes back")
 	flag.Var(&o.filters, "filter", "replicated filter (repeatable)")
 	flag.Parse()
 	if len(o.filters) == 0 {
@@ -148,6 +155,48 @@ func logf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "ldapreplica: "+format+"\n", args...)
 }
 
+// openEdgeWriter opens the WAL-backed edge writer over an upstream
+// forwarder. The WAL lives under the state directory when one is
+// configured — surviving restarts — and in a throwaway temp directory
+// otherwise, which still covers the accept→forward window within one run.
+func openEdgeWriter(o options, fwd edgewrite.Forwarder,
+	admit func(dit.Change) error, lookup func(dn.DN) (*entry.Entry, bool),
+	counters *metrics.WriteCounters) (*edgewrite.Writer, error) {
+
+	dir := ""
+	if o.stateDir != "" {
+		dir = filepath.Join(o.stateDir, "edgewrite")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	} else {
+		tmp, err := os.MkdirTemp("", "filterdir-edgewrite-")
+		if err != nil {
+			return nil, err
+		}
+		dir = tmp
+	}
+	w, err := edgewrite.Open(edgewrite.Config{
+		Dir:      dir,
+		Forward:  fwd,
+		Admit:    admit,
+		Lookup:   lookup,
+		Counters: counters,
+		Logf:     logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if w.RecoveredTorn() {
+		logf("edge WAL %s: dropped a torn tail during recovery", dir)
+	}
+	if n := w.Pending(); n > 0 {
+		logf("edge WAL %s: recovered %d pending op(s) for replay", dir, n)
+	}
+	fmt.Printf("ldapreplica: accepting edge writes (replica id %s, WAL %s)\n", w.ReplicaID(), dir)
+	return w, nil
+}
+
 // serveLoop runs the status/shutdown select shared by both modes.
 func serveLoop(srv *ldapnet.Server, statusEvery time.Duration, printStatus func(), shutdown func()) error {
 	sig := make(chan os.Signal, 1)
@@ -189,6 +238,23 @@ func runLeaf(o options) error {
 	}
 	upstream, fallback := upstreamOf(o)
 
+	// The edge writer must exist before the supervisors so each filter's
+	// config can report its applied-CSN watermark (retirement consumes the
+	// minimum across all filters).
+	var edge *edgewrite.Writer
+	var fwd *ldapnet.EdgeForwarder
+	writes := &metrics.WriteCounters{}
+	if o.edgeWrites {
+		fwd = ldapnet.NewEdgeForwarder(upstream)
+		fwd.FallbackAddr = fallback
+		edge, err = openEdgeWriter(o, fwd,
+			edgewrite.Admitter(qs, rep.Store().Get), rep.Store().Get, writes)
+		if err != nil {
+			fwd.Close()
+			return err
+		}
+	}
+
 	// One supervisor per filter, all applying into the shared replica; each
 	// owns its own state subdirectory so checkpoints never interleave.
 	sups := make([]*supervisor.Supervisor, 0, len(qs))
@@ -211,6 +277,11 @@ func runLeaf(o options) error {
 				return err
 			}
 		}
+		if edge != nil {
+			key := spec.Key()
+			edge.RegisterSource(key)
+			cfg.OnWatermark = func(csn uint64) { edge.SetWatermark(key, csn) }
+		}
 		sup, err := supervisor.New(cfg, rep)
 		if err != nil {
 			return fmt.Errorf("filter %q: %w", o.filters[i], err)
@@ -223,6 +294,11 @@ func runLeaf(o options) error {
 	}
 
 	backend := ldapnet.NewReplicaBackend(rep, "ldap://"+o.master)
+	if edge != nil {
+		rep.SetReadOverlay(edge.Overlay)
+		backend.Edge = edge
+		edge.Start()
+	}
 	srv, err := ldapnet.Serve(o.addr, backend)
 	if err != nil {
 		return err
@@ -235,11 +311,18 @@ func runLeaf(o options) error {
 		m := rep.Metrics()
 		fmt.Printf("ldapreplica: %d entries; hit ratio %.2f (%d queries)\n",
 			rep.EntryCount(), m.HitRatio(), m.Queries)
+		if edge != nil {
+			fmt.Printf("ldapreplica: %s\n", writes.Snapshot())
+		}
 		for i, sup := range sups {
 			fmt.Printf("ldapreplica: %q [%s→%s] %s\n", o.filters[i], sup.State(), sup.Target(), sup.Counters().Snapshot())
 		}
 	}
 	return serveLoop(srv, o.statusEvery, printStatus, func() {
+		if edge != nil {
+			edge.Close()
+			fwd.Close()
+		}
 		for i, sup := range sups {
 			if err := sup.Stop(); err != nil {
 				fmt.Fprintf(os.Stderr, "ldapreplica: stop %q: %v\n", o.filters[i], err)
@@ -283,12 +366,35 @@ func runTier(o options) error {
 	if err != nil {
 		return err
 	}
+
+	// A mid-tier always relays downstream edge-write forwards one hop
+	// closer to the master; with -edge-writes it also accepts writes from
+	// its own LDAP clients through the same forwarder.
+	fwd := ldapnet.NewEdgeForwarder(upstream)
+	fwd.FallbackAddr = fallback
+	var edge *edgewrite.Writer
+	writes := &metrics.WriteCounters{}
+	if o.edgeWrites {
+		edge, err = openEdgeWriter(o, fwd, tier.AdmitWrite, tier.Replica().Store().Get, writes)
+		if err != nil {
+			fwd.Close()
+			return err
+		}
+		tier.AttachEdgeWriter(edge)
+		tier.Replica().SetReadOverlay(edge.Overlay)
+	}
+
 	tier.Start()
 	for i := range qs {
 		fmt.Printf("ldapreplica: supervising %q against %s (serving downstream)\n", o.filters[i], upstream)
 	}
 
 	backend := ldapnet.NewCascadeBackend(tier.Replica(), tier, "ldap://"+o.master)
+	backend.Upstream = fwd
+	if edge != nil {
+		backend.Edge = edge
+		edge.Start()
+	}
 	srv, err := ldapnet.Serve(o.addr, backend)
 	if err != nil {
 		return err
@@ -304,11 +410,18 @@ func runTier(o options) error {
 			rep.EntryCount(), m.HitRatio(), m.Queries)
 		fmt.Printf("ldapreplica: %s\n", tier.Counters().Snapshot())
 		fmt.Printf("ldapreplica: downstream %s\n", tier.SyncCounters().Snapshot())
+		if edge != nil {
+			fmt.Printf("ldapreplica: %s\n", writes.Snapshot())
+		}
 		for i, sup := range tier.Supervisors() {
 			fmt.Printf("ldapreplica: %q [%s→%s] %s\n", o.filters[i], sup.State(), sup.Target(), sup.Counters().Snapshot())
 		}
 	}
 	return serveLoop(srv, o.statusEvery, printStatus, func() {
+		if edge != nil {
+			edge.Close()
+		}
+		fwd.Close()
 		if err := tier.Stop(); err != nil {
 			fmt.Fprintf(os.Stderr, "ldapreplica: stop tier: %v\n", err)
 		}

@@ -42,6 +42,7 @@ import (
 	"filterdir/internal/containment"
 	"filterdir/internal/dit"
 	"filterdir/internal/dn"
+	"filterdir/internal/edgewrite"
 	"filterdir/internal/entry"
 	"filterdir/internal/filter"
 	"filterdir/internal/ldapnet"
@@ -180,6 +181,21 @@ type (
 	SyncCounters = metrics.SyncCounters
 	// SyncSnapshot is a point-in-time copy of SyncCounters.
 	SyncSnapshot = metrics.SyncSnapshot
+
+	// EdgeWriter accepts writes at a replica: WAL journal, upstream
+	// forwarding to the master sequencer, and a pending overlay giving the
+	// writer read-your-writes until the CSN echoes back.
+	EdgeWriter = edgewrite.Writer
+	// EdgeWriteConfig parameterizes an EdgeWriter.
+	EdgeWriteConfig = edgewrite.Config
+	// EdgeForwarder carries accepted edge writes upstream over the wire.
+	EdgeForwarder = ldapnet.EdgeForwarder
+	// WriteCounters tracks the edge-write lifecycle (accepted, forwarded,
+	// committed, retired, pending depth, WAL replays).
+	WriteCounters = metrics.WriteCounters
+	// WireResultError is a server's non-success answer, carrying the result
+	// code and any referral URLs.
+	WireResultError = ldapnet.ResultError
 )
 
 // ParseDN parses an RFC 2253 distinguished name.

@@ -35,6 +35,8 @@ import (
 	"time"
 
 	"filterdir/internal/containment"
+	"filterdir/internal/dit"
+	"filterdir/internal/edgewrite"
 	"filterdir/internal/ldapnet"
 	"filterdir/internal/metrics"
 	"filterdir/internal/query"
@@ -127,6 +129,18 @@ type Tier struct {
 	lastApply    atomic.Int64 // UnixNano of the newest upstream apply
 	applyPending atomic.Bool
 
+	// Master-coordinate watermark translation for downstream consumers:
+	// supWM holds each supervisor's latest reported upstream watermark, wm
+	// maps local journal positions to the min over them (the conservative
+	// bound — any downstream spec rides some supervisor's stream).
+	supWM []atomic.Uint64
+	wm    watermarkMap
+
+	// edge, when attached, is the tier's own write acceptor; the
+	// supervisors feed it their watermarks so its pending ops retire.
+	edgeMu sync.Mutex
+	edge   *edgewrite.Writer
+
 	st *tierState // durable state (nil without StateDir)
 
 	stop      chan struct{}
@@ -180,8 +194,12 @@ func New(cfg Config) (*Tier, error) {
 
 	// The engine runs over the same store the supervisors apply into:
 	// upstream batches journal local CSNs there, and downstream sessions
-	// classify against that journal.
+	// classify against that journal. Downstream watermark stamps are
+	// translated from local to master coordinates so edge writers below
+	// this tier can retire against them.
 	t.eng = resync.NewEngine(rep.Store())
+	t.supWM = make([]atomic.Uint64, len(t.specs))
+	t.eng.SetWatermarkFunc(t.wm.lookup)
 	t.eng.SetObserver(func(_ string, updates []resync.Update, fullReload bool) {
 		if len(updates) == 0 && !fullReload {
 			return
@@ -209,6 +227,7 @@ func New(cfg Config) (*Tier, error) {
 			Logf:               cfg.Logf,
 			ResumeCookie:       cookies[spec.Key()],
 			OnApplied:          t.noteApply,
+			OnWatermark:        func(i int) func(uint64) { return func(csn uint64) { t.noteWatermark(i, csn) } }(i),
 		}, rep)
 		if err != nil {
 			return nil, err
@@ -216,6 +235,56 @@ func New(cfg Config) (*Tier, error) {
 		t.sups = append(t.sups, sup)
 	}
 	return t, nil
+}
+
+// noteWatermark folds supervisor i's upstream watermark into the tier's
+// coordinate translation: once every supervisor has reported, the minimum
+// is recorded against the store's current local position (conservative —
+// content at this position reflects at least that much of the master for
+// every spec). An attached edge writer receives the per-source watermark
+// directly; its own min-over-sources gates retirement.
+func (t *Tier) noteWatermark(i int, csn uint64) {
+	t.supWM[i].Store(csn)
+	min := uint64(0)
+	for j := range t.supWM {
+		v := t.supWM[j].Load()
+		if v == 0 {
+			min = 0
+			break
+		}
+		if min == 0 || v < min {
+			min = v
+		}
+	}
+	if min > 0 {
+		t.wm.record(t.rep.Store().LastCSN(), min)
+	}
+	t.edgeMu.Lock()
+	edge := t.edge
+	t.edgeMu.Unlock()
+	if edge != nil {
+		edge.SetWatermark(t.specs[i].Key(), csn)
+	}
+}
+
+// AttachEdgeWriter arms the tier's own write path: the writer's watermark
+// sources are registered (one per upstream spec) and fed from the
+// supervision loops. Build the writer with AdmitWrite as its gate and the
+// tier store's Get as its lookup.
+func (t *Tier) AttachEdgeWriter(w *edgewrite.Writer) {
+	for _, spec := range t.specs {
+		w.RegisterSource(spec.Key())
+	}
+	t.edgeMu.Lock()
+	t.edge = w
+	t.edgeMu.Unlock()
+}
+
+// AdmitWrite gates a direct edge write at this tier: adds must fall under a
+// configured spec, targeted ops must name held entries (see
+// edgewrite.Admitter).
+func (t *Tier) AdmitWrite(c dit.Change) error {
+	return edgewrite.Admitter(t.specs, t.rep.Store().Get)(c)
 }
 
 // noteApply records one applied upstream batch and stamps the latency

@@ -1,0 +1,80 @@
+package cascade
+
+import (
+	"sync"
+
+	"filterdir/internal/dit"
+)
+
+// watermarkPair states: the tier's content at local journal position Local
+// reflected every master commit up to Upstream (for the specs the tier
+// carries).
+type watermarkPair struct {
+	Local    dit.CSN
+	Upstream uint64
+}
+
+// maxWatermarkPairs bounds the map; dropping the oldest pairs only makes
+// lookups for very old downstream positions answer 0 (no claim), which is
+// conservative.
+const maxWatermarkPairs = 1024
+
+// watermarkMap translates the tier's local CSN coordinates into master CSN
+// coordinates for downstream consumers: each applied upstream exchange
+// records a (local, upstream) pair, and a downstream session synced to
+// local position L is stamped with the newest upstream watermark recorded
+// at or below L. Without this translation a leaf hanging off a mid-tier
+// could never retire edge writes — its ops carry master-assigned CSNs but
+// its sync stream moves in mid-tier coordinates.
+type watermarkMap struct {
+	mu    sync.Mutex
+	pairs []watermarkPair // ascending in both fields
+}
+
+// record adds a pair, keeping the slice monotone. An upstream regression
+// (the tier fell back to a lagging master and reloaded) truncates every
+// pair claiming more than the new position: tier content past this local
+// CSN no longer reflects the newer commits, so stamping them onward would
+// retire downstream ops whose effects the content may have lost. (Stamps
+// already delivered before the regression are accepted staleness — see
+// DESIGN.md §12.)
+func (m *watermarkMap) record(local dit.CSN, upstream uint64) {
+	if upstream == 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for n := len(m.pairs); n > 0 && m.pairs[n-1].Upstream > upstream; n = len(m.pairs) {
+		m.pairs = m.pairs[:n-1]
+	}
+	if n := len(m.pairs); n > 0 && m.pairs[n-1].Local >= local {
+		// Same or newer local position already recorded with an upstream ≤
+		// ours (truncation above removed anything newer): tighten in place.
+		m.pairs[n-1].Upstream = upstream
+		return
+	}
+	m.pairs = append(m.pairs, watermarkPair{Local: local, Upstream: upstream})
+	if len(m.pairs) > maxWatermarkPairs {
+		m.pairs = append(m.pairs[:0], m.pairs[len(m.pairs)-maxWatermarkPairs:]...)
+	}
+}
+
+// lookup returns the newest upstream watermark recorded at or below the
+// local position (0 when nothing is known that far back).
+func (m *watermarkMap) lookup(local dit.CSN) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	lo, hi := 0, len(m.pairs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if m.pairs[mid].Local <= local {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return m.pairs[lo-1].Upstream
+}

@@ -128,38 +128,38 @@ func (s *Store) ChangesSince(after CSN) (changes []Change, ok bool) {
 func (s *Store) Add(e *entry.Entry) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.addLocked(e)
+	_, err := s.addLocked(e)
+	return err
 }
 
-func (s *Store) addLocked(e *entry.Entry) error {
+func (s *Store) addLocked(e *entry.Entry) (CSN, error) {
 	d := e.DN()
 	norm := d.Norm()
 	if !s.holdsTarget(d) {
-		return fmt.Errorf("%w: %q", ErrNoSuchContext, d.String())
+		return 0, fmt.Errorf("%w: %q", ErrNoSuchContext, d.String())
 	}
 	if _, exists := s.entries[norm]; exists {
-		return fmt.Errorf("%w: %q", ErrAlreadyExists, d.String())
+		return 0, fmt.Errorf("%w: %q", ErrAlreadyExists, d.String())
 	}
 	if !s.isSuffixEntry(d) {
 		parent, ok := d.Parent()
 		if !ok {
-			return fmt.Errorf("%w: parent of %q", ErrNoSuchObject, d.String())
+			return 0, fmt.Errorf("%w: parent of %q", ErrNoSuchObject, d.String())
 		}
 		if _, exists := s.entries[parent.Norm()]; !exists {
-			return fmt.Errorf("%w: parent %q", ErrNoSuchObject, parent.String())
+			return 0, fmt.Errorf("%w: parent %q", ErrNoSuchObject, parent.String())
 		}
 	}
 	if s.schema != nil {
 		if err := s.schema.Validate(e); err != nil {
-			return fmt.Errorf("%w: %v", ErrSchema, err)
+			return 0, fmt.Errorf("%w: %v", ErrSchema, err)
 		}
 	}
 	cp := e.Clone()
 	s.entries[norm] = cp
 	s.linkChild(d)
 	s.indexEntry(cp)
-	s.commit(Change{Type: ChangeAdd, DN: d, After: cp.Clone()})
-	return nil
+	return s.commit(Change{Type: ChangeAdd, DN: d, After: cp.Clone()}), nil
 }
 
 // isSuffixEntry reports whether d is one of the store's context suffixes.
@@ -202,29 +202,38 @@ func (s *Store) unlinkChild(d dn.DN) {
 func (s *Store) Delete(d dn.DN) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	_, err := s.deleteLocked(d)
+	return err
+}
+
+func (s *Store) deleteLocked(d dn.DN) (CSN, error) {
 	norm := d.Norm()
 	e, ok := s.entries[norm]
 	if !ok {
-		return fmt.Errorf("%w: %q", ErrNoSuchObject, d.String())
+		return 0, fmt.Errorf("%w: %q", ErrNoSuchObject, d.String())
 	}
 	if len(s.children[norm]) > 0 {
-		return fmt.Errorf("%w: %q", ErrNotLeaf, d.String())
+		return 0, fmt.Errorf("%w: %q", ErrNotLeaf, d.String())
 	}
 	delete(s.entries, norm)
 	s.unlinkChild(d)
 	s.unindexEntry(e)
-	s.commit(Change{Type: ChangeDelete, DN: d, Before: e})
-	return nil
+	return s.commit(Change{Type: ChangeDelete, DN: d, Before: e}), nil
 }
 
 // Modify applies attribute modifications to an entry.
 func (s *Store) Modify(d dn.DN, mods []Mod) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	_, err := s.modifyLocked(d, mods)
+	return err
+}
+
+func (s *Store) modifyLocked(d dn.DN, mods []Mod) (CSN, error) {
 	norm := d.Norm()
 	e, ok := s.entries[norm]
 	if !ok {
-		return fmt.Errorf("%w: %q", ErrNoSuchObject, d.String())
+		return 0, fmt.Errorf("%w: %q", ErrNoSuchObject, d.String())
 	}
 	before := e.Clone()
 	after := e.Clone()
@@ -243,22 +252,21 @@ func (s *Store) Modify(d dn.DN, mods []Mod) error {
 			}
 		case ModDelete:
 			if err := after.DeleteValues(m.Attr, m.Values...); err != nil {
-				return fmt.Errorf("modify %q: %w", d.String(), err)
+				return 0, fmt.Errorf("modify %q: %w", d.String(), err)
 			}
 		default:
-			return fmt.Errorf("modify %q: unknown mod op %d", d.String(), m.Op)
+			return 0, fmt.Errorf("modify %q: unknown mod op %d", d.String(), m.Op)
 		}
 	}
 	if s.schema != nil {
 		if err := s.schema.Validate(after); err != nil {
-			return fmt.Errorf("%w: %v", ErrSchema, err)
+			return 0, fmt.Errorf("%w: %v", ErrSchema, err)
 		}
 	}
 	s.unindexEntry(before)
 	s.entries[norm] = after
 	s.indexEntry(after)
-	s.commit(Change{Type: ChangeModify, DN: d, Before: before, After: after.Clone(), Mods: cloneMods(mods)})
-	return nil
+	return s.commit(Change{Type: ChangeModify, DN: d, Before: before, After: after.Clone(), Mods: cloneMods(mods)}), nil
 }
 
 func cloneMods(mods []Mod) []Mod {
@@ -276,24 +284,29 @@ func cloneMods(mods []Mod) []Mod {
 func (s *Store) ModifyDN(old dn.DN, newRDN dn.RDN, newSuperior dn.DN) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	_, err := s.modifyDNLocked(old, newRDN, newSuperior)
+	return err
+}
+
+func (s *Store) modifyDNLocked(old dn.DN, newRDN dn.RDN, newSuperior dn.DN) (CSN, error) {
 	oldNorm := old.Norm()
 	if _, ok := s.entries[oldNorm]; !ok {
-		return fmt.Errorf("%w: %q", ErrNoSuchObject, old.String())
+		return 0, fmt.Errorf("%w: %q", ErrNoSuchObject, old.String())
 	}
 	newDN := newSuperior.Child(newRDN)
 	if !s.holdsTarget(newDN) {
-		return fmt.Errorf("%w: %q", ErrNoSuchContext, newDN.String())
+		return 0, fmt.Errorf("%w: %q", ErrNoSuchContext, newDN.String())
 	}
 	if _, exists := s.entries[newDN.Norm()]; exists {
-		return fmt.Errorf("%w: %q", ErrAlreadyExists, newDN.String())
+		return 0, fmt.Errorf("%w: %q", ErrAlreadyExists, newDN.String())
 	}
 	if !newSuperior.IsRoot() {
 		if _, ok := s.entries[newSuperior.Norm()]; !ok && !s.isSuffixEntry(newDN) {
-			return fmt.Errorf("%w: new superior %q", ErrNoSuchObject, newSuperior.String())
+			return 0, fmt.Errorf("%w: new superior %q", ErrNoSuchObject, newSuperior.String())
 		}
 	}
 	if old.IsSuffix(newDN) && !old.Equal(newDN) {
-		return fmt.Errorf("cannot move %q under itself", old.String())
+		return 0, fmt.Errorf("cannot move %q under itself", old.String())
 	}
 
 	// Collect the subtree rooted at old, parents before children.
@@ -309,10 +322,11 @@ func (s *Store) ModifyDN(old dn.DN, newRDN dn.RDN, newSuperior dn.DN) error {
 	}
 	collect(old)
 
+	var last CSN
 	for _, cur := range subtree {
 		tgt, err := dn.Rename(cur, old, newDN)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		e := s.entries[cur.Norm()]
 		before := e.Clone()
@@ -332,9 +346,40 @@ func (s *Store) ModifyDN(old dn.DN, newRDN dn.RDN, newSuperior dn.DN) error {
 		s.entries[tgt.Norm()] = moved
 		s.linkChild(tgt)
 		s.indexEntry(moved)
-		s.commit(Change{Type: ChangeModifyDN, DN: cur, NewDN: tgt, Before: before, After: moved.Clone()})
+		last = s.commit(Change{Type: ChangeModifyDN, DN: cur, NewDN: tgt, Before: before, After: moved.Clone()})
 	}
-	return nil
+	return last, nil
+}
+
+// ApplyCSN applies an externally-described change (an edge-originated write
+// forwarded up the cascade) and returns the CSN of the committed journal
+// record — the sequencing a replica needs to match its pending op against
+// the ReSync stream. A subtree ModifyDN commits one record per moved entry
+// and returns the last CSN: the whole move is visible once the stream
+// reaches it.
+func (s *Store) ApplyCSN(c Change) (CSN, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch c.Type {
+	case ChangeAdd:
+		if c.After == nil {
+			return 0, fmt.Errorf("apply add %q: no entry image", c.DN.String())
+		}
+		return s.addLocked(c.After)
+	case ChangeDelete:
+		return s.deleteLocked(c.DN)
+	case ChangeModify:
+		return s.modifyLocked(c.DN, c.Mods)
+	case ChangeModifyDN:
+		leaf, ok := c.NewDN.Leaf()
+		if !ok {
+			return 0, fmt.Errorf("apply modifyDN %q: new DN lacks a leaf RDN", c.DN.String())
+		}
+		superior, _ := c.NewDN.Parent()
+		return s.modifyDNLocked(c.DN, leaf, superior)
+	default:
+		return 0, fmt.Errorf("apply: unknown change type %v", c.Type)
+	}
 }
 
 // Upsert inserts or replaces an entry without requiring its parent to

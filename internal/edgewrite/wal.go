@@ -1,0 +1,420 @@
+// Package edgewrite gives replicas a write path: an LDAP update accepted at
+// a leaf or mid-tier replica is journaled to a durable per-replica
+// write-ahead log, forwarded up the cascade to the master (the single CSN
+// sequencer) in a prepare→commit exchange, and held visible-locally-pending
+// — an overlay on FilterReplica reads — until its assigned CSN flows back
+// down the ReSync stream, at which point the op is retired. The writing
+// client gets read-your-writes; everyone else still receives the minimal
+// update sets of equation (3).
+//
+// Durability follows the persist.Dir journal idioms: append-only files with
+// fsync after each record, torn-tail recovery that drops exactly the final
+// partial record and repairs the file, and atomic whole-file rewrites via
+// temp file + rename.
+package edgewrite
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"filterdir/internal/dit"
+	"filterdir/internal/ldif"
+	"filterdir/internal/persist"
+)
+
+const (
+	opsName   = "ops.wal"
+	stateName = "state.wal"
+	metaName  = "meta.json"
+
+	// floorStride is how far the durable sequence floor is advanced ahead of
+	// use: op ids must never be reused (the master dedups by id), so after a
+	// crash the next id starts at the persisted floor even if later appends
+	// were lost with the torn tail.
+	floorStride = 1024
+)
+
+// walOp is one journaled edge write and its lifecycle state.
+type walOp struct {
+	ID     string
+	Seq    uint64
+	Change dit.Change
+
+	// Committed is set once the master has applied the op and assigned a
+	// CSN; an uncommitted op is re-forwarded on recovery (the master's
+	// dedup-by-id makes the replay exactly-once).
+	Committed bool
+	CSN       uint64
+	Retired   bool
+}
+
+// wal is the durable edge-write journal: ops.wal holds one block per
+// accepted op (an "opid:" header line followed by a standard LDIF change
+// record), state.wal holds the commit/retire transitions, and meta.json
+// pins the replica id and the op-sequence floor across compactions.
+type wal struct {
+	dir       string
+	replicaID string
+
+	mu      sync.Mutex
+	ops     []*walOp
+	byID    map[string]*walOp
+	nextSeq uint64
+	floor   uint64
+	torn    bool // a torn tail was dropped during recovery
+}
+
+type walMeta struct {
+	ReplicaID string `json:"replica_id"`
+	Floor     uint64 `json:"floor"`
+}
+
+// openWAL opens (or creates) the edge-write journal in dir. replicaID
+// prefixes op ids; when empty, the id persisted in meta.json is reused, or
+// a random one minted for a fresh directory.
+func openWAL(dir, replicaID string) (*wal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	w := &wal{dir: dir, byID: make(map[string]*walOp)}
+
+	var meta walMeta
+	if b, err := os.ReadFile(filepath.Join(dir, metaName)); err == nil {
+		if err := json.Unmarshal(b, &meta); err != nil {
+			return nil, fmt.Errorf("edgewrite meta: %w", err)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+	switch {
+	case replicaID != "":
+		w.replicaID = replicaID
+	case meta.ReplicaID != "":
+		w.replicaID = meta.ReplicaID
+	default:
+		var buf [6]byte
+		if _, err := rand.Read(buf[:]); err != nil {
+			return nil, err
+		}
+		w.replicaID = "r" + hex.EncodeToString(buf[:])
+	}
+	w.floor = meta.Floor
+	w.nextSeq = meta.Floor
+
+	if err := w.loadOps(); err != nil {
+		return nil, err
+	}
+	if err := w.loadState(); err != nil {
+		return nil, err
+	}
+	// Advance the durable floor past every id we might mint before the next
+	// persisted bump, so ids stay unique across crashes.
+	if err := w.bumpFloor(w.nextSeq + floorStride); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// loadOps replays ops.wal, repairing a torn tail in place.
+func (w *wal) loadOps() error {
+	path := filepath.Join(w.dir, opsName)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	blocks := splitBlocks(string(data))
+	for i, block := range blocks {
+		op, perr := parseBlock(block)
+		if perr != nil {
+			if i == len(blocks)-1 {
+				// A crash mid-append leaves exactly one partial final block:
+				// drop it and repair the file so later appends stay
+				// parseable. Earlier corruption is real and fatal.
+				w.torn = true
+				if err := w.rewriteOps(); err != nil {
+					return fmt.Errorf("repair torn edge-write journal: %w", err)
+				}
+				break
+			}
+			return fmt.Errorf("edge-write journal block %d: %w", i, perr)
+		}
+		w.ops = append(w.ops, op)
+		w.byID[op.ID] = op
+		if op.Seq >= w.nextSeq {
+			w.nextSeq = op.Seq + 1
+		}
+	}
+	return nil
+}
+
+// loadState folds state.wal transitions over the loaded ops. A partial
+// final line (torn append) is dropped; transitions for compacted ops are
+// ignored.
+func (w *wal) loadState() error {
+	data, err := os.ReadFile(filepath.Join(w.dir, stateName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	lines := strings.Split(string(data), "\n")
+	for i, line := range lines {
+		if line == "" {
+			continue
+		}
+		// The final line is torn unless the file ends in a newline (in which
+		// case Split leaves a trailing "" element).
+		last := i == len(lines)-1
+		fields := strings.Fields(line)
+		op := (*walOp)(nil)
+		if len(fields) >= 2 {
+			op = w.byID[fields[0]]
+		}
+		switch {
+		case len(fields) == 3 && fields[1] == "commit":
+			csn, perr := strconv.ParseUint(fields[2], 10, 64)
+			if perr != nil {
+				if last {
+					w.torn = true
+					continue
+				}
+				return fmt.Errorf("edge-write state line %d: %w", i, perr)
+			}
+			if op != nil {
+				op.Committed = true
+				op.CSN = csn
+			}
+		case len(fields) == 2 && fields[1] == "retire":
+			if op != nil {
+				op.Retired = true
+			}
+		default:
+			if last {
+				w.torn = true
+				continue
+			}
+			return fmt.Errorf("edge-write state line %d: malformed %q", i, line)
+		}
+	}
+	return nil
+}
+
+// recovered returns the non-retired ops in append order — the pending set a
+// restarted replica re-arms (uncommitted ops are re-forwarded; committed
+// ones await their CSN echo).
+func (w *wal) recovered() []*walOp {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []*walOp
+	for _, op := range w.ops {
+		if !op.Retired {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// append journals a new op durably and returns it. The block is written and
+// fsynced before the op is registered: a crash after return cannot lose the
+// accepted write.
+func (w *wal) append(c dit.Change) (*walOp, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	seq := w.nextSeq
+	if seq+floorStride/2 > w.floor {
+		if err := w.bumpFloor(seq + floorStride); err != nil {
+			return nil, err
+		}
+	}
+	op := &walOp{ID: w.replicaID + "." + strconv.FormatUint(seq, 10), Seq: seq, Change: c}
+	var buf bytes.Buffer
+	buf.WriteString("opid: " + op.ID + "\n")
+	if err := ldif.WriteChanges(&buf, c); err != nil {
+		return nil, err
+	}
+	buf.WriteString("\n")
+	if err := appendSync(filepath.Join(w.dir, opsName), buf.Bytes()); err != nil {
+		return nil, err
+	}
+	w.nextSeq = seq + 1
+	w.ops = append(w.ops, op)
+	w.byID[op.ID] = op
+	return op, nil
+}
+
+// markCommitted durably records the master-assigned CSN for an op.
+func (w *wal) markCommitted(id string, csn uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	op, ok := w.byID[id]
+	if !ok {
+		return fmt.Errorf("edge-write op %q not in WAL", id)
+	}
+	if err := appendSync(filepath.Join(w.dir, stateName),
+		[]byte(id+" commit "+strconv.FormatUint(csn, 10)+"\n")); err != nil {
+		return err
+	}
+	op.Committed = true
+	op.CSN = csn
+	return nil
+}
+
+// markRetired durably records that an op's CSN echoed back down the sync
+// stream; when every journaled op is retired the WAL is compacted.
+func (w *wal) markRetired(id string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	op, ok := w.byID[id]
+	if !ok {
+		return fmt.Errorf("edge-write op %q not in WAL", id)
+	}
+	if err := appendSync(filepath.Join(w.dir, stateName), []byte(id+" retire\n")); err != nil {
+		return err
+	}
+	op.Retired = true
+	for _, o := range w.ops {
+		if !o.Retired {
+			return nil
+		}
+	}
+	return w.compactLocked()
+}
+
+// compactLocked truncates both journal files once every op is retired. The
+// sequence floor was already persisted ahead of every minted id, so ids
+// stay unique. ops.wal is cleared before state.wal: a crash between the two
+// leaves state lines naming absent ops, which recovery ignores; the reverse
+// order would resurrect retired ops as uncommitted and replay them.
+func (w *wal) compactLocked() error {
+	if err := os.WriteFile(filepath.Join(w.dir, opsName), nil, 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(w.dir, stateName), nil, 0o644); err != nil {
+		return err
+	}
+	w.ops = w.ops[:0]
+	w.byID = make(map[string]*walOp)
+	return nil
+}
+
+// bumpFloor persists a new op-sequence floor when it advances. Callers hold
+// w.mu (or are constructing the wal).
+func (w *wal) bumpFloor(floor uint64) error {
+	if floor <= w.floor {
+		return nil
+	}
+	err := persist.WriteAtomic(filepath.Join(w.dir, metaName), func(out io.Writer) error {
+		b, err := json.Marshal(walMeta{ReplicaID: w.replicaID, Floor: floor})
+		if err != nil {
+			return err
+		}
+		_, err = out.Write(append(b, '\n'))
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	w.floor = floor
+	return nil
+}
+
+// rewriteOps atomically rewrites ops.wal with only the complete blocks.
+func (w *wal) rewriteOps() error {
+	ops := w.ops
+	return persist.WriteAtomic(filepath.Join(w.dir, opsName), func(out io.Writer) error {
+		bw := bufio.NewWriter(out)
+		for _, op := range ops {
+			bw.WriteString("opid: " + op.ID + "\n")
+			if err := ldif.WriteChanges(bw, op.Change); err != nil {
+				return err
+			}
+			bw.WriteString("\n")
+		}
+		return bw.Flush()
+	})
+}
+
+// appendSync appends data to path and fsyncs — the same durability contract
+// as persist.Dir.AppendChanges.
+func appendSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// splitBlocks splits the ops journal into blank-line-separated blocks.
+func splitBlocks(data string) []string {
+	var blocks []string
+	var cur []string
+	flush := func() {
+		if len(cur) > 0 {
+			blocks = append(blocks, strings.Join(cur, "\n"))
+			cur = cur[:0]
+		}
+	}
+	for _, line := range strings.Split(data, "\n") {
+		if strings.TrimRight(line, "\r") == "" {
+			flush()
+			continue
+		}
+		cur = append(cur, line)
+	}
+	// A trailing block without its blank-line terminator is an interrupted
+	// append; keep it so the parser can classify it as torn.
+	flush()
+	return blocks
+}
+
+// parseBlock parses one "opid:" header plus LDIF change record block.
+func parseBlock(block string) (*walOp, error) {
+	nl := strings.IndexByte(block, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("block lacks a change record")
+	}
+	header, rest := block[:nl], block[nl+1:]
+	id, ok := strings.CutPrefix(header, "opid: ")
+	if !ok || id == "" {
+		return nil, fmt.Errorf("block lacks an opid header")
+	}
+	dot := strings.LastIndexByte(id, '.')
+	if dot < 0 {
+		return nil, fmt.Errorf("malformed opid %q", id)
+	}
+	seq, err := strconv.ParseUint(id[dot+1:], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("malformed opid %q: %w", id, err)
+	}
+	recs, err := ldif.ReadChanges(strings.NewReader(rest))
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) != 1 {
+		return nil, fmt.Errorf("block has %d change records, want 1", len(recs))
+	}
+	c, err := recs[0].AsChange()
+	if err != nil {
+		return nil, err
+	}
+	return &walOp{ID: id, Seq: seq, Change: c}, nil
+}

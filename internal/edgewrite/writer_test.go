@@ -1,0 +1,393 @@
+package edgewrite
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"filterdir/internal/dit"
+	"filterdir/internal/dn"
+	"filterdir/internal/entry"
+	"filterdir/internal/query"
+)
+
+// fakeMaster is an in-memory sequencer with the master's dedup-by-op-id
+// contract: the first forward of an id is applied and assigned the next
+// CSN, replays are answered from the dedup table. Applies counts real
+// applications — the exactly-once assertion reads it.
+type fakeMaster struct {
+	mu      sync.Mutex
+	next    uint64
+	seen    map[string]uint64
+	applies int
+	fail    error // when set, Forward fails without applying
+}
+
+func newFakeMaster() *fakeMaster { return &fakeMaster{seen: make(map[string]uint64)} }
+
+func (m *fakeMaster) Forward(c dit.Change, opID string) (uint64, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fail != nil {
+		return 0, false, m.fail
+	}
+	if csn, ok := m.seen[opID]; ok {
+		return csn, true, nil
+	}
+	m.next++
+	m.seen[opID] = m.next
+	m.applies++
+	return m.next, false, nil
+}
+
+func (m *fakeMaster) setFail(err error) {
+	m.mu.Lock()
+	m.fail = err
+	m.mu.Unlock()
+}
+
+func (m *fakeMaster) applied() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.applies
+}
+
+func personAdd(dnStr, sn string) dit.Change {
+	d := dn.MustParse(dnStr)
+	e := entry.New(d).Put("objectclass", "person").Put("cn", d.String()).Put("sn", sn)
+	return dit.Change{Type: dit.ChangeAdd, DN: d, After: e}
+}
+
+func subtreeQuery(t *testing.T, filter string) query.Query {
+	t.Helper()
+	q, err := query.New("", query.ScopeSubtree, filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func openTestWriter(t *testing.T, dir string, fwd Forwarder) *Writer {
+	t.Helper()
+	w, err := Open(Config{Dir: dir, ReplicaID: "r1", Forward: fwd, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestSubmitCommitRetire walks one op through the full lifecycle: submit →
+// forward → commit → visible on the overlay → CSN echo → retired, with the
+// WAL compacted once nothing is pending.
+func TestSubmitCommitRetire(t *testing.T) {
+	dir := t.TempDir()
+	m := newFakeMaster()
+	w := openTestWriter(t, dir, m)
+	w.RegisterSource("f0")
+
+	csn, err := w.Submit(personAdd("cn=new,o=xyz", "new"))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if csn != 1 {
+		t.Fatalf("csn = %d, want 1", csn)
+	}
+
+	// Read-your-writes: the pending add joins a matching query's answer.
+	q := subtreeQuery(t, "(sn=new)")
+	got := w.Overlay(q, nil)
+	if len(got) != 1 || got[0].DN().Norm() != dn.MustParse("cn=new,o=xyz").Norm() {
+		t.Fatalf("overlay before echo = %v, want the pending add", got)
+	}
+
+	// The CSN echoes back down the sync stream: the op retires and the
+	// overlay empties.
+	w.SetWatermark("f0", csn)
+	if n := w.Pending(); n != 0 {
+		t.Fatalf("pending after echo = %d, want 0", n)
+	}
+	if got := w.Overlay(q, nil); len(got) != 0 {
+		t.Fatalf("overlay after echo = %v, want empty", got)
+	}
+
+	// Everything retired → both journals compacted.
+	for _, name := range []string{opsName, stateName} {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) != 0 {
+			t.Fatalf("%s not compacted: %q", name, b)
+		}
+	}
+}
+
+// TestWatermarkMinOverSources pins retirement to the slowest sync source: a
+// query may be answered via any stored filter, so an op stays on the
+// overlay until every filter's session has synced past its CSN.
+func TestWatermarkMinOverSources(t *testing.T) {
+	m := newFakeMaster()
+	w := openTestWriter(t, t.TempDir(), m)
+	w.RegisterSource("f0")
+	w.RegisterSource("f1")
+
+	csn, err := w.Submit(personAdd("cn=a,o=xyz", "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetWatermark("f0", csn)
+	if n := w.Pending(); n != 1 {
+		t.Fatalf("pending with one lagging source = %d, want 1", n)
+	}
+	// A regressed watermark must not retire anything either.
+	w.SetWatermark("f1", 0)
+	if n := w.Pending(); n != 1 {
+		t.Fatalf("pending after regression = %d, want 1", n)
+	}
+	w.SetWatermark("f1", csn)
+	if n := w.Pending(); n != 0 {
+		t.Fatalf("pending with all sources past = %d, want 0", n)
+	}
+}
+
+// TestForwardFailureReplaysExactlyOnce is the crash between journal append
+// and forward: the submit returns ErrPending, the reopened writer re-arms
+// the op, and the replay reaches the master exactly once.
+func TestForwardFailureReplaysExactlyOnce(t *testing.T) {
+	dir := t.TempDir()
+	m := newFakeMaster()
+	m.setFail(errors.New("upstream unreachable"))
+
+	w := openTestWriter(t, dir, m)
+	_, err := w.Submit(personAdd("cn=b,o=xyz", "b"))
+	if !errors.Is(err, ErrPending) {
+		t.Fatalf("Submit with dead upstream = %v, want ErrPending", err)
+	}
+	if n := w.PendingUncommitted(); n != 1 {
+		t.Fatalf("uncommitted = %d, want 1", n)
+	}
+	w.Close() // crash before the forward ever succeeded
+
+	m.setFail(nil)
+	w2 := openTestWriter(t, dir, m)
+	if n := w2.PendingUncommitted(); n != 1 {
+		t.Fatalf("recovered uncommitted = %d, want 1", n)
+	}
+	w2.Replay()
+	w2.Replay() // a second replay must hit the dedup table, not re-apply
+	if got := m.applied(); got != 1 {
+		t.Fatalf("master applied %d times, want exactly 1", got)
+	}
+	if n := w2.PendingUncommitted(); n != 0 {
+		t.Fatalf("uncommitted after replay = %d, want 0", n)
+	}
+}
+
+// TestCrashBetweenCommitAndRetire reopens a WAL holding a committed but
+// unretired op: the overlay must re-arm (the CSN has not echoed back yet)
+// and the watermark echo must retire it — without a second forward.
+func TestCrashBetweenCommitAndRetire(t *testing.T) {
+	dir := t.TempDir()
+	m := newFakeMaster()
+	w := openTestWriter(t, dir, m)
+	w.RegisterSource("f0")
+	csn, err := w.Submit(personAdd("cn=c,o=xyz", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close() // crash after the commit ack, before the CSN echoed back
+
+	w2 := openTestWriter(t, dir, m)
+	w2.RegisterSource("f0")
+	if n, u := w2.Pending(), w2.PendingUncommitted(); n != 1 || u != 0 {
+		t.Fatalf("recovered pending=%d uncommitted=%d, want 1/0", n, u)
+	}
+	q := subtreeQuery(t, "(sn=c)")
+	if got := w2.Overlay(q, nil); len(got) != 1 {
+		t.Fatalf("overlay not re-armed after recovery: %v", got)
+	}
+	w2.Replay() // must be a no-op for committed ops
+	if got := m.applied(); got != 1 {
+		t.Fatalf("master applied %d times, want exactly 1", got)
+	}
+	w2.SetWatermark("f0", csn)
+	if n := w2.Pending(); n != 0 {
+		t.Fatalf("pending after echo = %d, want 0", n)
+	}
+}
+
+// TestTornTailRecovery mirrors TestTornCheckpointRecovery for the edge WAL:
+// a crash mid-append leaves a partial final block, recovery drops exactly
+// that block, repairs the file, and never reuses the lost op's id.
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	m := newFakeMaster()
+	m.setFail(errors.New("down")) // keep everything uncommitted
+	w := openTestWriter(t, dir, m)
+	for i := 0; i < 3; i++ {
+		_, err := w.Submit(personAdd(fmt.Sprintf("cn=t%d,o=xyz", i), "t"))
+		if !errors.Is(err, ErrPending) {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	// Tear the tail: chop the journal mid-way through the final block's
+	// header, as a crash inside appendSync would.
+	path := filepath.Join(dir, opsName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := strings.LastIndex(string(b), "opid: ") + len("opid: r1")
+	if err := os.WriteFile(path, b[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m.setFail(nil)
+	w2 := openTestWriter(t, dir, m)
+	if !w2.RecoveredTorn() {
+		t.Fatal("RecoveredTorn = false after a torn tail")
+	}
+	if n := w2.Pending(); n != 2 {
+		t.Fatalf("recovered %d ops, want 2 (torn third dropped)", n)
+	}
+	// The repair rewrote the file: a re-read parses clean.
+	w2.Replay()
+	if got := m.applied(); got != 2 {
+		t.Fatalf("master applied %d, want 2", got)
+	}
+
+	// The torn op's id must not be reused: the persisted floor advanced past
+	// it before it was minted.
+	_, err = w2.Submit(personAdd("cn=t9,o=xyz", "t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.mu.Lock()
+	for id := range m.seen {
+		seq := strings.TrimPrefix(id, "r1.")
+		if seq == "2" {
+			m.mu.Unlock()
+			t.Fatalf("torn op id r1.2 was reused: %v", m.seen)
+		}
+	}
+	m.mu.Unlock()
+}
+
+// TestPermanentErrorAborts pins the doomed-op escape hatch: a forward the
+// sequencer definitively refused is aborted — off the overlay, retired in
+// the WAL — and the verdict surfaces to the submitter unwrapped.
+func TestPermanentErrorAborts(t *testing.T) {
+	dir := t.TempDir()
+	m := newFakeMaster()
+	verdict := errors.New("entry already exists")
+	m.setFail(&PermanentError{Err: verdict})
+	w := openTestWriter(t, dir, m)
+
+	_, err := w.Submit(personAdd("cn=dup,o=xyz", "dup"))
+	if !errors.Is(err, verdict) {
+		t.Fatalf("Submit = %v, want the sequencer's verdict", err)
+	}
+	if errors.Is(err, ErrPending) {
+		t.Fatal("a permanent refusal must not report ErrPending")
+	}
+	if n := w.Pending(); n != 0 {
+		t.Fatalf("aborted op still pending: %d", n)
+	}
+	w.Close()
+	// The abort was durable: a reopened writer replays nothing.
+	w2 := openTestWriter(t, dir, m)
+	if n := w2.Pending(); n != 0 {
+		t.Fatalf("aborted op resurrected on reopen: %d pending", n)
+	}
+}
+
+// TestAdmitterGates checks the containment gate: adds must land inside a
+// spec, targeted ops must hit locally held entries.
+func TestAdmitterGates(t *testing.T) {
+	held := entry.New(dn.MustParse("cn=held,o=xyz")).Put("objectclass", "person").Put("sn", "held")
+	lookup := func(d dn.DN) (*entry.Entry, bool) {
+		if d.Norm() == held.DN().Norm() {
+			return held, true
+		}
+		return nil, false
+	}
+	admit := Admitter([]query.Query{subtreeQuery(t, "(sn=held)")}, lookup)
+
+	if err := admit(dit.Change{Type: dit.ChangeDelete, DN: held.DN()}); err != nil {
+		t.Fatalf("delete of held entry rejected: %v", err)
+	}
+	if err := admit(dit.Change{Type: dit.ChangeDelete, DN: dn.MustParse("cn=alien,o=xyz")}); err == nil {
+		t.Fatal("delete of unheld entry admitted")
+	}
+	if err := admit(personAdd("cn=in,o=xyz", "held")); err != nil {
+		t.Fatalf("covered add rejected: %v", err)
+	}
+	if err := admit(personAdd("cn=out,o=xyz", "other")); err == nil {
+		t.Fatal("uncovered add admitted")
+	}
+}
+
+// TestOverlayProjection checks the three pending-image effects on an
+// answer: tombstones remove, matching images replace, and a pending rename
+// that carries an entry out of the query's reach removes it.
+func TestOverlayProjection(t *testing.T) {
+	m := newFakeMaster()
+	store := map[string]*entry.Entry{}
+	base := entry.New(dn.MustParse("cn=m,o=xyz")).Put("objectclass", "person").Put("sn", "m").Put("mail", "old@x")
+	store[base.DN().Norm()] = base
+	lookup := func(d dn.DN) (*entry.Entry, bool) {
+		e, ok := store[d.Norm()]
+		return e, ok
+	}
+	w, err := Open(Config{Dir: t.TempDir(), ReplicaID: "r1", Forward: m, Lookup: lookup})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := w.Submit(dit.Change{Type: dit.ChangeModify, DN: base.DN(),
+		Mods: []dit.Mod{{Op: dit.ModReplace, Attr: "mail", Values: []string{"new@x"}}}}); err != nil {
+		t.Fatal(err)
+	}
+	q := subtreeQuery(t, "(sn=m)")
+	got := w.Overlay(q, []*entry.Entry{base})
+	if len(got) != 1 || got[0].First("mail") != "new@x" {
+		t.Fatalf("modify overlay = %v, want the pending image with mail=new@x", got)
+	}
+
+	// A pending rename to a name outside the query's filter removes the
+	// synced entry from the answer (the image itself no longer matches).
+	if _, err := w.Submit(dit.Change{Type: dit.ChangeModifyDN, DN: base.DN(),
+		NewDN: dn.MustParse("cn=renamed,o=xyz")}); err != nil {
+		t.Fatal(err)
+	}
+	got = w.Overlay(subtreeQuery(t, "(cn=m)"), []*entry.Entry{base})
+	if len(got) != 0 {
+		t.Fatalf("rename overlay = %v, want the old name gone", got)
+	}
+}
+
+// BenchmarkEdgeWrite measures the accepted-write fast path: admit, WAL
+// append+fsync, overlay projection, in-memory forward, retirement.
+func BenchmarkEdgeWrite(b *testing.B) {
+	m := newFakeMaster()
+	w, err := Open(Config{Dir: b.TempDir(), ReplicaID: "r1", Forward: m})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.RegisterSource("f0")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		csn, err := w.Submit(personAdd(fmt.Sprintf("cn=b%d,o=xyz", i), "b"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.SetWatermark("f0", csn) // immediate echo: steady-state retirement
+	}
+}

@@ -3,6 +3,8 @@ package ldapnet
 import (
 	"errors"
 
+	"filterdir/internal/dit"
+	"filterdir/internal/edgewrite"
 	"filterdir/internal/metrics"
 	"filterdir/internal/proto"
 	"filterdir/internal/query"
@@ -34,11 +36,18 @@ type SyncSupplier interface {
 // behave exactly like ReplicaBackend (containment hit → local answer, miss
 // → referral), but ReSync operations are served from the tier's own engine
 // instead of being refused — the replica acts as a containment-gated
-// supplier for downstream replicas. Directory updates remain refused; the
-// tier's content changes only through its upstream session.
+// supplier for downstream replicas. The tier's own content changes only
+// through its upstream session; updates submitted here ride the embedded
+// ReplicaBackend's edge-write path, and edge-write forwards from
+// downstream replicas are relayed one hop closer to the master via
+// Upstream — the op id travels unchanged, so the master's dedup sees one
+// op no matter how many hops (or replays) it took.
 type CascadeBackend struct {
 	*ReplicaBackend
 	Supplier SyncSupplier
+	// Upstream relays edge-write forwards toward the sequencer; nil refuses
+	// them (downstream writers then divert to their fallback master).
+	Upstream edgewrite.Forwarder
 }
 
 var (
@@ -53,6 +62,16 @@ func NewCascadeBackend(rep *replica.FilterReplica, sup SyncSupplier, masterURL s
 		ReplicaBackend: NewReplicaBackend(rep, masterURL),
 		Supplier:       sup,
 	}
+}
+
+// EdgeApply implements EdgeApplier by relaying the forwarded op upstream —
+// the mid-tier hop of the edge-write protocol. The tier itself applies
+// nothing: the committed change comes back down its ordinary sync session.
+func (b *CascadeBackend) EdgeApply(c dit.Change, opID string) (uint64, bool, error) {
+	if b.Upstream == nil {
+		return 0, false, ErrReadOnly
+	}
+	return b.Upstream.Forward(c, opID)
 }
 
 // SyncCounters implements SyncCounterSource with the tier engine's

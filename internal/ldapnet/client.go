@@ -77,6 +77,11 @@ type SyncResult struct {
 	Updates    []resync.Update
 	Cookie     string
 	FullReload bool
+	// UpstreamCSN is the supplier's commit watermark for this response (see
+	// resync.PollResult.CSN): applying the updates brings the consumer up to
+	// this position in the supplier's journal. Zero when the supplier
+	// predates the edge-write protocol.
+	UpstreamCSN uint64
 }
 
 // Client is a synchronous LDAP client. Methods are safe for concurrent use
@@ -349,7 +354,7 @@ func (c *Client) Sync(q query.Query, mode proto.ReSyncMode, cookie string) (*Syn
 		}
 		switch op := m.Op.(type) {
 		case *proto.SearchEntry:
-			u, _, err := decodeUpdate(m, op)
+			u, _, _, err := decodeUpdate(m, op)
 			if err != nil {
 				return res, err
 			}
@@ -359,7 +364,7 @@ func (c *Client) Sync(q query.Query, mode proto.ReSyncMode, cookie string) (*Syn
 				return res, &ResultError{Code: op.Code, Message: op.Message, Referrals: op.Referrals}
 			}
 			if dc, ok := m.Control(proto.OIDReSyncDone); ok {
-				res.Cookie, res.FullReload, err = proto.ParseReSyncDone(dc)
+				res.Cookie, res.FullReload, res.UpstreamCSN, err = proto.ParseReSyncDone(dc)
 				if err != nil {
 					return res, err
 				}
@@ -390,19 +395,20 @@ func (c *Client) SyncEnd(cookie string) error {
 	return nil
 }
 
-func decodeUpdate(m *proto.Message, op *proto.SearchEntry) (resync.Update, string, error) {
+func decodeUpdate(m *proto.Message, op *proto.SearchEntry) (resync.Update, string, uint64, error) {
 	action := proto.ChangeActionAdd
 	cookie := ""
+	csn := uint64(0)
 	if cc, ok := m.Control(proto.OIDEntryChange); ok {
-		a, ck, err := proto.ParseEntryChange(cc)
+		a, ck, n, err := proto.ParseEntryChange(cc)
 		if err != nil {
-			return resync.Update{}, "", err
+			return resync.Update{}, "", 0, err
 		}
-		action, cookie = a, ck
+		action, cookie, csn = a, ck, n
 	}
 	d, err := dn.Parse(op.DN)
 	if err != nil {
-		return resync.Update{}, "", err
+		return resync.Update{}, "", 0, err
 	}
 	u := resync.Update{DN: d}
 	switch action {
@@ -418,11 +424,11 @@ func decodeUpdate(m *proto.Message, op *proto.SearchEntry) (resync.Update, strin
 	if u.Action == resync.ActionAdd || u.Action == resync.ActionModify {
 		e, err := op.Entry()
 		if err != nil {
-			return resync.Update{}, "", err
+			return resync.Update{}, "", 0, err
 		}
 		u.Entry = e
 	}
-	return u, cookie, nil
+	return u, cookie, csn, nil
 }
 
 // Add inserts an entry.
@@ -480,6 +486,50 @@ func (c *Client) ModifyDN(old dn.DN, newRDN dn.RDN, newSuperior dn.DN) error {
 	})
 }
 
+// EdgeWrite forwards an edge-originated update operation upstream with the
+// edge-write control attached. On success it returns the CSN the sequencer
+// assigned (or previously assigned: duplicate reports a dedup hit from an
+// earlier forward of the same op id).
+func (c *Client) EdgeWrite(op proto.Op, opID string) (csn uint64, duplicate bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id, err := c.send(op, proto.NewEdgeWriteControl(opID))
+	if err != nil {
+		return 0, false, err
+	}
+	m, err := c.read(id)
+	if err != nil {
+		return 0, false, err
+	}
+	r, ok := writeResult(m)
+	if !ok {
+		return 0, false, fmt.Errorf("ldap edge write: unexpected response %T", m.Op)
+	}
+	if r.Code != proto.ResultSuccess {
+		return 0, false, &ResultError{Code: r.Code, Message: r.Message, Referrals: r.Referrals}
+	}
+	dc, ok := m.Control(proto.OIDEdgeWriteDone)
+	if !ok {
+		return 0, false, errors.New("ldap edge write: server accepted the op without an edge-write-done control")
+	}
+	return proto.ParseEdgeWriteDone(dc)
+}
+
+// writeResult extracts the Result from any of the four update responses.
+func writeResult(m *proto.Message) (proto.Result, bool) {
+	switch r := m.Op.(type) {
+	case *proto.AddResponse:
+		return r.Result, true
+	case *proto.DelResponse:
+		return r.Result, true
+	case *proto.ModifyResponse:
+		return r.Result, true
+	case *proto.ModifyDNResponse:
+		return r.Result, true
+	}
+	return proto.Result{}, false
+}
+
 func (c *Client) simpleOp(op proto.Op, extract func(*proto.Message) (proto.Result, bool)) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -506,10 +556,13 @@ func (c *Client) simpleOp(op proto.Op, extract func(*proto.Message) (proto.Resul
 // StreamUpdate is one pushed update of a persist stream. Cookie is
 // non-empty on the final update of each pushed batch: a consumer that has
 // applied everything up to and including that update holds the named sync
-// point and may adopt the cookie as its resume position.
+// point and may adopt the cookie as its resume position. CSN rides with the
+// cookie (zero elsewhere): the supplier's commit watermark at that sync
+// point, used to retire edge-originated writes once they echo back.
 type StreamUpdate struct {
 	resync.Update
 	Cookie string
+	CSN    uint64
 }
 
 // PersistSession is a persist-mode synchronization over a dedicated
@@ -600,13 +653,13 @@ func PersistWith(dial DialFunc, addr string, q query.Query, cookie string, dialT
 			}
 			switch op := m.Op.(type) {
 			case *proto.SearchEntry:
-				u, cookie, err := decodeUpdate(m, op)
+				u, cookie, csn, err := decodeUpdate(m, op)
 				if err != nil {
 					ps.setErr(err)
 					return
 				}
 				select {
-				case ch <- StreamUpdate{Update: u, Cookie: cookie}:
+				case ch <- StreamUpdate{Update: u, Cookie: cookie, CSN: csn}:
 				case <-ps.stop:
 					return
 				}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"filterdir/internal/dit"
+	"filterdir/internal/edgewrite"
 	"filterdir/internal/proto"
 	"filterdir/internal/query"
 	"filterdir/internal/replica"
@@ -24,12 +25,18 @@ var (
 // ReplicaBackend serves a filter-based replica over the wire: contained
 // queries are answered from the replicated content, everything else gets a
 // referral to the master — the behaviour Section 3 defines for filter-based
-// replicas. Updates and synchronization requests are refused (the replica
-// is a consumer, not a supplier).
+// replicas. Synchronization requests are refused (the replica is a
+// consumer, not a supplier). Updates are refused unless an edge-write
+// Writer is attached, in which case they are journaled locally and
+// forwarded up the cascade (see internal/edgewrite).
 type ReplicaBackend struct {
 	Replica *replica.FilterReplica
 	// MasterURL is the referral target for misses, e.g. "ldap://master".
 	MasterURL string
+	// Edge, when set, accepts update operations at this replica: admitted
+	// ops are WAL-journaled, overlaid on local reads, and forwarded to the
+	// master. Nil keeps the replica read-only.
+	Edge *edgewrite.Writer
 }
 
 var _ Backend = (*ReplicaBackend)(nil)
@@ -81,14 +88,32 @@ func (b *ReplicaBackend) ReSyncPersist(string) (*resync.Subscription, error) {
 // ReSyncEnd implements Backend (refused).
 func (b *ReplicaBackend) ReSyncEnd(string) error { return ErrReadOnly }
 
-// Add implements Backend (refused).
-func (b *ReplicaBackend) Add(*proto.AddRequest) error { return ErrReadOnly }
+// Add implements Backend via the edge-write path (ErrReadOnly when none).
+func (b *ReplicaBackend) Add(req *proto.AddRequest) error { return b.edgeSubmit(req) }
 
-// Delete implements Backend (refused).
-func (b *ReplicaBackend) Delete(*proto.DelRequest) error { return ErrReadOnly }
+// Delete implements Backend via the edge-write path (ErrReadOnly when none).
+func (b *ReplicaBackend) Delete(req *proto.DelRequest) error { return b.edgeSubmit(req) }
 
-// Modify implements Backend (refused).
-func (b *ReplicaBackend) Modify(*proto.ModifyRequest) error { return ErrReadOnly }
+// Modify implements Backend via the edge-write path (ErrReadOnly when none).
+func (b *ReplicaBackend) Modify(req *proto.ModifyRequest) error { return b.edgeSubmit(req) }
 
-// ModifyDN implements Backend (refused).
-func (b *ReplicaBackend) ModifyDN(*proto.ModifyDNRequest) error { return ErrReadOnly }
+// ModifyDN implements Backend via the edge-write path (ErrReadOnly when none).
+func (b *ReplicaBackend) ModifyDN(req *proto.ModifyDNRequest) error { return b.edgeSubmit(req) }
+
+// edgeSubmit routes an update into the edge-write Writer. A containment
+// rejection is dressed as a referral to the master — the client chases it
+// exactly like a search miss.
+func (b *ReplicaBackend) edgeSubmit(op proto.Op) error {
+	if b.Edge == nil {
+		return ErrReadOnly
+	}
+	c, err := changeFromOp(op)
+	if err != nil {
+		return err
+	}
+	_, err = b.Edge.Submit(c)
+	if errors.Is(err, edgewrite.ErrRejected) && b.MasterURL != "" {
+		return &ReferralError{URLs: []string{b.MasterURL}, Err: err}
+	}
+	return err
+}

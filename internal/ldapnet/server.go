@@ -178,17 +178,13 @@ func (s *Server) handle(conn net.Conn) {
 		case *proto.SearchRequest:
 			s.handleSearch(state, conn, msg, op)
 		case *proto.AddRequest:
-			err := s.backend.Add(op)
-			s.reply(state, conn, msg.ID, &proto.AddResponse{}, resultCodeFor(err), errText(err), nil, nil)
+			s.handleWrite(state, conn, msg, &proto.AddResponse{}, func() error { return s.backend.Add(op) })
 		case *proto.DelRequest:
-			err := s.backend.Delete(op)
-			s.reply(state, conn, msg.ID, &proto.DelResponse{}, resultCodeFor(err), errText(err), nil, nil)
+			s.handleWrite(state, conn, msg, &proto.DelResponse{}, func() error { return s.backend.Delete(op) })
 		case *proto.ModifyRequest:
-			err := s.backend.Modify(op)
-			s.reply(state, conn, msg.ID, &proto.ModifyResponse{}, resultCodeFor(err), errText(err), nil, nil)
+			s.handleWrite(state, conn, msg, &proto.ModifyResponse{}, func() error { return s.backend.Modify(op) })
 		case *proto.ModifyDNRequest:
-			err := s.backend.ModifyDN(op)
-			s.reply(state, conn, msg.ID, &proto.ModifyDNResponse{}, resultCodeFor(err), errText(err), nil, nil)
+			s.handleWrite(state, conn, msg, &proto.ModifyDNResponse{}, func() error { return s.backend.ModifyDN(op) })
 		default:
 			s.reply(state, conn, msg.ID, &proto.SearchDone{}, proto.ResultProtocolError, "unsupported operation", nil, nil)
 		}
@@ -200,6 +196,46 @@ func errText(err error) string {
 		return ""
 	}
 	return err.Error()
+}
+
+// handleWrite dispatches one update operation. A request carrying the
+// edge-write control is an edge-originated op forwarded from a replica: it
+// routes to the backend's EdgeApplier (CSN assignment plus dedup by op id
+// on the master; upstream relay on a mid-tier) and the assigned CSN rides
+// back on the response's edge-write-done control. Plain requests go through
+// the Backend write methods — which on an edge-writing replica journal and
+// forward the op themselves. Either way, errors carrying referral URLs (a
+// replica refusing a write it does not track) surface as LDAP referrals the
+// client can chase.
+func (s *Server) handleWrite(state *connState, conn net.Conn, msg *proto.Message, resp proto.Op, apply func() error) {
+	if c, ok := msg.Control(proto.OIDEdgeWrite); ok {
+		opID, err := proto.ParseEdgeWrite(c)
+		if err != nil {
+			s.reply(state, conn, msg.ID, resp, proto.ResultProtocolError, err.Error(), nil, nil)
+			return
+		}
+		ea, ok := s.backend.(EdgeApplier)
+		if !ok {
+			s.reply(state, conn, msg.ID, resp, proto.ResultUnwillingToPerform,
+				"edge-write forwarding not supported by this server", nil, nil)
+			return
+		}
+		ch, err := changeFromOp(msg.Op)
+		if err != nil {
+			s.reply(state, conn, msg.ID, resp, proto.ResultProtocolError, err.Error(), nil, nil)
+			return
+		}
+		csn, dup, err := ea.EdgeApply(ch, opID)
+		if err != nil {
+			s.reply(state, conn, msg.ID, resp, resultCodeFor(err), errText(err), referralsFor(err), nil)
+			return
+		}
+		s.reply(state, conn, msg.ID, resp, proto.ResultSuccess, "", nil,
+			[]proto.Control{proto.NewEdgeWriteDoneControl(csn, dup)})
+		return
+	}
+	err := apply()
+	s.reply(state, conn, msg.ID, resp, resultCodeFor(err), errText(err), referralsFor(err), nil)
 }
 
 // reply sends a single result-bearing response.
@@ -390,7 +426,7 @@ func (s *Server) handleReSync(state *connState, conn net.Conn, id int64, op *pro
 	if req.Mode == proto.ReSyncModePersist {
 		initialCookie = res.Cookie
 	}
-	if err := s.streamUpdates(state, conn, id, res.Updates, initialCookie, res.Enc, false); err != nil {
+	if err := s.streamUpdates(state, conn, id, res.Updates, initialCookie, res.CSN, res.Enc, false); err != nil {
 		return
 	}
 
@@ -410,7 +446,7 @@ func (s *Server) handleReSync(state *connState, conn net.Conn, id int64, op *pro
 		go func() {
 			defer s.wg.Done()
 			for batch := range sub.Updates {
-				if err := s.streamUpdates(state, conn, id, batch.Updates, batch.Cookie, batch.Enc, true); err != nil {
+				if err := s.streamUpdates(state, conn, id, batch.Updates, batch.Cookie, batch.CSN, batch.Enc, true); err != nil {
 					sub.Close()
 					return
 				}
@@ -423,7 +459,7 @@ func (s *Server) handleReSync(state *connState, conn net.Conn, id int64, op *pro
 	}
 
 	s.reply(state, conn, id, &proto.SearchDone{}, proto.ResultSuccess, "",
-		nil, []proto.Control{proto.NewReSyncDoneControl(res.Cookie, res.FullReload)})
+		nil, []proto.Control{proto.NewReSyncDoneControl(res.Cookie, res.FullReload, res.CSN)})
 }
 
 // errSlowConsumer tears down a persist stream whose connection write queue
@@ -448,7 +484,7 @@ var searchEntryTag = &proto.SearchEntry{}
 // the cached PDU body. Queued mode routes the PDUs through the
 // connection's bounded write queue (persist pushes); otherwise they are
 // written synchronously.
-func (s *Server) streamUpdates(state *connState, conn net.Conn, id int64, updates []resync.Update, batchCookie string, enc *resync.SharedEnc, queued bool) error {
+func (s *Server) streamUpdates(state *connState, conn net.Conn, id int64, updates []resync.Update, batchCookie string, batchCSN uint64, enc *resync.SharedEnc, queued bool) error {
 	for i, u := range updates {
 		u := u
 		var action proto.ChangeAction
@@ -474,10 +510,12 @@ func (s *Server) streamUpdates(state *connState, conn net.Conn, id int64, update
 			return &proto.SearchEntry{DN: u.DN.String()}
 		}
 		cookie := ""
+		csn := uint64(0)
 		if i == len(updates)-1 {
 			cookie = batchCookie
+			csn = batchCSN
 		}
-		controls := []proto.Control{proto.NewEntryChangeControl(action, cookie)}
+		controls := []proto.Control{proto.NewEntryChangeControl(action, cookie, csn)}
 		var msgBytes []byte
 		if enc != nil {
 			var built bool
@@ -546,7 +584,7 @@ func (s *Server) streamDone(state *connState, conn net.Conn, id int64, cookie st
 	op := &proto.SearchDone{}
 	setResult(op, proto.ResultSuccess, "", nil)
 	m := &proto.Message{ID: id, Op: op,
-		Controls: []proto.Control{proto.NewReSyncDoneControl(cookie, false)}}
+		Controls: []proto.Control{proto.NewReSyncDoneControl(cookie, false, 0)}}
 	b, err := m.Encode()
 	if err != nil {
 		return

@@ -36,6 +36,9 @@ type Event struct {
 	Rep  int    // replica index for session events
 	Lost bool   // EvPoll/EvRetain: response discarded in flight
 	Op   sim.Op // EvOp payload
+
+	// W is the EvEdgeWrite payload (edge.go histories only).
+	W EdgeWrite
 }
 
 func (e Event) String() string {
@@ -56,6 +59,12 @@ func (e Event) String() string {
 		return fmt.Sprintf("poll r%d with corrupt cookie", e.Rep)
 	case EvEnd:
 		return fmt.Sprintf("sync_end r%d (server side)", e.Rep)
+	case EvEdgeWrite:
+		return "edge " + e.W.String()
+	case EvEdgeCrash:
+		return "edge crash + WAL reopen"
+	case EvEdgeReplay:
+		return "edge replay pass"
 	default:
 		return fmt.Sprintf("event(%d)", int(e.Kind))
 	}

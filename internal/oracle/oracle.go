@@ -84,6 +84,13 @@ type Report struct {
 	SharedClassifyMisses int64
 	StreamEncodes        int64
 	StreamDedupPDUs      int64
+
+	// Edge-write accounting (edge.go sweeps only): ops accepted at the
+	// replica, ops the sequencer actually applied, and replayed forwards
+	// answered from the dedup table instead of re-applied.
+	EdgeAccepted   int64
+	EdgeApplied    int64
+	EdgeDuplicates int64
 }
 
 // historySeed derives the h-th history's seed, so a failing history is

@@ -126,6 +126,41 @@ func TestOracleCascadeWireSweep(t *testing.T) {
 		rep.Histories, rep.Events, rep.Polls)
 }
 
+// TestOracleEdgeWriteQuick is the tier-1 edge-write oracle run: writes
+// accepted at a leaf replica, journaled to a real on-disk WAL, forwarded to
+// the sequencer under deterministic chaos (lost forwards, lost commit
+// responses, writer crashes mid-exchange), with read-your-writes asserted
+// at every step and byte-identical convergence plus exactly-once
+// application asserted at the end of every history.
+func TestOracleEdgeWriteQuick(t *testing.T) {
+	rep := RunEdge(EdgeConfig{Seed: 42, Histories: 10, Steps: 50})
+	if rep.Failure != nil {
+		t.Fatal(rep.Failure.Format())
+	}
+	if rep.EdgeAccepted == 0 || rep.EdgeApplied == 0 {
+		t.Fatalf("edge machinery never engaged: accepted=%d applied=%d", rep.EdgeAccepted, rep.EdgeApplied)
+	}
+	if rep.EdgeDuplicates == 0 {
+		t.Error("no replayed forward ever hit the dedup table; lost-response chaos did not engage")
+	}
+	t.Logf("oracle edge quick: %d histories, %d events, %d exchanges, edge accepted=%d applied=%d dedup=%d",
+		rep.Histories, rep.Events, rep.Polls, rep.EdgeAccepted, rep.EdgeApplied, rep.EdgeDuplicates)
+}
+
+// TestOracleEdgeWriteSweep is the long edge-write sweep, enabled by
+// -oracle.n (see `make oracle ORACLE_TESTS=TestOracleEdgeWriteSweep`).
+func TestOracleEdgeWriteSweep(t *testing.T) {
+	if *oracleN <= 0 {
+		t.Skip("sweep disabled; run via make oracle or -oracle.n=N")
+	}
+	rep := RunEdge(EdgeConfig{Seed: *oracleSeed, Histories: *oracleN, Steps: *oracleSteps})
+	if rep.Failure != nil {
+		t.Fatal(rep.Failure.Format())
+	}
+	t.Logf("oracle edge sweep: %d histories, %d events, %d exchanges, edge accepted=%d applied=%d dedup=%d",
+		rep.Histories, rep.Events, rep.Polls, rep.EdgeAccepted, rep.EdgeApplied, rep.EdgeDuplicates)
+}
+
 // TestOracleSharedFilterHistories runs the fan-out stress spec set — many
 // replicas over one shared filter (including an attribute-selected view and
 // a containment-equivalent spelling) plus one odd-one-out — through the

@@ -63,10 +63,23 @@ const (
 	// response: value = SEQUENCE { cookie OCTET STRING }.
 	OIDReSyncDone = "1.3.6.1.4.1.55555.1.2"
 	// OIDEntryChange is attached to each update PDU of a ReSync response:
-	// value = SEQUENCE { action ENUMERATED, cookie OCTET STRING OPTIONAL }.
-	// The cookie appears on the last PDU of a persist-mode batch, naming
-	// the sync point the replica reaches by applying the batch.
+	// value = SEQUENCE { action ENUMERATED, cookie OCTET STRING OPTIONAL,
+	// csn INTEGER OPTIONAL }. The cookie appears on the last PDU of a
+	// persist-mode batch, naming the sync point the replica reaches by
+	// applying the batch; the csn rides beside it, echoing the master CSN
+	// the batch syncs the consumer to (the signal an edge-writing replica
+	// uses to retire pending ops).
 	OIDEntryChange = "1.3.6.1.4.1.55555.1.3"
+	// OIDEdgeWrite is attached to an update request forwarded up the
+	// cascade by an edge-writing replica: value = SEQUENCE { opid OCTET
+	// STRING }. The opid is the replica's durable op identifier; the master
+	// dedups by it, making WAL replays after a crash exactly-once.
+	OIDEdgeWrite = "1.3.6.1.4.1.55555.1.4"
+	// OIDEdgeWriteDone is attached to the update response: value =
+	// SEQUENCE { csn INTEGER, duplicate BOOLEAN }. The csn is the
+	// master-assigned sequence number the origin replica matches against
+	// its ReSync stream; duplicate reports the op id was already applied.
+	OIDEdgeWriteDone = "1.3.6.1.4.1.55555.1.5"
 	// OIDPersistentSearch requests change notification on a plain search,
 	// per the persistent-search draft the paper builds on.
 	OIDPersistentSearch = "2.16.840.1.113730.3.4.3"
@@ -132,28 +145,41 @@ func ParseReSyncRequest(c Control) (ReSyncRequest, error) {
 	return ReSyncRequest{Mode: ReSyncMode(mode), Cookie: cookie}, nil
 }
 
-// NewReSyncDoneControl carries the session cookie back on the search-done.
-func NewReSyncDoneControl(cookie string, fullReload bool) Control {
+// NewReSyncDoneControl carries the session cookie back on the search-done,
+// plus the master CSN the exchange syncs the consumer to (0 omits it, for
+// engines without a CSN watermark).
+func NewReSyncDoneControl(cookie string, fullReload bool, csn uint64) Control {
 	var body []byte
 	body = ber.AppendString(body, ber.ClassUniversal, ber.TagOctetString, cookie)
 	body = ber.AppendBool(body, fullReload)
+	if csn > 0 {
+		body = ber.AppendInt(body, ber.ClassUniversal, ber.TagInteger, int64(csn))
+	}
 	return Control{OID: OIDReSyncDone, Value: ber.AppendSequence(nil, body)}
 }
 
-// ParseReSyncDone decodes the done control.
-func ParseReSyncDone(c Control) (cookie string, fullReload bool, err error) {
+// ParseReSyncDone decodes the done control; csn is 0 when the server did
+// not stamp one.
+func ParseReSyncDone(c Control) (cookie string, fullReload bool, csn uint64, err error) {
 	rd := ber.NewReader(c.Value)
 	seq, err := rd.ReadSequence()
 	if err != nil {
-		return "", false, fmt.Errorf("resync done control: %w", err)
+		return "", false, 0, fmt.Errorf("resync done control: %w", err)
 	}
 	if cookie, err = seq.ReadString(); err != nil {
-		return "", false, err
+		return "", false, 0, err
 	}
 	if fullReload, err = seq.ReadBool(); err != nil {
-		return "", false, err
+		return "", false, 0, err
 	}
-	return cookie, fullReload, nil
+	if !seq.Empty() {
+		n, err := seq.ReadInt()
+		if err != nil {
+			return "", false, 0, err
+		}
+		csn = uint64(n)
+	}
+	return cookie, fullReload, csn, nil
 }
 
 // ChangeAction is the client action carried on an update PDU.
@@ -184,35 +210,92 @@ func (a ChangeAction) String() string {
 
 // NewEntryChangeControl labels an update PDU with its action. A non-empty
 // cookie marks the PDU as the last of a pushed batch: applying everything
-// up to and including it brings the replica to the named sync point.
-func NewEntryChangeControl(action ChangeAction, cookie string) Control {
+// up to and including it brings the replica to the named sync point. The
+// csn (0 to omit) rides only with a cookie, echoing the master CSN the
+// batch syncs the consumer to.
+func NewEntryChangeControl(action ChangeAction, cookie string, csn uint64) Control {
 	var body []byte
 	body = ber.AppendEnum(body, int64(action))
 	if cookie != "" {
 		body = ber.AppendString(body, ber.ClassUniversal, ber.TagOctetString, cookie)
+		if csn > 0 {
+			body = ber.AppendInt(body, ber.ClassUniversal, ber.TagInteger, int64(csn))
+		}
 	}
 	return Control{OID: OIDEntryChange, Value: ber.AppendSequence(nil, body)}
 }
 
-// ParseEntryChange decodes an entry-change control; cookie is "" except on
-// the final PDU of a pushed batch.
-func ParseEntryChange(c Control) (ChangeAction, string, error) {
+// ParseEntryChange decodes an entry-change control; cookie is "" (and csn
+// 0) except on the final PDU of a pushed batch.
+func ParseEntryChange(c Control) (ChangeAction, string, uint64, error) {
 	rd := ber.NewReader(c.Value)
 	seq, err := rd.ReadSequence()
 	if err != nil {
-		return 0, "", fmt.Errorf("entry change control: %w", err)
+		return 0, "", 0, fmt.Errorf("entry change control: %w", err)
 	}
 	a, err := seq.ReadEnum()
 	if err != nil {
-		return 0, "", err
+		return 0, "", 0, err
 	}
 	var cookie string
+	var csn uint64
 	if !seq.Empty() {
 		if cookie, err = seq.ReadString(); err != nil {
-			return 0, "", err
+			return 0, "", 0, err
 		}
 	}
-	return ChangeAction(a), cookie, nil
+	if !seq.Empty() {
+		n, err := seq.ReadInt()
+		if err != nil {
+			return 0, "", 0, err
+		}
+		csn = uint64(n)
+	}
+	return ChangeAction(a), cookie, csn, nil
+}
+
+// NewEdgeWriteControl marks an update request as an edge-originated write
+// forwarded from a replica, carrying the replica's durable op id.
+func NewEdgeWriteControl(opID string) Control {
+	var body []byte
+	body = ber.AppendString(body, ber.ClassUniversal, ber.TagOctetString, opID)
+	return Control{OID: OIDEdgeWrite, Criticality: true, Value: ber.AppendSequence(nil, body)}
+}
+
+// ParseEdgeWrite decodes an edge-write request control.
+func ParseEdgeWrite(c Control) (opID string, err error) {
+	rd := ber.NewReader(c.Value)
+	seq, err := rd.ReadSequence()
+	if err != nil {
+		return "", fmt.Errorf("edge write control: %w", err)
+	}
+	return seq.ReadString()
+}
+
+// NewEdgeWriteDoneControl carries the sequencer's answer back on the
+// update response: the assigned CSN and whether the op id was a replay.
+func NewEdgeWriteDoneControl(csn uint64, duplicate bool) Control {
+	var body []byte
+	body = ber.AppendInt(body, ber.ClassUniversal, ber.TagInteger, int64(csn))
+	body = ber.AppendBool(body, duplicate)
+	return Control{OID: OIDEdgeWriteDone, Value: ber.AppendSequence(nil, body)}
+}
+
+// ParseEdgeWriteDone decodes an edge-write response control.
+func ParseEdgeWriteDone(c Control) (csn uint64, duplicate bool, err error) {
+	rd := ber.NewReader(c.Value)
+	seq, err := rd.ReadSequence()
+	if err != nil {
+		return 0, false, fmt.Errorf("edge write done control: %w", err)
+	}
+	n, err := seq.ReadInt()
+	if err != nil {
+		return 0, false, err
+	}
+	if duplicate, err = seq.ReadBool(); err != nil {
+		return 0, false, err
+	}
+	return uint64(n), duplicate, nil
 }
 
 // NewPersistentSearchControl requests plain persistent search (changes only

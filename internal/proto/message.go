@@ -49,6 +49,7 @@ const (
 	ResultNotAllowedOnNonLeaf  ResultCode = 66
 	ResultObjectClassViolation ResultCode = 65
 	ResultReferral             ResultCode = 10
+	ResultBusy                 ResultCode = 51
 	ResultUnwillingToPerform   ResultCode = 53
 	ResultOther                ResultCode = 80
 	// ResultESyncRefreshRequired (RFC 4533) tells a consumer its sync
@@ -78,6 +79,8 @@ func (c ResultCode) String() string {
 		return "objectClassViolation"
 	case ResultReferral:
 		return "referral"
+	case ResultBusy:
+		return "busy"
 	case ResultUnwillingToPerform:
 		return "unwillingToPerform"
 	case ResultESyncRefreshRequired:

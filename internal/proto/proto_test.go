@@ -196,26 +196,32 @@ func TestControlsRoundTrip(t *testing.T) {
 }
 
 func TestReSyncDoneControl(t *testing.T) {
-	c := NewReSyncDoneControl("sess-9", true)
-	cookie, reload, err := ParseReSyncDone(c)
-	if err != nil || cookie != "sess-9" || !reload {
-		t.Errorf("done control: %q %v %v", cookie, reload, err)
+	c := NewReSyncDoneControl("sess-9", true, 0)
+	cookie, reload, csn, err := ParseReSyncDone(c)
+	if err != nil || cookie != "sess-9" || !reload || csn != 0 {
+		t.Errorf("done control: %q %v %d %v", cookie, reload, csn, err)
+	}
+	// The CSN-stamped form carries the supplier's commit watermark.
+	c = NewReSyncDoneControl("sess-9", false, 42)
+	cookie, reload, csn, err = ParseReSyncDone(c)
+	if err != nil || cookie != "sess-9" || reload || csn != 42 {
+		t.Errorf("done control with csn: %q %v %d %v", cookie, reload, csn, err)
 	}
 }
 
 func TestEntryChangeControl(t *testing.T) {
 	for _, a := range []ChangeAction{ChangeActionAdd, ChangeActionDelete, ChangeActionModify, ChangeActionRetain} {
-		c := NewEntryChangeControl(a, "")
-		got, cookie, err := ParseEntryChange(c)
-		if err != nil || got != a || cookie != "" {
-			t.Errorf("entry change %v: got %v, %q, %v", a, got, cookie, err)
+		c := NewEntryChangeControl(a, "", 0)
+		got, cookie, csn, err := ParseEntryChange(c)
+		if err != nil || got != a || cookie != "" || csn != 0 {
+			t.Errorf("entry change %v: got %v, %q, %d, %v", a, got, cookie, csn, err)
 		}
 	}
-	// The batch-closing form carries the sync-point cookie.
-	c := NewEntryChangeControl(ChangeActionModify, "sess-3@7")
-	got, cookie, err := ParseEntryChange(c)
-	if err != nil || got != ChangeActionModify || cookie != "sess-3@7" {
-		t.Errorf("entry change with cookie: got %v, %q, %v", got, cookie, err)
+	// The batch-closing form carries the sync-point cookie and watermark.
+	c := NewEntryChangeControl(ChangeActionModify, "sess-3@7", 9)
+	got, cookie, csn, err := ParseEntryChange(c)
+	if err != nil || got != ChangeActionModify || cookie != "sess-3@7" || csn != 9 {
+		t.Errorf("entry change with cookie: got %v, %q, %d, %v", got, cookie, csn, err)
 	}
 }
 
@@ -349,8 +355,8 @@ func TestSharedEncodingEquivalence(t *testing.T) {
 	}
 	controlSets := [][]Control{
 		nil,
-		{NewEntryChangeControl(ChangeActionAdd, "")},
-		{NewEntryChangeControl(ChangeActionDelete, "sess-9@4")},
+		{NewEntryChangeControl(ChangeActionAdd, "", 0)},
+		{NewEntryChangeControl(ChangeActionDelete, "sess-9@4", 3)},
 	}
 	for _, tc := range ops {
 		for ci, controls := range controlSets {

@@ -50,6 +50,12 @@ type FilterReplica struct {
 	contentIndexes []string
 	journalLimit   int
 
+	// overlay, when set, post-processes Answer hits with the replica's
+	// pending edge writes (read-your-writes: a locally accepted update is
+	// visible before its CSN echoes back down the sync stream). Set once
+	// during wiring, before the replica serves queries.
+	overlay func(q query.Query, entries []*entry.Entry) []*entry.Entry
+
 	m Metrics
 }
 
@@ -241,10 +247,20 @@ func (r *FilterReplica) Answer(q query.Query) (entries []*entry.Entry, hit bool,
 			entries = append(entries, e.Select(nq.Attrs))
 		}
 	}
+	if r.overlay != nil {
+		entries = r.overlay(nq, entries)
+	}
 	r.mu.Lock()
 	r.m.EntriesReturned += uint64(len(entries))
 	r.mu.Unlock()
 	return entries, true, container.Query.String()
+}
+
+// SetReadOverlay installs the pending-edge-write projection applied to
+// every Answer hit (see internal/edgewrite.Writer.Overlay). Install during
+// wiring, before concurrent readers exist; nil removes it.
+func (r *FilterReplica) SetReadOverlay(overlay func(q query.Query, entries []*entry.Entry) []*entry.Entry) {
+	r.overlay = overlay
 }
 
 // findContainerLocked locates a stored or cached query semantically

@@ -607,7 +607,7 @@ func (g *group) syncOne(st *subscriber) {
 	if len(res.Updates) == 0 {
 		return
 	}
-	batch := Batch{Updates: res.Updates, Cookie: res.Cookie, Enc: res.Enc}
+	batch := Batch{Updates: res.Updates, Cookie: res.Cookie, CSN: res.CSN, Enc: res.Enc}
 	g.mu.Lock()
 	if _, live := g.subs[st.sub]; live {
 		// Space was observed above and this goroutine is the only sender,

@@ -14,6 +14,9 @@ import (
 type Batch struct {
 	Updates []Update
 	Cookie  string
+	// CSN is the master-position watermark the batch syncs the consumer to
+	// (see PollResult.CSN).
+	CSN uint64
 	// Enc, when non-nil, memoizes the wire encoding of each update: a
 	// batch fanned out to many sessions of one content view is BER-encoded
 	// once, not once per session.
@@ -159,7 +162,7 @@ func (e *Engine) persistSolo(sess *session) *Subscription {
 			}
 			if len(res.Updates) > 0 {
 				select {
-				case ch <- Batch{Updates: res.Updates, Cookie: res.Cookie}:
+				case ch <- Batch{Updates: res.Updates, Cookie: res.Cookie, CSN: res.CSN}:
 				case <-stop:
 					return
 				}

@@ -146,6 +146,35 @@ type Engine struct {
 	// Persist slow-consumer policy knobs (see group.syncOne).
 	persistQueueCap int
 	demoteAfter     int
+
+	// watermark maps a local store CSN to the master-position watermark
+	// stamped on poll results (identity when nil — the master serving its
+	// own store). A cascade mid-tier installs a mapping to its upstream
+	// CSNs so edge-writing consumers can match pending ops, which are
+	// sequenced by the master, against a stream served by the tier.
+	watermarkMu sync.Mutex
+	watermark   func(dit.CSN) uint64
+}
+
+// SetWatermarkFunc installs (or clears, with nil) the local-CSN → master
+// watermark mapping stamped on every poll result. The function must be
+// conservative: return only master positions provably covered by the local
+// content at the given CSN, and be monotone in it.
+func (e *Engine) SetWatermarkFunc(fn func(dit.CSN) uint64) {
+	e.watermarkMu.Lock()
+	e.watermark = fn
+	e.watermarkMu.Unlock()
+}
+
+// stampCSN resolves the watermark for a local CSN.
+func (e *Engine) stampCSN(csn dit.CSN) uint64 {
+	e.watermarkMu.Lock()
+	fn := e.watermark
+	e.watermarkMu.Unlock()
+	if fn == nil {
+		return uint64(csn)
+	}
+	return fn(csn)
 }
 
 // Observer receives every update batch the engine emits, right before it is
@@ -398,6 +427,11 @@ type PollResult struct {
 	Updates    []Update
 	Cookie     string
 	FullReload bool
+	// CSN is the master-position watermark the exchange syncs the consumer
+	// to (the engine's store CSN on a master, the mapped upstream CSN on a
+	// cascade tier; 0 when unknown). An edge-writing replica retires a
+	// pending op once every source's CSN reaches the op's assigned CSN.
+	CSN uint64
 	// Enc, when non-nil, memoizes the wire encoding of Updates, shared
 	// with every other session of the same content view crossing the same
 	// change interval (group.go).
@@ -416,7 +450,7 @@ func (e *Engine) Begin(spec query.Query) (*PollResult, error) {
 	sess := &session{spec: spec, viewKey: viewKey(spec.Attrs), genSeq: 1, csn: csn, content: make(map[string]dn.DN, len(entries))}
 	sess.group = e.joinGroup(spec)
 	sess.points = []syncPoint{{gen: 1, csn: csn}}
-	res := &PollResult{FullReload: false}
+	res := &PollResult{FullReload: false, CSN: e.stampCSN(csn)}
 	for _, ent := range entries {
 		sess.content[ent.DN().Norm()] = ent.DN()
 		sel := ent.Select(spec.Attrs)
@@ -494,6 +528,7 @@ func (e *Engine) poll(sess *session) (*PollResult, error) {
 		}
 		res.Cookie = cookieString(sess.id, sess.genSeq)
 	}
+	res.CSN = e.stampCSN(csn)
 	e.countPDUs(res.Updates)
 	e.observe(sess.id, res.Updates, false)
 	return res, nil
@@ -513,7 +548,7 @@ func (e *Engine) reload(sess *session) *PollResult {
 	sess.csn = csn
 	sess.content = make(map[string]dn.DN, len(entries))
 	sess.points = []syncPoint{{gen: sess.genSeq, csn: csn}}
-	res := &PollResult{Cookie: cookieString(sess.id, sess.genSeq), FullReload: true}
+	res := &PollResult{Cookie: cookieString(sess.id, sess.genSeq), FullReload: true, CSN: e.stampCSN(csn)}
 	for _, ent := range entries {
 		sess.content[ent.DN().Norm()] = ent.DN()
 		sel := ent.Select(sess.spec.Attrs)

@@ -111,6 +111,15 @@ type Config struct {
 	// apply→rebroadcast latency metric. Called from the supervision loop;
 	// it must not block.
 	OnApplied func(n int)
+	// OnWatermark, when non-nil, receives the upstream commit watermark
+	// (resync PollResult.CSN) after each exchange whose updates have been
+	// applied — the local content now reflects the upstream journal up to
+	// that position. An edge-write Writer retires pending ops against it; a
+	// cascade tier records (local CSN, upstream watermark) pairs for its
+	// downstream consumers. Watermarks may regress after a fallback to a
+	// lagging upstream; consumers must tolerate that. Called from the
+	// supervision loop; it must not block.
+	OnWatermark func(csn uint64)
 	// Spec is the replicated content specification.
 	Spec query.Query
 	// Mode selects polling or persist-stream steady state.
@@ -604,10 +613,12 @@ func (s *Supervisor) streamSteadyState(client *ldapnet.Client) error {
 	defer probeTick.Stop()
 	var batch []resync.Update
 	var batchCookie string
+	var batchCSN uint64
 	take := func(u ldapnet.StreamUpdate) {
 		batch = append(batch, u.Update)
 		if u.Cookie != "" {
 			batchCookie = u.Cookie
+			batchCSN = u.CSN
 		}
 	}
 	flush := func() error {
@@ -621,8 +632,9 @@ func (s *Supervisor) streamSteadyState(client *ldapnet.Client) error {
 		s.counters.StreamBatches.Add(1)
 		if err == nil {
 			s.noteExchange()
+			s.noteWatermark(batchCSN)
 		}
-		batch, batchCookie = batch[:0], ""
+		batch, batchCookie, batchCSN = batch[:0], "", 0
 		return err
 	}
 	for {
@@ -705,7 +717,16 @@ func (s *Supervisor) apply(res *ldapnet.SyncResult) error {
 		return err
 	}
 	s.noteExchange()
+	s.noteWatermark(res.UpstreamCSN)
 	return nil
+}
+
+// noteWatermark reports an applied exchange's upstream commit position to
+// the OnWatermark hook (zero means the supplier did not stamp one).
+func (s *Supervisor) noteWatermark(csn uint64) {
+	if s.cfg.OnWatermark != nil && csn > 0 {
+		s.cfg.OnWatermark(csn)
+	}
 }
 
 // applyUpdates applies a batch to the replica and checkpoints when
