@@ -11,7 +11,7 @@ SHELL := /bin/bash
 #   make oracle ORACLE_TESTS='TestOracleCascadeSweep|TestOracleCascadeWireSweep'
 SEED ?= 42
 N ?= 1000
-ORACLE_TESTS ?= TestOracleSweep|TestOracleWireSweep|TestOracleCascadeSweep|TestOracleCascadeWireSweep|TestOracleEdgeWriteSweep
+ORACLE_TESTS ?= TestOracleSweep|TestOracleWireSweep|TestOracleCascadeSweep|TestOracleCascadeWireSweep|TestOracleEdgeWriteSweep|TestOracleShardSweepFull
 
 .PHONY: check fmt vet build test bench bench-diff oracle fuzz-smoke cover
 
@@ -33,20 +33,31 @@ build:
 test:
 	$(GO) test -race ./...
 
-## bench: regenerate every paper figure as benchmark metrics and write the
-## machine-readable regression baseline. -count=3 runs each benchmark three
-## times; benchjson keeps the fastest run so the baseline is a min-of-3,
-## not a single GC-perturbed sample. -run '^$' skips unit tests (make test
-## covers those) and -p 1 serializes packages: benchmarks timed while other
-## packages' tests chew the same cores swing 30-40% run to run.
-bench:
-	$(GO) test -run '^$$' -p 1 -bench=. -benchmem -benchtime=1x -count=3 ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_resync.json
+## BENCH_COUNT: samples per benchmark; benchjson keeps the fastest run so
+## the baseline is a min-of-N, not a single GC-perturbed sample. Shared-host
+## CI boxes drift between fast and slow phases over a few minutes, so a
+## min-of-3 min still swings ~25% between invocations; five samples span
+## enough wall clock that the min reliably lands in a comparable phase.
+BENCH_COUNT ?= 5
 
-## bench-diff: rerun the benchmarks (min-of-3, serial, matching how the
+## bench: regenerate every paper figure as benchmark metrics and write the
+## machine-readable regression baseline. -run '^$' skips unit tests (make
+## test covers those) and -p 1 serializes packages: benchmarks timed while
+## other packages' tests chew the same cores swing 30-40% run to run.
+bench:
+	$(GO) test -run '^$$' -p 1 -bench=. -benchmem -benchtime=1x -count=$(BENCH_COUNT) ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_resync.json
+
+## bench-diff: rerun the benchmarks (min-of-N, serial, matching how the
 ## baseline was recorded) and compare against the checked-in baseline; fails
-## on a >20% ns/op regression (noise-floored — see cmd/benchjson -minns).
+## on a regression beyond -tolerance (noise-floored — see cmd/benchjson
+## -minns). 30% rather than benchjson's 20% default: measured on the
+## single-CPU shared-host CI box, identical code re-benchmarked against its
+## own fresh baseline swings 24-38% on whichever long benchmark catches a
+## slow host phase, so a 20% gate fails clean runs; a real regression that
+## matters here (the order-of-magnitude kind the fan-out and index work
+## targets) clears 30% with room to spare.
 bench-diff:
-	$(GO) test -run '^$$' -p 1 -bench=. -benchmem -benchtime=1x -count=3 ./... | $(GO) run ./cmd/benchjson -baseline BENCH_resync.json
+	$(GO) test -run '^$$' -p 1 -bench=. -benchmem -benchtime=1x -count=$(BENCH_COUNT) ./... | $(GO) run ./cmd/benchjson -baseline BENCH_resync.json -tolerance 0.30
 
 ## oracle: the long randomized model-checking sweep (engine level plus one
 ## wire-level history per 50 engine histories), including the three-tier

@@ -7,6 +7,7 @@ package filterdir
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -391,6 +392,10 @@ func BenchmarkResyncConcurrentPolls(b *testing.B) {
 			if _, err := upd.Apply(2000); err != nil {
 				b.Fatal(err)
 			}
+			// Collect the burst's garbage on the untimed budget so a GC
+			// cycle doesn't land inside the timed section on a coin flip
+			// (at -benchtime=1x that made the timing bimodal).
+			runtime.GC()
 			b.StartTimer()
 			start := time.Now()
 			var wg sync.WaitGroup
@@ -525,6 +530,7 @@ func BenchmarkPersistFanout(b *testing.B) {
 					if _, err := upd.Apply(burst); err != nil {
 						b.Fatal(err)
 					}
+					runtime.GC() // keep GC debt out of the timed section
 					b.StartTimer()
 					for s, c := range cookies {
 						res, err := eng.Poll(c)
@@ -649,6 +655,11 @@ func BenchmarkCascadeFanout(b *testing.B) {
 				if _, err := upd.Apply(burst); err != nil {
 					b.Fatal(err)
 				}
+				// Collect on the untimed budget: at -benchtime=1x a GC cycle
+				// triggered by the burst's garbage lands inside the single
+				// timed poll loop on roughly a coin flip, which made this
+				// benchmark bimodal (~2.5x spread between modes).
+				runtime.GC()
 				b.StartTimer()
 				for s, c := range cookies {
 					res, err := eng.Poll(c)
@@ -712,6 +723,7 @@ func BenchmarkCascadeFanout(b *testing.B) {
 				if _, err := upd.Apply(burst); err != nil {
 					b.Fatal(err)
 				}
+				runtime.GC() // keep GC debt out of the timed section (see flat)
 				b.StartTimer()
 				// Master-side work: one poll per mid-tier, nothing else.
 				for mi, m := range tiers {

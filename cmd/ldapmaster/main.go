@@ -43,6 +43,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "deterministic seed for the synthetic directory")
 	statusEvery := flag.Duration("status-every", time.Minute, "sync-counter status report interval (0 disables)")
 	journalLimit := flag.Int("journal-limit", 0, "bound the in-memory update journal to the most recent n changes (0 = unbounded)")
+	shards := flag.Int("shards", 0, "DIT store shard count (0 = GOMAXPROCS, or the FILTERDIR_SHARDS environment override)")
 	chaosSpec := flag.String("chaos", "", `fault-injection plan for accepted connections, e.g. "drop-every=40,latency=1ms..5ms,seed=7" (empty disables)`)
 	flag.Parse()
 
@@ -51,19 +52,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ldapmaster:", err)
 		os.Exit(2)
 	}
-	if err := run(*addr, *ldifPath, *dataDir, *journalEvery, *suffix, *employees, *seed, *statusEvery, *journalLimit, plan); err != nil {
+	if err := run(*addr, *ldifPath, *dataDir, *journalEvery, *suffix, *employees, *seed, *statusEvery, *journalLimit, *shards, plan); err != nil {
 		fmt.Fprintln(os.Stderr, "ldapmaster:", err)
 		os.Exit(1)
 	}
 }
 
 // storeOptions assembles the directory options common to every load path.
-func storeOptions(journalLimit int) []filterdir.DirectoryOption {
+func storeOptions(journalLimit, shards int) []filterdir.DirectoryOption {
 	opts := []filterdir.DirectoryOption{
 		filterdir.WithIndexes("serialnumber", "mail", "dept", "location", "uid"),
 	}
 	if journalLimit > 0 {
 		opts = append(opts, filterdir.WithJournalLimit(journalLimit))
+	}
+	if shards > 0 {
+		opts = append(opts, filterdir.WithShards(shards))
 	}
 	return opts
 }
@@ -78,6 +82,7 @@ func printStatus(srv *filterdir.Server, backend *ldapnet.StoreBackend, store *fi
 	}
 	fmt.Printf("ldapmaster: entries=%d journal-trimmed=%d sessions=%d conns=%d | %s\n",
 		store.Len(), store.JournalTrimmed(), backend.Engine.Sessions(), srv.ActiveConns(), c.Snapshot())
+	fmt.Printf("ldapmaster: shards=%d | %s\n", store.Shards(), store.Counters().Snapshot())
 	if w := backend.Writes.Snapshot(); w.Applied > 0 || w.Duplicates > 0 {
 		fmt.Printf("ldapmaster: edge writes applied=%d duplicates=%d\n", w.Applied, w.Duplicates)
 	}
@@ -86,12 +91,12 @@ func printStatus(srv *filterdir.Server, backend *ldapnet.StoreBackend, store *fi
 	}
 }
 
-func run(addr, ldifPath, dataDir string, journalEvery time.Duration, suffix string, employees int, seed int64, statusEvery time.Duration, journalLimit int, plan chaos.Plan) error {
+func run(addr, ldifPath, dataDir string, journalEvery time.Duration, suffix string, employees int, seed int64, statusEvery time.Duration, journalLimit, shards int, plan chaos.Plan) error {
 	var store *filterdir.Directory
 	var home *persist.Dir
 	if dataDir != "" {
 		home = &persist.Dir{Path: dataDir}
-		st, err := home.Open([]string{suffix}, storeOptions(journalLimit)...)
+		st, err := home.Open([]string{suffix}, storeOptions(journalLimit, shards)...)
 		if err != nil {
 			return err
 		}
@@ -101,6 +106,7 @@ func run(addr, ldifPath, dataDir string, journalEvery time.Duration, suffix stri
 			cfg := workload.DefaultDirectoryConfig(employees)
 			cfg.Seed = seed
 			cfg.JournalLimit = journalLimit
+			cfg.Shards = shards
 			dir, err := workload.BuildDirectory(cfg)
 			if err != nil {
 				return err
@@ -111,7 +117,7 @@ func run(addr, ldifPath, dataDir string, journalEvery time.Duration, suffix stri
 			}
 		}
 	} else if ldifPath != "" {
-		st, err := filterdir.NewDirectory([]string{suffix}, storeOptions(journalLimit)...)
+		st, err := filterdir.NewDirectory([]string{suffix}, storeOptions(journalLimit, shards)...)
 		if err != nil {
 			return err
 		}
@@ -135,6 +141,7 @@ func run(addr, ldifPath, dataDir string, journalEvery time.Duration, suffix stri
 		cfg := workload.DefaultDirectoryConfig(employees)
 		cfg.Seed = seed
 		cfg.JournalLimit = journalLimit
+		cfg.Shards = shards
 		dir, err := workload.BuildDirectory(cfg)
 		if err != nil {
 			return err

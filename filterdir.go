@@ -39,6 +39,8 @@
 package filterdir
 
 import (
+	"time"
+
 	"filterdir/internal/containment"
 	"filterdir/internal/dit"
 	"filterdir/internal/dn"
@@ -245,6 +247,19 @@ func WithDefaultReferral(url string) DirectoryOption { return dit.WithDefaultRef
 // WithJournalLimit bounds the in-memory update journal to the most recent n
 // changes; sync sessions that fall further behind require a full reload.
 func WithJournalLimit(n int) DirectoryOption { return dit.WithJournalLimit(n) }
+
+// WithShards sets the directory's DN-hash shard count (values < 1 select
+// the default: $FILTERDIR_SHARDS, else GOMAXPROCS). Shard count never
+// changes replication traffic or read results — only contention.
+func WithShards(n int) DirectoryOption { return dit.WithShards(n) }
+
+// WithBatchLimit bounds how many pending updates one commit-pipeline batch
+// applies per flush.
+func WithBatchLimit(n int) DirectoryOption { return dit.WithBatchLimit(n) }
+
+// WithBatchWindow makes writers linger before contending for the commit
+// sequencer so concurrent updates accumulate into fewer, larger batches.
+func WithBatchWindow(d time.Duration) DirectoryOption { return dit.WithBatchWindow(d) }
 
 // NewFilterReplica creates an empty filter-based replica.
 func NewFilterReplica(opts ...replica.FROption) (*FilterReplica, error) {

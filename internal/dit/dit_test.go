@@ -532,27 +532,53 @@ func TestLoadBulk(t *testing.T) {
 	}
 }
 
+// BenchmarkSearchIndexed measures the two search paths the sharded store
+// optimizes, each across shard counts: "point" is an indexed equality hit
+// (10k entries, answered from the attribute index without a tree walk);
+// "scan" is an unindexed filter over the same population, which the store
+// evaluates with one goroutine per shard once the view is large enough.
 func BenchmarkSearchIndexed(b *testing.B) {
-	st, _ := NewStore([]string{"o=xyz"}, WithIndexes("serialnumber"))
-	org := entry.New(dn.MustParse("o=xyz"))
-	org.Put("objectclass", "organization").Put("o", "xyz")
-	_ = st.Add(org)
-	var batch []*entry.Entry
-	for i := 0; i < 10000; i++ {
-		e := entry.New(dn.MustParse(fmt.Sprintf("cn=p%d,o=xyz", i)))
-		e.Put("objectclass", "person").Put("cn", fmt.Sprintf("p%d", i)).
-			Put("sn", "x").Put("serialnumber", fmt.Sprintf("%06d", i))
-		batch = append(batch, e)
-	}
-	_ = st.Load(batch)
-	q := query.MustNew("o=xyz", query.ScopeSubtree, "(serialnumber=005000)")
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		res, err := st.Search(q)
-		if err != nil || len(res.Entries) != 1 {
-			b.Fatalf("res=%v err=%v", res, err)
+	build := func(shards int) *Store {
+		st, _ := NewStore([]string{"o=xyz"}, WithShards(shards), WithIndexes("serialnumber"))
+		org := entry.New(dn.MustParse("o=xyz"))
+		org.Put("objectclass", "organization").Put("o", "xyz")
+		_ = st.Add(org)
+		// 40k entries keeps the scan sub-benchmarks well above the
+		// bench-diff noise floor: at 10k the full scan sat right at ~5ms,
+		// where a -benchtime=1x min-of-3 swings past the 20% gate on
+		// scheduler noise alone (see cmd/benchjson -minns).
+		var batch []*entry.Entry
+		for i := 0; i < 40000; i++ {
+			e := entry.New(dn.MustParse(fmt.Sprintf("cn=p%d,o=xyz", i)))
+			e.Put("objectclass", "person").Put("cn", fmt.Sprintf("p%d", i)).
+				Put("sn", "x").Put("serialnumber", fmt.Sprintf("%06d", i))
+			batch = append(batch, e)
 		}
+		_ = st.Load(batch)
+		return st
+	}
+	point := query.MustNew("o=xyz", query.ScopeSubtree, "(serialnumber=005000)")
+	scan := query.MustNew("o=xyz", query.ScopeSubtree, "(cn=p5000)")
+	for _, shards := range []int{1, 2, 8} {
+		st := build(shards)
+		b.Run(fmt.Sprintf("point/shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := st.Search(point)
+				if err != nil || len(res.Entries) != 1 {
+					b.Fatalf("res=%v err=%v", res, err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("scan/shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := st.Search(scan)
+				if err != nil || len(res.Entries) != 1 {
+					b.Fatalf("res=%v err=%v", res, err)
+				}
+			}
+		})
 	}
 }
 

@@ -3,16 +3,27 @@
 // the four update operations (add, delete, modify, modifyDN), and an update
 // journal with before/after snapshots that the ReSync protocol and its
 // baselines consume.
+//
+// The store is sharded by DN hash with copy-on-write shard states: readers
+// freeze an immutable multi-shard view and scan it without holding any
+// lock, while writers flow through a group-commit pipeline that batches
+// concurrent updates behind one global CSN sequencer (see DESIGN.md §13).
 package dit
 
 import (
 	"errors"
 	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
 	"sync"
+	"time"
 
 	"filterdir/internal/dn"
 	"filterdir/internal/entry"
 	"filterdir/internal/filter"
+	"filterdir/internal/metrics"
 	"filterdir/internal/query"
 )
 
@@ -36,6 +47,11 @@ const (
 	RefAttr       = "ref"
 )
 
+// ShardsEnv names the environment variable consulted for the shard count
+// when WithShards is not given (the CI shards axis sets it); unset or
+// invalid falls back to GOMAXPROCS.
+const ShardsEnv = "FILTERDIR_SHARDS"
+
 // Context is a naming context held by a store: a subtree suffix plus the
 // referral objects that terminate it (Section 2.3: C = (S, R1..Rn)).
 type Context struct {
@@ -43,31 +59,44 @@ type Context struct {
 	Referrals []dn.DN
 }
 
-// Store is an in-memory DIT partition. All methods are safe for concurrent
-// use.
+// Store is an in-memory DIT partition sharded by DN hash. All methods are
+// safe for concurrent use. Multi-entry reads (Search, MatchAll, Snapshot,
+// All, Contexts) freeze an immutable copy-on-write view and scan it
+// lock-free; updates flow through a batched commit pipeline serialized by
+// the global CSN sequencer, so replication consumers observe exactly one
+// journal record per update in one global order regardless of shard count.
 type Store struct {
-	mu sync.RWMutex
-
 	schema   *entry.Schema
 	suffixes []dn.DN
 	// defaultReferral is returned when a request targets a DN outside every
 	// naming context (the "superior referral" of Figure 2).
 	defaultReferral string
+	indexAttrs      []string
 
-	entries  map[string]*entry.Entry    // norm DN -> entry
-	children map[string]map[string]bool // parent norm -> child norms
-	indexes  map[string]*attrIndex      // indexed attr -> index
+	nshards int
+	shards  []*shard
 
-	journal      []Change
-	journalBase  CSN // CSN of journal[0]; journal may be trimmed
-	nextCSN      CSN
-	journalLimit int
-	// journalTrimmed counts records dropped by the journal limit.
-	journalTrimmed uint64
-
-	// signal is closed and replaced on every committed change; waiters use
+	// seqMu is the global CSN sequencer: a batch leader holds it while
+	// applying its whole batch, and multi-shard readers hold it only long
+	// enough to freeze a view (never across a scan), so views always land
+	// on batch boundaries.
+	seqMu          sync.Mutex
+	journal        []Change
+	journalBase    CSN // CSN of journal[0]; journal may be trimmed
+	nextCSN        CSN
+	journalLimit   int
+	journalTrimmed uint64 // records dropped by the journal limit
+	// signal is closed and replaced once per committed batch; waiters use
 	// it for persist-mode notification.
 	signal chan struct{}
+
+	// Commit-pipeline queue (guarded by pendMu, drained under seqMu).
+	pendMu      sync.Mutex
+	pending     []*writeOp
+	batchLimit  int
+	batchWindow time.Duration
+
+	counters metrics.StoreCounters
 }
 
 // Option configures a Store.
@@ -82,7 +111,7 @@ func WithSchema(s *entry.Schema) Option {
 func WithIndexes(attrs ...string) Option {
 	return func(st *Store) {
 		for _, a := range attrs {
-			st.indexes[entry.NormValue(a)] = newAttrIndex()
+			st.indexAttrs = append(st.indexAttrs, entry.NormValue(a))
 		}
 	}
 }
@@ -100,15 +129,39 @@ func WithJournalLimit(n int) Option {
 	return func(st *Store) { st.journalLimit = n }
 }
 
+// WithShards sets the number of DN-hash shards (values < 1 select the
+// default: $FILTERDIR_SHARDS, else GOMAXPROCS). Shard count is a pure
+// layout choice: the journal, CSN order, and all read results are
+// identical across shard counts — the oracle shard sweep enforces it.
+func WithShards(n int) Option {
+	return func(st *Store) { st.nshards = n }
+}
+
+// WithBatchLimit bounds how many pending updates one commit leader applies
+// per flush (default 128; values < 1 restore the default).
+func WithBatchLimit(n int) Option {
+	return func(st *Store) {
+		if n < 1 {
+			n = defaultBatchLimit
+		}
+		st.batchLimit = n
+	}
+}
+
+// WithBatchWindow makes writers wait d before contending for the sequencer,
+// accumulating concurrent updates into fewer, larger batches. Zero (the
+// default) commits as soon as the sequencer is free.
+func WithBatchWindow(d time.Duration) Option {
+	return func(st *Store) { st.batchWindow = d }
+}
+
 // NewStore creates a store serving the given naming-context suffixes
 // ("" for the whole DIT rooted at the null DN).
 func NewStore(suffixes []string, opts ...Option) (*Store, error) {
 	st := &Store{
-		entries:  make(map[string]*entry.Entry),
-		children: make(map[string]map[string]bool),
-		indexes:  make(map[string]*attrIndex),
-		nextCSN:  1,
-		signal:   make(chan struct{}),
+		nextCSN:    1,
+		signal:     make(chan struct{}),
+		batchLimit: defaultBatchLimit,
 	}
 	for _, s := range suffixes {
 		d, err := dn.Parse(s)
@@ -123,13 +176,36 @@ func NewStore(suffixes []string, opts ...Option) (*Store, error) {
 	for _, o := range opts {
 		o(st)
 	}
+	n := st.nshards
+	if n < 1 {
+		n = defaultShards()
+	}
+	st.nshards = n
+	st.shards = make([]*shard, n)
+	for i := range st.shards {
+		st.shards[i] = &shard{state: newShardState(st.indexAttrs)}
+	}
 	return st, nil
 }
 
+// defaultShards resolves the shard count when WithShards is absent.
+func defaultShards() int {
+	if v := os.Getenv(ShardsEnv); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 1 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Shards returns the store's shard count.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// Counters exposes the store's commit-pipeline and snapshot counters.
+func (s *Store) Counters() *metrics.StoreCounters { return &s.counters }
+
 // Suffixes returns the naming-context suffixes the store serves.
 func (s *Store) Suffixes() []dn.DN {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	out := make([]dn.DN, len(s.suffixes))
 	copy(out, s.suffixes)
 	return out
@@ -137,26 +213,33 @@ func (s *Store) Suffixes() []dn.DN {
 
 // Len returns the number of entries held.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.entries)
+	s.seqMu.Lock()
+	defer s.seqMu.Unlock()
+	n := 0
+	for _, sh := range s.shards {
+		n += len(sh.load().entries)
+	}
+	return n
 }
 
 // LastCSN returns the CSN of the most recent committed change (0 if none).
 func (s *Store) LastCSN() CSN {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.seqMu.Lock()
+	defer s.seqMu.Unlock()
 	return s.nextCSN - 1
 }
 
 // Get returns a copy of the entry at d.
 func (s *Store) Get(d dn.DN) (*entry.Entry, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	e, ok := s.entries[d.Norm()]
+	sh := s.shardFor(d.Norm())
+	sh.mu.Lock()
+	e, ok := sh.state.entries[d.Norm()]
+	sh.mu.Unlock()
 	if !ok {
 		return nil, false
 	}
+	// Stored entries are immutable, so the clone can happen outside the
+	// shard lock.
 	return e.Clone(), true
 }
 
@@ -178,15 +261,14 @@ type Result struct {
 	Referrals []string
 }
 
-// Search evaluates an LDAP search against the store. Referral objects in
-// the searched region are not descended into; their ref URLs are returned
-// as search references. A base outside every naming context yields
-// ErrNoSuchContext together with the default (superior) referral, mirroring
-// the distributed-operation behaviour of Figure 2.
+// Search evaluates an LDAP search against a frozen view of the store.
+// Referral objects in the searched region are not descended into; their ref
+// URLs are returned as search references. A base outside every naming
+// context yields ErrNoSuchContext together with the default (superior)
+// referral, mirroring the distributed-operation behaviour of Figure 2.
+// Entries and referrals are returned in normalized-DN order, so equal
+// content yields byte-equal results regardless of shard count.
 func (s *Store) Search(q query.Query) (*Result, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-
 	if !s.holdsTarget(q.Base) {
 		res := &Result{}
 		if s.defaultReferral != "" {
@@ -194,7 +276,8 @@ func (s *Store) Search(q query.Query) (*Result, error) {
 		}
 		return res, fmt.Errorf("%w: %q", ErrNoSuchContext, q.Base.String())
 	}
-	baseEntry, ok := s.entries[q.Base.Norm()]
+	v := s.freeze()
+	baseEntry, ok := v.get(q.Base.Norm())
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchObject, q.Base.String())
 	}
@@ -211,33 +294,62 @@ func (s *Store) Search(q query.Query) (*Result, error) {
 		f = filter.NewPresent(entry.AttrObjectClass)
 	}
 
-	if cands, ok := s.indexCandidates(f); ok {
+	if cands, ok := v.indexCandidates(f); ok {
 		for _, norm := range cands {
-			e, ok := s.entries[norm]
+			e, ok := v.get(norm)
 			if !ok {
 				continue
 			}
-			if !q.InScope(e.DN()) || s.crossesReferral(q.Base, e.DN()) {
+			if !q.InScope(e.DN()) || v.crossesReferral(q.Base, e.DN()) {
 				continue
 			}
 			if e.HasObjectClass(ReferralClass) {
-				continue // handled by the region walk below
+				continue // surfaced via the referral registry below
 			}
 			if f.Matches(e) {
 				res.Entries = append(res.Entries, e.Select(q.Attrs))
 			}
 		}
-		// Even with an index, referral objects in the region must surface.
-		s.collectReferrals(q, res)
+		v.collectReferrals(q, res)
+		sortResult(res)
 		return res, nil
 	}
 
-	s.walkRegion(q, baseEntry, res, f)
+	if v.referralFree() {
+		// No referral anywhere in the view: the walk's referral pruning and
+		// reachability checks are vacuous (a consistent store has no
+		// orphans), so region membership reduces to the scope check and the
+		// scan can fan out across shards (matchAll's parallel path).
+		res.Entries = v.matchAll(q)
+		return res, nil
+	}
+	v.walkRegion(q, baseEntry, res, f)
+	sortResult(res)
 	return res, nil
 }
 
+// referralFree reports whether the view holds no referral objects at all,
+// via the per-shard registries — O(shards), not O(entries).
+func (v *view) referralFree() bool {
+	for _, st := range v.states {
+		if len(st.referrals) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func sortResult(res *Result) {
+	sortEntries(res.Entries)
+	sort.Strings(res.Referrals)
+}
+
+func sortEntries(es []*entry.Entry) {
+	sort.Slice(es, func(i, j int) bool { return es[i].DN().Norm() < es[j].DN().Norm() })
+}
+
 // walkRegion scans the base/scope region, collecting matches and referrals.
-func (s *Store) walkRegion(q query.Query, baseEntry *entry.Entry, res *Result, f *filter.Node) {
+func (v *view) walkRegion(q query.Query, baseEntry *entry.Entry, res *Result, f *filter.Node) {
 	var visit func(e *entry.Entry, depth int)
 	visit = func(e *entry.Entry, depth int) {
 		if e.HasObjectClass(ReferralClass) && depth > 0 {
@@ -264,8 +376,8 @@ func (s *Store) walkRegion(q query.Query, baseEntry *entry.Entry, res *Result, f
 		if q.Scope == query.ScopeSingleLevel && depth >= 1 {
 			return
 		}
-		for childNorm := range s.children[e.DN().Norm()] {
-			if c, ok := s.entries[childNorm]; ok {
+		for childNorm := range v.childrenOf(e.DN().Norm()) {
+			if c, ok := v.get(childNorm); ok {
 				visit(c, depth+1)
 			}
 		}
@@ -273,45 +385,72 @@ func (s *Store) walkRegion(q query.Query, baseEntry *entry.Entry, res *Result, f
 	visit(baseEntry, 0)
 }
 
-// collectReferrals finds referral objects in the region (used on the
-// index-assisted path, which does not walk the tree).
-func (s *Store) collectReferrals(q query.Query, res *Result) {
+// collectReferrals surfaces referral objects in the region on the
+// index-assisted path, which does not walk the tree. Instead of the old
+// full-region walk it consults the per-shard referral registries —
+// O(referrals·depth), not O(entries) — preserving the walk's semantics: a
+// referral counts only when reachable from the base through a complete,
+// referral-free chain of parents.
+func (v *view) collectReferrals(q query.Query, res *Result) {
 	if q.Scope == query.ScopeBase {
 		return
 	}
-	var visit func(norm string, depth int)
-	visit = func(norm string, depth int) {
-		e, ok := s.entries[norm]
-		if !ok {
-			return
-		}
-		if depth > 0 && e.HasObjectClass(ReferralClass) {
-			if q.Scope == query.ScopeSubtree || depth == 1 {
-				res.Referrals = append(res.Referrals, e.Values(RefAttr)...)
+	baseNorm := q.Base.Norm()
+	baseDepth := q.Base.Depth()
+	for _, st := range v.states {
+		for norm := range st.referrals {
+			e, ok := st.entries[norm]
+			if !ok {
+				continue
 			}
-			return
-		}
-		if q.Scope == query.ScopeSingleLevel && depth >= 1 {
-			return
-		}
-		for child := range s.children[norm] {
-			visit(child, depth+1)
+			d := e.DN()
+			if !q.Base.IsSuffix(d) || d.Norm() == baseNorm {
+				continue
+			}
+			depth := d.Depth() - baseDepth
+			if q.Scope == query.ScopeSingleLevel && depth != 1 {
+				continue
+			}
+			if !v.pathClear(q.Base, d) {
+				continue
+			}
+			res.Referrals = append(res.Referrals, e.Values(RefAttr)...)
 		}
 	}
-	visit(q.Base.Norm(), 0)
+}
+
+// pathClear reports whether every strict intermediate between base and
+// target exists and is not itself a referral (the walk would have stopped
+// at a missing link or an interposed referral).
+func (v *view) pathClear(base, target dn.DN) bool {
+	cur := target
+	for {
+		parent, ok := cur.Parent()
+		if !ok || parent.Equal(base) {
+			return true
+		}
+		if parent.Depth() < base.Depth() {
+			return true
+		}
+		e, ok := v.get(parent.Norm())
+		if !ok || e.HasObjectClass(ReferralClass) {
+			return false
+		}
+		cur = parent
+	}
 }
 
 // crossesReferral reports whether the path from base down to target passes
 // through a referral object (the target then belongs to a subordinate
 // context, not to this store's region).
-func (s *Store) crossesReferral(base, target dn.DN) bool {
+func (v *view) crossesReferral(base, target dn.DN) bool {
 	cur := target
 	for !cur.Equal(base) {
 		parent, ok := cur.Parent()
 		if !ok {
 			return false
 		}
-		if e, ok := s.entries[parent.Norm()]; ok && e.HasObjectClass(ReferralClass) {
+		if e, ok := v.get(parent.Norm()); ok && e.HasObjectClass(ReferralClass) {
 			return true
 		}
 		cur = parent
@@ -325,15 +464,22 @@ func (s *Store) crossesReferral(base, target dn.DN) bool {
 // Contexts describes the store's naming contexts with their terminating
 // referral objects, as used by subtree-replica metadata.
 func (s *Store) Contexts() []Context {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	v := s.freeze()
+	var refs []dn.DN
+	for _, st := range v.states {
+		for norm := range st.referrals {
+			if e, ok := st.entries[norm]; ok {
+				refs = append(refs, e.DN())
+			}
+		}
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].Norm() < refs[j].Norm() })
 	out := make([]Context, 0, len(s.suffixes))
 	for _, suf := range s.suffixes {
 		c := Context{Suffix: suf}
-		for norm, e := range s.entries {
-			if e.HasObjectClass(ReferralClass) && suf.IsSuffix(e.DN()) {
-				_ = norm
-				c.Referrals = append(c.Referrals, e.DN())
+		for _, d := range refs {
+			if suf.IsSuffix(d) {
+				c.Referrals = append(c.Referrals, d)
 			}
 		}
 		out = append(out, c)
@@ -343,37 +489,40 @@ func (s *Store) Contexts() []Context {
 
 // MatchAll evaluates a query against the store without anchoring at the
 // base entry: every held entry in the base/scope region matching the filter
-// is returned. Filter-based replicas use this because they hold sparse
-// content — matching entries without their ancestor chain — so the base of
-// an answerable query need not itself be present.
+// is returned, in normalized-DN order. Filter-based replicas use this
+// because they hold sparse content — matching entries without their
+// ancestor chain — so the base of an answerable query need not itself be
+// present.
 func (s *Store) MatchAll(q query.Query) []*entry.Entry {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.matchAllLocked(q)
+	return s.freeze().matchAll(q)
 }
 
 // Snapshot returns the last committed CSN together with the entries
-// matching q, both read under one lock acquisition so the pair is mutually
+// matching q, both taken from one frozen view so the pair is mutually
 // consistent. ReSync session setup and reload depend on this: the engine's
 // content-group cache treats a session's content as a pure function of
-// (spec, CSN), so a commit landing between a LastCSN read and a MatchAll
-// read would fabricate a (CSN, content) pair that never existed in the
-// store's history.
+// (spec, CSN), so a commit landing between a CSN read and a content read
+// would fabricate a (CSN, content) pair that never existed in the store's
+// history. Freezing happens under the sequencer lock, so the view also
+// always lands on a commit-batch boundary.
 func (s *Store) Snapshot(q query.Query) (CSN, []*entry.Entry) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.nextCSN - 1, s.matchAllLocked(q)
+	v := s.freeze()
+	return v.csn, v.matchAll(q)
 }
 
-func (s *Store) matchAllLocked(q query.Query) []*entry.Entry {
+// parallelScanThreshold is the store size above which the non-indexed
+// matchAll path fans the scan out across shards.
+const parallelScanThreshold = 2048
+
+func (v *view) matchAll(q query.Query) []*entry.Entry {
 	f := q.Filter
 	if f == nil {
 		f = filter.NewPresent(entry.AttrObjectClass)
 	}
 	var out []*entry.Entry
-	if cands, ok := s.indexCandidates(f); ok {
+	if cands, ok := v.indexCandidates(f); ok {
 		for _, norm := range cands {
-			e, ok := s.entries[norm]
+			e, ok := v.get(norm)
 			if !ok {
 				continue
 			}
@@ -381,24 +530,53 @@ func (s *Store) matchAllLocked(q query.Query) []*entry.Entry {
 				out = append(out, e.Select(q.Attrs))
 			}
 		}
+		sortEntries(out)
 		return out
 	}
-	for _, e := range s.entries {
-		if q.InScope(e.DN()) && f.Matches(e) {
-			out = append(out, e.Select(q.Attrs))
+	scan := func(st *shardState) []*entry.Entry {
+		var part []*entry.Entry
+		for _, e := range st.entries {
+			if q.InScope(e.DN()) && f.Matches(e) {
+				part = append(part, e.Select(q.Attrs))
+			}
+		}
+		return part
+	}
+	if len(v.states) > 1 && v.len() >= parallelScanThreshold {
+		// Frozen states are immutable, so shards scan concurrently with no
+		// coordination beyond the final merge.
+		parts := make([][]*entry.Entry, len(v.states))
+		var wg sync.WaitGroup
+		for i, st := range v.states {
+			wg.Add(1)
+			go func(i int, st *shardState) {
+				defer wg.Done()
+				parts[i] = scan(st)
+			}(i, st)
+		}
+		wg.Wait()
+		for _, p := range parts {
+			out = append(out, p...)
+		}
+	} else {
+		for _, st := range v.states {
+			out = append(out, scan(st)...)
 		}
 	}
+	sortEntries(out)
 	return out
 }
 
-// All returns a copy of every entry (sorted order not guaranteed); intended
-// for tests, dumps and full reloads.
+// All returns a copy of every entry in normalized-DN order; intended for
+// tests, dumps and full reloads.
 func (s *Store) All() []*entry.Entry {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]*entry.Entry, 0, len(s.entries))
-	for _, e := range s.entries {
-		out = append(out, e.Clone())
+	v := s.freeze()
+	out := make([]*entry.Entry, 0, v.len())
+	for _, st := range v.states {
+		for _, e := range st.entries {
+			out = append(out, e.Clone())
+		}
 	}
+	sortEntries(out)
 	return out
 }

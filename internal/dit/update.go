@@ -2,6 +2,7 @@ package dit
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"filterdir/internal/dn"
@@ -68,37 +69,20 @@ type Mod struct {
 	Values []string
 }
 
-// commit appends a change to the journal and wakes persist-mode waiters.
-// Callers hold s.mu.
-func (s *Store) commit(c Change) CSN {
-	c.CSN = s.nextCSN
-	s.nextCSN++
-	s.journal = append(s.journal, c)
-	if s.journalLimit > 0 && len(s.journal) > s.journalLimit {
-		drop := len(s.journal) - s.journalLimit
-		s.journal = append(s.journal[:0:0], s.journal[drop:]...)
-		s.journalBase += CSN(drop)
-		s.journalTrimmed += uint64(drop)
-	}
-	close(s.signal)
-	s.signal = make(chan struct{})
-	return c.CSN
-}
-
 // JournalTrimmed returns the total number of journal records dropped by the
 // WithJournalLimit bound — the changes sync consumers can no longer replay
 // and must cover with a full reload.
 func (s *Store) JournalTrimmed() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.seqMu.Lock()
+	defer s.seqMu.Unlock()
 	return s.journalTrimmed
 }
 
-// ChangeSignal returns a channel closed at the next committed change;
+// ChangeSignal returns a channel closed at the next committed batch;
 // persist-mode consumers re-arm by calling it again after each wakeup.
 func (s *Store) ChangeSignal() <-chan struct{} {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.seqMu.Lock()
+	defer s.seqMu.Unlock()
 	return s.signal
 }
 
@@ -106,8 +90,8 @@ func (s *Store) ChangeSignal() <-chan struct{} {
 // when that span has been trimmed from the journal (the consumer must then
 // fall back to a full reload).
 func (s *Store) ChangesSince(after CSN) (changes []Change, ok bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.seqMu.Lock()
+	defer s.seqMu.Unlock()
 	first := s.journalBase
 	if len(s.journal) > 0 {
 		first = s.journal[0].CSN
@@ -126,19 +110,20 @@ func (s *Store) ChangesSince(after CSN) (changes []Change, ok bool) {
 // Add inserts a new entry. The parent must exist unless the entry is a
 // naming-context suffix. Schema validation applies when configured.
 func (s *Store) Add(e *entry.Entry) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, err := s.addLocked(e)
+	_, err := s.submit(func() (CSN, error) { return s.addLocked(e) })
 	return err
 }
 
+// addLocked validates and applies one add with seqMu held (as are all the
+// *Locked update ops below, which run only inside a commit leader's batch).
 func (s *Store) addLocked(e *entry.Entry) (CSN, error) {
 	d := e.DN()
 	norm := d.Norm()
 	if !s.holdsTarget(d) {
 		return 0, fmt.Errorf("%w: %q", ErrNoSuchContext, d.String())
 	}
-	if _, exists := s.entries[norm]; exists {
+	sh := s.shardFor(norm)
+	if _, exists := sh.load().entries[norm]; exists {
 		return 0, fmt.Errorf("%w: %q", ErrAlreadyExists, d.String())
 	}
 	if !s.isSuffixEntry(d) {
@@ -146,7 +131,7 @@ func (s *Store) addLocked(e *entry.Entry) (CSN, error) {
 		if !ok {
 			return 0, fmt.Errorf("%w: parent of %q", ErrNoSuchObject, d.String())
 		}
-		if _, exists := s.entries[parent.Norm()]; !exists {
+		if _, exists := s.shardFor(parent.Norm()).load().entries[parent.Norm()]; !exists {
 			return 0, fmt.Errorf("%w: parent %q", ErrNoSuchObject, parent.String())
 		}
 	}
@@ -156,10 +141,28 @@ func (s *Store) addLocked(e *entry.Entry) (CSN, error) {
 		}
 	}
 	cp := e.Clone()
-	s.entries[norm] = cp
-	s.linkChild(d)
-	s.indexEntry(cp)
-	return s.commit(Change{Type: ChangeAdd, DN: d, After: cp.Clone()}), nil
+	s.insert(cp, norm)
+	return s.commitLocked(Change{Type: ChangeAdd, DN: d, After: cp.Clone()}), nil
+}
+
+// insert stores an (already validated) entry: the entry, its index terms
+// and referral registration on its own shard, the child link on the
+// parent's shard.
+func (s *Store) insert(e *entry.Entry, norm string) {
+	s.write(s.shardFor(norm), func(st *shardState) {
+		st.entries[norm] = e
+		st.indexEntry(e, norm)
+	})
+	s.linkChild(e.DN())
+}
+
+// remove deletes an entry from its shard and unlinks it from its parent.
+func (s *Store) remove(e *entry.Entry, norm string) {
+	s.write(s.shardFor(norm), func(st *shardState) {
+		delete(st.entries, norm)
+		st.unindexEntry(e, norm)
+	})
+	s.unlinkChild(e.DN())
 }
 
 // isSuffixEntry reports whether d is one of the store's context suffixes.
@@ -177,12 +180,9 @@ func (s *Store) linkChild(d dn.DN) {
 	if !ok {
 		return
 	}
-	set, ok := s.children[parent.Norm()]
-	if !ok {
-		set = make(map[string]bool)
-		s.children[parent.Norm()] = set
-	}
-	set[d.Norm()] = true
+	s.write(s.shardFor(parent.Norm()), func(st *shardState) {
+		st.link(parent.Norm(), d.Norm())
+	})
 }
 
 func (s *Store) unlinkChild(d dn.DN) {
@@ -190,52 +190,44 @@ func (s *Store) unlinkChild(d dn.DN) {
 	if !ok {
 		return
 	}
-	if set, ok := s.children[parent.Norm()]; ok {
-		delete(set, d.Norm())
-		if len(set) == 0 {
-			delete(s.children, parent.Norm())
-		}
-	}
+	s.write(s.shardFor(parent.Norm()), func(st *shardState) {
+		st.unlink(parent.Norm(), d.Norm())
+	})
 }
 
 // Delete removes a leaf entry.
 func (s *Store) Delete(d dn.DN) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, err := s.deleteLocked(d)
+	_, err := s.submit(func() (CSN, error) { return s.deleteLocked(d) })
 	return err
 }
 
 func (s *Store) deleteLocked(d dn.DN) (CSN, error) {
 	norm := d.Norm()
-	e, ok := s.entries[norm]
+	e, ok := s.shardFor(norm).load().entries[norm]
 	if !ok {
 		return 0, fmt.Errorf("%w: %q", ErrNoSuchObject, d.String())
 	}
-	if len(s.children[norm]) > 0 {
+	if len(s.shardFor(norm).load().children[norm]) > 0 {
 		return 0, fmt.Errorf("%w: %q", ErrNotLeaf, d.String())
 	}
-	delete(s.entries, norm)
-	s.unlinkChild(d)
-	s.unindexEntry(e)
-	return s.commit(Change{Type: ChangeDelete, DN: d, Before: e}), nil
+	s.remove(e, norm)
+	return s.commitLocked(Change{Type: ChangeDelete, DN: d, Before: e}), nil
 }
 
 // Modify applies attribute modifications to an entry.
 func (s *Store) Modify(d dn.DN, mods []Mod) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, err := s.modifyLocked(d, mods)
+	_, err := s.submit(func() (CSN, error) { return s.modifyLocked(d, mods) })
 	return err
 }
 
 func (s *Store) modifyLocked(d dn.DN, mods []Mod) (CSN, error) {
 	norm := d.Norm()
-	e, ok := s.entries[norm]
+	sh := s.shardFor(norm)
+	e, ok := sh.load().entries[norm]
 	if !ok {
 		return 0, fmt.Errorf("%w: %q", ErrNoSuchObject, d.String())
 	}
-	before := e.Clone()
+	before := e
 	after := e.Clone()
 	for _, m := range mods {
 		switch m.Op {
@@ -263,10 +255,12 @@ func (s *Store) modifyLocked(d dn.DN, mods []Mod) (CSN, error) {
 			return 0, fmt.Errorf("%w: %v", ErrSchema, err)
 		}
 	}
-	s.unindexEntry(before)
-	s.entries[norm] = after
-	s.indexEntry(after)
-	return s.commit(Change{Type: ChangeModify, DN: d, Before: before, After: after.Clone(), Mods: cloneMods(mods)}), nil
+	s.write(sh, func(st *shardState) {
+		st.unindexEntry(before, norm)
+		st.entries[norm] = after
+		st.indexEntry(after, norm)
+	})
+	return s.commitLocked(Change{Type: ChangeModify, DN: d, Before: before, After: after.Clone(), Mods: cloneMods(mods)}), nil
 }
 
 func cloneMods(mods []Mod) []Mod {
@@ -282,26 +276,24 @@ func cloneMods(mods []Mod) []Mod {
 // rename. The leaf RDN attribute value is updated in the entry when the RDN
 // changes. One ModifyDN journal record is committed per moved entry.
 func (s *Store) ModifyDN(old dn.DN, newRDN dn.RDN, newSuperior dn.DN) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, err := s.modifyDNLocked(old, newRDN, newSuperior)
+	_, err := s.submit(func() (CSN, error) { return s.modifyDNLocked(old, newRDN, newSuperior) })
 	return err
 }
 
 func (s *Store) modifyDNLocked(old dn.DN, newRDN dn.RDN, newSuperior dn.DN) (CSN, error) {
 	oldNorm := old.Norm()
-	if _, ok := s.entries[oldNorm]; !ok {
+	if _, ok := s.shardFor(oldNorm).load().entries[oldNorm]; !ok {
 		return 0, fmt.Errorf("%w: %q", ErrNoSuchObject, old.String())
 	}
 	newDN := newSuperior.Child(newRDN)
 	if !s.holdsTarget(newDN) {
 		return 0, fmt.Errorf("%w: %q", ErrNoSuchContext, newDN.String())
 	}
-	if _, exists := s.entries[newDN.Norm()]; exists {
+	if _, exists := s.shardFor(newDN.Norm()).load().entries[newDN.Norm()]; exists {
 		return 0, fmt.Errorf("%w: %q", ErrAlreadyExists, newDN.String())
 	}
 	if !newSuperior.IsRoot() {
-		if _, ok := s.entries[newSuperior.Norm()]; !ok && !s.isSuffixEntry(newDN) {
+		if _, ok := s.shardFor(newSuperior.Norm()).load().entries[newSuperior.Norm()]; !ok && !s.isSuffixEntry(newDN) {
 			return 0, fmt.Errorf("%w: new superior %q", ErrNoSuchObject, newSuperior.String())
 		}
 	}
@@ -309,13 +301,21 @@ func (s *Store) modifyDNLocked(old dn.DN, newRDN dn.RDN, newSuperior dn.DN) (CSN
 		return 0, fmt.Errorf("cannot move %q under itself", old.String())
 	}
 
-	// Collect the subtree rooted at old, parents before children.
+	// Collect the subtree rooted at old, parents before children; children
+	// are visited in sorted order so the journal record sequence (and hence
+	// replication traffic) is identical at every shard count.
 	var subtree []dn.DN
 	var collect func(d dn.DN)
 	collect = func(d dn.DN) {
 		subtree = append(subtree, d)
-		for childNorm := range s.children[d.Norm()] {
-			if c, ok := s.entries[childNorm]; ok {
+		kids := s.shardFor(d.Norm()).load().children[d.Norm()]
+		norms := make([]string, 0, len(kids))
+		for childNorm := range kids {
+			norms = append(norms, childNorm)
+		}
+		sort.Strings(norms)
+		for _, childNorm := range norms {
+			if c, ok := s.shardFor(childNorm).load().entries[childNorm]; ok {
 				collect(c.DN())
 			}
 		}
@@ -328,13 +328,12 @@ func (s *Store) modifyDNLocked(old dn.DN, newRDN dn.RDN, newSuperior dn.DN) (CSN
 		if err != nil {
 			return 0, err
 		}
-		e := s.entries[cur.Norm()]
-		before := e.Clone()
-		delete(s.entries, cur.Norm())
-		s.unlinkChild(cur)
-		s.unindexEntry(e)
+		e := s.shardFor(cur.Norm()).load().entries[cur.Norm()]
+		s.remove(e, cur.Norm())
 
-		moved := e
+		// Stored entries are immutable (frozen views and journal records
+		// may share them), so the move rewrites a clone.
+		moved := e.Clone()
 		moved.SetDN(tgt)
 		if cur.Equal(old) {
 			// Update the naming attribute to match the new RDN.
@@ -343,10 +342,8 @@ func (s *Store) modifyDNLocked(old dn.DN, newRDN dn.RDN, newSuperior dn.DN) (CSN
 				moved.Put(newRDN.Attr, newRDN.Value)
 			}
 		}
-		s.entries[tgt.Norm()] = moved
-		s.linkChild(tgt)
-		s.indexEntry(moved)
-		last = s.commit(Change{Type: ChangeModifyDN, DN: cur, NewDN: tgt, Before: before, After: moved.Clone()})
+		s.insert(moved, tgt.Norm())
+		last = s.commitLocked(Change{Type: ChangeModifyDN, DN: cur, NewDN: tgt, Before: e, After: moved.Clone()})
 	}
 	return last, nil
 }
@@ -358,8 +355,10 @@ func (s *Store) modifyDNLocked(old dn.DN, newRDN dn.RDN, newSuperior dn.DN) (CSN
 // and returns the last CSN: the whole move is visible once the stream
 // reaches it.
 func (s *Store) ApplyCSN(c Change) (CSN, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	return s.submit(func() (CSN, error) { return s.applyLocked(c) })
+}
+
+func (s *Store) applyLocked(c Change) (CSN, error) {
 	switch c.Type {
 	case ChangeAdd:
 		if c.After == nil {
@@ -387,59 +386,59 @@ func (s *Store) ApplyCSN(c Change) (CSN, error) {
 // replicas hold sparse content (selected entries without their ancestor
 // chains). The change is journaled as an add or modify.
 func (s *Store) Upsert(e *entry.Entry) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	_, err := s.submit(func() (CSN, error) { return s.upsertLocked(e) })
+	return err
+}
+
+func (s *Store) upsertLocked(e *entry.Entry) (CSN, error) {
 	d := e.DN()
 	if !s.holdsTarget(d) {
-		return fmt.Errorf("%w: %q", ErrNoSuchContext, d.String())
+		return 0, fmt.Errorf("%w: %q", ErrNoSuchContext, d.String())
 	}
 	norm := d.Norm()
+	sh := s.shardFor(norm)
 	cp := e.Clone()
-	if prior, ok := s.entries[norm]; ok {
-		s.unindexEntry(prior)
-		s.entries[norm] = cp
-		s.indexEntry(cp)
-		s.commit(Change{Type: ChangeModify, DN: d, Before: prior, After: cp.Clone()})
-		return nil
+	if prior, ok := sh.load().entries[norm]; ok {
+		s.write(sh, func(st *shardState) {
+			st.unindexEntry(prior, norm)
+			st.entries[norm] = cp
+			st.indexEntry(cp, norm)
+		})
+		return s.commitLocked(Change{Type: ChangeModify, DN: d, Before: prior, After: cp.Clone()}), nil
 	}
-	s.entries[norm] = cp
-	s.linkChild(d)
-	s.indexEntry(cp)
-	s.commit(Change{Type: ChangeAdd, DN: d, After: cp.Clone()})
-	return nil
+	s.insert(cp, norm)
+	return s.commitLocked(Change{Type: ChangeAdd, DN: d, After: cp.Clone()}), nil
 }
 
 // RemoveAny deletes an entry regardless of children (sparse replica content
 // does not maintain tree completeness). Removing an absent entry is a
 // no-op returning ErrNoSuchObject.
 func (s *Store) RemoveAny(d dn.DN) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	norm := d.Norm()
-	e, ok := s.entries[norm]
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrNoSuchObject, d.String())
-	}
-	delete(s.entries, norm)
-	s.unlinkChild(d)
-	s.unindexEntry(e)
-	s.commit(Change{Type: ChangeDelete, DN: d, Before: e})
-	return nil
+	_, err := s.submit(func() (CSN, error) {
+		norm := d.Norm()
+		e, ok := s.shardFor(norm).load().entries[norm]
+		if !ok {
+			return 0, fmt.Errorf("%w: %q", ErrNoSuchObject, d.String())
+		}
+		s.remove(e, norm)
+		return s.commitLocked(Change{Type: ChangeDelete, DN: d, Before: e}), nil
+	})
+	return err
 }
 
 // Load bulk-inserts entries without journaling (initial population of a
 // master or replica). Parents must precede children in the slice. Schema
 // validation applies when configured.
 func (s *Store) Load(entries []*entry.Entry) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.seqMu.Lock()
+	defer s.seqMu.Unlock()
 	for _, e := range entries {
 		d := e.DN()
 		norm := d.Norm()
 		if !s.holdsTarget(d) {
 			return fmt.Errorf("%w: %q", ErrNoSuchContext, d.String())
 		}
-		if _, exists := s.entries[norm]; exists {
+		if _, exists := s.shardFor(norm).load().entries[norm]; exists {
 			return fmt.Errorf("%w: %q", ErrAlreadyExists, d.String())
 		}
 		if s.schema != nil {
@@ -447,10 +446,7 @@ func (s *Store) Load(entries []*entry.Entry) error {
 				return fmt.Errorf("%w: %v", ErrSchema, err)
 			}
 		}
-		cp := e.Clone()
-		s.entries[norm] = cp
-		s.linkChild(d)
-		s.indexEntry(cp)
+		s.insert(e.Clone(), norm)
 	}
 	return nil
 }

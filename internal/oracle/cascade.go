@@ -42,6 +42,9 @@ type CascadeConfig struct {
 	Seed      int64
 	Histories int
 	Steps     int
+	// Shards overrides the master store's shard count (0 = store default);
+	// see the shard sweep in shards.go.
+	Shards int
 }
 
 func (c *CascadeConfig) fillDefaults() {
@@ -95,7 +98,7 @@ type cascadeHarness struct {
 // mid sync plus one poll per leaf is appended so every history ends with a
 // full transitive convergence check.
 func genCascadeHistory(cfg CascadeConfig, hseed int64) []Event {
-	gen := sim.NewOpGen(synthConfig(hseed))
+	gen := sim.NewOpGen(synthConfig(hseed, 0))
 	rng := rand.New(rand.NewSource(hseed*2654435761 + 17))
 	nLeaves := len(cascadeLeafSpecs())
 	events := make([]Event, 0, cfg.Steps+nLeaves+1)
@@ -121,8 +124,8 @@ func genCascadeHistory(cfg CascadeConfig, hseed int64) []Event {
 
 // runCascadeEngine executes one cascade history, returning the first
 // divergence (nil if the history converges throughout).
-func runCascadeEngine(hseed int64, events []Event, rep *Report) *Failure {
-	st, err := sim.BuildSynthStore(synthConfig(hseed))
+func runCascadeEngine(hseed int64, shards int, events []Event, rep *Report) *Failure {
+	st, err := sim.BuildSynthStore(synthConfig(hseed, shards))
 	if err != nil {
 		return &Failure{HistorySeed: hseed, Msg: "build synthetic store: " + err.Error()}
 	}
@@ -133,6 +136,15 @@ func runCascadeEngine(hseed int64, events []Event, rep *Report) *Failure {
 	h := &cascadeHarness{
 		harness: &harness{seed: hseed, st: st, eng: resync.NewEngine(st), mdl: newModel(st), rep: rep},
 		mid:     &midSt{spec: cascadeMidSpec(), frep: frep, eng: resync.NewEngine(frep.Store())},
+	}
+	if rep != nil {
+		// Fold both tiers' update streams: master→mid and mid→leaf traffic
+		// must be byte-identical across shard counts.
+		fold := func(_ string, ups []resync.Update, _ bool) {
+			rep.TrafficHash = foldUpdates(rep.TrafficHash, ups)
+		}
+		h.eng.SetObserver(fold)
+		h.mid.eng.SetObserver(fold)
 	}
 	for _, spec := range cascadeLeafSpecs() {
 		h.leaves = append(h.leaves, &replicaSt{spec: spec, content: make(map[string]*entry.Entry)})
@@ -174,6 +186,13 @@ func runCascadeEngine(hseed int64, events []Event, rep *Report) *Failure {
 		if diff := describeDiff(r.content, h.mdl.selection(r.spec)); diff != "" {
 			return h.fail("leaf %q not transitively converged to master content:\n%s", r.spec, diff)
 		}
+	}
+	if rep != nil {
+		rep.ContentHash = foldContent(rep.ContentHash, storeSnapshot(h.mid.frep))
+		for _, r := range h.leaves {
+			rep.ContentHash = foldContent(rep.ContentHash, r.content)
+		}
+		rep.ContentHash = foldEntries(rep.ContentHash, st.All())
 	}
 	return nil
 }
@@ -311,10 +330,10 @@ func RunCascade(cfg CascadeConfig) *Report {
 	for h := 0; h < cfg.Histories; h++ {
 		hseed := historySeed(cfg.Seed, h)
 		events := genCascadeHistory(cfg, hseed)
-		if f := runCascadeEngine(hseed, events, rep); f != nil {
+		if f := runCascadeEngine(hseed, cfg.Shards, events, rep); f != nil {
 			f.History = events
 			f.Minimal = shrinkEvents(events, func(ev []Event) bool {
-				return runCascadeEngine(hseed, ev, nil) != nil
+				return runCascadeEngine(hseed, cfg.Shards, ev, nil) != nil
 			})
 			f.Replay = replayCmd("TestOracleCascadeSweep", hseed, cfg.Steps)
 			rep.Failure = f

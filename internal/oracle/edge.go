@@ -65,6 +65,9 @@ type EdgeConfig struct {
 	Seed      int64
 	Histories int
 	Steps     int
+	// Shards overrides the master store's shard count (0 = store default);
+	// see the shard sweep in shards.go.
+	Shards int
 }
 
 func (c *EdgeConfig) fillDefaults() {
@@ -201,7 +204,7 @@ func (h *edgeHarness) openWriter() error {
 
 // runEdge executes one edge-write history, returning the first divergence.
 func runEdge(cfg EdgeConfig, hseed int64, events []Event, rep *Report) *Failure {
-	st, err := sim.BuildSynthStore(synthConfig(hseed))
+	st, err := sim.BuildSynthStore(synthConfig(hseed, cfg.Shards))
 	if err != nil {
 		return &Failure{HistorySeed: hseed, Msg: "build synthetic store: " + err.Error()}
 	}
@@ -237,7 +240,14 @@ func runEdge(cfg EdgeConfig, hseed int64, events []Event, rep *Report) *Failure 
 			return f
 		}
 	}
-	return h.finish()
+	if f := h.finish(); f != nil {
+		return f
+	}
+	if rep != nil {
+		rep.ContentHash = foldContent(rep.ContentHash, h.leaf.content)
+		rep.ContentHash = foldEntries(rep.ContentHash, st.All())
+	}
+	return nil
 }
 
 func (h *edgeHarness) exec(ev Event) *Failure {
@@ -295,6 +305,7 @@ func (h *edgeHarness) doPoll(lost bool) *Failure {
 	}
 	if h.rep != nil {
 		h.rep.Polls++
+		h.rep.TrafficHash = foldUpdates(h.rep.TrafficHash, res.Updates)
 	}
 	if full || res.FullReload {
 		r.content = make(map[string]*entry.Entry)
@@ -488,7 +499,7 @@ func (h *edgeHarness) finish() *Failure {
 // genEdgeHistory generates one edge-write history: master churn, leaf
 // polls (some lost), edge writes, replay passes and writer crashes.
 func genEdgeHistory(cfg EdgeConfig, hseed int64) []Event {
-	gen := sim.NewOpGen(synthConfig(hseed))
+	gen := sim.NewOpGen(synthConfig(hseed, 0))
 	rng := rand.New(rand.NewSource(hseed*2654435761 + 131))
 	seq := 0
 	events := make([]Event, 0, cfg.Steps+1)

@@ -76,7 +76,7 @@ func (e Event) String() string {
 // perturb the other. Every history ends with one poll per replica so the
 // final state is always convergence-checked.
 func genHistory(cfg Config, hseed int64) []Event {
-	gen := sim.NewOpGen(synthConfig(hseed))
+	gen := sim.NewOpGen(synthConfig(hseed, 0))
 	rng := rand.New(rand.NewSource(hseed*2654435761 + 97))
 	nReps := len(cfg.specList())
 	events := make([]Event, 0, cfg.Steps+nReps)

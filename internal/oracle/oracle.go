@@ -50,6 +50,10 @@ type Config struct {
 	// with many sessions over one shared filter to exercise the
 	// content-group fan-out layer. Empty means specs().
 	Specs []query.Query
+	// Shards overrides the master store's shard count (0 = store default).
+	// Histories are shard-oblivious: the shard sweep (shards.go) replays the
+	// same seeds at several counts and asserts identical hashes.
+	Shards int
 }
 
 // specList resolves the run's content specifications.
@@ -91,6 +95,13 @@ type Report struct {
 	EdgeAccepted   int64
 	EdgeApplied    int64
 	EdgeDuplicates int64
+
+	// Shard-sweep fingerprints (shards.go): TrafficHash folds every update
+	// PDU the harness observed, in order; ContentHash folds every final
+	// replica content and the master store at the end of each history. Equal
+	// seeds must produce equal hashes at every shard count.
+	TrafficHash uint64
+	ContentHash uint64
 }
 
 // historySeed derives the h-th history's seed, so a failing history is
@@ -99,8 +110,10 @@ func historySeed(seed int64, h int) int64 { return seed + int64(h)*1_000_003 }
 
 // synthConfig derives the synthetic-DIT shape from the history seed; every
 // third seed bounds the journal so full-reload degradation is exercised.
-func synthConfig(hseed int64) sim.SynthConfig {
-	cfg := sim.SynthConfig{Seed: hseed}
+// Shards only affects store construction — history generation must stay
+// byte-identical across shard counts, so generators pass 0.
+func synthConfig(hseed int64, shards int) sim.SynthConfig {
+	cfg := sim.SynthConfig{Seed: hseed, Shards: shards}
 	if hseed%3 == 2 || hseed%3 == -2 {
 		cfg.JournalLimit = 8
 	}
@@ -237,7 +250,7 @@ type harness struct {
 // runEngine executes one event history against a fresh engine, returning
 // the first divergence (nil if the history converges throughout).
 func runEngine(cfg Config, hseed int64, events []Event, rep *Report) *Failure {
-	st, err := sim.BuildSynthStore(synthConfig(hseed))
+	st, err := sim.BuildSynthStore(synthConfig(hseed, cfg.Shards))
 	if err != nil {
 		return &Failure{HistorySeed: hseed, Msg: "build synthetic store: " + err.Error()}
 	}
@@ -247,6 +260,7 @@ func runEngine(cfg Config, hseed int64, events []Event, rep *Report) *Failure {
 			for _, u := range ups {
 				rep.Traffic.Add(u)
 			}
+			rep.TrafficHash = foldUpdates(rep.TrafficHash, ups)
 		})
 		defer func() {
 			snap := h.eng.Counters().Snapshot()
@@ -266,6 +280,12 @@ func runEngine(cfg Config, hseed int64, events []Event, rep *Report) *Failure {
 			f.Step = i
 			return f
 		}
+	}
+	if rep != nil {
+		for _, r := range h.reps {
+			rep.ContentHash = foldContent(rep.ContentHash, r.content)
+		}
+		rep.ContentHash = foldEntries(rep.ContentHash, st.All())
 	}
 	return nil
 }

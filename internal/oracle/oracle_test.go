@@ -206,6 +206,41 @@ func TestOracleSharedFilterWireDedup(t *testing.T) {
 		rep.Events, rep.Polls, rep.StreamEncodes, rep.StreamDedupPDUs)
 }
 
+// TestOracleShardSweep is the tier-1 shard-equivalence gate: identical
+// flat, cascade, and edge-write histories replayed at shard counts 1, 2,
+// and 8 must produce byte-identical wire traffic and final content (FNV
+// fingerprints over every update PDU and every converged replica). Any
+// routing, ordering, or batching behavior that leaks the shard count into
+// observable protocol behavior fails here.
+func TestOracleShardSweep(t *testing.T) {
+	rep := RunShardSweep(ShardSweepConfig{Seed: 42, Histories: 6, Steps: 40, Shards: []int{1, 2, 8}})
+	if rep.Failure != nil {
+		t.Fatal(rep.Failure.Format())
+	}
+	for _, pt := range rep.Points {
+		t.Logf("%-9s shards=%d traffic=%016x content=%016x",
+			pt.Runner, pt.Shards, pt.TrafficHash, pt.ContentHash)
+	}
+}
+
+// TestOracleShardSweepFull is the long shard-equivalence sweep, enabled by
+// -oracle.n (see `make oracle`). History count is split across the three
+// runners and shard counts so the sweep's total work tracks -oracle.n.
+func TestOracleShardSweepFull(t *testing.T) {
+	if *oracleN <= 0 {
+		t.Skip("sweep disabled; run via make oracle or -oracle.n=N")
+	}
+	n := (*oracleN + 8) / 9
+	rep := RunShardSweep(ShardSweepConfig{Seed: *oracleSeed, Histories: n, Steps: *oracleSteps, Shards: []int{1, 2, 8}})
+	if rep.Failure != nil {
+		t.Fatal(rep.Failure.Format())
+	}
+	for _, pt := range rep.Points {
+		t.Logf("%-9s shards=%d traffic=%016x content=%016x",
+			pt.Runner, pt.Shards, pt.TrafficHash, pt.ContentHash)
+	}
+}
+
 // TestOracleDetectsDroppedDeletes is the oracle's own acceptance test:
 // with the consumer-side E10 fault injected (delete PDUs dropped), the
 // oracle must flag a divergence, shrink the history to a reproducing

@@ -7,6 +7,7 @@ package persist
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -51,7 +52,14 @@ func Load(r io.Reader, suffixes []string, opts ...dit.Option) (*dit.Store, error
 	return st, nil
 }
 
-// AppendJournal writes journal changes as LDIF change records.
+// commitMarker prefixes the comment line terminating each durable batch.
+// LDIF readers skip comment lines, so marked journals stay plain LDIF;
+// recovery uses the last marker as the committed high-water mark.
+const commitMarker = "# commit "
+
+// AppendJournal writes journal changes as LDIF change records followed by a
+// commit marker: one call is one durable batch, and crash recovery replays
+// a batch all-or-none (records after the last marker are discarded).
 func AppendJournal(w io.Writer, changes []dit.Change) error {
 	if len(changes) == 0 {
 		return nil
@@ -59,8 +67,9 @@ func AppendJournal(w io.Writer, changes []dit.Change) error {
 	if err := ldif.WriteChanges(w, changes...); err != nil {
 		return err
 	}
-	// Separate batches so the stream stays parseable.
-	_, err := io.WriteString(w, "\n")
+	// Terminate the batch: marker, then a blank separator so the stream
+	// stays parseable.
+	_, err := fmt.Fprintf(w, "%s%d\n\n", commitMarker, changes[len(changes)-1].CSN)
 	return err
 }
 
@@ -187,9 +196,8 @@ func (d Dir) open(suffixes []string, sparse bool, opts []dit.Option) (*dit.Store
 	}
 
 	jPath := filepath.Join(d.Path, journalName)
-	if f, err := os.Open(jPath); err == nil {
-		records, torn, rerr := ldif.ReadChangesTail(bufio.NewReader(f))
-		f.Close()
+	if raw, err := os.ReadFile(jPath); err == nil {
+		records, torn, rerr := readCommitted(raw)
 		if rerr != nil {
 			return nil, fmt.Errorf("parse journal: %w", rerr)
 		}
@@ -205,6 +213,50 @@ func (d Dir) open(suffixes []string, sparse bool, opts []dit.Option) (*dit.Store
 		return nil, err
 	}
 	return st, nil
+}
+
+// readCommitted parses journal bytes up to the batch-commit high-water
+// mark: everything after the last commit marker — an interrupted batch
+// append — is discarded, so a batch replays all-or-none. Journals written
+// before batch markers existed (no marker anywhere) fall back to
+// record-level torn-tail recovery.
+func readCommitted(raw []byte) ([]ldif.ChangeRecord, bool, error) {
+	prefix, torn, found := committedPrefix(raw)
+	if !found {
+		return ldif.ReadChangesTail(bytes.NewReader(raw))
+	}
+	recs, err := ldif.ReadChanges(bytes.NewReader(prefix))
+	if err != nil {
+		// The committed prefix should always parse (it was fsynced before
+		// its marker); treat residual damage like a legacy torn tail.
+		return ldif.ReadChangesTail(bytes.NewReader(prefix))
+	}
+	return recs, torn, nil
+}
+
+// committedPrefix splits raw journal bytes at the end of the last commit
+// marker line. torn reports whether non-blank bytes (an unfinished batch)
+// follow the marker; found is false when the journal holds no marker.
+func committedPrefix(raw []byte) (prefix []byte, torn, found bool) {
+	marker := []byte(commitMarker)
+	i := bytes.LastIndex(raw, append([]byte("\n"), marker...))
+	switch {
+	case i >= 0:
+		i++ // first byte of the marker line
+	case bytes.HasPrefix(raw, marker):
+		i = 0
+	default:
+		return nil, false, false
+	}
+	end := bytes.IndexByte(raw[i:], '\n')
+	if end < 0 {
+		// Marker line itself torn mid-write: the previous marker (if any)
+		// is the real high-water mark.
+		return committedPrefix(raw[:i])
+	}
+	cut := i + end + 1
+	tail := bytes.TrimSpace(raw[cut:])
+	return raw[:cut], len(tail) > 0, true
 }
 
 // rewriteJournal atomically replaces the journal with only its complete

@@ -29,6 +29,10 @@ type SynthConfig struct {
 	// JournalLimit bounds the master journal (0 = unbounded); small limits
 	// force full-reload degradation under churn.
 	JournalLimit int
+	// Shards overrides the store's shard count (0 = store default). The
+	// oracle's shard sweep runs identical histories at several counts and
+	// asserts byte-identical behavior.
+	Shards int
 }
 
 func (c *SynthConfig) fillDefaults() {
@@ -70,6 +74,9 @@ func BuildSynthStore(cfg SynthConfig) (*dit.Store, error) {
 	var opts []dit.Option
 	if cfg.JournalLimit > 0 {
 		opts = append(opts, dit.WithJournalLimit(cfg.JournalLimit))
+	}
+	if cfg.Shards > 0 {
+		opts = append(opts, dit.WithShards(cfg.Shards))
 	}
 	st, err := dit.NewStore([]string{SynthSuffix}, opts...)
 	if err != nil {

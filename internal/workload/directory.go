@@ -59,6 +59,9 @@ type DirectoryConfig struct {
 	// recent n changes (0 = unbounded); sync sessions that fall further
 	// behind require a full reload.
 	JournalLimit int
+	// Shards overrides the master store's shard count (0 = store default:
+	// GOMAXPROCS, or the FILTERDIR_SHARDS environment override).
+	Shards int
 }
 
 // DefaultDirectoryConfig returns a laptop-scale configuration with the
@@ -129,6 +132,9 @@ func BuildDirectory(cfg DirectoryConfig) (*Directory, error) {
 	}
 	if cfg.JournalLimit > 0 {
 		opts = append(opts, dit.WithJournalLimit(cfg.JournalLimit))
+	}
+	if cfg.Shards > 0 {
+		opts = append(opts, dit.WithShards(cfg.Shards))
 	}
 	master, err := dit.NewStore([]string{Suffix}, opts...)
 	if err != nil {
