@@ -11,7 +11,7 @@ SHELL := /bin/bash
 #   make oracle ORACLE_TESTS='TestOracleCascadeSweep|TestOracleCascadeWireSweep'
 SEED ?= 42
 N ?= 1000
-ORACLE_TESTS ?= TestOracleSweep|TestOracleWireSweep|TestOracleCascadeSweep|TestOracleCascadeWireSweep|TestOracleEdgeWriteSweep|TestOracleShardSweepFull
+ORACLE_TESTS ?= TestOracleSweep|TestOracleWireSweep|TestOracleCascadeSweep|TestOracleCascadeWireSweep|TestOracleEdgeWriteSweep|TestOracleShardSweepFull|TestOracleResumeSweep
 
 .PHONY: check fmt vet build test bench bench-diff oracle fuzz-smoke cover
 
@@ -73,6 +73,7 @@ fuzz-smoke:
 	$(GO) test ./internal/filter -run '^$$' -fuzz FuzzParseFilter -fuzztime 30s
 	$(GO) test ./internal/dn -run '^$$' -fuzz FuzzParseDN -fuzztime 30s
 	$(GO) test ./internal/proto -run '^$$' -fuzz FuzzDecodeWriteRequest -fuzztime 30s
+	$(GO) test ./internal/resync -run '^$$' -fuzz FuzzResumeToken -fuzztime 30s
 
 ## cover: per-function coverage summary.
 cover:

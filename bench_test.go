@@ -552,6 +552,92 @@ func BenchmarkPersistFanout(b *testing.B) {
 	}
 }
 
+// BenchmarkResumableReload measures the crash-recovery payoff of resumable
+// chunked reloads (DESIGN.md §14). A replica whose connection dies partway
+// through a full transfer and reconnects with its resume token pays only
+// for the remaining chunks; the pre-resumption protocol restarted from byte
+// zero. Each iteration drives chunked transfers to 25/50/75% completion,
+// "crashes", and resumes; the custom metrics are the bytes still owed from
+// each position next to a restart-from-zero reload of the same content.
+func BenchmarkResumableReload(b *testing.B) {
+	cfg := workload.DefaultDirectoryConfig(2000)
+	cfg.PayloadBytes = 128
+	dir, err := workload.BuildDirectory(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := query.MustNew("", query.ScopeSubtree, "(serialnumber=1*)")
+	const chunkSize = 32
+
+	// drain follows a transfer from res to completion, folding its chunks
+	// into tr.
+	drain := func(eng *resync.Engine, res *resync.PollResult, tr *resync.Traffic) {
+		for {
+			for _, u := range res.Updates {
+				tr.Add(u)
+			}
+			if res.Resume == nil {
+				return
+			}
+			next, err := eng.ResumeReload(*res.Resume)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res = next
+		}
+	}
+
+	fractions := []float64{0.25, 0.50, 0.75}
+	var restartBytes float64
+	resumeBytes := make([]float64, len(fractions))
+	for i := 0; i < b.N; i++ {
+		eng := resync.NewEngine(dir.Master, resync.WithChunkSize(chunkSize))
+
+		// Restart-from-zero: the whole content over again.
+		var full resync.Traffic
+		res, err := eng.Begin(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Resume == nil {
+			b.Fatal("reload not chunked; grow the selection or shrink the chunk size")
+		}
+		drain(eng, res, &full)
+		restartBytes = float64(full.Bytes)
+
+		for fi, frac := range fractions {
+			res, err := eng.Begin(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tok := *res.Resume
+			for float64(tok.Chunk) < frac*float64(tok.Chunks) {
+				next, err := eng.ResumeReload(tok)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if next.Resume == nil {
+					b.Fatalf("transfer completed before %.0f%%", frac*100)
+				}
+				tok = *next.Resume
+			}
+			// Crash here: the reconnecting consumer presents tok and pays
+			// only for the chunks it never received.
+			var rem resync.Traffic
+			cont, err := eng.ResumeReload(tok)
+			if err != nil {
+				b.Fatal(err)
+			}
+			drain(eng, cont, &rem)
+			resumeBytes[fi] = float64(rem.Bytes)
+		}
+	}
+	b.ReportMetric(restartBytes, "restart_bytes")
+	b.ReportMetric(resumeBytes[0], "resume25_bytes")
+	b.ReportMetric(resumeBytes[1], "resume50_bytes")
+	b.ReportMetric(resumeBytes[2], "resume75_bytes")
+}
+
 // BenchmarkSelectionPolicies compares the paper's periodic benefit/size
 // revolution against the EDBT evolution/revolution baseline on a drifting
 // workload, reporting achieved hit ratios and stored-set churn.

@@ -30,6 +30,7 @@ import (
 	"filterdir/internal/ldapnet"
 	"filterdir/internal/ldif"
 	"filterdir/internal/persist"
+	"filterdir/internal/resync"
 	"filterdir/internal/workload"
 )
 
@@ -45,6 +46,9 @@ func main() {
 	journalLimit := flag.Int("journal-limit", 0, "bound the in-memory update journal to the most recent n changes (0 = unbounded)")
 	shards := flag.Int("shards", 0, "DIT store shard count (0 = GOMAXPROCS, or the FILTERDIR_SHARDS environment override)")
 	chaosSpec := flag.String("chaos", "", `fault-injection plan for accepted connections, e.g. "drop-every=40,latency=1ms..5ms,seed=7" (empty disables)`)
+	reloadChunk := flag.Int("reload-chunk", 0, "serve full reloads in resumable chunks of n entries (0 = monolithic reloads)")
+	keepSyncPoints := flag.Int("keep-sync-points", 0, "per-session resume history: keep the last n sync points (0 = default 64)")
+	journalRetention := flag.String("journal-retention", "", `on-disk journal retention policy with -data, e.g. "bytes=64m,age=1h" (empty = checkpoint only on shutdown)`)
 	flag.Parse()
 
 	plan, err := chaos.ParsePlan(*chaosSpec)
@@ -52,7 +56,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ldapmaster:", err)
 		os.Exit(2)
 	}
-	if err := run(*addr, *ldifPath, *dataDir, *journalEvery, *suffix, *employees, *seed, *statusEvery, *journalLimit, *shards, plan); err != nil {
+	retention, err := persist.ParseJournalRetention(*journalRetention)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ldapmaster:", err)
+		os.Exit(2)
+	}
+	if err := run(*addr, *ldifPath, *dataDir, *journalEvery, *suffix, *employees, *seed, *statusEvery, *journalLimit, *shards, plan, *reloadChunk, *keepSyncPoints, retention); err != nil {
 		fmt.Fprintln(os.Stderr, "ldapmaster:", err)
 		os.Exit(1)
 	}
@@ -91,7 +100,7 @@ func printStatus(srv *filterdir.Server, backend *ldapnet.StoreBackend, store *fi
 	}
 }
 
-func run(addr, ldifPath, dataDir string, journalEvery time.Duration, suffix string, employees int, seed int64, statusEvery time.Duration, journalLimit, shards int, plan chaos.Plan) error {
+func run(addr, ldifPath, dataDir string, journalEvery time.Duration, suffix string, employees int, seed int64, statusEvery time.Duration, journalLimit, shards int, plan chaos.Plan, reloadChunk, keepSyncPoints int, retention persist.JournalRetention) error {
 	var store *filterdir.Directory
 	var home *persist.Dir
 	if dataDir != "" {
@@ -159,7 +168,14 @@ func run(addr, ldifPath, dataDir string, journalEvery time.Duration, suffix stri
 		ln = inj.Listener(ln)
 		fmt.Println("ldapmaster: chaos plan armed; injected faults count against every connection")
 	}
-	backend := ldapnet.NewStoreBackend(store)
+	var engineOpts []resync.EngineOption
+	if reloadChunk > 0 {
+		engineOpts = append(engineOpts, resync.WithChunkSize(reloadChunk))
+	}
+	if keepSyncPoints > 0 {
+		engineOpts = append(engineOpts, resync.WithSyncPointRetention(keepSyncPoints))
+	}
+	backend := ldapnet.NewStoreBackend(store, engineOpts...)
 	srv := ldapnet.ServeListener(ln, backend)
 	fmt.Printf("ldapmaster: serving %d entries on %s (suffix %s)\n", store.Len(), srv.Addr(), suffix)
 
@@ -200,15 +216,16 @@ func run(addr, ldifPath, dataDir string, journalEvery time.Duration, suffix stri
 		}
 	}
 
-	// Durable mode: journal committed changes periodically, checkpoint on
-	// shutdown.
+	// Durable mode: journal committed changes periodically (folding the
+	// journal into a fresh snapshot whenever the retention policy says it
+	// has grown too large or too old), checkpoint on shutdown.
 	watermark := store.LastCSN()
 	ticker := time.NewTicker(journalEvery)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-ticker.C:
-			w, err := home.AppendChanges(store, watermark)
+			w, err := home.Maintain(store, watermark, retention)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "ldapmaster: journal: %v\n", err)
 				continue

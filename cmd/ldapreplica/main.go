@@ -49,6 +49,7 @@ import (
 	"filterdir/internal/entry"
 	"filterdir/internal/ldapnet"
 	"filterdir/internal/metrics"
+	"filterdir/internal/persist"
 	"filterdir/internal/query"
 	"filterdir/internal/supervisor"
 )
@@ -74,6 +75,9 @@ type options struct {
 	idleTimeout            time.Duration
 	retryUpstream          time.Duration
 	journalLimit           int
+	reloadChunk            int
+	keepSyncPoints         int
+	journalRetention       persist.JournalRetention
 	checkpointEvery        time.Duration
 	depth                  int
 	cacheCap               int
@@ -96,6 +100,9 @@ func main() {
 	flag.DurationVar(&o.idleTimeout, "idle-timeout", 0, "persist-stream idle timeout (0 = none)")
 	flag.DurationVar(&o.retryUpstream, "retry-upstream", time.Minute, "how long a diverted supervisor stays on the fallback master before re-probing -upstream")
 	flag.IntVar(&o.journalLimit, "journal-limit", 4096, "mid-tier store journal bound (with -serve): how far a downstream session may lag before a full reload")
+	flag.IntVar(&o.reloadChunk, "reload-chunk", 0, "serve downstream full reloads in resumable chunks of n entries (with -serve; 0 = monolithic)")
+	flag.IntVar(&o.keepSyncPoints, "keep-sync-points", 0, "downstream per-session resume history: keep the last n sync points (with -serve; 0 = default 64)")
+	journalRetention := flag.String("journal-retention", "", `durable journal retention policy (with -serve and -state), e.g. "bytes=64m,age=1h" (empty = fixed append cadence)`)
 	flag.DurationVar(&o.checkpointEvery, "checkpoint-every", 2*time.Second, "mid-tier durability cadence (with -serve and -state)")
 	flag.IntVar(&o.depth, "depth", 1, "tier depth below the master (with -serve; reporting only)")
 	flag.IntVar(&o.cacheCap, "cache", 64, "recent user-query cache capacity")
@@ -106,6 +113,13 @@ func main() {
 	if len(o.filters) == 0 {
 		o.filters = filterList{"(objectclass=location)"}
 	}
+
+	retention, rerr := persist.ParseJournalRetention(*journalRetention)
+	if rerr != nil {
+		fmt.Fprintln(os.Stderr, "ldapreplica:", rerr)
+		os.Exit(2)
+	}
+	o.journalRetention = retention
 
 	switch *mode {
 	case "poll":
@@ -356,6 +370,9 @@ func runTier(o options) error {
 		StateDir:           stateDir,
 		CheckpointEvery:    o.checkpointEvery,
 		JournalLimit:       o.journalLimit,
+		ReloadChunk:        o.reloadChunk,
+		KeepSyncPoints:     o.keepSyncPoints,
+		JournalRetention:   o.journalRetention,
 		ContentIndexes:     []string{"serialnumber", "mail", "dept", "location", "uid"},
 		PollInterval:       o.interval,
 		IdleTimeout:        o.idleTimeout,

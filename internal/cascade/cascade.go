@@ -39,6 +39,8 @@ import (
 	"filterdir/internal/edgewrite"
 	"filterdir/internal/ldapnet"
 	"filterdir/internal/metrics"
+	"filterdir/internal/persist"
+	"filterdir/internal/proto"
 	"filterdir/internal/query"
 	"filterdir/internal/replica"
 	"filterdir/internal/resync"
@@ -74,6 +76,17 @@ type Config struct {
 	// behind a downstream session may lag before degrading to a full
 	// reload (default 4096 changes).
 	JournalLimit int
+	// ReloadChunk serves downstream full reloads in resumable chunks of
+	// this many entries (0 = monolithic).
+	ReloadChunk int
+	// KeepSyncPoints is the downstream engine's per-session resume-history
+	// retention (0 = the engine default).
+	KeepSyncPoints int
+	// JournalRetention, when any bound is set, replaces the fixed
+	// 64-append cadence for folding the durable journal into a full
+	// snapshot: a checkpoint takes a snapshot once journal.ldif is over
+	// the policy's size or age bound.
+	JournalRetention persist.JournalRetention
 	// ContentIndexes maintains equality/prefix indexes on the tier store.
 	ContentIndexes []string
 	// Checker shares a containment checker (and its compiled plans).
@@ -197,7 +210,14 @@ func New(cfg Config) (*Tier, error) {
 	// classify against that journal. Downstream watermark stamps are
 	// translated from local to master coordinates so edge writers below
 	// this tier can retire against them.
-	t.eng = resync.NewEngine(rep.Store())
+	var engOpts []resync.EngineOption
+	if cfg.ReloadChunk > 0 {
+		engOpts = append(engOpts, resync.WithChunkSize(cfg.ReloadChunk))
+	}
+	if cfg.KeepSyncPoints > 0 {
+		engOpts = append(engOpts, resync.WithSyncPointRetention(cfg.KeepSyncPoints))
+	}
+	t.eng = resync.NewEngine(rep.Store(), engOpts...)
 	t.supWM = make([]atomic.Uint64, len(t.specs))
 	t.eng.SetWatermarkFunc(t.wm.lookup)
 	t.eng.SetObserver(func(_ string, updates []resync.Update, fullReload bool) {
@@ -395,6 +415,12 @@ func (t *Tier) SyncBegin(q query.Query) (*resync.PollResult, error) {
 // SyncPoll implements ldapnet.SyncSupplier.
 func (t *Tier) SyncPoll(cookie string) (*resync.PollResult, error) {
 	return t.eng.Poll(cookie)
+}
+
+// SyncResume implements ldapnet.SyncSupplier: chunked-reload continuation
+// against the tier engine.
+func (t *Tier) SyncResume(tok proto.ResumeToken) (*resync.PollResult, error) {
+	return t.eng.ResumeReload(tok)
 }
 
 // SyncRetain implements ldapnet.SyncSupplier (equation 3 mode).

@@ -27,8 +27,9 @@ import (
 // Most checkpoints are journal appends; a full snapshot (which also
 // truncates the journal) is taken on the first checkpoint after a restart
 // — the restored store's CSNs restart from zero, so the old journal's
-// watermark is meaningless — and every fullCheckpointEvery appends to
-// bound journal growth.
+// watermark is meaningless — and periodically to bound journal growth:
+// every fullCheckpointEvery appends by default, or whenever the journal
+// exceeds the configured JournalRetention size/age policy.
 const (
 	storeDirName    = "store"
 	cookiesFileName = "cookies.json"
@@ -54,6 +55,7 @@ type diskCookies struct {
 type tierState struct {
 	dir         persist.Dir
 	cookiesPath string
+	retention   persist.JournalRetention
 	logf        func(string, ...any)
 
 	mu        sync.Mutex
@@ -71,6 +73,7 @@ func openState(cfg Config, rep *replica.FilterReplica, counters *metrics.Cascade
 	st := &tierState{
 		dir:         persist.Dir{Path: filepath.Join(cfg.StateDir, storeDirName)},
 		cookiesPath: filepath.Join(cfg.StateDir, cookiesFileName),
+		retention:   cfg.JournalRetention,
 		logf:        cfg.Logf,
 		needFull:    true,
 	}
@@ -138,7 +141,7 @@ func openState(cfg Config, rep *replica.FilterReplica, counters *metrics.Cascade
 func (s *tierState) checkpoint(store *dit.Store, cookies map[string]cookieEntry, counters *metrics.CascadeCounters) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	full := s.needFull || s.appends >= fullCheckpointEvery
+	full := s.needFull || s.journalOverdue()
 	if !full {
 		wm, err := s.dir.AppendChanges(store, s.watermark)
 		switch {
@@ -164,4 +167,20 @@ func (s *tierState) checkpoint(store *dit.Store, cookies map[string]cookieEntry,
 	return persist.WriteAtomic(s.cookiesPath, func(w io.Writer) error {
 		return json.NewEncoder(w).Encode(diskCookies{Cookies: cookies})
 	})
+}
+
+// journalOverdue decides whether this checkpoint should take a full
+// snapshot instead of another append. With a retention policy configured
+// the on-disk journal's actual size and age decide; otherwise the fixed
+// append-count cadence applies.
+func (s *tierState) journalOverdue() bool {
+	if s.retention.Enabled() {
+		over, err := s.dir.OverRetention(s.retention)
+		if err != nil {
+			s.logf("cascade: journal retention check: %v", err)
+			return s.appends >= fullCheckpointEvery
+		}
+		return over
+	}
+	return s.appends >= fullCheckpointEvery
 }

@@ -95,12 +95,32 @@ func (s *Store) flushLocked() {
 	}
 }
 
-// trimLocked enforces the journal bound once per batch. Callers hold seqMu.
+// trimLocked enforces the journal bound once per batch, clamped by the
+// lowest outstanding hold: records needed to answer ChangesSince(minHold)
+// are kept regardless of the limit, so an active resumable transfer's
+// pinned snapshot stays incrementally catch-up-able. Callers hold seqMu.
 func (s *Store) trimLocked() {
 	if s.journalLimit <= 0 || len(s.journal) <= s.journalLimit {
 		return
 	}
 	drop := len(s.journal) - s.journalLimit
+	if floor, held := s.minHoldLocked(); held {
+		// Journal CSNs are consecutive, so the count of droppable records
+		// (CSN <= floor) is a subtraction, not a scan.
+		maxDrop := 0
+		if first := s.journal[0].CSN; floor+1 > first {
+			maxDrop = int(floor + 1 - first)
+			if maxDrop > len(s.journal) {
+				maxDrop = len(s.journal)
+			}
+		}
+		if drop > maxDrop {
+			drop = maxDrop
+		}
+	}
+	if drop <= 0 {
+		return
+	}
 	s.journal = append(s.journal[:0:0], s.journal[drop:]...)
 	s.journalBase += CSN(drop)
 	s.journalTrimmed += uint64(drop)

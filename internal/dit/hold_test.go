@@ -1,0 +1,114 @@
+package dit
+
+import (
+	"fmt"
+	"testing"
+
+	"filterdir/internal/dn"
+)
+
+// churn commits n modifies against the John Doe entry, growing the journal
+// by n records.
+func churn(t *testing.T, st *Store, n int) {
+	t.Helper()
+	d := dn.MustParse("cn=John Doe,ou=research,c=us,o=xyz")
+	for i := 0; i < n; i++ {
+		if err := st.Modify(d, []Mod{{Op: ModReplace, Attr: "sn", Values: []string{fmt.Sprintf("v%d", i)}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestHoldPinsJournal: while a hold is outstanding at CSN h, aggressive
+// trimming keeps ChangesSince(h) answerable; releasing it lets the next
+// commit's trim collect the pinned history.
+func TestHoldPinsJournal(t *testing.T) {
+	tests := []struct {
+		name  string
+		limit int // journal bound
+		churn int // commits while the hold is live
+	}{
+		{"limit 2, churn far past it", 2, 12},
+		{"limit 4, churn just past it", 4, 6},
+		{"limit 1, maximal pressure", 1, 20},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			st := buildSmallDIT(t, WithJournalLimit(tt.limit))
+			snap := st.LastCSN()
+			h := st.Hold(snap)
+			if got := st.ActiveHolds(); got != 1 {
+				t.Fatalf("active holds = %d, want 1", got)
+			}
+
+			churn(t, st, tt.churn)
+			changes, ok := st.ChangesSince(snap)
+			if !ok {
+				t.Fatalf("hold at %d did not survive trimming (limit %d, %d commits)", snap, tt.limit, tt.churn)
+			}
+			if len(changes) != tt.churn {
+				t.Errorf("ChangesSince(%d) = %d changes, want %d", snap, len(changes), tt.churn)
+			}
+
+			st.Release(h)
+			st.Release(h) // double release is a no-op
+			if got := st.ActiveHolds(); got != 0 {
+				t.Fatalf("active holds after release = %d, want 0", got)
+			}
+			// The release itself does not trim; the next committed batch does.
+			churn(t, st, tt.limit+1)
+			if _, ok := st.ChangesSince(snap); ok {
+				t.Error("released hold still pins the journal after the next trim")
+			}
+		})
+	}
+}
+
+// TestHoldFloorIsMinimum: with several holds outstanding the oldest pins
+// the journal; releasing it moves the floor up to the next survivor.
+func TestHoldFloorIsMinimum(t *testing.T) {
+	st := buildSmallDIT(t, WithJournalLimit(2))
+	older := st.LastCSN()
+	hOld := st.Hold(older)
+	churn(t, st, 5)
+	newer := st.LastCSN()
+	hNew := st.Hold(newer)
+
+	churn(t, st, 8)
+	if _, ok := st.ChangesSince(older); !ok {
+		t.Fatal("oldest hold did not pin the journal")
+	}
+
+	st.Release(hOld)
+	churn(t, st, 8)
+	if _, ok := st.ChangesSince(older); ok {
+		t.Error("journal still answers from the released older hold")
+	}
+	if changes, ok := st.ChangesSince(newer); !ok {
+		t.Error("newer hold lost history when the older one was released")
+	} else if len(changes) != 16 {
+		t.Errorf("ChangesSince(newer) = %d changes, want 16", len(changes))
+	}
+	st.Release(hNew)
+}
+
+// TestHoldDoesNotBlockCommits: a hold raises the trim floor only — commits
+// proceed, records at or before the held CSN stay collectible, and only
+// the suffix the hold actually needs is retained.
+func TestHoldDoesNotBlockCommits(t *testing.T) {
+	st := buildSmallDIT(t, WithJournalLimit(2))
+	before := st.LastCSN()
+	h := st.Hold(before)
+	churn(t, st, 10)
+	if got := st.LastCSN(); got != before+10 {
+		t.Fatalf("LastCSN advanced %d, want 10", got-before)
+	}
+	// History up to the hold is fair game; the suffix after it is not.
+	if trimmed := st.JournalTrimmed(); trimmed > uint64(before) {
+		t.Errorf("journal trimmed %d records, want <= %d (pinned suffix must survive)", trimmed, before)
+	}
+	if changes, ok := st.ChangesSince(before); !ok || len(changes) != 10 {
+		t.Errorf("ChangesSince(hold) = %d changes ok=%v, want 10 true", len(changes), ok)
+	}
+	st.Release(h)
+}

@@ -86,6 +86,10 @@ type Store struct {
 	nextCSN        CSN
 	journalLimit   int
 	journalTrimmed uint64 // records dropped by the journal limit
+	// holds maps hold IDs to their pinned CSNs (see hold.go): the journal
+	// suffix after min(holds) survives trimming while any hold is live.
+	holds   map[uint64]CSN
+	holdSeq uint64
 	// signal is closed and replaced once per committed batch; waiters use
 	// it for persist-mode notification.
 	signal chan struct{}

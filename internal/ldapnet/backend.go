@@ -32,6 +32,8 @@ type Backend interface {
 	ReSyncBegin(q query.Query) (*resync.PollResult, error)
 	// ReSyncPoll continues a session.
 	ReSyncPoll(cookie string) (*resync.PollResult, error)
+	// ReSyncResume continues a chunked reload from a resume token.
+	ReSyncResume(tok proto.ResumeToken) (*resync.PollResult, error)
 	// ReSyncRetain runs the incomplete-history mode (equation 3).
 	ReSyncRetain(cookie string) (*resync.PollResult, error)
 	// ReSyncPersist subscribes to changes after the given cookie.
@@ -111,11 +113,12 @@ var (
 // the window only needs to cover the in-flight set, with generous slack.
 const maxEdgeDedup = 65536
 
-// NewStoreBackend wraps a store and creates its sync engine.
-func NewStoreBackend(store *dit.Store) *StoreBackend {
+// NewStoreBackend wraps a store and creates its sync engine; engine
+// options (chunked reloads, sync-point retention) pass through.
+func NewStoreBackend(store *dit.Store, opts ...resync.EngineOption) *StoreBackend {
 	return &StoreBackend{
 		Store:    store,
-		Engine:   resync.NewEngine(store),
+		Engine:   resync.NewEngine(store, opts...),
 		Writes:   &metrics.WriteCounters{},
 		edgeSeen: make(map[string]uint64),
 	}
@@ -181,6 +184,11 @@ func (b *StoreBackend) ReSyncBegin(q query.Query) (*resync.PollResult, error) {
 // ReSyncPoll implements Backend.
 func (b *StoreBackend) ReSyncPoll(cookie string) (*resync.PollResult, error) {
 	return b.Engine.Poll(cookie)
+}
+
+// ReSyncResume implements Backend.
+func (b *StoreBackend) ReSyncResume(tok proto.ResumeToken) (*resync.PollResult, error) {
+	return b.Engine.ResumeReload(tok)
 }
 
 // ReSyncRetain implements Backend.

@@ -26,6 +26,7 @@ var ErrNotContained = errors.New("sync spec not contained in replica's stored qu
 type SyncSupplier interface {
 	SyncBegin(q query.Query) (*resync.PollResult, error)
 	SyncPoll(cookie string) (*resync.PollResult, error)
+	SyncResume(tok proto.ResumeToken) (*resync.PollResult, error)
 	SyncRetain(cookie string) (*resync.PollResult, error)
 	SyncPersist(cookie string) (*resync.Subscription, error)
 	SyncEnd(cookie string) error
@@ -90,6 +91,12 @@ func (b *CascadeBackend) ReSyncBegin(q query.Query) (*resync.PollResult, error) 
 // ReSyncPoll implements Backend via the tier engine.
 func (b *CascadeBackend) ReSyncPoll(cookie string) (*resync.PollResult, error) {
 	return b.Supplier.SyncPoll(cookie)
+}
+
+// ReSyncResume implements Backend via the tier engine: the token names a
+// session the tier already admitted, so no containment re-check is needed.
+func (b *CascadeBackend) ReSyncResume(tok proto.ResumeToken) (*resync.PollResult, error) {
+	return b.Supplier.SyncResume(tok)
 }
 
 // ReSyncRetain implements Backend via the tier engine.

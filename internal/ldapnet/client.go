@@ -82,6 +82,10 @@ type SyncResult struct {
 	// this position in the supplier's journal. Zero when the supplier
 	// predates the edge-write protocol.
 	UpstreamCSN uint64
+	// Resume, when non-nil, marks a partial chunked reload: Cookie is empty
+	// and the consumer continues the transfer by presenting the token
+	// (SyncResume). FullReload is set only on the transfer's first chunk.
+	Resume *proto.ResumeToken
 }
 
 // Client is a synchronous LDAP client. Methods are safe for concurrent use
@@ -340,9 +344,26 @@ func (c *Client) searchPage(q query.Query, pageSize int, cookie string) (*Search
 // Sync performs one ReSync exchange: an empty cookie begins a session, a
 // non-empty cookie polls it; mode selects poll or retain semantics.
 func (c *Client) Sync(q query.Query, mode proto.ReSyncMode, cookie string) (*SyncResult, error) {
+	return c.syncExchange(q, proto.NewReSyncRequestControl(mode, cookie))
+}
+
+// SyncResume continues a chunked reload by presenting a resume token; the
+// server responds with the named chunk (or, when it cannot verify the
+// token, a restart from chunk zero — FullReload set). The control is
+// critical: a supplier that does not understand resumption must refuse
+// rather than silently serve a plain search.
+func (c *Client) SyncResume(tok proto.ResumeToken) (*SyncResult, error) {
+	return c.syncExchange(query.Query{Scope: query.ScopeSubtree},
+		proto.NewReSyncRequestControl(proto.ReSyncModePoll, ""),
+		proto.NewReSyncResumeControl(tok, true))
+}
+
+// syncExchange runs one ReSync request/response cycle with the given
+// controls.
+func (c *Client) syncExchange(q query.Query, controls ...proto.Control) (*SyncResult, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	id, err := c.send(&proto.SearchRequest{Query: q}, proto.NewReSyncRequestControl(mode, cookie))
+	id, err := c.send(&proto.SearchRequest{Query: q}, controls...)
 	if err != nil {
 		return nil, err
 	}
@@ -368,6 +389,13 @@ func (c *Client) Sync(q query.Query, mode proto.ReSyncMode, cookie string) (*Syn
 				if err != nil {
 					return res, err
 				}
+			}
+			if rc, ok := m.Control(proto.OIDReSyncResume); ok {
+				tok, err := proto.ParseReSyncResume(rc)
+				if err != nil {
+					return res, err
+				}
+				res.Resume = &tok
 			}
 			return res, nil
 		default:

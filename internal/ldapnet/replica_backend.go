@@ -75,6 +75,11 @@ func (b *ReplicaBackend) ReSyncPoll(string) (*resync.PollResult, error) {
 	return nil, ErrReadOnly
 }
 
+// ReSyncResume implements Backend (refused).
+func (b *ReplicaBackend) ReSyncResume(proto.ResumeToken) (*resync.PollResult, error) {
+	return nil, ErrReadOnly
+}
+
 // ReSyncRetain implements Backend (refused).
 func (b *ReplicaBackend) ReSyncRetain(string) (*resync.PollResult, error) {
 	return nil, ErrReadOnly

@@ -282,7 +282,16 @@ func (s *Server) handleSearch(state *connState, conn net.Conn, msg *proto.Messag
 			s.reply(state, conn, msg.ID, &proto.SearchDone{}, proto.ResultProtocolError, err.Error(), nil, nil)
 			return
 		}
-		s.handleReSync(state, conn, msg.ID, op, req)
+		var resume *proto.ResumeToken
+		if rc, ok := msg.Control(proto.OIDReSyncResume); ok {
+			tok, err := proto.ParseReSyncResume(rc)
+			if err != nil {
+				s.reply(state, conn, msg.ID, &proto.SearchDone{}, proto.ResultProtocolError, err.Error(), nil, nil)
+				return
+			}
+			resume = &tok
+		}
+		s.handleReSync(state, conn, msg.ID, op, req, resume)
 		return
 	}
 
@@ -397,8 +406,9 @@ func sortEntries(entries []*entry.Entry, keys []proto.SortKey) {
 // handleReSync implements the server side of Section 5.2: (i) a null cookie
 // starts a session with a full content transfer, (ii) a cookie resumes and
 // sends accumulated updates, (iii) persist mode keeps the connection open
-// streaming further changes, (iv) poll mode returns a cookie to resume.
-func (s *Server) handleReSync(state *connState, conn net.Conn, id int64, op *proto.SearchRequest, req proto.ReSyncRequest) {
+// streaming further changes, (iv) poll mode returns a cookie to resume. A
+// resume-token control continues a chunked reload instead (DESIGN.md §14).
+func (s *Server) handleReSync(state *connState, conn net.Conn, id int64, op *proto.SearchRequest, req proto.ReSyncRequest, resume *proto.ResumeToken) {
 	if req.Mode == proto.ReSyncModeSyncEnd {
 		err := s.backend.ReSyncEnd(req.Cookie)
 		s.reply(state, conn, id, &proto.SearchDone{}, resultCodeFor(err), errText(err), nil, nil)
@@ -408,6 +418,8 @@ func (s *Server) handleReSync(state *connState, conn net.Conn, id int64, op *pro
 	var res *resync.PollResult
 	var err error
 	switch {
+	case resume != nil:
+		res, err = s.backend.ReSyncResume(*resume)
 	case req.Cookie == "":
 		res, err = s.backend.ReSyncBegin(op.Query)
 	case req.Mode == proto.ReSyncModeRetain:
@@ -427,6 +439,19 @@ func (s *Server) handleReSync(state *connState, conn net.Conn, id int64, op *pro
 		initialCookie = res.Cookie
 	}
 	if err := s.streamUpdates(state, conn, id, res.Updates, initialCookie, res.CSN, res.Enc, false); err != nil {
+		return
+	}
+
+	if res.Resume != nil {
+		// One chunk of a resumable reload: the exchange completes without a
+		// cookie, handing the consumer a token for the remainder. A
+		// persist-mode consumer drains the chunks the same way and
+		// re-subscribes with the completion cookie.
+		s.reply(state, conn, id, &proto.SearchDone{}, proto.ResultSuccess, "", nil,
+			[]proto.Control{
+				proto.NewReSyncDoneControl("", res.FullReload, res.CSN),
+				proto.NewReSyncResumeControl(*res.Resume, false),
+			})
 		return
 	}
 

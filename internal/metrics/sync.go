@@ -32,6 +32,17 @@ type SyncCounters struct {
 	// because the journal no longer covered the session's sync point.
 	FullReloads atomic.Int64
 
+	// Resumable chunked reloads. ChunkedReloads counts full transfers
+	// serialized into chunks; ReloadChunks counts chunk exchanges served
+	// (including retransmissions after a resume); Resumes counts
+	// presented resume tokens; ResumeRejects counts tokens refused —
+	// unknown session, stale snapshot, or fingerprint mismatch — each
+	// degrading to a restart from chunk zero.
+	ChunkedReloads atomic.Int64
+	ReloadChunks   atomic.Int64
+	Resumes        atomic.Int64
+	ResumeRejects  atomic.Int64
+
 	// PersistStreams counts sessions upgraded to persist mode.
 	PersistStreams atomic.Int64
 	// StreamedPDUs counts update PDUs written to the wire by the server,
@@ -102,6 +113,8 @@ type SyncSnapshot struct {
 	PDUAdds, PDUDeletes, PDUModifies, PDURetains int64
 	SuppressedModifies                           int64
 	FullReloads                                  int64
+	ChunkedReloads, ReloadChunks                 int64
+	Resumes, ResumeRejects                       int64
 	PersistStreams, StreamedPDUs                 int64
 	Classifies                                   int64
 	AvgClassify                                  time.Duration
@@ -126,6 +139,10 @@ func (c *SyncCounters) Snapshot() SyncSnapshot {
 		PDURetains:         c.PDURetains.Load(),
 		SuppressedModifies: c.SuppressedModifies.Load(),
 		FullReloads:        c.FullReloads.Load(),
+		ChunkedReloads:     c.ChunkedReloads.Load(),
+		ReloadChunks:       c.ReloadChunks.Load(),
+		Resumes:            c.Resumes.Load(),
+		ResumeRejects:      c.ResumeRejects.Load(),
 		PersistStreams:     c.PersistStreams.Load(),
 		StreamedPDUs:       c.StreamedPDUs.Load(),
 		Classifies:         c.Classifies.Load(),
@@ -166,10 +183,11 @@ func (s SyncSnapshot) PDUs() int64 {
 // String renders a compact status line for operator output.
 func (s SyncSnapshot) String() string {
 	return fmt.Sprintf(
-		"sync: begins=%d polls=%d retain=%d ends=%d persist=%d | pdus=%d (add=%d del=%d mod=%d ret=%d suppressed=%d) streamed=%d | full-reloads=%d classify-avg=%s | groups: joins=%d (equiv=%d) leaves=%d classify-dedup=%.2f enc-dedup=%d/%d | slow: coalesced=%d demoted=%d qdrops=%d qmax=%d",
+		"sync: begins=%d polls=%d retain=%d ends=%d persist=%d | pdus=%d (add=%d del=%d mod=%d ret=%d suppressed=%d) streamed=%d | full-reloads=%d (chunked=%d chunks=%d resumes=%d rejects=%d) classify-avg=%s | groups: joins=%d (equiv=%d) leaves=%d classify-dedup=%.2f enc-dedup=%d/%d | slow: coalesced=%d demoted=%d qdrops=%d qmax=%d",
 		s.Begins, s.Polls, s.RetainPolls, s.Ends, s.PersistStreams,
 		s.PDUs(), s.PDUAdds, s.PDUDeletes, s.PDUModifies, s.PDURetains,
-		s.SuppressedModifies, s.StreamedPDUs, s.FullReloads, s.AvgClassify,
+		s.SuppressedModifies, s.StreamedPDUs, s.FullReloads,
+		s.ChunkedReloads, s.ReloadChunks, s.Resumes, s.ResumeRejects, s.AvgClassify,
 		s.GroupJoins, s.GroupEquivJoins, s.GroupLeaves, s.ClassifyDedupRatio(),
 		s.StreamDedupPDUs, s.StreamEncodes,
 		s.CoalescedCycles, s.SlowDemotions, s.StreamQueueDrops, s.StreamQueueHighWater)

@@ -241,6 +241,41 @@ func TestOracleShardSweepFull(t *testing.T) {
 	}
 }
 
+// TestOracleResumeQuick is the tier-1 crash/resume gate for resumable
+// chunked reloads: per history the same transfer is replayed with the
+// connection cut at every chunk boundary (with journal-trimming churn
+// committed at the instant of the cut) and at the byte midpoint of every
+// chunk, plus forged- and stale-token presentations. Asserts byte-identical
+// convergence, monotone progress (at most one full reload of chunks plus
+// one re-sent chunk per cut), and clean restarts on unverifiable tokens.
+func TestOracleResumeQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wire oracle skipped in -short mode")
+	}
+	rep := RunResume(ResumeConfig{Seed: 42, Histories: 2})
+	if rep.Failure != nil {
+		t.Fatal(rep.Failure.Format())
+	}
+	t.Logf("oracle resume quick: %d histories, %d attempts, %d exchanges",
+		rep.Histories, rep.Events, rep.Polls)
+}
+
+// TestOracleResumeSweep is the long crash/resume sweep: one history per 25
+// engine histories requested, with larger reload shapes (entry count and
+// chunk size derived from each history seed).
+func TestOracleResumeSweep(t *testing.T) {
+	if *oracleN <= 0 {
+		t.Skip("sweep disabled; run via make oracle or -oracle.n=N")
+	}
+	n := (*oracleN + 24) / 25
+	rep := RunResume(ResumeConfig{Seed: *oracleSeed, Histories: n, Entries: 60})
+	if rep.Failure != nil {
+		t.Fatal(rep.Failure.Format())
+	}
+	t.Logf("oracle resume sweep: %d histories, %d attempts, %d exchanges",
+		rep.Histories, rep.Events, rep.Polls)
+}
+
 // TestOracleDetectsDroppedDeletes is the oracle's own acceptance test:
 // with the consumer-side E10 fault injected (delete PDUs dropped), the
 // oracle must flag a divergence, shrink the history to a reproducing

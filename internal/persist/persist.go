@@ -14,6 +14,9 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
+	"time"
 
 	"filterdir/internal/dit"
 	"filterdir/internal/entry"
@@ -318,6 +321,157 @@ func (d Dir) Checkpoint(st *dit.Store) error {
 	}
 	// The journal's changes are folded into the snapshot.
 	return os.WriteFile(filepath.Join(d.Path, journalName), nil, 0o644)
+}
+
+// JournalRetention bounds how much change history accumulates in the
+// on-disk journal before it is folded into a fresh snapshot. A zero value
+// disables the corresponding bound; the zero policy never forces a
+// checkpoint (journals then grow until Checkpoint is called explicitly,
+// the pre-policy behaviour).
+type JournalRetention struct {
+	// MaxBytes checkpoints once journal.ldif exceeds this size.
+	MaxBytes int64
+	// MaxAge checkpoints once the journal has been accumulating for this
+	// long — measured as time since the last snapshot checkpoint. A
+	// non-empty journal with no snapshot at all counts as over-age.
+	MaxAge time.Duration
+}
+
+// Enabled reports whether any bound is armed.
+func (p JournalRetention) Enabled() bool { return p.MaxBytes > 0 || p.MaxAge > 0 }
+
+// String renders the policy in the flag syntax ParseJournalRetention reads.
+func (p JournalRetention) String() string {
+	switch {
+	case p.MaxBytes > 0 && p.MaxAge > 0:
+		return fmt.Sprintf("bytes=%d,age=%s", p.MaxBytes, p.MaxAge)
+	case p.MaxBytes > 0:
+		return fmt.Sprintf("bytes=%d", p.MaxBytes)
+	case p.MaxAge > 0:
+		return fmt.Sprintf("age=%s", p.MaxAge)
+	default:
+		return ""
+	}
+}
+
+// ParseJournalRetention reads the -journal-retention flag syntax: a
+// comma-separated list of "bytes=<n>[k|m|g]" and "age=<duration>" terms,
+// e.g. "bytes=64m,age=1h". The empty string is the disabled policy.
+func ParseJournalRetention(s string) (JournalRetention, error) {
+	var p JournalRetention
+	if s == "" {
+		return p, nil
+	}
+	for _, term := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(term), "=")
+		if !ok {
+			return p, fmt.Errorf("journal retention: term %q is not key=value", term)
+		}
+		switch key {
+		case "bytes":
+			n, err := parseByteSize(val)
+			if err != nil {
+				return p, fmt.Errorf("journal retention: %w", err)
+			}
+			p.MaxBytes = n
+		case "age":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return p, fmt.Errorf("journal retention: age %q: %w", val, err)
+			}
+			if d < 0 {
+				return p, fmt.Errorf("journal retention: age %q is negative", val)
+			}
+			p.MaxAge = d
+		default:
+			return p, fmt.Errorf("journal retention: unknown term %q (want bytes= or age=)", key)
+		}
+	}
+	return p, nil
+}
+
+// parseByteSize reads a non-negative integer with an optional k/m/g
+// (binary) suffix.
+func parseByteSize(s string) (int64, error) {
+	mult := int64(1)
+	if n := len(s); n > 0 {
+		switch s[n-1] {
+		case 'k', 'K':
+			mult, s = 1<<10, s[:n-1]
+		case 'm', 'M':
+			mult, s = 1<<20, s[:n-1]
+		case 'g', 'G':
+			mult, s = 1<<30, s[:n-1]
+		}
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad byte size %q", s)
+	}
+	return n * mult, nil
+}
+
+// OverRetention reports whether the on-disk journal currently exceeds the
+// policy, meaning the next checkpoint opportunity should fold it into a
+// fresh snapshot.
+func (d Dir) OverRetention(pol JournalRetention) (bool, error) {
+	return d.retentionExceeded(pol, time.Now())
+}
+
+// retentionExceeded reports whether the on-disk journal is over the
+// policy's bounds at instant now. An absent or empty journal is never
+// over; with an age bound armed, a journal that predates any snapshot is.
+func (d Dir) retentionExceeded(pol JournalRetention, now time.Time) (bool, error) {
+	ji, err := os.Stat(filepath.Join(d.Path, journalName))
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	if ji.Size() == 0 {
+		return false, nil
+	}
+	if pol.MaxBytes > 0 && ji.Size() > pol.MaxBytes {
+		return true, nil
+	}
+	if pol.MaxAge > 0 {
+		si, err := os.Stat(filepath.Join(d.Path, snapshotName))
+		if errors.Is(err, os.ErrNotExist) {
+			return true, nil // never checkpointed: the journal is all we have
+		}
+		if err != nil {
+			return false, err
+		}
+		if now.Sub(si.ModTime()) > pol.MaxAge {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Maintain appends changes since the given CSN like AppendChanges, then
+// enforces the retention policy: a journal over its size or age bound is
+// folded into a fresh snapshot (Checkpoint), emptying it. The returned
+// watermark advances past the appended changes either way — retention
+// only moves history from the journal file into the snapshot, it never
+// discards durable state.
+func (d Dir) Maintain(st *dit.Store, after dit.CSN, pol JournalRetention) (dit.CSN, error) {
+	w, err := d.AppendChanges(st, after)
+	if err != nil {
+		return after, err
+	}
+	if !pol.Enabled() {
+		return w, nil
+	}
+	over, err := d.retentionExceeded(pol, time.Now())
+	if err != nil || !over {
+		return w, err
+	}
+	if err := d.Checkpoint(st); err != nil {
+		return w, fmt.Errorf("retention checkpoint: %w", err)
+	}
+	return w, nil
 }
 
 // AppendChanges durably appends journal changes since the given CSN,

@@ -1,0 +1,153 @@
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"filterdir/internal/ber"
+)
+
+// Resumable chunked reloads (DESIGN.md §14). A full (or reload-sized)
+// transfer is serialized from one immutable snapshot into deterministic
+// DN-ordered chunks; after each chunk the supplier hands the consumer a
+// resume token naming exactly how far the transfer got. A reconnecting
+// consumer presents the token and receives only the remainder. The token
+// is the consumer's durable claim about received prefix state, so the
+// supplier verifies every field — an unknown transfer, a different
+// snapshot CSN, an out-of-range chunk index, or a fingerprint that does
+// not match the recorded prefix all degrade to a fresh reload from chunk
+// zero, never to corruption.
+
+// OIDReSyncResume is attached both to a search request (the consumer
+// presenting its token) and to the partial search-done of an incomplete
+// chunked reload (the supplier minting the next token): value =
+// SEQUENCE { session OCTET STRING, csn INTEGER, chunk INTEGER,
+// chunks INTEGER, fingerprint OCTET STRING (8) }.
+const OIDReSyncResume = "1.3.6.1.4.1.55555.1.6"
+
+// ErrBadResumeToken marks a token that failed structural decoding. The
+// verifier treats it exactly like a stale token: restart from chunk zero.
+var ErrBadResumeToken = errors.New("malformed resume token")
+
+// ResumeToken names a position inside one chunked reload: the supplier
+// session and snapshot it belongs to, the next chunk the consumer needs,
+// the transfer's total chunk count, and the running FNV-1a fingerprint of
+// every entry PDU streamed in chunks [0, Chunk).
+type ResumeToken struct {
+	Session     string
+	CSN         uint64
+	Chunk       uint32
+	Chunks      uint32
+	Fingerprint uint64
+}
+
+// IsZero reports an absent token.
+func (t ResumeToken) IsZero() bool { return t == ResumeToken{} }
+
+// resumeTokenVersion tags the durable text form; a future format bump
+// invalidates old checkpoints cleanly (parse error → fresh reload).
+const resumeTokenVersion = "rt1"
+
+// String renders the durable text form carried in supervisor checkpoints:
+// "rt1:<session>:<csn>:<chunk>:<chunks>:<fp hex>". The session id never
+// contains ':' (engine ids are "sess-N@gen"-free "sess-N" strings), but
+// ParseResumeTokenString tolerates one anyway by splitting from the right.
+func (t ResumeToken) String() string {
+	return fmt.Sprintf("%s:%s:%d:%d:%d:%016x",
+		resumeTokenVersion, t.Session, t.CSN, t.Chunk, t.Chunks, t.Fingerprint)
+}
+
+// ParseResumeTokenString decodes the durable text form; every failure is
+// ErrBadResumeToken-typed so callers degrade instead of crash.
+func ParseResumeTokenString(s string) (ResumeToken, error) {
+	if s == "" {
+		return ResumeToken{}, fmt.Errorf("%w: empty", ErrBadResumeToken)
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) < 6 {
+		return ResumeToken{}, fmt.Errorf("%w: %d fields", ErrBadResumeToken, len(parts))
+	}
+	if parts[0] != resumeTokenVersion {
+		return ResumeToken{}, fmt.Errorf("%w: version %q", ErrBadResumeToken, parts[0])
+	}
+	// A ':' inside the session id shifts everything right; rejoin the
+	// middle so the four numeric fields always come from the tail.
+	tail := parts[len(parts)-4:]
+	session := strings.Join(parts[1:len(parts)-4], ":")
+	if session == "" {
+		return ResumeToken{}, fmt.Errorf("%w: empty session", ErrBadResumeToken)
+	}
+	csn, err := strconv.ParseUint(tail[0], 10, 64)
+	if err != nil {
+		return ResumeToken{}, fmt.Errorf("%w: csn %q", ErrBadResumeToken, tail[0])
+	}
+	chunk, err := strconv.ParseUint(tail[1], 10, 32)
+	if err != nil {
+		return ResumeToken{}, fmt.Errorf("%w: chunk %q", ErrBadResumeToken, tail[1])
+	}
+	chunks, err := strconv.ParseUint(tail[2], 10, 32)
+	if err != nil {
+		return ResumeToken{}, fmt.Errorf("%w: chunks %q", ErrBadResumeToken, tail[2])
+	}
+	fp, err := strconv.ParseUint(tail[3], 16, 64)
+	if err != nil || len(tail[3]) != 16 {
+		return ResumeToken{}, fmt.Errorf("%w: fingerprint %q", ErrBadResumeToken, tail[3])
+	}
+	return ResumeToken{Session: session, CSN: csn, Chunk: uint32(chunk),
+		Chunks: uint32(chunks), Fingerprint: fp}, nil
+}
+
+// NewReSyncResumeControl builds the resume-token control. Request-side it
+// is critical (a supplier that does not understand resumption must refuse
+// rather than silently restart a transfer the consumer believes is half
+// done); response-side the server reuses the same encoding uncritically.
+func NewReSyncResumeControl(t ResumeToken, critical bool) Control {
+	var fp [8]byte
+	binary.BigEndian.PutUint64(fp[:], t.Fingerprint)
+	var body []byte
+	body = ber.AppendString(body, ber.ClassUniversal, ber.TagOctetString, t.Session)
+	body = ber.AppendInt(body, ber.ClassUniversal, ber.TagInteger, int64(t.CSN))
+	body = ber.AppendInt(body, ber.ClassUniversal, ber.TagInteger, int64(t.Chunk))
+	body = ber.AppendInt(body, ber.ClassUniversal, ber.TagInteger, int64(t.Chunks))
+	body = ber.AppendTLV(body, ber.ClassUniversal, false, ber.TagOctetString, fp[:])
+	return Control{OID: OIDReSyncResume, Criticality: critical, Value: ber.AppendSequence(nil, body)}
+}
+
+// ParseReSyncResume decodes the resume-token control value. Every failure
+// is ErrBadResumeToken-typed: a mutated or truncated token is a protocol
+// fact to degrade on, not a crash.
+func ParseReSyncResume(c Control) (ResumeToken, error) {
+	rd := ber.NewReader(c.Value)
+	seq, err := rd.ReadSequence()
+	if err != nil {
+		return ResumeToken{}, fmt.Errorf("%w: %v", ErrBadResumeToken, err)
+	}
+	var t ResumeToken
+	if t.Session, err = seq.ReadString(); err != nil {
+		return ResumeToken{}, fmt.Errorf("%w: session: %v", ErrBadResumeToken, err)
+	}
+	csn, err := seq.ReadInt()
+	if err != nil || csn < 0 {
+		return ResumeToken{}, fmt.Errorf("%w: csn", ErrBadResumeToken)
+	}
+	t.CSN = uint64(csn)
+	chunk, err := seq.ReadInt()
+	if err != nil || chunk < 0 || chunk > int64(^uint32(0)) {
+		return ResumeToken{}, fmt.Errorf("%w: chunk", ErrBadResumeToken)
+	}
+	t.Chunk = uint32(chunk)
+	chunks, err := seq.ReadInt()
+	if err != nil || chunks < 0 || chunks > int64(^uint32(0)) {
+		return ResumeToken{}, fmt.Errorf("%w: chunks", ErrBadResumeToken)
+	}
+	t.Chunks = uint32(chunks)
+	h, fp, err := seq.Read()
+	if err != nil || !h.Is(ber.ClassUniversal, ber.TagOctetString) || len(fp) != 8 {
+		return ResumeToken{}, fmt.Errorf("%w: fingerprint", ErrBadResumeToken)
+	}
+	t.Fingerprint = binary.BigEndian.Uint64(fp)
+	return t, nil
+}

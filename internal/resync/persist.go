@@ -112,6 +112,11 @@ func (e *Engine) Persist(cookie string) (*Subscription, error) {
 	_, gen := splitCookie(cookie)
 	sess.mu.Lock()
 	ok := !sess.ended && sess.rollbackTo(gen)
+	if ok {
+		// The presented cookie proves the consumer holds the content of any
+		// completed chunked transfer; release its pinned snapshot.
+		e.settleTransfer(sess)
+	}
 	sess.mu.Unlock()
 	if !ok {
 		// An unknown sync point cannot be streamed from incrementally; the

@@ -1,0 +1,196 @@
+package resync
+
+import (
+	"fmt"
+
+	"filterdir/internal/dit"
+	"filterdir/internal/proto"
+)
+
+// Resumable chunked reloads (DESIGN.md §14). A full content transfer —
+// Begin's initial content or a reload after the journal stopped covering
+// the session's sync point — is serialized from one immutable store
+// snapshot into deterministic DN-ordered chunks. Each exchange carries one
+// chunk; an incomplete exchange ends with a resume token (snapshot CSN,
+// next chunk index, running content fingerprint) instead of a cookie, and
+// a reconnecting consumer presents the token to receive only the
+// remainder. The snapshot's journal position is pinned with a store hold
+// for the transfer's lifetime, so an aggressive journal-retention policy
+// can never force the post-reload catch-up poll into yet another reload.
+//
+// Safety over cleverness: any token the supplier cannot prove belongs to
+// the recorded transfer — unknown session, different snapshot CSN, wrong
+// chunk geometry, or a prefix fingerprint that does not match — restarts
+// the reload from chunk zero. A stale or forged token can cost wire bytes,
+// never correctness.
+
+// transfer is one in-flight (or just-completed) chunked reload of a
+// session. The update slice is the full DN-ordered selected content at
+// snapCSN; fps[i] is the running FNV-1a fingerprint of chunks [0, i), so
+// any acknowledged prefix can be verified when a token comes back.
+type transfer struct {
+	snapCSN   dit.CSN
+	gen       uint64 // generation of the completion cookie
+	chunkSize int
+	updates   []Update
+	fps       []uint64
+	done      bool // final chunk handed out; awaiting cookie presentation
+	hold      *dit.Hold
+}
+
+// nchunks returns the transfer's total chunk count.
+func (t *transfer) nchunks() uint32 {
+	return uint32((len(t.updates) + t.chunkSize - 1) / t.chunkSize)
+}
+
+// matches verifies a presented token against the recorded transfer. Chunk
+// indexes at or before the furthest point handed out are acceptable — a
+// consumer may legitimately re-present an older token after losing the
+// response that superseded it.
+func (t *transfer) matches(tok proto.ResumeToken) bool {
+	return uint64(t.snapCSN) == tok.CSN &&
+		t.nchunks() == tok.Chunks &&
+		tok.Chunk > 0 && tok.Chunk < tok.Chunks &&
+		t.fps[tok.Chunk] == tok.Fingerprint
+}
+
+// FNV-1a, matching the oracle's traffic fingerprint fold.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func foldFPString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	h ^= 0xff
+	h *= fnvPrime64
+	return h
+}
+
+// foldFPUpdate folds one update PDU into the running content fingerprint.
+func foldFPUpdate(h uint64, u Update) uint64 {
+	h = foldFPString(h, u.Action.String())
+	h = foldFPString(h, u.DN.Norm())
+	if u.Entry != nil {
+		h = foldFPString(h, u.Entry.String())
+	}
+	return h
+}
+
+// chunked reports whether a full transfer of these updates should be
+// served in resumable chunks.
+func (e *Engine) chunked(updates []Update) bool {
+	return e.chunkSize > 0 && len(updates) > e.chunkSize
+}
+
+// beginTransfer records a chunked reload for the session and emits chunk
+// zero. The session is already positioned at the transfer's final sync
+// point (content map, points, csn) — only the consumer lags, chunk by
+// chunk, until the final exchange hands it the completion cookie. The
+// caller holds sess.mu.
+func (e *Engine) beginTransfer(sess *session, updates []Update, csn dit.CSN) *PollResult {
+	e.dropTransfer(sess) // supersede any previous transfer
+	tr := &transfer{
+		snapCSN:   csn,
+		gen:       sess.genSeq,
+		chunkSize: e.chunkSize,
+		updates:   updates,
+		hold:      e.store.Hold(csn),
+	}
+	n := int(tr.nchunks())
+	tr.fps = make([]uint64, n+1)
+	h := uint64(fnvOffset64)
+	tr.fps[0] = h
+	for i := 0; i < n; i++ {
+		lo, hi := i*tr.chunkSize, (i+1)*tr.chunkSize
+		if hi > len(updates) {
+			hi = len(updates)
+		}
+		for _, u := range updates[lo:hi] {
+			h = foldFPUpdate(h, u)
+		}
+		tr.fps[i+1] = h
+	}
+	sess.transfer = tr
+	e.stats.ChunkedReloads.Add(1)
+	return e.emitChunk(sess, tr, 0)
+}
+
+// emitChunk produces chunk k of the transfer: the final chunk carries the
+// completion cookie (and marks the transfer done), every earlier one a
+// token for its successor. The caller holds sess.mu.
+func (e *Engine) emitChunk(sess *session, tr *transfer, k uint32) *PollResult {
+	lo := int(k) * tr.chunkSize
+	hi := lo + tr.chunkSize
+	if hi > len(tr.updates) {
+		hi = len(tr.updates)
+	}
+	res := &PollResult{Updates: tr.updates[lo:hi], FullReload: k == 0}
+	if hi == len(tr.updates) {
+		tr.done = true
+		res.Cookie = cookieString(sess.id, tr.gen)
+		res.CSN = e.stampCSN(tr.snapCSN)
+	} else {
+		res.Resume = &proto.ResumeToken{
+			Session:     sess.id,
+			CSN:         uint64(tr.snapCSN),
+			Chunk:       k + 1,
+			Chunks:      tr.nchunks(),
+			Fingerprint: tr.fps[k+1],
+		}
+	}
+	e.stats.ReloadChunks.Add(1)
+	e.countPDUs(res.Updates)
+	e.observe(sess.id, res.Updates, k == 0)
+	return res
+}
+
+// ResumeReload continues a chunked reload from a presented token. An
+// unknown or ended session is the consumer's signal to re-Begin
+// (ErrNoSuchSession, e-syncRefreshRequired on the wire); any other
+// mismatch — stale snapshot, forged fingerprint, wrong geometry — degrades
+// to a fresh reload from chunk zero. A valid token yields exactly the
+// chunk it names, so reconnecting transfers only the remainder.
+func (e *Engine) ResumeReload(tok proto.ResumeToken) (*PollResult, error) {
+	e.mu.Lock()
+	sess, ok := e.sessions[tok.Session]
+	e.mu.Unlock()
+	if !ok {
+		e.stats.ResumeRejects.Add(1)
+		return nil, fmt.Errorf("%w: resume %q", ErrNoSuchSession, tok.Session)
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.ended {
+		e.stats.ResumeRejects.Add(1)
+		return nil, fmt.Errorf("%w: resume %q", ErrNoSuchSession, tok.Session)
+	}
+	e.stats.Resumes.Add(1)
+	tr := sess.transfer
+	if tr == nil || !tr.matches(tok) {
+		e.stats.ResumeRejects.Add(1)
+		return e.reload(sess), nil
+	}
+	return e.emitChunk(sess, tr, tok.Chunk), nil
+}
+
+// settleTransfer releases a completed transfer once the consumer has
+// proved — by presenting a cookie that resolved to a live sync point —
+// that it holds the transferred content. The caller holds sess.mu.
+func (e *Engine) settleTransfer(sess *session) {
+	if tr := sess.transfer; tr != nil && tr.done {
+		e.dropTransfer(sess)
+	}
+}
+
+// dropTransfer releases the session's transfer (if any) and its pinned
+// snapshot. The caller holds sess.mu.
+func (e *Engine) dropTransfer(sess *session) {
+	if tr := sess.transfer; tr != nil {
+		e.store.Release(tr.hold)
+		sess.transfer = nil
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"filterdir/internal/dn"
 	"filterdir/internal/entry"
 	"filterdir/internal/metrics"
+	"filterdir/internal/proto"
 	"filterdir/internal/query"
 )
 
@@ -147,6 +148,13 @@ type Engine struct {
 	persistQueueCap int
 	demoteAfter     int
 
+	// Retention and resumability knobs: keepPoints is the `keep last_n`
+	// sync-point history policy (replacing the old fixed 64-point bound);
+	// chunkSize > 0 serializes full reloads into resumable chunks of that
+	// many entries (resume.go).
+	keepPoints int
+	chunkSize  int
+
 	// watermark maps a local store CSN to the master-position watermark
 	// stamped on poll results (identity when nil — the master serving its
 	// own store). A cascade mid-tier installs a mapping to its upstream
@@ -231,6 +239,9 @@ type session struct {
 	// points is the resumable history, oldest (last acknowledged) first;
 	// the final element matches csn/content.
 	points []syncPoint
+	// transfer is the session's in-flight (or just-completed) chunked
+	// reload, nil outside one (resume.go).
+	transfer *transfer
 }
 
 // syncPoint is one replica-visible synchronization state.
@@ -247,10 +258,11 @@ type undoOp struct {
 	present bool
 }
 
-// maxSyncPoints bounds the per-session resume history. A replica further
-// behind than this (e.g. a persist stream that outlived many unacknowledged
-// batches) falls back to a full reload.
-const maxSyncPoints = 64
+// defaultSyncPointRetention bounds the per-session resume history when no
+// WithSyncPointRetention policy is configured. A replica further behind
+// than the retained window (e.g. a persist stream that outlived many
+// unacknowledged batches) falls back to a full reload.
+const defaultSyncPointRetention = 64
 
 // cookieString renders the wire cookie for a sync point of a session.
 func cookieString(id string, gen uint64) string {
@@ -360,6 +372,32 @@ func WithSlowConsumerPolicy(queueCap, demoteAfter int) EngineOption {
 	}
 }
 
+// WithSyncPointRetention sets the `keep last_n` policy for the per-session
+// resume history: a session retains at most n sync points (its newest
+// always included), and a replica presenting anything older degrades to a
+// full reload. Values < 1 restore the default (64).
+func WithSyncPointRetention(n int) EngineOption {
+	return func(e *Engine) {
+		if n < 1 {
+			n = defaultSyncPointRetention
+		}
+		e.keepPoints = n
+	}
+}
+
+// WithChunkSize makes full reloads resumable: a reload larger than n
+// entries is served as deterministic DN-ordered chunks of n, each exchange
+// handing the consumer a resume token for the remainder (resume.go). Zero
+// (the default) keeps reloads monolithic.
+func WithChunkSize(n int) EngineOption {
+	return func(e *Engine) {
+		if n < 0 {
+			n = 0
+		}
+		e.chunkSize = n
+	}
+}
+
 // Default slow-consumer policy: a subscriber buffers up to 4 batches; a
 // subscriber that stays full for 8 consecutive update cycles is demoted.
 const (
@@ -380,6 +418,7 @@ func NewEngine(store *dit.Store, opts ...EngineOption) *Engine {
 		regions:         make(map[string][]*group),
 		persistQueueCap: defaultPersistQueueCap,
 		demoteAfter:     defaultDemoteAfter,
+		keepPoints:      defaultSyncPointRetention,
 	}
 	for _, o := range opts {
 		o(e)
@@ -436,6 +475,12 @@ type PollResult struct {
 	// with every other session of the same content view crossing the same
 	// change interval (group.go).
 	Enc *SharedEnc
+	// Resume, when non-nil, marks the result as one chunk of a resumable
+	// reload: the exchange is incomplete, Cookie is empty, and the consumer
+	// continues by presenting the token (ResumeReload). FullReload is set
+	// only on chunk zero — the consumer clears held content there and
+	// appends on later chunks.
+	Resume *proto.ResumeToken
 }
 
 // Begin starts a synchronization session for the content of spec: the
@@ -450,19 +495,24 @@ func (e *Engine) Begin(spec query.Query) (*PollResult, error) {
 	sess := &session{spec: spec, viewKey: viewKey(spec.Attrs), genSeq: 1, csn: csn, content: make(map[string]dn.DN, len(entries))}
 	sess.group = e.joinGroup(spec)
 	sess.points = []syncPoint{{gen: 1, csn: csn}}
-	res := &PollResult{FullReload: false, CSN: e.stampCSN(csn)}
+	updates := make([]Update, 0, len(entries))
 	for _, ent := range entries {
 		sess.content[ent.DN().Norm()] = ent.DN()
 		sel := ent.Select(spec.Attrs)
-		res.Updates = append(res.Updates, Update{Action: ActionAdd, DN: sel.DN(), Entry: sel})
+		updates = append(updates, Update{Action: ActionAdd, DN: sel.DN(), Entry: sel})
 	}
 	e.mu.Lock()
 	e.nextID++
 	sess.id = "sess-" + strconv.FormatUint(e.nextID, 10)
 	e.sessions[sess.id] = sess
 	e.mu.Unlock()
-	res.Cookie = cookieString(sess.id, 1)
 	e.stats.Begins.Add(1)
+	if e.chunked(updates) {
+		sess.mu.Lock()
+		defer sess.mu.Unlock()
+		return e.beginTransfer(sess, updates, csn), nil
+	}
+	res := &PollResult{Updates: updates, CSN: e.stampCSN(csn), Cookie: cookieString(sess.id, 1)}
 	e.countPDUs(res.Updates)
 	e.observe(sess.id, res.Updates, true)
 	return res, nil
@@ -489,6 +539,9 @@ func (e *Engine) Poll(cookie string) (*PollResult, error) {
 		// never existed): the only safe answer is the full content.
 		return e.reload(sess), nil
 	}
+	// Presenting a cookie at (or past) a completed chunked transfer proves
+	// the consumer holds its content; the pinned snapshot can be let go.
+	e.settleTransfer(sess)
 	return e.poll(sess)
 }
 
@@ -522,7 +575,7 @@ func (e *Engine) poll(sess *session) (*PollResult, error) {
 		sess.genSeq++
 		sess.csn = csn
 		sess.points = append(sess.points, syncPoint{gen: sess.genSeq, csn: csn, undo: undo})
-		if len(sess.points) > maxSyncPoints {
+		if len(sess.points) > e.keepPoints {
 			sess.points = sess.points[1:]
 			sess.points[0].undo = nil
 		}
@@ -548,12 +601,18 @@ func (e *Engine) reload(sess *session) *PollResult {
 	sess.csn = csn
 	sess.content = make(map[string]dn.DN, len(entries))
 	sess.points = []syncPoint{{gen: sess.genSeq, csn: csn}}
-	res := &PollResult{Cookie: cookieString(sess.id, sess.genSeq), FullReload: true, CSN: e.stampCSN(csn)}
+	updates := make([]Update, 0, len(entries))
 	for _, ent := range entries {
 		sess.content[ent.DN().Norm()] = ent.DN()
 		sel := ent.Select(sess.spec.Attrs)
-		res.Updates = append(res.Updates, Update{Action: ActionAdd, DN: sel.DN(), Entry: sel})
+		updates = append(updates, Update{Action: ActionAdd, DN: sel.DN(), Entry: sel})
 	}
+	if e.chunked(updates) {
+		return e.beginTransfer(sess, updates, csn)
+	}
+	// A monolithic reload supersedes any in-flight chunked transfer.
+	e.dropTransfer(sess)
+	res := &PollResult{Cookie: cookieString(sess.id, sess.genSeq), FullReload: true, CSN: e.stampCSN(csn), Updates: updates}
 	e.countPDUs(res.Updates)
 	e.observe(sess.id, res.Updates, true)
 	return res
@@ -576,6 +635,7 @@ func (e *Engine) End(cookie string) error {
 	e.mu.Unlock()
 	sess.mu.Lock()
 	sess.ended = true
+	e.dropTransfer(sess)
 	sess.mu.Unlock()
 	e.leaveGroup(sess.group)
 	e.stats.Ends.Add(1)

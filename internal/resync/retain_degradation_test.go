@@ -48,11 +48,11 @@ func TestBoundedHistoryDegradation(t *testing.T) {
 		// The sync point is still in the resume history and the journal:
 		// the E10 delete must arrive as an explicit minimal update.
 		{name: "in window stays incremental", directChanges: 10},
-		// More unacknowledged persist batches than maxSyncPoints evict the
-		// consumer's sync point from the resume history: only a full
-		// reload is safe.
+		// More unacknowledged persist batches than the sync-point retention
+		// policy keeps evict the consumer's sync point from the resume
+		// history: only a full reload is safe.
 		{name: "sync point evicted by unacked persist batches",
-			persistBatches: maxSyncPoints + 6, wantReload: true},
+			persistBatches: defaultSyncPointRetention + 6, wantReload: true},
 		// The journal no longer covers the sync point: full reload even
 		// though the resume history still has the point.
 		{name: "journal trim forces reload", journalLimit: 4,

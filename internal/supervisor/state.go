@@ -11,6 +11,7 @@ import (
 
 	"filterdir/internal/ldif"
 	"filterdir/internal/persist"
+	"filterdir/internal/proto"
 	"filterdir/internal/resync"
 )
 
@@ -43,6 +44,14 @@ type diskState struct {
 	// checkpoint (empty means Master, for checkpoints written before
 	// cascading existed).
 	Addr string `json:"addr,omitempty"`
+	// ResumeToken, when non-empty, is the durable text form of the
+	// in-flight chunked reload's position (proto.ResumeToken.String): the
+	// content file holds the chunks received so far and the restart
+	// continues the transfer instead of re-Beginning. Written after the
+	// content file, so the token never claims a chunk the content has not
+	// durably absorbed. A token that fails to parse (torn write recovered
+	// by the atomic rename, format bump) degrades to a fresh Begin.
+	ResumeToken string `json:"resume_token,omitempty"`
 }
 
 // checkpoint durably records the cookie and content (no-op without a state
@@ -61,6 +70,9 @@ func (s *Supervisor) checkpoint() error {
 		return err
 	}
 	state := diskState{Cookie: s.Cookie(), SpecKey: s.cfg.specKey, Addr: s.Target()}
+	if tok := s.ResumeToken(); !tok.IsZero() {
+		state.ResumeToken = tok.String()
+	}
 	err = persist.WriteAtomic(filepath.Join(s.cfg.StateDir, stateFile), func(w io.Writer) error {
 		return json.NewEncoder(w).Encode(state)
 	})
@@ -72,42 +84,53 @@ func (s *Supervisor) checkpoint() error {
 }
 
 // restore loads a previous incarnation's checkpoint into the replica,
-// returning the saved cookie and the upstream address it belongs to. A
-// missing, unreadable, spec-mismatched or unknown-address checkpoint
+// returning the saved cookie, the in-flight resume token (zero when the
+// checkpoint was not mid-transfer) and the upstream address they belong
+// to. A missing, unreadable, spec-mismatched or unknown-address checkpoint
 // restores nothing: the supervisor then starts with a fresh Begin, which
-// is always correct, just more expensive.
-func (s *Supervisor) restore() (cookie, addr string, restored bool, err error) {
+// is always correct, just more expensive. A checkpoint whose resume token
+// fails to parse restores only what the cookie proves: with a live cookie
+// the session resumes by poll; without one nothing is restored.
+func (s *Supervisor) restore() (cookie string, tok proto.ResumeToken, addr string, restored bool, err error) {
 	raw, err := os.ReadFile(filepath.Join(s.cfg.StateDir, stateFile))
 	if errors.Is(err, os.ErrNotExist) {
-		return "", "", false, nil
+		return "", tok, "", false, nil
 	}
 	if err != nil {
-		return "", "", false, err
+		return "", tok, "", false, err
 	}
 	var state diskState
 	if err := json.Unmarshal(raw, &state); err != nil {
 		s.cfg.Logf("supervisor: discarding corrupt state file: %v", err)
-		return "", "", false, nil
+		return "", tok, "", false, nil
 	}
-	if state.SpecKey != s.cfg.specKey || state.Cookie == "" {
-		return "", "", false, nil
+	if state.ResumeToken != "" {
+		tok, err = proto.ParseResumeTokenString(state.ResumeToken)
+		if err != nil {
+			// Torn or stale token: fall back to whatever the cookie covers.
+			s.cfg.Logf("supervisor: discarding unparseable resume token: %v", err)
+			tok = proto.ResumeToken{}
+		}
+	}
+	if state.SpecKey != s.cfg.specKey || (state.Cookie == "" && tok.IsZero()) {
+		return "", proto.ResumeToken{}, "", false, nil
 	}
 	if state.Addr != "" && state.Addr != s.cfg.Master && state.Addr != s.cfg.Fallback {
 		s.cfg.Logf("supervisor: discarding checkpoint for unknown upstream %s", state.Addr)
-		return "", "", false, nil
+		return "", proto.ResumeToken{}, "", false, nil
 	}
 	f, err := os.Open(filepath.Join(s.cfg.StateDir, contentFile))
 	if errors.Is(err, os.ErrNotExist) {
-		return "", "", false, nil
+		return "", proto.ResumeToken{}, "", false, nil
 	}
 	if err != nil {
-		return "", "", false, err
+		return "", proto.ResumeToken{}, "", false, err
 	}
 	defer f.Close()
 	entries, err := ldif.Read(bufio.NewReader(f))
 	if err != nil {
 		s.cfg.Logf("supervisor: discarding corrupt content checkpoint: %v", err)
-		return "", "", false, nil
+		return "", proto.ResumeToken{}, "", false, nil
 	}
 	updates := make([]resync.Update, 0, len(entries))
 	for _, e := range entries {
@@ -115,7 +138,7 @@ func (s *Supervisor) restore() (cookie, addr string, restored bool, err error) {
 	}
 	s.rep.AddStored(s.cfg.Spec, state.Cookie)
 	if err := s.rep.ApplySync(s.cfg.Spec, updates); err != nil {
-		return "", "", false, fmt.Errorf("reload checkpointed content: %w", err)
+		return "", proto.ResumeToken{}, "", false, fmt.Errorf("reload checkpointed content: %w", err)
 	}
-	return state.Cookie, state.Addr, true, nil
+	return state.Cookie, tok, state.Addr, true, nil
 }

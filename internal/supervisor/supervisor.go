@@ -206,7 +206,8 @@ type Supervisor struct {
 
 	mu         sync.Mutex
 	cookie     string
-	target     string // current upstream address (Master, or Fallback when diverted)
+	resumeTok  proto.ResumeToken // in-flight chunked reload position (zero outside one)
+	target     string            // current upstream address (Master, or Fallback when diverted)
 	state      State
 	exchanges  int64     // successful synchronization exchanges applied
 	lastSyncAt time.Time // completion time of the newest applied exchange
@@ -242,20 +243,26 @@ func New(cfg Config, rep *replica.FilterReplica) (*Supervisor, error) {
 	}
 	s.target = cfg.Master
 	if cfg.StateDir != "" {
-		cookie, addr, restored, err := s.restore()
+		cookie, tok, addr, restored, err := s.restore()
 		if err != nil {
 			return nil, fmt.Errorf("restore replica state: %w", err)
 		}
 		if restored {
 			s.cookie = cookie
+			s.resumeTok = tok
 			if addr != "" {
 				// The cookie names a session at the server it was issued
 				// by; resume against that address even if it is the
 				// fallback (the probe-back timer re-prefers Master).
 				s.target = addr
 			}
-			s.cfg.Logf("supervisor: restored %d entries, resuming session %q at %s",
-				rep.EntryCount(), cookie, s.target)
+			if !tok.IsZero() {
+				s.cfg.Logf("supervisor: restored %d entries mid-transfer, resuming chunk %d/%d at %s",
+					rep.EntryCount(), tok.Chunk, tok.Chunks, s.target)
+			} else {
+				s.cfg.Logf("supervisor: restored %d entries, resuming session %q at %s",
+					rep.EntryCount(), cookie, s.target)
+			}
 		}
 	}
 	if s.cookie == "" && cfg.ResumeCookie != "" {
@@ -279,13 +286,14 @@ func (s *Supervisor) canFallback() bool {
 }
 
 // switchTo repoints the supervision loop at addr and clears the session
-// cookie (cookies are per-server); the content itself is kept and replaced
-// wholesale by the Begin at the new upstream, so the replica keeps serving
-// its last-known-good content across the switch.
+// cookie and any resume token (both are per-server); the content itself is
+// kept and replaced wholesale by the Begin at the new upstream, so the
+// replica keeps serving its last-known-good content across the switch.
 func (s *Supervisor) switchTo(addr string) {
 	s.mu.Lock()
 	s.target = addr
 	s.cookie = ""
+	s.resumeTok = proto.ResumeToken{}
 	s.mu.Unlock()
 }
 
@@ -386,6 +394,30 @@ func (s *Supervisor) setCookie(c string) {
 	s.mu.Unlock()
 }
 
+// ResumeToken returns the in-flight chunked-reload token (zero outside a
+// transfer).
+func (s *Supervisor) ResumeToken() proto.ResumeToken {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resumeTok
+}
+
+func (s *Supervisor) setResumeToken(tok proto.ResumeToken) {
+	s.mu.Lock()
+	s.resumeTok = tok
+	s.mu.Unlock()
+}
+
+// clearSession drops the session cookie and resume token while keeping the
+// replicated content in service — a stale session is re-Begun, and the
+// Begin's reload replaces the content wholesale only once it arrives.
+func (s *Supervisor) clearSession() {
+	s.mu.Lock()
+	s.cookie = ""
+	s.resumeTok = proto.ResumeToken{}
+	s.mu.Unlock()
+}
+
 func (s *Supervisor) stopped() bool {
 	select {
 	case <-s.stop:
@@ -483,10 +515,14 @@ func (s *Supervisor) run() {
 			attempt = 0
 		case errors.Is(err, resync.ErrNoSuchSession):
 			// The master no longer knows our cookie (restart, expiry,
-			// explicit end): drop content and session, re-Begin fresh.
+			// explicit end): drop the session but keep serving the
+			// last-known-good content — the fresh Begin's reload replaces
+			// it wholesale only when it actually arrives. (An earlier
+			// version emptied the replica here, leaving it serving nothing
+			// for the whole reconnect window.)
 			s.counters.StaleSessions.Add(1)
 			s.cfg.Logf("supervisor: session stale, re-beginning: %v", err)
-			s.resetContent("")
+			s.clearSession()
 			attempt = 0
 		case errors.Is(err, ldapnet.ErrNotContained):
 			// No fallback to divert to: keep retrying with backoff in case
@@ -502,20 +538,37 @@ func (s *Supervisor) run() {
 }
 
 // syncLoop performs the begin-or-resume exchange and then the steady-state
-// mode on one connection, returning the error that ended it.
+// mode on one connection, returning the error that ended it. A held resume
+// token takes precedence: the reconnect continues the interrupted chunked
+// reload where it left off instead of re-Beginning from scratch.
 func (s *Supervisor) syncLoop(client *ldapnet.Client, attempt *int) error {
 	s.setState(StateSyncing)
 	cookie := s.Cookie()
+	tok := s.ResumeToken()
 	var res *ldapnet.SyncResult
 	var err error
-	if cookie == "" {
+	switch {
+	case !tok.IsZero():
+		res, err = client.SyncResume(tok)
+		if err != nil {
+			if !ldapnet.IsTransient(err) && !errors.Is(err, resync.ErrNoSuchSession) {
+				// The supplier categorically refused the token (e.g. it does
+				// not speak resumption); drop it so the next cycle Begins.
+				s.setResumeToken(proto.ResumeToken{})
+			}
+			return err
+		}
+		s.counters.Resumes.Add(1)
+	case cookie == "":
 		res, err = client.Sync(s.cfg.Spec, proto.ReSyncModePoll, "")
 		if err != nil {
 			return err
 		}
 		s.counters.Begins.Add(1)
-		s.resetContent(res.Cookie)
-	} else {
+		if res.Resume == nil {
+			s.resetContent(res.Cookie)
+		}
+	default:
 		res, err = client.Sync(s.cfg.Spec, proto.ReSyncModePoll, cookie)
 		if err != nil {
 			return err
@@ -524,7 +577,7 @@ func (s *Supervisor) syncLoop(client *ldapnet.Client, attempt *int) error {
 		s.counters.Polls.Add(1)
 	}
 	*attempt = 0
-	if err := s.apply(res); err != nil {
+	if err := s.applyExchange(client, res); err != nil {
 		return err
 	}
 	s.syncOnce.Do(func() { close(s.synced) })
@@ -564,7 +617,7 @@ func (s *Supervisor) pollFor(client *ldapnet.Client, d time.Duration) error {
 				return err
 			}
 			s.counters.Polls.Add(1)
-			if err := s.apply(res); err != nil {
+			if err := s.applyExchange(client, res); err != nil {
 				return err
 			}
 		}
@@ -589,7 +642,7 @@ func (s *Supervisor) pollSteadyState(client *ldapnet.Client) error {
 				return err
 			}
 			s.counters.Polls.Add(1)
-			if err := s.apply(res); err != nil {
+			if err := s.applyExchange(client, res); err != nil {
 				return err
 			}
 		}
@@ -679,7 +732,7 @@ func (s *Supervisor) streamSteadyState(client *ldapnet.Client) error {
 					return err
 				}
 				s.counters.Polls.Add(1)
-				if err := s.apply(res); err != nil {
+				if err := s.applyExchange(client, res); err != nil {
 					return err
 				}
 				return errStreamLost
@@ -702,6 +755,68 @@ func (s *Supervisor) streamSteadyState(client *ldapnet.Client) error {
 // errStreamLost re-enters the outer loop (reconnect + resume) after a
 // persist stream died and the fallback poll succeeded.
 var errStreamLost = errors.New("persist stream lost")
+
+// applyExchange applies one exchange's result, following a chunked reload
+// through its remaining exchanges on the same connection: each chunk is
+// applied and checkpointed with its successor token before the next is
+// requested, so a kill at any point resumes at the furthest applied chunk.
+func (s *Supervisor) applyExchange(client *ldapnet.Client, res *ldapnet.SyncResult) error {
+	if res.Resume == nil && s.ResumeToken().IsZero() {
+		return s.apply(res)
+	}
+	for {
+		if err := s.applyChunk(res); err != nil {
+			return err
+		}
+		if res.Resume == nil {
+			return nil
+		}
+		next, err := client.SyncResume(*res.Resume)
+		if err != nil {
+			return err
+		}
+		s.counters.ChunkResumes.Add(1)
+		res = next
+	}
+}
+
+// applyChunk lands one exchange of a resumable reload. Token adoption
+// happens strictly after the chunk's updates are applied and before the
+// checkpoint, so the durable token is never newer than the durable content
+// — a crash between the two re-fetches one chunk, which re-applies
+// idempotently.
+func (s *Supervisor) applyChunk(res *ldapnet.SyncResult) error {
+	if res.FullReload {
+		// Chunk zero (or a monolithic restart): the transfer replaces the
+		// held content from scratch.
+		s.counters.FullReloads.Add(1)
+		s.resetContent("")
+	}
+	if err := s.rep.ApplySync(s.cfg.Spec, res.Updates); err != nil {
+		return fmt.Errorf("apply updates: %w", err)
+	}
+	s.counters.UpdatesApplied.Add(int64(len(res.Updates)))
+	if res.Resume != nil {
+		s.setResumeToken(*res.Resume)
+	} else {
+		// Final exchange: the completion cookie supersedes the token.
+		s.setResumeToken(proto.ResumeToken{})
+		if res.Cookie != "" {
+			s.setCookie(res.Cookie)
+		}
+	}
+	if s.cfg.OnApplied != nil {
+		s.cfg.OnApplied(len(res.Updates))
+	}
+	if err := s.checkpoint(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if res.Resume == nil {
+		s.noteExchange()
+		s.noteWatermark(res.UpstreamCSN)
+	}
+	return nil
+}
 
 // apply installs one exchange's updates; a full reload replaces the
 // content wholesale.
