@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"filterdir/internal/cascade"
 	"filterdir/internal/containment"
 	"filterdir/internal/dit"
 	"filterdir/internal/dn"
@@ -26,6 +27,8 @@ import (
 	"filterdir/internal/resync"
 	"filterdir/internal/selection"
 	"filterdir/internal/sim"
+	"filterdir/internal/supervisor"
+	"filterdir/internal/tierctl"
 	"filterdir/internal/workload"
 )
 
@@ -843,4 +846,155 @@ func BenchmarkCascadeFanout(b *testing.B) {
 			b.ReportMetric(float64(leafPDUs)/float64(b.N), "leaf_pdus/cycle")
 		})
 	}
+}
+
+// BenchmarkAdaptiveReTier measures the adaptive control plane closing a
+// traffic shift. Leaves querying a region the tier does not cover are
+// rejected and divert to the fallback master, which then carries their full
+// synchronization load (periodic rejected probes included). Starting the
+// controller widens the tier into its spare budget; the filters-changed
+// notification migrates the leaves back within one probe. The timed section
+// spans the re-tier — controller start through the last leaf's migration —
+// plus the post-shift churn cycles; the reported metrics compare the
+// fallback master's PDU load per churn cycle before and after.
+func BenchmarkAdaptiveReTier(b *testing.B) {
+	const (
+		leafCount   = 8
+		opsPerCycle = 30
+		cycles      = 3
+	)
+	baseSpec := query.MustNew(sim.SynthSuffix, query.ScopeSubtree, "(grp=0)")
+	hotSpec := query.MustNew(sim.SynthSuffix, query.ScopeSubtree, "(grp=1)")
+
+	var pduBefore, pduAfter float64
+	for n := 0; n < b.N; n++ {
+		b.StopTimer()
+		scfg := sim.SynthConfig{Seed: int64(n + 1), Entries: 60, Groups: 2, Vals: 4}
+		st, err := sim.BuildSynthStore(scfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		backend := ldapnet.NewStoreBackend(st)
+		masterSrv, err := ldapnet.Serve("127.0.0.1:0", backend)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tier, err := cascade.New(cascade.Config{
+			Upstream:     masterSrv.Addr(),
+			Specs:        []query.Query{baseSpec},
+			PollInterval: 2 * time.Millisecond,
+			BackoffBase:  time.Millisecond,
+			BackoffMax:   20 * time.Millisecond,
+			DialTimeout:  2 * time.Second,
+			Seed:         scfg.Seed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tier.Start()
+		tierSrv, err := ldapnet.Serve("127.0.0.1:0",
+			ldapnet.NewCascadeBackend(tier.Replica(), tier, "ldap://"+masterSrv.Addr()))
+		if err != nil {
+			b.Fatal(err)
+		}
+
+		type benchLeaf struct {
+			sup  *supervisor.Supervisor
+			frep *replica.FilterReplica
+		}
+		leaves := make([]*benchLeaf, leafCount)
+		for i := range leaves {
+			frep, err := replica.NewFilterReplica()
+			if err != nil {
+				b.Fatal(err)
+			}
+			sup, err := supervisor.New(supervisor.Config{
+				Master:             tierSrv.Addr(),
+				Fallback:           masterSrv.Addr(),
+				RetryUpstreamAfter: 60 * time.Millisecond,
+				WatchFilters:       true,
+				Spec:               hotSpec,
+				Mode:               supervisor.ModePoll,
+				PollInterval:       2 * time.Millisecond,
+				BackoffBase:        time.Millisecond,
+				BackoffMax:         20 * time.Millisecond,
+				DialTimeout:        2 * time.Second,
+				Seed:               scfg.Seed + int64(i),
+			}, frep)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sup.Start()
+			leaves[i] = &benchLeaf{sup: sup, frep: frep}
+		}
+		waitUntil := func(what string, cond func() bool) {
+			deadline := time.Now().Add(15 * time.Second)
+			for !cond() {
+				if time.Now().After(deadline) {
+					b.Fatalf("timed out waiting for %s", what)
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+		converged := func() bool {
+			for _, l := range leaves {
+				if ok, _ := resync.Converged(st, l.frep.Store(), hotSpec); !ok {
+					return false
+				}
+			}
+			return true
+		}
+		waitUntil("initial leaf sync", converged)
+
+		gen := sim.NewOpGen(scfg)
+		churn := func() {
+			for c := 0; c < cycles; c++ {
+				for i := 0; i < opsPerCycle; i++ {
+					_ = sim.ApplyOp(st, gen.Next()) // invalid ops are no-ops
+				}
+				waitUntil("churn convergence", converged)
+			}
+		}
+		masterPDUs := func() float64 {
+			s := backend.Engine.Counters().Snapshot()
+			return float64(s.PDUAdds + s.PDUDeletes + s.PDUModifies)
+		}
+
+		start := masterPDUs()
+		churn()
+		pduBefore += (masterPDUs() - start) / cycles
+
+		ctrl, err := tierctl.New(tierctl.Config{Tier: tier, Budget: 2, Interval: 4 * time.Millisecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		ctrl.Start()
+		waitUntil("leaf migration", func() bool {
+			for _, l := range leaves {
+				if l.sup.Target() != tierSrv.Addr() {
+					return false
+				}
+			}
+			return true
+		})
+		churn()
+		b.StopTimer()
+
+		start = masterPDUs()
+		churn()
+		pduAfter += (masterPDUs() - start) / cycles
+
+		ctrl.Stop()
+		for _, l := range leaves {
+			_ = l.sup.Stop()
+		}
+		_ = tierSrv.Close()
+		_ = tier.Stop()
+		_ = masterSrv.Close()
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(pduBefore/float64(b.N), "fallback_pdus_before/cycle")
+	b.ReportMetric(pduAfter/float64(b.N), "fallback_pdus_after/cycle")
 }

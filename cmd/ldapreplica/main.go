@@ -16,6 +16,12 @@
 // engine over the replicated content and serves ReSync to downstream
 // replicas, admitting only specs provably contained in its filters.
 //
+// With -serve -adaptive the mid-tier re-tiers itself under shifting demand:
+// admission rejections feed a filter selector that widens the tier into
+// spare -tier-budget (pulling the widened content from upstream and bumping
+// the filter generation so diverted leaves running -watch-filters migrate
+// back), and narrows it again when adopted filters decay.
+//
 // Usage:
 //
 //	ldapreplica -master 127.0.0.1:3890 -addr 127.0.0.1:3891 \
@@ -52,6 +58,7 @@ import (
 	"filterdir/internal/persist"
 	"filterdir/internal/query"
 	"filterdir/internal/supervisor"
+	"filterdir/internal/tierctl"
 )
 
 type filterList []string
@@ -83,6 +90,9 @@ type options struct {
 	cacheCap               int
 	statusEvery            time.Duration
 	edgeWrites             bool
+	adaptive               bool
+	tierBudget             int
+	watchFilters           bool
 	filters                filterList
 }
 
@@ -108,6 +118,9 @@ func main() {
 	flag.IntVar(&o.cacheCap, "cache", 64, "recent user-query cache capacity")
 	flag.DurationVar(&o.statusEvery, "status-every", time.Minute, "supervision-counter status report interval (0 disables)")
 	flag.BoolVar(&o.edgeWrites, "edge-writes", false, "accept LDAP writes here: journal to a per-replica WAL, forward upstream for commit, overlay locally until the CSN echoes back")
+	flag.BoolVar(&o.adaptive, "adaptive", false, "run the demand-driven control plane over the tier's filter set: widen on admission rejections, narrow on decay (with -serve)")
+	flag.IntVar(&o.tierBudget, "tier-budget", 0, "adaptive filter-set budget in specs, base filters included (with -adaptive; 0 = number of -filter flags + 2)")
+	flag.BoolVar(&o.watchFilters, "watch-filters", false, "while diverted to the fallback master, long-poll the upstream for filter-set changes and re-probe the moment it widens")
 	flag.Var(&o.filters, "filter", "replicated filter (repeatable)")
 	flag.Parse()
 	if len(o.filters) == 0 {
@@ -283,6 +296,7 @@ func runLeaf(o options) error {
 			IdleTimeout:        o.idleTimeout,
 			BackoffBase:        o.backoffBase,
 			BackoffMax:         o.backoffMax,
+			WatchFilters:       o.watchFilters,
 			Logf:               logf,
 		}
 		if o.stateDir != "" {
@@ -378,10 +392,23 @@ func runTier(o options) error {
 		IdleTimeout:        o.idleTimeout,
 		BackoffBase:        o.backoffBase,
 		BackoffMax:         o.backoffMax,
+		WatchFilters:       o.watchFilters,
 		Logf:               logf,
 	})
 	if err != nil {
 		return err
+	}
+
+	var ctrl *tierctl.Controller
+	if o.adaptive {
+		budget := o.tierBudget
+		if budget <= 0 {
+			budget = len(qs) + 2
+		}
+		ctrl, err = tierctl.New(tierctl.Config{Tier: tier, Budget: budget, Logf: logf})
+		if err != nil {
+			return err
+		}
 	}
 
 	// A mid-tier always relays downstream edge-write forwards one hop
@@ -404,6 +431,16 @@ func runTier(o options) error {
 	tier.Start()
 	for i := range qs {
 		fmt.Printf("ldapreplica: supervising %q against %s (serving downstream)\n", o.filters[i], upstream)
+	}
+	if ctrl != nil {
+		ctrl.Start()
+		fmt.Printf("ldapreplica: adaptive control plane armed (budget %d specs)\n",
+			func() int {
+				if o.tierBudget > 0 {
+					return o.tierBudget
+				}
+				return len(qs) + 2
+			}())
 	}
 
 	backend := ldapnet.NewCascadeBackend(tier.Replica(), tier, "ldap://"+o.master)
@@ -430,11 +467,24 @@ func runTier(o options) error {
 		if edge != nil {
 			fmt.Printf("ldapreplica: %s\n", writes.Snapshot())
 		}
+		if ctrl != nil {
+			fmt.Printf("ldapreplica: %s\n", ctrl.Counters().Snapshot())
+		}
+		// The adaptive control plane adds and removes links at runtime, so
+		// labels come from the tier's live spec set, not the -filter flags.
+		liveSpecs := tier.Specs()
 		for i, sup := range tier.Supervisors() {
-			fmt.Printf("ldapreplica: %q [%s→%s] %s\n", o.filters[i], sup.State(), sup.Target(), sup.Counters().Snapshot())
+			label := "?"
+			if i < len(liveSpecs) {
+				label = liveSpecs[i].FilterString()
+			}
+			fmt.Printf("ldapreplica: %q [%s→%s] %s\n", label, sup.State(), sup.Target(), sup.Counters().Snapshot())
 		}
 	}
 	return serveLoop(srv, o.statusEvery, printStatus, func() {
+		if ctrl != nil {
+			ctrl.Stop()
+		}
 		if edge != nil {
 			edge.Close()
 		}

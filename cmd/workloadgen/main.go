@@ -2,9 +2,16 @@
 // a query trace as LDAP filter lines, for inspection or for loading into
 // other tooling.
 //
+// With -shift-at N the trace changes regime after N queries: geography-
+// local lookups are redirected from the first country to the second and the
+// block/department popularity rankings are re-randomized — the traffic
+// shift that drives the adaptive tiering experiments (EXPERIMENTS.md).
+//
 // Usage:
 //
 //	workloadgen -employees 5000 -out dir.ldif -trace trace.txt -n 10000
+//	workloadgen -employees 200000 -out /dev/null -trace shift.txt \
+//	    -n 200000 -shift-at 100000
 package main
 
 import (
@@ -25,15 +32,16 @@ func main() {
 	tracePath := flag.String("trace", "", "optional query-trace output path")
 	n := flag.Int("n", 10000, "trace length in queries")
 	seed := flag.Int64("seed", 1, "deterministic seed")
+	shiftAt := flag.Int("shift-at", 0, "shift the trace's local geography to the second country after this many queries (0 = no shift)")
 	flag.Parse()
 
-	if err := run(*employees, *out, *tracePath, *n, *seed); err != nil {
+	if err := run(*employees, *out, *tracePath, *n, *seed, *shiftAt); err != nil {
 		fmt.Fprintln(os.Stderr, "workloadgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(employees int, out, tracePath string, n int, seed int64) error {
+func run(employees int, out, tracePath string, n int, seed int64, shiftAt int) error {
 	cfg := workload.DefaultDirectoryConfig(employees)
 	cfg.Seed = seed
 	dir, err := workload.BuildDirectory(cfg)
@@ -74,6 +82,14 @@ func run(employees int, out, tracePath string, n int, seed int64) error {
 	bw := bufio.NewWriter(tf)
 	tc := workload.DefaultTraceConfig()
 	tc.Seed = seed + 100
+	if shiftAt > 0 {
+		tc.Phases = []workload.Phase{{
+			AfterOps:      shiftAt,
+			LocalCountry:  1,
+			LocalFraction: tc.LocalFraction,
+			ReshuffleSeed: seed + 200,
+		}}
+	}
 	g := workload.NewGenerator(dir, tc)
 	for i := 0; i < n; i++ {
 		tq := g.Next()

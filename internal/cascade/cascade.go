@@ -96,8 +96,12 @@ type Config struct {
 	PollInterval, IdleTimeout time.Duration
 	BackoffBase, BackoffMax   time.Duration
 	DialTimeout               time.Duration
+	// WatchFilters arms each upstream supervisor's filters-changed
+	// long-poll while diverted: a widened upstream triggers an immediate
+	// re-probe instead of waiting out RetryUpstreamAfter.
+	WatchFilters bool
 	// Seed makes supervisor backoff jitter deterministic (supervisor i
-	// gets Seed+i).
+	// gets Seed+i; adopted specs continue the sequence).
 	Seed int64
 	// Dial is the upstream transport hook (nil = TCP).
 	Dial ldapnet.DialFunc
@@ -130,11 +134,30 @@ func (c *Config) fillDefaults() {
 // server makes it network-attachable.
 type Tier struct {
 	cfg      Config
-	specs    []query.Query // normalized admission universe
 	rep      *replica.FilterReplica
 	eng      *resync.Engine
-	sups     []*supervisor.Supervisor
 	counters *metrics.CascadeCounters
+
+	// links are the tier's upstream synchronization links — one per
+	// replicated spec. The set is dynamic: an adaptive control plane
+	// (internal/tierctl) adopts widened specs and retires decayed ones at
+	// runtime; base links (from Config.Specs) can never be retired.
+	linkMu  sync.Mutex
+	links   []*upstreamLink
+	nextSeq int64 // supervisor seed sequence, monotonic across adopt/retire
+	started bool
+
+	// Filter generation: bumped on every adopt/retire; genCh is closed and
+	// replaced on each bump so watchers (the ldapnet filters-watch control)
+	// can long-poll for the next change.
+	genMu sync.Mutex
+	gen   uint64
+	genCh chan struct{}
+
+	// admitObserver, when set, sees every downstream admission decision —
+	// the control plane's demand signal for widening.
+	admitMu       sync.Mutex
+	admitObserver func(q query.Query, admitted bool)
 
 	// Apply→rebroadcast latency: the supervisor's OnApplied stamps
 	// lastApply and arms applyPending; the engine observer consumes the
@@ -143,11 +166,10 @@ type Tier struct {
 	applyPending atomic.Bool
 
 	// Master-coordinate watermark translation for downstream consumers:
-	// supWM holds each supervisor's latest reported upstream watermark, wm
-	// maps local journal positions to the min over them (the conservative
-	// bound — any downstream spec rides some supervisor's stream).
-	supWM []atomic.Uint64
-	wm    watermarkMap
+	// each link holds its supervisor's latest reported upstream watermark,
+	// wm maps local journal positions to the min over them (the
+	// conservative bound — any downstream spec rides some link's stream).
+	wm watermarkMap
 
 	// edge, when attached, is the tier's own write acceptor; the
 	// supervisors feed it their watermarks so its pending ops retire.
@@ -162,10 +184,25 @@ type Tier struct {
 	startOnce sync.Once
 }
 
-var _ ldapnet.SyncSupplier = (*Tier)(nil)
+var (
+	_ ldapnet.SyncSupplier  = (*Tier)(nil)
+	_ ldapnet.FilterWatcher = (*Tier)(nil)
+)
 
-// New builds a tier: restores durable state if present, then constructs
-// the engine and one upstream supervisor per spec (armed with any restored
+// upstreamLink is one upstream synchronization link: the normalized spec,
+// the supervisor pulling it, and the supervisor's latest reported upstream
+// watermark. base marks specs from Config.Specs, which the adaptive control
+// plane may never retire.
+type upstreamLink struct {
+	spec query.Query
+	sup  *supervisor.Supervisor
+	wm   atomic.Uint64
+	base bool
+}
+
+// New builds a tier: restores durable state if present (including any
+// previously adopted specs and the filter generation), then constructs the
+// engine and one upstream supervisor per spec (armed with any restored
 // resume cookie). Start launches them.
 func New(cfg Config) (*Tier, error) {
 	cfg.fillDefaults()
@@ -187,22 +224,23 @@ func New(cfg Config) (*Tier, error) {
 		cfg:      cfg,
 		rep:      rep,
 		counters: &metrics.CascadeCounters{},
+		genCh:    make(chan struct{}),
 		stop:     make(chan struct{}),
 		loopDone: make(chan struct{}),
 	}
 	t.counters.TierDepth.Store(int64(cfg.Depth))
-	for _, q := range cfg.Specs {
-		t.specs = append(t.specs, q.Normalize())
-	}
 
 	cookies := map[string]string{}
+	var adopted []query.Query
 	if cfg.StateDir != "" {
 		st, restored, err := openState(cfg, rep, t.counters)
 		if err != nil {
 			return nil, fmt.Errorf("cascade: restore state: %w", err)
 		}
 		t.st = st
-		cookies = restored
+		cookies = restored.cookies
+		adopted = restored.adopted
+		t.gen = restored.generation
 	}
 
 	// The engine runs over the same store the supervisors apply into:
@@ -218,7 +256,6 @@ func New(cfg Config) (*Tier, error) {
 		engOpts = append(engOpts, resync.WithSyncPointRetention(cfg.KeepSyncPoints))
 	}
 	t.eng = resync.NewEngine(rep.Store(), engOpts...)
-	t.supWM = make([]atomic.Uint64, len(t.specs))
 	t.eng.SetWatermarkFunc(t.wm.lookup)
 	t.eng.SetObserver(func(_ string, updates []resync.Update, fullReload bool) {
 		if len(updates) == 0 && !fullReload {
@@ -230,44 +267,128 @@ func New(cfg Config) (*Tier, error) {
 		}
 	})
 
-	for i, spec := range t.specs {
-		sup, err := supervisor.New(supervisor.Config{
-			Master:             cfg.Upstream,
-			Fallback:           cfg.Fallback,
-			RetryUpstreamAfter: cfg.RetryUpstreamAfter,
-			Spec:               spec,
-			Mode:               cfg.Mode,
-			PollInterval:       cfg.PollInterval,
-			IdleTimeout:        cfg.IdleTimeout,
-			BackoffBase:        cfg.BackoffBase,
-			BackoffMax:         cfg.BackoffMax,
-			DialTimeout:        cfg.DialTimeout,
-			Seed:               cfg.Seed + int64(i),
-			Dial:               cfg.Dial,
-			Logf:               cfg.Logf,
-			ResumeCookie:       cookies[spec.Key()],
-			OnApplied:          t.noteApply,
-			OnWatermark:        func(i int) func(uint64) { return func(csn uint64) { t.noteWatermark(i, csn) } }(i),
-		}, rep)
+	for _, spec := range cfg.Specs {
+		nq := spec.Normalize()
+		link, err := t.newLink(nq, cookies[nq.Key()], true)
 		if err != nil {
 			return nil, err
 		}
-		t.sups = append(t.sups, sup)
+		t.links = append(t.links, link)
+	}
+	for _, spec := range adopted {
+		link, err := t.newLink(spec, cookies[spec.Key()], false)
+		if err != nil {
+			return nil, err
+		}
+		t.links = append(t.links, link)
 	}
 	return t, nil
 }
 
-// noteWatermark folds supervisor i's upstream watermark into the tier's
-// coordinate translation: once every supervisor has reported, the minimum
-// is recorded against the store's current local position (conservative —
+// newLink builds an upstream link (spec must be normalized); the caller
+// appends it to t.links and, on a started tier, starts its supervisor.
+func (t *Tier) newLink(spec query.Query, cookie string, base bool) (*upstreamLink, error) {
+	link := &upstreamLink{spec: spec, base: base}
+	seq := t.nextSeq
+	t.nextSeq++
+	sup, err := supervisor.New(supervisor.Config{
+		Master:             t.cfg.Upstream,
+		Fallback:           t.cfg.Fallback,
+		RetryUpstreamAfter: t.cfg.RetryUpstreamAfter,
+		WatchFilters:       t.cfg.WatchFilters,
+		Spec:               spec,
+		Mode:               t.cfg.Mode,
+		PollInterval:       t.cfg.PollInterval,
+		IdleTimeout:        t.cfg.IdleTimeout,
+		BackoffBase:        t.cfg.BackoffBase,
+		BackoffMax:         t.cfg.BackoffMax,
+		DialTimeout:        t.cfg.DialTimeout,
+		Seed:               t.cfg.Seed + seq,
+		Dial:               t.cfg.Dial,
+		Logf:               t.cfg.Logf,
+		ResumeCookie:       cookie,
+		OnApplied:          t.noteApply,
+		OnWatermark:        func(csn uint64) { t.noteWatermark(link, csn) },
+	}, t.rep)
+	if err != nil {
+		return nil, err
+	}
+	link.sup = sup
+	return link, nil
+}
+
+// snapshotLinks copies the current link slice (the slice header only; links
+// themselves are shared).
+func (t *Tier) snapshotLinks() []*upstreamLink {
+	t.linkMu.Lock()
+	defer t.linkMu.Unlock()
+	return append([]*upstreamLink(nil), t.links...)
+}
+
+// Specs returns the tier's current normalized admission universe: the base
+// specs plus any adopted by the control plane.
+func (t *Tier) Specs() []query.Query {
+	t.linkMu.Lock()
+	defer t.linkMu.Unlock()
+	specs := make([]query.Query, len(t.links))
+	for i, link := range t.links {
+		specs[i] = link.spec
+	}
+	return specs
+}
+
+// BaseSpecs returns the operator-configured specs — the links the adaptive
+// control plane pins and can never retire.
+func (t *Tier) BaseSpecs() []query.Query {
+	t.linkMu.Lock()
+	defer t.linkMu.Unlock()
+	var out []query.Query
+	for _, link := range t.links {
+		if link.base {
+			out = append(out, link.spec)
+		}
+	}
+	return out
+}
+
+// FilterGeneration implements ldapnet.FilterWatcher: the current admission
+// filter generation and a channel closed when it next changes.
+func (t *Tier) FilterGeneration() (uint64, <-chan struct{}) {
+	t.genMu.Lock()
+	defer t.genMu.Unlock()
+	return t.gen, t.genCh
+}
+
+// bumpGeneration advances the filter generation and wakes all watchers.
+func (t *Tier) bumpGeneration() {
+	t.genMu.Lock()
+	t.gen++
+	close(t.genCh)
+	t.genCh = make(chan struct{})
+	t.genMu.Unlock()
+}
+
+// SetAdmissionObserver registers a hook that sees every downstream
+// admission decision (the control plane's demand signal). Pass nil to
+// clear.
+func (t *Tier) SetAdmissionObserver(fn func(q query.Query, admitted bool)) {
+	t.admitMu.Lock()
+	t.admitObserver = fn
+	t.admitMu.Unlock()
+}
+
+// noteWatermark folds one link's upstream watermark into the tier's
+// coordinate translation: once every link has reported, the minimum is
+// recorded against the store's current local position (conservative —
 // content at this position reflects at least that much of the master for
 // every spec). An attached edge writer receives the per-source watermark
 // directly; its own min-over-sources gates retirement.
-func (t *Tier) noteWatermark(i int, csn uint64) {
-	t.supWM[i].Store(csn)
+func (t *Tier) noteWatermark(link *upstreamLink, csn uint64) {
+	link.wm.Store(csn)
+	links := t.snapshotLinks()
 	min := uint64(0)
-	for j := range t.supWM {
-		v := t.supWM[j].Load()
+	for _, l := range links {
+		v := l.wm.Load()
 		if v == 0 {
 			min = 0
 			break
@@ -283,7 +404,7 @@ func (t *Tier) noteWatermark(i int, csn uint64) {
 	edge := t.edge
 	t.edgeMu.Unlock()
 	if edge != nil {
-		edge.SetWatermark(t.specs[i].Key(), csn)
+		edge.SetWatermark(link.spec.Key(), csn)
 	}
 }
 
@@ -292,7 +413,7 @@ func (t *Tier) noteWatermark(i int, csn uint64) {
 // supervision loops. Build the writer with AdmitWrite as its gate and the
 // tier store's Get as its lookup.
 func (t *Tier) AttachEdgeWriter(w *edgewrite.Writer) {
-	for _, spec := range t.specs {
+	for _, spec := range t.Specs() {
 		w.RegisterSource(spec.Key())
 	}
 	t.edgeMu.Lock()
@@ -304,7 +425,7 @@ func (t *Tier) AttachEdgeWriter(w *edgewrite.Writer) {
 // configured spec, targeted ops must name held entries (see
 // edgewrite.Admitter).
 func (t *Tier) AdmitWrite(c dit.Change) error {
-	return edgewrite.Admitter(t.specs, t.rep.Store().Get)(c)
+	return edgewrite.Admitter(t.Specs(), t.rep.Store().Get)(c)
 }
 
 // noteApply records one applied upstream batch and stamps the latency
@@ -319,11 +440,16 @@ func (t *Tier) noteApply(n int) {
 }
 
 // Start launches the upstream supervisors and the checkpoint loop
-// (idempotent).
+// (idempotent). Specs adopted after Start get their supervisors started by
+// AdoptSpec itself.
 func (t *Tier) Start() {
 	t.startOnce.Do(func() {
-		for _, sup := range t.sups {
-			sup.Start()
+		t.linkMu.Lock()
+		t.started = true
+		links := append([]*upstreamLink(nil), t.links...)
+		t.linkMu.Unlock()
+		for _, link := range links {
+			link.sup.Start()
 		}
 		go t.persistLoop()
 	})
@@ -335,8 +461,8 @@ func (t *Tier) Stop() error {
 	t.stopOnce.Do(func() { close(t.stop) })
 	<-t.loopDone
 	var firstErr error
-	for _, sup := range t.sups {
-		if err := sup.Stop(); err != nil && firstErr == nil {
+	for _, link := range t.snapshotLinks() {
+		if err := link.sup.Stop(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -376,26 +502,44 @@ func (t *Tier) Checkpoint() error {
 	if t.st == nil {
 		return nil
 	}
-	cookies := make(map[string]cookieEntry, len(t.sups))
-	for i, sup := range t.sups {
-		cookies[t.specs[i].Key()] = cookieEntry{Cookie: sup.Cookie(), Addr: sup.Target()}
+	links := t.snapshotLinks()
+	gen, _ := t.FilterGeneration()
+	disk := diskCookies{Cookies: make(map[string]cookieEntry, len(links)), Generation: gen}
+	for _, link := range links {
+		disk.Cookies[link.spec.Key()] = cookieEntry{Cookie: link.sup.Cookie(), Addr: link.sup.Target()}
+		if !link.base {
+			disk.Adopted = append(disk.Adopted, diskSpecOf(link.spec))
+		}
 	}
-	return t.st.checkpoint(t.rep.Store(), cookies, t.counters)
+	return t.st.checkpoint(t.rep.Store(), disk, t.counters)
 }
 
-// Admit checks a downstream spec against the tier's configured specs with
-// the QC algorithm, returning nil when some spec provably contains it. The
-// gate uses the static configuration, not the replica's live stored-query
-// set, so a supervisor mid-reset (content momentarily unregistered) cannot
-// reject a spec the tier is configured to serve.
+// Admit checks a downstream spec against the tier's current specs with the
+// QC algorithm, returning nil when some spec provably contains it. The gate
+// uses the configured link set, not the replica's live stored-query set, so
+// a supervisor mid-reset (content momentarily unregistered) cannot reject a
+// spec the tier is configured to serve. Every decision is reported to the
+// admission observer, if one is registered — rejections are the adaptive
+// control plane's primary widening signal.
 func (t *Tier) Admit(q query.Query) error {
 	t.counters.AdmitChecks.Add(1)
 	nq := q.Normalize()
-	for _, spec := range t.specs {
+	admitted := false
+	for _, spec := range t.Specs() {
 		if t.cfg.Checker.QueryContains(nq, spec) {
-			t.counters.Admitted.Add(1)
-			return nil
+			admitted = true
+			break
 		}
+	}
+	t.admitMu.Lock()
+	obs := t.admitObserver
+	t.admitMu.Unlock()
+	if obs != nil {
+		obs(nq, admitted)
+	}
+	if admitted {
+		t.counters.Admitted.Add(1)
+		return nil
 	}
 	t.counters.Rejected.Add(1)
 	return fmt.Errorf("%w: %s", ldapnet.ErrNotContained, q.FilterString())
@@ -453,6 +597,131 @@ func (t *Tier) Replica() *replica.FilterReplica { return t.rep }
 // Engine exposes the downstream-facing engine (tests, status).
 func (t *Tier) Engine() *resync.Engine { return t.eng }
 
-// Supervisors exposes the upstream supervisors, one per spec, in Specs
-// order (status reporting and convergence probes).
-func (t *Tier) Supervisors() []*supervisor.Supervisor { return t.sups }
+// Supervisors exposes the current upstream supervisors, one per spec, in
+// Specs order (status reporting and convergence probes).
+func (t *Tier) Supervisors() []*supervisor.Supervisor {
+	links := t.snapshotLinks()
+	sups := make([]*supervisor.Supervisor, len(links))
+	for i, link := range links {
+		sups[i] = link.sup
+	}
+	return sups
+}
+
+// AdoptSpec widens the tier: a new upstream link is created for spec (the
+// control plane's generalize/adopt action), its supervisor starts pulling
+// the widened content immediately, and — once the initial synchronization
+// completes — the filter generation is bumped so diverted leaves watching
+// it re-probe while the content is actually present. Adopting a spec
+// already linked (same normalized key) is a no-op. Returns the link's
+// supervisor (nil for a duplicate).
+func (t *Tier) AdoptSpec(spec query.Query) (*supervisor.Supervisor, error) {
+	nq := spec.Normalize()
+	key := nq.Key()
+	t.linkMu.Lock()
+	for _, link := range t.links {
+		if link.spec.Key() == key {
+			t.linkMu.Unlock()
+			return nil, nil
+		}
+	}
+	link, err := t.newLink(nq, "", false)
+	if err != nil {
+		t.linkMu.Unlock()
+		return nil, err
+	}
+	t.links = append(t.links, link)
+	started := t.started
+	t.linkMu.Unlock()
+
+	t.edgeMu.Lock()
+	edge := t.edge
+	t.edgeMu.Unlock()
+	if edge != nil {
+		edge.RegisterSource(key)
+	}
+
+	if started {
+		link.sup.Start()
+	}
+	// Admission already passes for specs under nq (Specs includes the new
+	// link), so an early downstream attach converges via incremental adds.
+	// The generation bump — the signal that tells diverted leaves to come
+	// back — waits for the initial sync so migrating leaves find the
+	// widened content in place.
+	go func() {
+		select {
+		case <-link.sup.Synced():
+		case <-t.stop:
+			return
+		}
+		t.bumpGeneration()
+		t.cfg.Logf("cascade: adopted spec %s (generation %d)", nq.FilterString(), t.generation())
+	}()
+	return link.sup, nil
+}
+
+// RetireSpec narrows the tier: the spec's upstream link is removed from
+// admission (generation bump), downstream sessions no longer contained in
+// the remaining specs are gracefully ended — their next operation returns
+// e-syncRefreshRequired, which their supervisors treat as a divert-to-
+// fallback with a full reload, so no update is ever lost — and only then is
+// the content dropped and the upstream supervisor stopped. Base specs from
+// Config.Specs cannot be retired. Returns the number of downstream sessions
+// re-referred.
+func (t *Tier) RetireSpec(spec query.Query) (int, error) {
+	nq := spec.Normalize()
+	key := nq.Key()
+	t.linkMu.Lock()
+	idx := -1
+	for i, link := range t.links {
+		if link.spec.Key() == key {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		t.linkMu.Unlock()
+		return 0, fmt.Errorf("cascade: retire %s: no such spec", nq.FilterString())
+	}
+	link := t.links[idx]
+	if link.base {
+		t.linkMu.Unlock()
+		return 0, fmt.Errorf("cascade: retire %s: configured base spec", nq.FilterString())
+	}
+	t.links = append(t.links[:idx], t.links[idx+1:]...)
+	remaining := make([]query.Query, len(t.links))
+	for i, l := range t.links {
+		remaining[i] = l.spec
+	}
+	t.linkMu.Unlock()
+
+	// Order matters: admission narrows first (no new session can attach to
+	// the doomed spec), the upstream link stops feeding it, stranded
+	// downstream sessions are ended while their content is still present,
+	// and the content removal last — its journaled deletes fire the store's
+	// change signal, which wakes and reaps any ended persist streams.
+	t.bumpGeneration()
+	if err := link.sup.Stop(); err != nil {
+		t.cfg.Logf("cascade: retire %s: stop supervisor: %v", nq.FilterString(), err)
+	}
+	kicked := t.eng.Kick(func(s query.Query) bool {
+		for _, spec := range remaining {
+			if t.cfg.Checker.QueryContains(s, spec) {
+				return true
+			}
+		}
+		return false
+	})
+	t.rep.RemoveStored(nq)
+	t.counters.DownstreamSessions.Store(int64(t.eng.Sessions()))
+	t.cfg.Logf("cascade: retired spec %s (%d sessions re-referred, generation %d)",
+		nq.FilterString(), len(kicked), t.generation())
+	return len(kicked), nil
+}
+
+// generation returns the current filter generation (logging helper).
+func (t *Tier) generation() uint64 {
+	gen, _ := t.FilterGeneration()
+	return gen
+}

@@ -11,6 +11,7 @@ import (
 	"filterdir/internal/dit"
 	"filterdir/internal/metrics"
 	"filterdir/internal/persist"
+	"filterdir/internal/query"
 	"filterdir/internal/replica"
 	"filterdir/internal/resync"
 )
@@ -46,9 +47,58 @@ type cookieEntry struct {
 	Addr string `json:"addr,omitempty"`
 }
 
-// diskCookies is the JSON body of cookies.json.
+// diskSpec is the durable form of a control-plane-adopted spec: enough to
+// rebuild the query.Query on restart. Base specs come from configuration
+// and are never persisted.
+type diskSpec struct {
+	Base   string   `json:"base"`
+	Scope  string   `json:"scope"`
+	Filter string   `json:"filter"`
+	Attrs  []string `json:"attrs,omitempty"`
+}
+
+// diskSpecOf captures a normalized spec for persistence.
+func diskSpecOf(q query.Query) diskSpec {
+	return diskSpec{
+		Base:   q.Base.String(),
+		Scope:  q.Scope.String(),
+		Filter: q.FilterString(),
+		Attrs:  q.Attrs,
+	}
+}
+
+// spec rebuilds the query; a spec that no longer parses is reported and
+// dropped (the control plane will re-adopt it from live demand if it still
+// matters).
+func (d diskSpec) spec() (query.Query, error) {
+	scope, err := query.ParseScope(d.Scope)
+	if err != nil {
+		return query.Query{}, err
+	}
+	q, err := query.New(d.Base, scope, d.Filter, d.Attrs...)
+	if err != nil {
+		return query.Query{}, err
+	}
+	return q.Normalize(), nil
+}
+
+// diskCookies is the JSON body of cookies.json. Generation and Adopted are
+// the adaptive control plane's durable footprint: the filter generation
+// survives restarts (watch clients never see it move backwards) and adopted
+// specs are re-linked alongside the configured ones. Older files without
+// these fields load as a purely static tier.
 type diskCookies struct {
-	Cookies map[string]cookieEntry `json:"cookies"`
+	Cookies    map[string]cookieEntry `json:"cookies"`
+	Generation uint64                 `json:"generation,omitempty"`
+	Adopted    []diskSpec             `json:"adopted,omitempty"`
+}
+
+// restoredState is openState's result: per-spec resume cookies, the adopted
+// spec set, and the filter generation at the last checkpoint.
+type restoredState struct {
+	cookies    map[string]string
+	adopted    []query.Query
+	generation uint64
 }
 
 // tierState owns the durable files and the journal watermark.
@@ -69,7 +119,7 @@ type tierState struct {
 // by replaying the durable store through each configured spec — MatchAll
 // selects the spec's entries, AddStored+ApplySync rebuild the replica's
 // reference counts exactly as live synchronization would have.
-func openState(cfg Config, rep *replica.FilterReplica, counters *metrics.CascadeCounters) (*tierState, map[string]string, error) {
+func openState(cfg Config, rep *replica.FilterReplica, counters *metrics.CascadeCounters) (*tierState, restoredState, error) {
 	st := &tierState{
 		dir:         persist.Dir{Path: filepath.Join(cfg.StateDir, storeDirName)},
 		cookiesPath: filepath.Join(cfg.StateDir, cookiesFileName),
@@ -77,32 +127,46 @@ func openState(cfg Config, rep *replica.FilterReplica, counters *metrics.Cascade
 		logf:        cfg.Logf,
 		needFull:    true,
 	}
+	res := restoredState{cookies: map[string]string{}}
 	var disk diskCookies
 	raw, err := os.ReadFile(st.cookiesPath)
 	switch {
 	case errors.Is(err, os.ErrNotExist):
 		// Fresh directory (or a crash before the first cookie write).
 	case err != nil:
-		return nil, nil, err
+		return nil, res, err
 	default:
 		if err := json.Unmarshal(raw, &disk); err != nil {
 			// A corrupt cookie file costs a re-Begin, not the content.
 			cfg.Logf("cascade: discarding corrupt cookies file: %v", err)
-			disk.Cookies = nil
+			disk = diskCookies{}
 		}
 	}
+	res.generation = disk.Generation
 
 	// The tier's content is sparse — selected entries without their
 	// ancestors — so journal replay must use upsert semantics.
 	store, err := st.dir.OpenSparse([]string{""})
 	if err != nil {
-		return nil, nil, err
+		return nil, res, err
 	}
 
-	cookies := make(map[string]string, len(cfg.Specs))
-	restored := false
+	specs := make([]query.Query, 0, len(cfg.Specs)+len(disk.Adopted))
 	for _, spec := range cfg.Specs {
-		spec = spec.Normalize()
+		specs = append(specs, spec.Normalize())
+	}
+	for _, ds := range disk.Adopted {
+		spec, err := ds.spec()
+		if err != nil {
+			cfg.Logf("cascade: dropping unparsable adopted spec %q: %v", ds.Filter, err)
+			continue
+		}
+		specs = append(specs, spec)
+		res.adopted = append(res.adopted, spec)
+	}
+
+	restored := false
+	for _, spec := range specs {
 		resume := ""
 		if ce, ok := disk.Cookies[spec.Key()]; ok && ce.Cookie != "" {
 			if ce.Addr == "" || ce.Addr == cfg.Upstream {
@@ -123,22 +187,22 @@ func openState(cfg Config, rep *replica.FilterReplica, counters *metrics.Cascade
 		}
 		rep.AddStored(spec, resume)
 		if err := rep.ApplySync(spec, updates); err != nil {
-			return nil, nil, err
+			return nil, res, err
 		}
-		cookies[spec.Key()] = resume
+		res.cookies[spec.Key()] = resume
 		restored = true
 	}
 	if restored {
 		counters.Restores.Add(1)
 		cfg.Logf("cascade: restored %d entries from %s", rep.EntryCount(), cfg.StateDir)
 	}
-	return st, cookies, nil
+	return st, res, nil
 }
 
 // checkpoint writes content first (full snapshot or journal append), then
 // the cookie file with values the caller captured before the content
 // write, preserving the cookie-not-newer-than-content invariant.
-func (s *tierState) checkpoint(store *dit.Store, cookies map[string]cookieEntry, counters *metrics.CascadeCounters) error {
+func (s *tierState) checkpoint(store *dit.Store, disk diskCookies, counters *metrics.CascadeCounters) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	full := s.needFull || s.journalOverdue()
@@ -165,7 +229,7 @@ func (s *tierState) checkpoint(store *dit.Store, cookies map[string]cookieEntry,
 		counters.Checkpoints.Add(1)
 	}
 	return persist.WriteAtomic(s.cookiesPath, func(w io.Writer) error {
-		return json.NewEncoder(w).Encode(diskCookies{Cookies: cookies})
+		return json.NewEncoder(w).Encode(disk)
 	})
 }
 

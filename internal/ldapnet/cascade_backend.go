@@ -33,6 +33,25 @@ type SyncSupplier interface {
 	SyncCounters() *metrics.SyncCounters
 }
 
+// FilterWatcher is implemented by suppliers whose admission filter set can
+// change at runtime (an adaptive cascade tier). FilterGeneration returns the
+// current generation — bumped on every adopt/retire — and a channel that is
+// closed when the generation next advances; callers re-fetch after the close.
+// A nil channel means the filter set is static.
+type FilterWatcher interface {
+	FilterGeneration() (uint64, <-chan struct{})
+}
+
+// SpecAdmitter is implemented by backends that can answer "would this sync
+// spec be admitted right now?" without establishing a session. The server's
+// filters-watch fast path uses it: a watcher whose spec is already covered
+// by the current filter set is answered immediately instead of parked
+// waiting for a generation bump that may never come — closing the race where
+// the tier widens between the leaf's rejection and its watch arriving.
+type SpecAdmitter interface {
+	AdmitSpec(q query.Query) error
+}
+
 // CascadeBackend serves a mid-tier cascade replica over the wire: searches
 // behave exactly like ReplicaBackend (containment hit → local answer, miss
 // → referral), but ReSync operations are served from the tier's own engine
@@ -112,6 +131,27 @@ func (b *CascadeBackend) ReSyncPersist(cookie string) (*resync.Subscription, err
 // ReSyncEnd implements Backend via the tier engine.
 func (b *CascadeBackend) ReSyncEnd(cookie string) error {
 	return b.Supplier.SyncEnd(cookie)
+}
+
+// FilterGeneration implements FilterWatcher by delegating to the tier when
+// it is adaptive; a static tier reports generation 0 with a nil channel and
+// the server refuses the watch.
+func (b *CascadeBackend) FilterGeneration() (uint64, <-chan struct{}) {
+	if fw, ok := b.Supplier.(FilterWatcher); ok {
+		return fw.FilterGeneration()
+	}
+	return 0, nil
+}
+
+// AdmitSpec implements SpecAdmitter against the tier's admission gate, so
+// the filters-watch fast path sees exactly the containment decision a
+// ReSyncBegin would. Admission side effects (counters, the tier's admission
+// observer) fire as for any other admission probe.
+func (b *CascadeBackend) AdmitSpec(q query.Query) error {
+	if adm, ok := b.Supplier.(interface{ Admit(q query.Query) error }); ok {
+		return adm.Admit(q)
+	}
+	return ErrNotContained
 }
 
 // Bind implements Backend (anonymous only, like ReplicaBackend).

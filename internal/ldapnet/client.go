@@ -281,6 +281,48 @@ func (c *Client) SearchWith(q query.Query, controls ...proto.Control) (*SearchRe
 	}
 }
 
+// WatchFilters subscribes to the server's admission-filter generation (the
+// OIDFiltersWatch control) and blocks until it advances past since (0 =
+// whatever generation is current when the watch is established), returning
+// the new generation. The wait is deadline-free — the response arrives only
+// when the server's filter set actually changes — so use a dedicated
+// client; Close from another goroutine cancels the wait. A server that does
+// not support the control answers unwillingToPerform immediately.
+func (c *Client) WatchFilters(q query.Query, since uint64) (uint64, error) {
+	c.mu.Lock()
+	id, err := c.send(&proto.SearchRequest{Query: q}, proto.NewFiltersWatchControl(since))
+	if err != nil {
+		c.mu.Unlock()
+		return 0, err
+	}
+	// Clear the per-op read deadline for the watch's duration and read
+	// outside the client lock, so a concurrent Close can cancel the wait.
+	_ = c.conn.SetReadDeadline(time.Time{})
+	r := c.r
+	c.mu.Unlock()
+	for {
+		m, err := proto.ReadMessage(r)
+		if err != nil {
+			return 0, err
+		}
+		if m.ID != id {
+			continue
+		}
+		done, ok := m.Op.(*proto.SearchDone)
+		if !ok {
+			continue
+		}
+		if done.Code != proto.ResultSuccess {
+			return 0, &ResultError{Code: done.Code, Message: done.Message, Referrals: done.Referrals}
+		}
+		ctrl, ok := m.Control(proto.OIDFiltersChanged)
+		if !ok {
+			return 0, fmt.Errorf("filters watch: response missing filters-changed control")
+		}
+		return proto.ParseFiltersChanged(ctrl)
+	}
+}
+
 // SearchPaged runs a search with RFC 2696 simple paged results, fetching
 // pageSize entries per round trip until the server reports completion.
 func (c *Client) SearchPaged(q query.Query, pageSize int) (*SearchResult, error) {

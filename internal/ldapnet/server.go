@@ -113,11 +113,12 @@ func (s *Server) dropConn(conn net.Conn) {
 	_ = conn.Close()
 }
 
-// connState tracks per-connection persistent searches for abandon, plus
-// the connection's write queue.
+// connState tracks per-connection persistent searches and filter-generation
+// watches for abandon, plus the connection's write queue.
 type connState struct {
 	mu       sync.Mutex
 	persists map[int64]*resync.Subscription
+	watches  map[int64]chan struct{}
 	w        *connWriter
 }
 
@@ -135,6 +136,37 @@ func (cs *connState) takePersist(id int64) *resync.Subscription {
 	return sub
 }
 
+// addWatch registers a filter-generation watch; the returned channel is
+// closed when the watch is cancelled (abandon or connection teardown).
+func (cs *connState) addWatch(id int64) chan struct{} {
+	cancel := make(chan struct{})
+	cs.mu.Lock()
+	cs.watches[id] = cancel
+	cs.mu.Unlock()
+	return cancel
+}
+
+// dropWatch removes a finished watch without cancelling it (the watch
+// goroutine calls this on exit). Channel close is left to cancelWatch and
+// closeAll, which delete the entry under the same lock — so each cancel
+// channel is closed at most once.
+func (cs *connState) dropWatch(id int64) {
+	cs.mu.Lock()
+	delete(cs.watches, id)
+	cs.mu.Unlock()
+}
+
+// cancelWatch cancels a pending watch, if any (abandon).
+func (cs *connState) cancelWatch(id int64) {
+	cs.mu.Lock()
+	cancel := cs.watches[id]
+	delete(cs.watches, id)
+	cs.mu.Unlock()
+	if cancel != nil {
+		close(cancel)
+	}
+}
+
 func (cs *connState) closeAll() {
 	cs.mu.Lock()
 	subs := make([]*resync.Subscription, 0, len(cs.persists))
@@ -142,16 +174,28 @@ func (cs *connState) closeAll() {
 		subs = append(subs, sub)
 	}
 	cs.persists = make(map[int64]*resync.Subscription)
+	cancels := make([]chan struct{}, 0, len(cs.watches))
+	for _, cancel := range cs.watches {
+		cancels = append(cancels, cancel)
+	}
+	cs.watches = make(map[int64]chan struct{})
 	cs.mu.Unlock()
 	for _, sub := range subs {
 		sub.Close()
+	}
+	for _, cancel := range cancels {
+		close(cancel)
 	}
 }
 
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	defer s.dropConn(conn)
-	state := &connState{persists: make(map[int64]*resync.Subscription), w: newConnWriter(conn, s.syncStats)}
+	state := &connState{
+		persists: make(map[int64]*resync.Subscription),
+		watches:  make(map[int64]chan struct{}),
+		w:        newConnWriter(conn, s.syncStats),
+	}
 	defer state.w.close()
 	defer state.closeAll()
 	r := bufio.NewReader(conn)
@@ -174,6 +218,7 @@ func (s *Server) handle(conn net.Conn) {
 			if sub := state.takePersist(op.MessageID); sub != nil {
 				sub.Close()
 			}
+			state.cancelWatch(op.MessageID)
 			// Abandon has no response.
 		case *proto.SearchRequest:
 			s.handleSearch(state, conn, msg, op)
@@ -276,6 +321,10 @@ func (s *Server) send(state *connState, conn net.Conn, m *proto.Message) error {
 }
 
 func (s *Server) handleSearch(state *connState, conn net.Conn, msg *proto.Message, op *proto.SearchRequest) {
+	if c, ok := msg.Control(proto.OIDFiltersWatch); ok {
+		s.handleFiltersWatch(state, conn, msg.ID, op, c)
+		return
+	}
 	if c, ok := msg.Control(proto.OIDReSyncRequest); ok {
 		req, err := proto.ParseReSyncRequest(c)
 		if err != nil {
@@ -408,6 +457,63 @@ func sortEntries(entries []*entry.Entry, keys []proto.SortKey) {
 // sends accumulated updates, (iii) persist mode keeps the connection open
 // streaming further changes, (iv) poll mode returns a cookie to resume. A
 // resume-token control continues a chunked reload instead (DESIGN.md §14).
+// handleFiltersWatch parks a long-poll subscription against the backend's
+// admission-filter generation. The response — a bare SearchDone carrying the
+// filters-changed control — is deferred until the generation advances past
+// the client's `since` (0 = the generation current when the watch lands), so
+// a diverted leaf learns the tier widened without polling. The wait runs in
+// its own goroutine: the connection's read loop stays free to process
+// abandons, and teardown cancels via connState.closeAll.
+func (s *Server) handleFiltersWatch(state *connState, conn net.Conn, id int64, op *proto.SearchRequest, c proto.Control) {
+	fw, ok := s.backend.(FilterWatcher)
+	if !ok {
+		s.reply(state, conn, id, &proto.SearchDone{}, proto.ResultUnwillingToPerform,
+			"filters watch not supported by this server", nil, nil)
+		return
+	}
+	since, err := proto.ParseFiltersWatch(c)
+	if err != nil {
+		s.reply(state, conn, id, &proto.SearchDone{}, proto.ResultProtocolError, err.Error(), nil, nil)
+		return
+	}
+	gen, ch := fw.FilterGeneration()
+	if ch == nil {
+		// Backend forwards the interface but its filter set is static.
+		s.reply(state, conn, id, &proto.SearchDone{}, proto.ResultUnwillingToPerform,
+			"filter set is static on this server", nil, nil)
+		return
+	}
+	if since == 0 {
+		since = gen
+		// Fast path: if the current filter set already admits the watcher's
+		// spec, the widening it is waiting for has already happened — answer
+		// now instead of parking for a bump that may never come. gen and ch
+		// were read before this check, so a widening that races it closes ch
+		// and wakes the parked goroutine below.
+		if adm, ok := s.backend.(SpecAdmitter); ok && adm.AdmitSpec(op.Query) == nil {
+			s.reply(state, conn, id, &proto.SearchDone{}, proto.ResultSuccess, "", nil,
+				[]proto.Control{proto.NewFiltersChangedControl(gen)})
+			return
+		}
+	}
+	cancel := state.addWatch(id)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer state.dropWatch(id)
+		for gen <= since {
+			select {
+			case <-ch:
+			case <-cancel:
+				return
+			}
+			gen, ch = fw.FilterGeneration()
+		}
+		s.reply(state, conn, id, &proto.SearchDone{}, proto.ResultSuccess, "", nil,
+			[]proto.Control{proto.NewFiltersChangedControl(gen)})
+	}()
+}
+
 func (s *Server) handleReSync(state *connState, conn net.Conn, id int64, op *proto.SearchRequest, req proto.ReSyncRequest, resume *proto.ResumeToken) {
 	if req.Mode == proto.ReSyncModeSyncEnd {
 		err := s.backend.ReSyncEnd(req.Cookie)

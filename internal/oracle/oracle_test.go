@@ -276,6 +276,39 @@ func TestOracleResumeSweep(t *testing.T) {
 		rep.Histories, rep.Events, rep.Polls)
 }
 
+// TestOracleAdaptiveQuick is the tier-1 adaptive-tiering gate: a wire-level
+// master → adaptive tier → leaves run where the tier starts too narrow, a
+// mid-run locality shift diverts a leaf to the fallback master, and the
+// tierctl control plane must widen the tier, fire the filters-changed watch,
+// migrate the leaf back, release its fallback session, and end up
+// byte-identical to a statically-widened reference tier — all within budget.
+func TestOracleAdaptiveQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wire oracle skipped in -short mode")
+	}
+	rep := RunAdaptive(AdaptiveConfig{Seed: 42, Histories: 1, Steps: 20})
+	if rep.Failure != nil {
+		t.Fatal(rep.Failure.Format())
+	}
+	t.Logf("oracle adaptive quick: %d histories, %d events, %d exchanges",
+		rep.Histories, rep.Events, rep.Polls)
+}
+
+// TestOracleAdaptiveSweep is the long adaptive-tiering sweep: one history
+// per 25 engine histories requested (at least one).
+func TestOracleAdaptiveSweep(t *testing.T) {
+	if *oracleN <= 0 {
+		t.Skip("sweep disabled; run via make oracle or -oracle.n=N")
+	}
+	n := (*oracleN + 24) / 25
+	rep := RunAdaptive(AdaptiveConfig{Seed: *oracleSeed, Histories: n, Steps: *oracleSteps / 2})
+	if rep.Failure != nil {
+		t.Fatal(rep.Failure.Format())
+	}
+	t.Logf("oracle adaptive sweep: %d histories, %d events, %d exchanges",
+		rep.Histories, rep.Events, rep.Polls)
+}
+
 // TestOracleDetectsDroppedDeletes is the oracle's own acceptance test:
 // with the consumer-side E10 fault injected (delete PDUs dropped), the
 // oracle must flag a divergence, shrink the history to a reproducing

@@ -3,6 +3,7 @@ package resync
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"filterdir/internal/containment"
 	"filterdir/internal/dit"
@@ -155,6 +156,10 @@ type group struct {
 	// broadcaster is provably not mid-sync on the closed stream's session.
 	cycleMu sync.Mutex
 
+	// served counts update PDUs classified for this group's members — a
+	// live demand signal the tier control plane reads through GroupLoads.
+	served atomic.Uint64
+
 	mu        sync.Mutex
 	members   int
 	aliasKeys []string // every content key resolved to this group
@@ -278,6 +283,31 @@ func (e *Engine) Groups() int {
 	return len(e.groups)
 }
 
+// GroupLoad is one content group's live demand snapshot: its founding spec
+// (attrs stripped), current membership, and cumulative update PDUs
+// classified for it. The tier control plane folds these into its benefit
+// accounting — a group that keeps serving updates to members is demand the
+// covering stored filter should be credited for.
+type GroupLoad struct {
+	Spec    query.Query
+	Members int
+	Updates uint64
+}
+
+// GroupLoads snapshots every live content group's demand counters.
+func (e *Engine) GroupLoads() []GroupLoad {
+	e.groupMu.Lock()
+	defer e.groupMu.Unlock()
+	out := make([]GroupLoad, 0, len(e.groups))
+	for _, g := range e.groups {
+		g.mu.Lock()
+		members := g.members
+		g.mu.Unlock()
+		out = append(out, GroupLoad{Spec: g.spec, Members: members, Updates: g.served.Load()})
+	}
+	return out
+}
+
 // lookupInterval returns the cached classification for [from, to], if any.
 func (g *group) lookupInterval(from, to dit.CSN) *sharedInterval {
 	g.mu.Lock()
@@ -341,6 +371,7 @@ func (e *Engine) classifyFor(sess *session, changes []dit.Change) ([]Update, []u
 	if vb.suppressed > 0 {
 		e.stats.SuppressedModifies.Add(vb.suppressed)
 	}
+	g.served.Add(uint64(len(vb.updates)))
 	return vb.updates, undo, vb.enc
 }
 

@@ -649,6 +649,48 @@ func (e *Engine) Sessions() int {
 	return len(e.sessions)
 }
 
+// SessionSpec identifies one active session for control-plane inspection.
+type SessionSpec struct {
+	ID   string
+	Spec query.Query
+}
+
+// SessionSpecs snapshots the active sessions' ids and specs. The tier
+// control plane reads them as a live demand signal and to decide which
+// downstream sessions a narrowing revolution must re-refer.
+func (e *Engine) SessionSpecs() []SessionSpec {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]SessionSpec, 0, len(e.sessions))
+	for id, sess := range e.sessions {
+		out = append(out, SessionSpec{ID: id, Spec: sess.spec})
+	}
+	return out
+}
+
+// Kick ends every active session whose spec fails the keep predicate,
+// returning the ended session ids. A kicked consumer's next exchange gets
+// ErrNoSuchSession — the graceful re-referral of a narrowing tier: a
+// cascaded leaf supervisor reacts by re-beginning at its fallback master,
+// so no update is lost. Persist streams attached to kicked sessions close
+// on their next broadcast cycle (the broadcaster reaps ended sessions).
+func (e *Engine) Kick(keep func(query.Query) bool) []string {
+	e.mu.Lock()
+	var ids []string
+	for id, sess := range e.sessions {
+		if !keep(sess.spec) {
+			ids = append(ids, id)
+		}
+	}
+	e.mu.Unlock()
+	for _, id := range ids {
+		// The bare id is a valid cookie for End (generation part ignored);
+		// a session concurrently ended by its consumer is already gone.
+		_ = e.End(id)
+	}
+	return ids
+}
+
 // specFilter returns the spec's filter, defaulting to match-all presence.
 func specFilter(q query.Query) filterNode {
 	if q.Filter == nil {

@@ -30,11 +30,25 @@ type EvolutionSelector struct {
 	// RevolutionMargin triggers a full re-selection when the candidate
 	// aggregate benefit exceeds the actuals' by this factor.
 	RevolutionMargin float64
+	// Contains, when non-nil, proves semantic containment (inner ⊆ outer)
+	// so observations credit a stored filter that covers the candidate
+	// instead of growing a duplicate candidate (see Selector.Contains).
+	// The live tier control plane (internal/tierctl) sets it to the
+	// containment checker's QueryContains.
+	Contains func(inner, outer query.Query) bool
+	// AdoptThreshold is the minimum benefit a candidate needs for the live
+	// Evolve path to adopt it into spare budget without evicting anything
+	// (0 means 1.0 — one undecayed rejection). The offline Observe path
+	// never adopts into spare budget, so the baseline is unaffected.
+	AdoptThreshold float64
 
 	actual     map[string]*Candidate
 	candidates map[string]*Candidate
 	benefit    map[string]float64
 	sizeCache  map[string]int
+	// pinned keys are exempt from eviction: a tier's operator-configured
+	// base specs stay replicated no matter how their benefit decays.
+	pinned map[string]bool
 
 	// Evolutions and Revolutions count stored-set reorganizations — the
 	// churn statistic the ablation reports.
@@ -66,24 +80,39 @@ func (s *EvolutionSelector) Observe(q query.Query) *Delta {
 		s.benefit[k] *= s.Decay
 	}
 	for _, cand := range s.gen.Generalize(q) {
-		key := cand.Key()
-		if _, ok := s.actual[key]; ok {
-			s.benefit[key]++
-			continue
-		}
-		c, ok := s.candidates[key]
-		if !ok {
-			c = &Candidate{Query: cand}
-			s.candidates[key] = c
-			s.ensureSize(c)
-		}
-		s.benefit[key]++
+		s.credit(cand)
 	}
 
 	if d := s.maybeRevolution(); d != nil {
 		return d
 	}
 	return s.maybeEvolution()
+}
+
+// credit records one benefit unit for cand: against the exact actual
+// filter, an actual filter proven (via Contains) to cover it, or the
+// candidate list.
+func (s *EvolutionSelector) credit(cand query.Query) {
+	key := cand.Key()
+	if _, ok := s.actual[key]; ok {
+		s.benefit[key]++
+		return
+	}
+	if s.Contains != nil {
+		for k, c := range s.actual {
+			if s.Contains(cand, c.Query) {
+				s.benefit[k]++
+				return
+			}
+		}
+	}
+	c, ok := s.candidates[key]
+	if !ok {
+		c = &Candidate{Query: cand}
+		s.candidates[key] = c
+		s.ensureSize(c)
+	}
+	s.benefit[key]++
 }
 
 func (s *EvolutionSelector) density(key string, size int) float64 {
@@ -97,14 +126,20 @@ func (s *EvolutionSelector) maybeEvolution() *Delta {
 	if len(s.actual) == 0 {
 		return s.maybeAdoptFirst()
 	}
-	// Worst stored filter by density.
+	// Worst stored filter by density (pinned filters are not evictable).
 	var worstKey string
 	worst := -1.0
 	for k, c := range s.actual {
+		if s.pinned[k] {
+			continue
+		}
 		d := s.density(k, c.Size)
 		if worst < 0 || d < worst {
 			worst, worstKey = d, k
 		}
+	}
+	if worstKey == "" {
+		return nil
 	}
 	// Best candidate by density that fits after removing the worst.
 	var bestKey string
@@ -191,7 +226,18 @@ func (s *EvolutionSelector) maybeRevolution() *Delta {
 	})
 	chosen := make(map[string]*Candidate)
 	used := 0
+	// Pinned filters are selected unconditionally, charged against the
+	// budget first; the greedy pass fills the remainder.
+	for k, c := range s.actual {
+		if s.pinned[k] {
+			chosen[k] = c
+			used += c.Size
+		}
+	}
 	for _, sc := range all {
+		if _, have := chosen[sc.key]; have {
+			continue
+		}
 		if sc.c.Size <= 0 || used+sc.c.Size > s.Budget {
 			continue
 		}

@@ -100,17 +100,32 @@ func (r WidenRule) Generalize(q query.Query) []query.Query {
 }
 
 // rewrite returns a copy of the filter with fn applied bottom-up to every
-// predicate node.
+// predicate node in POSITIVE polarity. Predicates under an odd number of
+// NOTs (or carrying a negation themselves) are copied untouched: widening a
+// subformula under negation narrows the whole filter, so a rule firing
+// there would emit a "generalization" that does not contain the input.
 func rewrite(n *filter.Node, fn func(*filter.Node) *filter.Node) *filter.Node {
+	return rewritePolarity(n, true, fn)
+}
+
+func rewritePolarity(n *filter.Node, positive bool, fn func(*filter.Node) *filter.Node) *filter.Node {
 	if n == nil {
 		return nil
 	}
 	if n.IsPredicate() {
-		return fn(n.Clone())
+		c := n.Clone()
+		if !positive || n.Neg {
+			return c
+		}
+		return fn(c)
 	}
 	c := &filter.Node{Op: n.Op, Attr: n.Attr, Value: n.Value, Neg: n.Neg}
+	childPolarity := positive
+	if n.Op == filter.Not {
+		childPolarity = !positive
+	}
 	for _, ch := range n.Children {
-		c.Children = append(c.Children, rewrite(ch, fn))
+		c.Children = append(c.Children, rewritePolarity(ch, childPolarity, fn))
 	}
 	return c
 }

@@ -1,0 +1,177 @@
+package selection
+
+import (
+	"testing"
+
+	"filterdir/internal/containment"
+	"filterdir/internal/filter"
+	"filterdir/internal/query"
+)
+
+func mustQ(t *testing.T, f string) query.Query {
+	t.Helper()
+	return query.MustNew("o=xyz", query.ScopeSubtree, f).Normalize()
+}
+
+// TestWidenRuleUnderNegation pins the rule's polarity handling: dropping a
+// predicate is only a generalization in positive positions. Under an odd
+// number of NOTs (or on a negated predicate) the rule must not fire — the
+// rewritten filter would be narrower than the input, not wider.
+func TestWidenRuleUnderNegation(t *testing.T) {
+	rule := WidenRule{DropAttr: "dept", ReplaceWith: filter.NewEQ("objectclass", "department")}
+
+	// Positive conjunction: widens as documented.
+	got := rule.Generalize(mustQ(t, "(&(dept=2406)(div=sw))"))
+	if len(got) != 1 || got[0].FilterString() != "(&(div=sw)(objectclass=department))" {
+		t.Fatalf("positive widen = %v", got)
+	}
+
+	// A dept predicate under NOT must not produce a candidate: replacing it
+	// would shrink the complement.
+	for _, f := range []string{
+		"(!(dept=2406))",
+		"(&(div=sw)(!(dept=2406)))",
+		"(!(&(dept=2406)(div=sw)))",
+	} {
+		if got := rule.Generalize(mustQ(t, f)); got != nil {
+			t.Errorf("Generalize(%s) = %v, want nil (negated context)", f, got)
+		}
+	}
+
+	// Double negation is positive again.
+	got = rule.Generalize(mustQ(t, "(!(!(dept=2406)))"))
+	if len(got) != 1 {
+		t.Fatalf("double-negated widen = %v, want one candidate", got)
+	}
+
+	// Mixed: only the positive occurrence widens; the negated one stays, and
+	// the emitted candidate still contains the input.
+	in := mustQ(t, "(&(dept=2406)(!(dept=9999)))")
+	got = rule.Generalize(in)
+	if len(got) != 1 {
+		t.Fatalf("mixed-polarity widen = %v, want one candidate", got)
+	}
+	if s := got[0].FilterString(); s != "(&(!(dept=9999))(objectclass=department))" {
+		t.Errorf("mixed-polarity candidate = %s", s)
+	}
+}
+
+// TestPrefixRuleUnderNegation: prefix-widening an equality under NOT would
+// narrow the filter, so negated occurrences are left alone. Soundness of the
+// emitted candidates is re-checked with the containment prover.
+func TestPrefixRuleUnderNegation(t *testing.T) {
+	rule := PrefixRule{Attr: "serialnumber", PrefixLen: 2}
+
+	for _, f := range []string{"(!(serialnumber=0456))", "(!(&(serialnumber=0456)(sn=x)))"} {
+		if got := rule.Generalize(mustQ(t, f)); got != nil {
+			t.Errorf("Generalize(%s) = %v, want nil (negated context)", f, got)
+		}
+	}
+
+	in := mustQ(t, "(|(serialnumber=0456)(!(serialnumber=0999)))")
+	got := rule.Generalize(in)
+	if len(got) != 1 {
+		t.Fatalf("mixed-polarity prefix = %v, want one candidate", got)
+	}
+	if s := got[0].FilterString(); s != "(|(!(serialnumber=0999))(serialnumber=04*))" {
+		t.Errorf("mixed-polarity candidate = %s", s)
+	}
+	if !containment.NewChecker().QueryContains(in, got[0]) {
+		t.Errorf("emitted candidate %s does not contain input %s", got[0], in)
+	}
+}
+
+// TestZeroBudgetSelectors: a selector with no budget never stores anything,
+// however hot the observed queries are — on both the offline Observe path
+// and the live rejection/Evolve path.
+func TestZeroBudgetSelectors(t *testing.T) {
+	gen := NewGeneralizer(PrefixRule{Attr: "serialnumber", PrefixLen: 2})
+	sizeOf := func(query.Query) int { return 1 }
+	hot := mustQ(t, "(serialnumber=0456)")
+
+	es := NewEvolutionSelector(gen, sizeOf, 0)
+	for i := 0; i < 20; i++ {
+		if d := es.Observe(hot); d != nil {
+			t.Fatalf("zero-budget EvolutionSelector.Observe produced %+v", d)
+		}
+	}
+	es.ObserveRejection(hot)
+	if d := es.Evolve(); d != nil {
+		t.Fatalf("zero-budget Evolve produced %+v", d)
+	}
+	if got := es.StoredSet(); len(got) != 0 {
+		t.Fatalf("zero-budget stored set = %v", got)
+	}
+
+	ps := NewSelector(gen, sizeOf, 0, 1)
+	for i := 0; i < 20; i++ {
+		if d := ps.Observe(hot); d != nil && len(d.Add) > 0 {
+			t.Fatalf("zero-budget Selector stored %v", d.Add)
+		}
+	}
+}
+
+// TestObserveCreditsCoveringStored: an observation already covered by a
+// stored filter credits that filter instead of growing a duplicate
+// candidate — on the offline Observe path and the live rejection path.
+func TestObserveCreditsCoveringStored(t *testing.T) {
+	gen := NewGeneralizer(
+		PrefixRule{Attr: "serialnumber", PrefixLen: 2},
+		PrefixRule{Attr: "serialnumber", PrefixLen: 3},
+	)
+	stored := mustQ(t, "(serialnumber=04*)")
+
+	newSel := func() *EvolutionSelector {
+		s := NewEvolutionSelector(gen, func(query.Query) int { return 1 }, 4)
+		s.Contains = containment.NewChecker().QueryContains
+		s.SeedStored([]query.Query{stored})
+		return s
+	}
+
+	s := newSel()
+	if d := s.Observe(mustQ(t, "(serialnumber=0456)")); d != nil {
+		t.Fatalf("covered observation changed the stored set: %+v", d)
+	}
+	// Both generalizations — (serialnumber=04*) exactly and the contained
+	// (serialnumber=045*) — credit the stored filter.
+	if got := s.Benefit(stored); got != 2 {
+		t.Errorf("stored benefit after covered Observe = %v, want 2", got)
+	}
+	if len(s.candidates) != 0 {
+		t.Errorf("covered Observe grew candidates: %d", len(s.candidates))
+	}
+
+	s = newSel()
+	s.ObserveRejection(mustQ(t, "(serialnumber=0456)"))
+	// The rejected spec itself plus both generalizations, all covered.
+	if got := s.Benefit(stored); got != 3 {
+		t.Errorf("stored benefit after covered rejection = %v, want 3", got)
+	}
+	if len(s.candidates) != 0 {
+		t.Errorf("covered rejection grew candidates: %d", len(s.candidates))
+	}
+	if d := s.Evolve(); d != nil {
+		t.Fatalf("covered rejection evolved the stored set: %+v", d)
+	}
+}
+
+// TestAdoptSpareTieBreaksTowardCover: with equal benefit density, the live
+// adopt path prefers the candidate that provably covers the most other
+// candidates — the tier widens to the generalization, not the single spec.
+func TestAdoptSpareTieBreaksTowardCover(t *testing.T) {
+	gen := NewGeneralizer(
+		PrefixRule{Attr: "serialnumber", PrefixLen: 2},
+		PrefixRule{Attr: "serialnumber", PrefixLen: 3},
+	)
+	s := NewEvolutionSelector(gen, func(query.Query) int { return 1 }, 4)
+	s.Contains = containment.NewChecker().QueryContains
+
+	s.ObserveRejection(mustQ(t, "(serialnumber=0456)"))
+	d := s.Evolve()
+	if d == nil || len(d.Add) != 1 {
+		t.Fatalf("Evolve after rejection = %+v, want one adoption", d)
+	}
+	if got := d.Add[0].FilterString(); got != "(serialnumber=04*)" {
+		t.Errorf("adopted %s, want the widest generalization (serialnumber=04*)", got)
+	}
+}

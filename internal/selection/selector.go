@@ -46,6 +46,11 @@ type Selector struct {
 	Budget int
 	// Interval is the revolution interval R in queries.
 	Interval int
+	// Contains, when non-nil, proves semantic containment (inner ⊆ outer).
+	// Observe then credits a stored filter that covers a candidate instead
+	// of growing a duplicate candidate for content already replicated —
+	// without it only exact key matches credit the stored set.
+	Contains func(inner, outer query.Query) bool
 
 	counter    int
 	candidates map[string]*Candidate
@@ -71,17 +76,7 @@ func NewSelector(gen *Generalizer, sizeOf func(query.Query) int, budget, interva
 // it. It returns a non-nil Delta when the revolution interval elapses.
 func (s *Selector) Observe(q query.Query) *Delta {
 	for _, cand := range s.gen.Generalize(q) {
-		key := cand.Key()
-		if st, ok := s.stored[key]; ok {
-			st.Hits++
-			continue
-		}
-		c, ok := s.candidates[key]
-		if !ok {
-			c = &Candidate{Query: cand}
-			s.candidates[key] = c
-		}
-		c.Hits++
+		s.credit(cand)
 	}
 	s.counter++
 	if s.Interval > 0 && s.counter >= s.Interval {
@@ -89,6 +84,31 @@ func (s *Selector) Observe(q query.Query) *Delta {
 		return s.revolution()
 	}
 	return nil
+}
+
+// credit records one hit for cand: against the exact stored filter, against
+// a stored filter proven (via Contains) to cover it, or — when nothing
+// replicated covers it — against the candidate list.
+func (s *Selector) credit(cand query.Query) {
+	key := cand.Key()
+	if st, ok := s.stored[key]; ok {
+		st.Hits++
+		return
+	}
+	if s.Contains != nil {
+		for _, st := range s.stored {
+			if s.Contains(cand, st.Query) {
+				st.Hits++
+				return
+			}
+		}
+	}
+	c, ok := s.candidates[key]
+	if !ok {
+		c = &Candidate{Query: cand}
+		s.candidates[key] = c
+	}
+	c.Hits++
 }
 
 // ForceRevolution runs a revolution immediately (used to seed the initial

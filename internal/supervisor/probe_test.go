@@ -1,0 +1,107 @@
+package supervisor
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestProbeJitterBounds: the re-probe delay is drawn uniformly from
+// [0.8d, 1.2d]. A draw outside that window would either hammer the upstream
+// early or let a diverted leaf linger on the fallback far past its window.
+func TestProbeJitterBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := 10 * time.Second
+	lo, hi := 8*time.Second, 12*time.Second
+	sawLow, sawHigh := false, false
+	for i := 0; i < 10000; i++ {
+		j := probeJitter(rng, d)
+		if j < lo || j > hi {
+			t.Fatalf("probeJitter draw %v outside [%v, %v]", j, lo, hi)
+		}
+		if j < 9*time.Second {
+			sawLow = true
+		}
+		if j > 11*time.Second {
+			sawHigh = true
+		}
+	}
+	if !sawLow || !sawHigh {
+		t.Errorf("jitter not spread across the window: sawLow=%v sawHigh=%v", sawLow, sawHigh)
+	}
+}
+
+// TestProbeJitterZeroAndNegative: non-positive intervals pass through
+// unchanged (RetryUpstreamAfter <= 0 means "probe every tick" and must not
+// panic rand.Int63n).
+func TestProbeJitterZeroAndNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := probeJitter(rng, 0); got != 0 {
+		t.Errorf("probeJitter(0) = %v", got)
+	}
+	if got := probeJitter(rng, -time.Second); got != -time.Second {
+		t.Errorf("probeJitter(-1s) = %v", got)
+	}
+}
+
+// TestProbeJitterDesynchronizesLeaves is the lockstep regression test: two
+// supervisors armed at the same instant with different seeds must not draw
+// identical probe schedules. Before jitter was added, a mass divert put
+// every leaf on the same retry clock — they re-probed, overloaded the
+// recovering upstream, re-diverted, and repeated in lockstep forever.
+func TestProbeJitterDesynchronizesLeaves(t *testing.T) {
+	d := 30 * time.Second
+	a := rand.New(rand.NewSource(2))
+	b := rand.New(rand.NewSource(3))
+	distinct := false
+	for i := 0; i < 8; i++ {
+		if probeJitter(a, d) != probeJitter(b, d) {
+			distinct = true
+			break
+		}
+	}
+	if !distinct {
+		t.Fatal("two differently-seeded leaves drew identical probe schedules for 8 rounds")
+	}
+}
+
+// TestArmProbeDeadlineWindow: armProbe stores a wall-clock deadline inside
+// the jitter window, probeDue fires only after it passes, ProbeNow pulls it
+// to the present, and disarmProbe clears it.
+func TestArmProbeDeadlineWindow(t *testing.T) {
+	s := &Supervisor{
+		cfg:      config{Config: Config{RetryUpstreamAfter: time.Hour, Logf: t.Logf}},
+		probeRng: rand.New(rand.NewSource(7)),
+	}
+
+	before := time.Now()
+	s.armProbe()
+	dl := time.Unix(0, s.probeDeadline.Load())
+	if min, max := before.Add(48*time.Minute), time.Now().Add(72*time.Minute); dl.Before(min) || dl.After(max) {
+		t.Fatalf("armed deadline %v outside jitter window [%v, %v]", dl, min, max)
+	}
+	if s.probeDue() {
+		t.Fatal("probe due immediately after arming with a 1h interval")
+	}
+
+	s.ProbeNow()
+	if !s.probeDue() {
+		t.Fatal("probe not due after ProbeNow")
+	}
+	// ProbeNow on an already-due deadline is a no-op, not a re-push.
+	d := s.probeDeadline.Load()
+	s.ProbeNow()
+	if got := s.probeDeadline.Load(); got != d {
+		t.Errorf("ProbeNow moved an already-due deadline: %d -> %d", d, got)
+	}
+
+	s.disarmProbe()
+	if s.probeDeadline.Load() != 0 || s.probeDue() {
+		t.Fatal("disarmProbe did not clear the deadline")
+	}
+	// ProbeNow with no armed probe stays a no-op.
+	s.ProbeNow()
+	if s.probeDeadline.Load() != 0 {
+		t.Fatal("ProbeNow armed a probe on an undiverted supervisor")
+	}
+}

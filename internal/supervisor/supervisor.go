@@ -98,7 +98,18 @@ type Config struct {
 	Fallback string
 	// RetryUpstreamAfter is how long a diverted supervisor stays on the
 	// fallback before probing the preferred upstream again (default 1m).
+	// Each armed probe is jittered to ±20% of this so a mass divert (a
+	// tier restart rejecting every leaf at once) does not re-probe the
+	// tier in lockstep.
 	RetryUpstreamAfter time.Duration
+	// WatchFilters arms the notification-driven re-probe: while diverted
+	// to the fallback, a dedicated watch connection long-polls the
+	// preferred upstream for an admission-filter change (the
+	// OIDFiltersWatch control) and fires the probe the moment the tier
+	// widens, instead of waiting out RetryUpstreamAfter. The jittered
+	// timer stays armed as a backstop for upstreams that do not support
+	// the control.
+	WatchFilters bool
 	// ResumeCookie arms a session cookie restored by the caller (e.g. a
 	// cascade tier that checkpoints its upstream cookie alongside its own
 	// store) so the first exchange is a resume-poll. The caller must have
@@ -193,6 +204,10 @@ type Supervisor struct {
 	// per retry would make every jitter draw the source's first value and
 	// break deterministic chaos replays.
 	rng *rand.Rand
+	// probeRng jitters the upstream re-probe deadline. It is a separate
+	// seeded source so arming probes does not perturb the backoff
+	// schedule above (chaos replays depend on its draw order).
+	probeRng *rand.Rand
 
 	// Persist-stream demotion tracking; run goroutine only.
 	fastDeaths   int       // consecutive streams that died young
@@ -203,6 +218,13 @@ type Supervisor struct {
 	// passes, so a healthy fallback session still yields to re-prefer the
 	// configured Master.
 	probeDeadline atomic.Int64
+
+	// Filters-watch state (run goroutine arms/disarms; the watcher
+	// goroutine clears itself on exit).
+	watchMu   sync.Mutex
+	watchStop chan struct{}   // non-nil while a watcher is running
+	watchConn *ldapnet.Client // in-flight watch connection, closed to cancel
+	watchWG   sync.WaitGroup
 
 	mu         sync.Mutex
 	cookie     string
@@ -237,6 +259,7 @@ func New(cfg Config, rep *replica.FilterReplica) (*Supervisor, error) {
 		rep:      rep,
 		counters: &metrics.ReplicaCounters{},
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		probeRng: rand.New(rand.NewSource(cfg.Seed ^ 0x70726f6265)), // distinct stream per seed
 		synced:   make(chan struct{}),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
@@ -297,6 +320,27 @@ func (s *Supervisor) switchTo(addr string) {
 	s.mu.Unlock()
 }
 
+// releaseSession best-effort ends the current session at the current
+// target before the loop switches servers, so a fallback master does not
+// accumulate abandoned sessions from leaves that migrated back upstream.
+// Failure costs nothing: the switch proceeds and the old session idles out
+// server-side.
+func (s *Supervisor) releaseSession() {
+	cookie := s.Cookie()
+	if cookie == "" {
+		return
+	}
+	target := s.Target()
+	client, err := ldapnet.DialWith(s.cfg.Dial, target, s.cfg.DialTimeout)
+	if err != nil {
+		return
+	}
+	defer client.Close()
+	if err := client.SyncEnd(cookie); err != nil {
+		s.cfg.Logf("supervisor: end session at %s: %v", target, err)
+	}
+}
+
 // divert moves the loop to the fallback master after the preferred
 // upstream proved unusable.
 func (s *Supervisor) divert(reason string) {
@@ -305,17 +349,139 @@ func (s *Supervisor) divert(reason string) {
 	s.switchTo(s.cfg.Fallback)
 }
 
-// armProbe schedules the next upstream probe RetryUpstreamAfter from now;
-// disarmProbe cancels it (the loop is back on the preferred upstream).
+// armProbe schedules the next upstream probe, jittered to ±20% of
+// RetryUpstreamAfter (probeJitter): after a mass divert every leaf arms at
+// the same instant, and without jitter they would all re-probe — and, on
+// failure, re-divert and re-arm — in lockstep forever. With the watch
+// enabled it also (re)starts the filters-watch connection so a tier-side
+// change fires the probe early. disarmProbe cancels both (the loop is back
+// on the preferred upstream). Both run on the supervision goroutine.
 func (s *Supervisor) armProbe() {
-	s.probeDeadline.Store(time.Now().Add(s.cfg.RetryUpstreamAfter).UnixNano())
+	s.probeDeadline.Store(time.Now().Add(probeJitter(s.probeRng, s.cfg.RetryUpstreamAfter)).UnixNano())
+	if s.cfg.WatchFilters {
+		s.startWatch()
+	}
 }
-func (s *Supervisor) disarmProbe() { s.probeDeadline.Store(0) }
+func (s *Supervisor) disarmProbe() {
+	s.probeDeadline.Store(0)
+	s.stopWatch()
+}
+
+// probeJitter draws a duration uniformly from [0.8d, 1.2d].
+func probeJitter(rng *rand.Rand, d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	spread := int64(2 * d / 5) // 40% of d
+	return d - d/5 + time.Duration(rng.Int63n(spread+1))
+}
 
 // probeDue reports whether a scheduled upstream probe has come due.
 func (s *Supervisor) probeDue() bool {
 	d := s.probeDeadline.Load()
 	return d != 0 && time.Now().UnixNano() >= d
+}
+
+// ProbeNow pulls an armed probe deadline forward to the present: the
+// steady-state loop yields its fallback session at the next tick and the
+// outer loop re-probes the preferred upstream immediately. A no-op when no
+// probe is armed (not diverted) or the deadline already passed. Safe from
+// any goroutine — the filters-watch path calls it when the upstream
+// announces a filter-set change.
+func (s *Supervisor) ProbeNow() {
+	now := time.Now().UnixNano()
+	for {
+		d := s.probeDeadline.Load()
+		if d == 0 || d <= now {
+			return
+		}
+		if s.probeDeadline.CompareAndSwap(d, now) {
+			return
+		}
+	}
+}
+
+// startWatch launches the filters-watch goroutine if none is running: it
+// dials the preferred upstream and long-polls for an admission-filter
+// change, firing ProbeNow when one arrives. One watch per divert episode —
+// the goroutine exits after a successful notification (the probe either
+// re-attaches, or re-diverts and re-arms a fresh watch).
+func (s *Supervisor) startWatch() {
+	s.watchMu.Lock()
+	defer s.watchMu.Unlock()
+	if s.watchStop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	s.watchStop = stop
+	s.watchWG.Add(1)
+	go s.watchLoop(stop)
+}
+
+// stopWatch cancels a running watch, unblocking its in-flight read.
+func (s *Supervisor) stopWatch() {
+	s.watchMu.Lock()
+	defer s.watchMu.Unlock()
+	if s.watchStop == nil {
+		return
+	}
+	close(s.watchStop)
+	s.watchStop = nil
+	if s.watchConn != nil {
+		_ = s.watchConn.Close()
+		s.watchConn = nil
+	}
+}
+
+// watchLoop is the filters-watch goroutine: dial the preferred upstream,
+// subscribe to its filter generation, and on a change fire the probe. Dial
+// or subscribe failures (upstream down, control unsupported) back off for a
+// poll interval and retry; the jittered timer remains the backstop either
+// way.
+func (s *Supervisor) watchLoop(stop chan struct{}) {
+	defer s.watchWG.Done()
+	defer func() {
+		s.watchMu.Lock()
+		if s.watchStop == stop {
+			s.watchStop = nil
+		}
+		s.watchConn = nil
+		s.watchMu.Unlock()
+	}()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-s.stop:
+			return
+		default:
+		}
+		client, err := ldapnet.DialWith(s.cfg.Dial, s.cfg.Master, s.cfg.DialTimeout)
+		if err == nil {
+			s.watchMu.Lock()
+			s.watchConn = client
+			s.watchMu.Unlock()
+			gen, werr := client.WatchFilters(s.cfg.Spec, 0)
+			s.watchMu.Lock()
+			s.watchConn = nil
+			s.watchMu.Unlock()
+			_ = client.Close()
+			if werr == nil {
+				s.cfg.Logf("supervisor: upstream %s filters changed (gen %d), probing now", s.cfg.Master, gen)
+				s.ProbeNow()
+				return
+			}
+			err = werr
+		}
+		s.cfg.Logf("supervisor: filters watch at %s: %v", s.cfg.Master, err)
+		select {
+		case <-stop:
+			return
+		case <-s.stop:
+			return
+		case <-time.After(s.cfg.PollInterval):
+		}
+	}
 }
 
 // errProbeDue unwinds a healthy fallback session so the outer loop can
@@ -378,6 +544,11 @@ func (s *Supervisor) Start() {
 func (s *Supervisor) Stop() error {
 	s.stopOnce.Do(func() { close(s.stop) })
 	<-s.done
+	// The run goroutine has exited, so no new watch can start; cancel any
+	// in-flight one (closing its connection unblocks a deadline-free read)
+	// and wait it out.
+	s.stopWatch()
+	s.watchWG.Wait()
 	s.setState(StateStopped)
 	return s.checkpoint()
 }
@@ -448,8 +619,9 @@ func (s *Supervisor) run() {
 	for !s.stopped() {
 		if !probing && !divertedAt.IsZero() && s.Target() == s.cfg.Fallback &&
 			s.cfg.Fallback != s.cfg.Master &&
-			time.Since(divertedAt) >= s.cfg.RetryUpstreamAfter {
+			s.probeDue() {
 			s.cfg.Logf("supervisor: probing preferred upstream %s", s.cfg.Master)
+			s.releaseSession()
 			s.switchTo(s.cfg.Master)
 			s.disarmProbe()
 			probing, probeStart = true, s.Exchanges()

@@ -1,0 +1,308 @@
+// Package tierctl is the demand-driven adaptive control plane for a cascade
+// mid-tier: it re-tiers the cascade under shifting traffic by feeding live
+// demand signals into the filter selection machinery and applying the
+// resulting deltas to the tier's filter set.
+//
+// Three demand signals drive it:
+//
+//   - admission rejections — the diverted leaf specs themselves, reported by
+//     the tier's admission gate. A leaf the tier turned away (and which is
+//     now loading the fallback master) is direct evidence of demand the
+//     stored set does not cover; the rejected spec and its generalizations
+//     become selection candidates.
+//   - per-session serving credit — each active downstream session's spec
+//     credits the stored filter covering it every control tick, so filters
+//     that hold leaves attached keep their benefit against fresh rejections.
+//   - per-content-group update load — the tier engine's broadcast groups
+//     report how many update PDUs each group's spec has fanned out; the
+//     per-tick delta credits the covering filter, weighting filters whose
+//     content is actually changing.
+//
+// On a generalize/adopt delta the tier widens: a new upstream link pulls
+// the widened content (containment-gated at the upstream, resumable chunked
+// reload like any other link), and once it is synced the tier bumps its
+// filter generation — the signal that fires diverted leaves' filters-changed
+// watch, so they re-probe immediately and migrate back off the fallback
+// master. On a revolution delta the tier narrows: decayed filters are
+// retired, and downstream sessions stranded by the narrowing are gracefully
+// ended — their next operation returns e-syncRefreshRequired, which their
+// supervisors treat as a referral to the fallback master with a full
+// reload, so no update is ever lost.
+//
+// The operator-configured base specs are pinned: adaptation only ever adds
+// to the configuration, and a control plane gone quiet leaves exactly the
+// static tier behind.
+package tierctl
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"filterdir/internal/cascade"
+	"filterdir/internal/containment"
+	"filterdir/internal/metrics"
+	"filterdir/internal/query"
+	"filterdir/internal/selection"
+	"filterdir/internal/supervisor"
+)
+
+// Config parameterizes a Controller. Tier and Budget are required.
+type Config struct {
+	// Tier is the cascade mid-tier under control.
+	Tier *cascade.Tier
+	// Budget bounds the selector's stored set in SizeOf units. With the
+	// default SizeOf (1 per filter) it is simply the maximum number of
+	// replicated specs, base specs included.
+	Budget int
+	// Interval is the control loop cadence (default 100ms). Each tick
+	// credits live serving activity and runs one evolution/revolution
+	// check; rejections are observed inline as they happen.
+	Interval time.Duration
+	// Rules generalize rejected specs into widening candidates (default
+	// selection.DefaultEnterpriseRules).
+	Rules []selection.Rule
+	// SizeOf estimates a filter's replication size in budget units (default
+	//: every filter costs 1). Plug in an entry-count model to budget by
+	// content volume instead.
+	SizeOf func(query.Query) int
+	// AdoptThreshold is the candidate benefit needed to widen into spare
+	// budget (default 1.0 — one undecayed rejection).
+	AdoptThreshold float64
+	// Decay, when in (0,1), overrides the selector's per-observation
+	// benefit decay (default 0.95).
+	Decay float64
+	// Checker proves containment for serving credit and candidate coverage
+	// (default: a fresh checker; share the tier's to reuse compiled plans).
+	Checker *containment.Checker
+	// Counters receives the control plane's metrics (default: a fresh set;
+	// read them back via Controller.Counters).
+	Counters *metrics.TierCounters
+	// Logf receives progress lines (nil discards them).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() {
+	if c.Interval <= 0 {
+		c.Interval = 100 * time.Millisecond
+	}
+	if c.Rules == nil {
+		c.Rules = selection.DefaultEnterpriseRules()
+	}
+	if c.SizeOf == nil {
+		c.SizeOf = func(query.Query) int { return 1 }
+	}
+	if c.Checker == nil {
+		c.Checker = containment.NewChecker()
+	}
+	if c.Counters == nil {
+		c.Counters = &metrics.TierCounters{}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// Controller runs the adaptive control loop over one tier.
+type Controller struct {
+	cfg      Config
+	counters *metrics.TierCounters
+
+	// mu serializes the selector (not goroutine-safe) and the rejection
+	// bookkeeping between the admission observer and the control loop.
+	mu         sync.Mutex
+	sel        *selection.EvolutionSelector
+	rejected   map[string]query.Query // rejected spec keys not yet admitted
+	servedPrev map[string]uint64      // content-group served totals at last tick
+
+	stop      chan struct{}
+	done      chan struct{}
+	startOnce sync.Once
+	stopOnce  sync.Once
+}
+
+// New builds a controller; Start arms it.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Tier == nil {
+		return nil, fmt.Errorf("tierctl: tier required")
+	}
+	if cfg.Budget <= 0 {
+		return nil, fmt.Errorf("tierctl: positive budget required")
+	}
+	cfg.fillDefaults()
+	sel := selection.NewEvolutionSelector(selection.NewGeneralizer(cfg.Rules...), cfg.SizeOf, cfg.Budget)
+	sel.Contains = cfg.Checker.QueryContains
+	sel.AdoptThreshold = cfg.AdoptThreshold
+	if cfg.Decay > 0 && cfg.Decay < 1 {
+		sel.Decay = cfg.Decay
+	}
+	c := &Controller{
+		cfg:        cfg,
+		counters:   cfg.Counters,
+		sel:        sel,
+		rejected:   make(map[string]query.Query),
+		servedPrev: make(map[string]uint64),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	return c, nil
+}
+
+// Start seeds the selector with the tier's current filter set, pins the
+// base specs, hooks the admission gate and launches the control loop
+// (idempotent).
+func (c *Controller) Start() {
+	c.startOnce.Do(func() {
+		c.mu.Lock()
+		c.sel.SeedStored(c.cfg.Tier.Specs())
+		c.sel.Pin(c.cfg.Tier.BaseSpecs())
+		c.mu.Unlock()
+		c.cfg.Tier.SetAdmissionObserver(c.onAdmit)
+		c.updateGauges()
+		go c.run()
+	})
+}
+
+// Stop detaches from the tier and halts the control loop. The tier keeps
+// whatever filter set adaptation left it with.
+func (c *Controller) Stop() {
+	c.stopOnce.Do(func() {
+		c.cfg.Tier.SetAdmissionObserver(nil)
+		close(c.stop)
+	})
+	<-c.done
+}
+
+// Counters exposes the control plane's metrics.
+func (c *Controller) Counters() *metrics.TierCounters { return c.counters }
+
+// StoredSet returns the selector's current stored filter set (tests,
+// status).
+func (c *Controller) StoredSet() []query.Query {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sel.StoredSet()
+}
+
+// onAdmit is the tier's admission observer: rejections feed the selector
+// inline (cheap map work under the controller lock), and an admission of a
+// spec we previously saw rejected means a diverted leaf has migrated back.
+func (c *Controller) onAdmit(q query.Query, admitted bool) {
+	key := q.Key()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if admitted {
+		if _, was := c.rejected[key]; was {
+			delete(c.rejected, key)
+			c.counters.LeavesMigratedBack.Add(1)
+		}
+		return
+	}
+	c.rejected[key] = q
+	c.sel.ObserveRejection(q)
+	c.counters.RejectionsObserved.Add(1)
+}
+
+func (c *Controller) run() {
+	defer close(c.done)
+	ticker := time.NewTicker(c.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			c.tick()
+		}
+	}
+}
+
+// tick credits live serving activity into the selector, runs one
+// evolution/revolution check and applies the delta to the tier.
+func (c *Controller) tick() {
+	eng := c.cfg.Tier.Engine()
+	c.mu.Lock()
+	// Attached-session credit: every active downstream spec backs the
+	// stored filter covering it, one benefit unit per tick.
+	for _, ss := range eng.SessionSpecs() {
+		if c.sel.CreditStored(ss.Spec, 1) {
+			c.counters.ServingCredits.Add(1)
+		}
+	}
+	// Content-group load credit: the per-tick delta in update PDUs each
+	// broadcast group fanned out, weighted onto the covering filter.
+	seen := make(map[string]uint64)
+	for _, gl := range eng.GroupLoads() {
+		key := gl.Spec.Key()
+		seen[key] = gl.Updates
+		if d := gl.Updates - c.servedPrev[key]; d > 0 && gl.Updates > c.servedPrev[key] {
+			if c.sel.CreditStored(gl.Spec, float64(d)) {
+				c.counters.ServingCredits.Add(int64(d))
+			}
+		}
+	}
+	c.servedPrev = seen
+	delta := c.sel.Evolve()
+	c.mu.Unlock()
+	if delta != nil {
+		c.apply(delta)
+	}
+	c.updateGauges()
+}
+
+// apply widens and narrows the live tier per the selector's delta.
+func (c *Controller) apply(d *selection.Delta) {
+	t := c.cfg.Tier
+	for _, q := range d.Add {
+		sup, err := t.AdoptSpec(q)
+		if err != nil {
+			c.cfg.Logf("tierctl: adopt %s: %v", q.FilterString(), err)
+			continue
+		}
+		if sup == nil {
+			continue // already linked
+		}
+		c.counters.Generalizations.Add(1)
+		c.cfg.Logf("tierctl: widening to %s", q.FilterString())
+		go c.noteWidened(q, sup)
+	}
+	if len(d.Remove) > 0 {
+		c.counters.Revolutions.Add(1)
+	}
+	for _, q := range d.Remove {
+		kicked, err := t.RetireSpec(q)
+		if err != nil {
+			c.cfg.Logf("tierctl: retire %s: %v", q.FilterString(), err)
+			continue
+		}
+		c.counters.FiltersRetired.Add(1)
+		c.counters.LeavesReferred.Add(int64(kicked))
+	}
+}
+
+// noteWidened accounts the widening re-sync volume once the adopted spec's
+// upstream link has completed its initial synchronization.
+func (c *Controller) noteWidened(q query.Query, sup *supervisor.Supervisor) {
+	select {
+	case <-sup.Synced():
+	case <-c.stop:
+		return
+	}
+	sel := q.Normalize()
+	sel.Attrs = nil
+	entries := c.cfg.Tier.Replica().Store().MatchAll(sel)
+	var bytes int64
+	for _, e := range entries {
+		bytes += int64(e.ByteSize())
+	}
+	c.counters.WidenResyncEntries.Add(int64(len(entries)))
+	c.counters.WidenResyncBytes.Add(bytes)
+	c.updateGauges()
+}
+
+// updateGauges mirrors the tier's generation and filter count.
+func (c *Controller) updateGauges() {
+	gen, _ := c.cfg.Tier.FilterGeneration()
+	c.counters.FilterGeneration.Store(int64(gen))
+	c.counters.StoredFilters.Store(int64(len(c.cfg.Tier.Specs())))
+}

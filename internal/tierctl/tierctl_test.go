@@ -1,0 +1,199 @@
+package tierctl
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"filterdir/internal/cascade"
+	"filterdir/internal/dit"
+	"filterdir/internal/dn"
+	"filterdir/internal/entry"
+	"filterdir/internal/ldapnet"
+	"filterdir/internal/query"
+	"filterdir/internal/selection"
+)
+
+func person(prefix string, i int) *entry.Entry {
+	e := entry.New(dn.MustParse(fmt.Sprintf("cn=%s-p%d,o=xyz", prefix, i)))
+	e.Put("objectclass", "person").
+		Put("cn", fmt.Sprintf("%s-p%d", prefix, i)).Put("sn", "x").
+		Put("serialNumber", fmt.Sprintf("%s%02d", prefix, i))
+	return e
+}
+
+// wire-served master with 04 and 05 serial regions, plus a tier replicating
+// only (serialnumber=04*).
+func newTier(t *testing.T) (*dit.Store, *cascade.Tier, *ldapnet.Server) {
+	t.Helper()
+	st, err := dit.NewStore([]string{"o=xyz"}, dit.WithIndexes("serialnumber"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	org := entry.New(dn.MustParse("o=xyz"))
+	org.Put("objectclass", "organization").Put("o", "xyz")
+	if err := st.Add(org); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := st.Add(person("04", i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Add(person("05", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	backend := ldapnet.NewStoreBackend(st)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	masterSrv := ldapnet.ServeListener(ln, backend)
+	t.Cleanup(func() { _ = masterSrv.Close() })
+
+	tier, err := cascade.New(cascade.Config{
+		Upstream:     masterSrv.Addr(),
+		Specs:        []query.Query{query.MustNew("o=xyz", query.ScopeSubtree, "(serialnumber=04*)")},
+		PollInterval: 3 * time.Millisecond,
+		BackoffBase:  time.Millisecond,
+		BackoffMax:   20 * time.Millisecond,
+		DialTimeout:  2 * time.Second,
+		Seed:         11,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier.Start()
+	t.Cleanup(func() { _ = tier.Stop() })
+	return st, tier, masterSrv
+}
+
+func waitFor(t *testing.T, what string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestControllerWidensOnRejections: sustained admission rejections for an
+// uncovered region drive the controller to adopt the region's
+// generalization into spare budget, after which the once-rejected spec is
+// admitted and the rejection is accounted as a migrated-back leaf.
+func TestControllerWidensOnRejections(t *testing.T) {
+	_, tier, _ := newTier(t)
+	ctrl, err := New(Config{Tier: tier, Budget: 2, Interval: 2 * time.Millisecond, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Start()
+	defer ctrl.Stop()
+
+	hot := query.MustNew("o=xyz", query.ScopeSubtree, "(serialnumber=0502)")
+	if err := tier.Admit(hot); err == nil {
+		t.Fatal("tier admitted the hot spec before widening")
+	}
+	if got := ctrl.Counters().RejectionsObserved.Load(); got < 1 {
+		t.Fatalf("rejections observed = %d, want >= 1", got)
+	}
+
+	waitFor(t, "widening adoption", 10*time.Second, func() bool {
+		return tier.Admit(hot) == nil
+	})
+	if got := ctrl.Counters().Generalizations.Load(); got < 1 {
+		t.Errorf("generalizations = %d, want >= 1", got)
+	}
+	if got := ctrl.Counters().LeavesMigratedBack.Load(); got < 1 {
+		t.Errorf("leaves migrated back = %d, want >= 1", got)
+	}
+	// The adopted filter is the serial-prefix generalization, not the raw
+	// point spec.
+	var adopted string
+	for _, q := range tier.Specs() {
+		if s := q.FilterString(); strings.Contains(s, "05") {
+			adopted = s
+		}
+	}
+	if adopted != "(serialnumber=05*)" {
+		t.Errorf("adopted filter = %q, want (serialnumber=05*)", adopted)
+	}
+
+	waitFor(t, "widening re-sync accounting", 10*time.Second, func() bool {
+		return ctrl.Counters().WidenResyncEntries.Load() >= 4
+	})
+	if got := ctrl.Counters().WidenResyncBytes.Load(); got <= 0 {
+		t.Errorf("widen re-sync bytes = %d, want > 0", got)
+	}
+	if got := ctrl.Counters().StoredFilters.Load(); got != 2 {
+		t.Errorf("stored-filters gauge = %d, want 2", got)
+	}
+}
+
+// TestControllerRespectsBudget: with the budget already consumed by the
+// base set, rejections accumulate benefit but never widen the tier — the
+// operator's size bound wins over demand.
+func TestControllerRespectsBudget(t *testing.T) {
+	_, tier, _ := newTier(t)
+	ctrl, err := New(Config{Tier: tier, Budget: 1, Interval: 2 * time.Millisecond, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Start()
+	defer ctrl.Stop()
+
+	hot := query.MustNew("o=xyz", query.ScopeSubtree, "(serialnumber=0502)")
+	for i := 0; i < 5; i++ {
+		if err := tier.Admit(hot); err == nil {
+			t.Fatal("budget-full tier admitted the hot spec")
+		}
+		time.Sleep(4 * time.Millisecond)
+	}
+	if got := len(tier.Specs()); got != 1 {
+		t.Fatalf("budget-full tier widened to %d specs", got)
+	}
+	if got := ctrl.Counters().Generalizations.Load(); got != 0 {
+		t.Errorf("generalizations = %d, want 0", got)
+	}
+	// The base spec stays pinned: no revolution may trade it away either.
+	if got := ctrl.Counters().FiltersRetired.Load(); got != 0 {
+		t.Errorf("filters retired = %d, want 0", got)
+	}
+}
+
+// TestControllerConfigValidation: New rejects a missing tier and a
+// non-positive budget; Stop after Start detaches the admission observer.
+func TestControllerConfigValidation(t *testing.T) {
+	if _, err := New(Config{Budget: 2}); err == nil {
+		t.Error("New accepted a nil tier")
+	}
+	_, tier, _ := newTier(t)
+	if _, err := New(Config{Tier: tier}); err == nil {
+		t.Error("New accepted a zero budget")
+	}
+	if _, err := New(Config{Tier: tier, Budget: -3}); err == nil {
+		t.Error("New accepted a negative budget")
+	}
+
+	ctrl, err := New(Config{Tier: tier, Budget: 2, Interval: 2 * time.Millisecond,
+		Rules: []selection.Rule{selection.PrefixRule{Attr: "serialnumber", PrefixLen: 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Start()
+	ctrl.Stop()
+	// Detached: new rejections no longer reach the (stopped) controller.
+	before := ctrl.Counters().RejectionsObserved.Load()
+	_ = tier.Admit(query.MustNew("o=xyz", query.ScopeSubtree, "(serialnumber=0502)"))
+	if got := ctrl.Counters().RejectionsObserved.Load(); got != before {
+		t.Errorf("stopped controller still observed a rejection: %d -> %d", before, got)
+	}
+	if got := len(tier.Specs()); got != 1 {
+		t.Errorf("stopped controller widened the tier to %d specs", got)
+	}
+}

@@ -69,6 +69,30 @@ type TraceConfig struct {
 	// (minimally directory-enabled applications, Section 3.1.1); the rest
 	// scope the search to the target's country subtree.
 	NullBaseFraction float64
+	// LocalCountry is the country index "local" people lookups target
+	// (default 0, the first configured country).
+	LocalCountry int
+	// Phases, when set, re-weight the trace mid-run — the traffic shifts
+	// the adaptive tiering experiments drive. Entries must be ordered by
+	// AfterOps.
+	Phases []Phase
+}
+
+// Phase is one mid-trace regime change: it takes effect once the generator
+// has produced AfterOps queries.
+type Phase struct {
+	// AfterOps is the query count at which this phase takes effect.
+	AfterOps int
+	// LocalCountry redirects local people lookups to this country index.
+	LocalCountry int
+	// LocalFraction, when > 0, replaces the geography-locality probability.
+	LocalFraction float64
+	// Mix, when non-nil, replaces the query-type mix.
+	Mix *Mix
+	// ReshuffleSeed, when non-zero, re-randomizes the block/department
+	// popularity rankings at phase entry (access-pattern drift on top of
+	// the geography shift).
+	ReshuffleSeed int64
 }
 
 // DefaultTraceConfig mirrors the case-study access pattern.
@@ -110,6 +134,9 @@ type Generator struct {
 	divPerm   []int
 
 	recent []TraceQuery
+
+	ops       int // queries produced, drives phase transitions
+	nextPhase int
 }
 
 // NewGenerator builds a generator over the directory.
@@ -147,8 +174,33 @@ func NewGenerator(dir *Directory, cfg TraceConfig) *Generator {
 	return g
 }
 
+// advancePhase applies any phase whose AfterOps threshold the trace has
+// reached, then counts the query about to be produced.
+func (g *Generator) advancePhase() {
+	for g.nextPhase < len(g.cfg.Phases) && g.ops >= g.cfg.Phases[g.nextPhase].AfterOps {
+		ph := g.cfg.Phases[g.nextPhase]
+		g.nextPhase++
+		g.cfg.LocalCountry = ph.LocalCountry
+		if ph.LocalFraction > 0 {
+			g.cfg.LocalFraction = ph.LocalFraction
+		}
+		if ph.Mix != nil {
+			g.cfg.Mix = *ph.Mix
+		}
+		if ph.ReshuffleSeed != 0 {
+			g.Reshuffle(ph.ReshuffleSeed)
+		}
+	}
+	g.ops++
+}
+
+// PhaseIndex reports how many phase transitions have been applied (0 = the
+// base configuration is still in effect).
+func (g *Generator) PhaseIndex() int { return g.nextPhase }
+
 // Next produces the next trace query.
 func (g *Generator) Next() TraceQuery {
+	g.advancePhase()
 	if len(g.recent) > 0 && g.r.Float64() < g.cfg.TemporalRepeat {
 		tq := g.recent[g.r.Intn(len(g.recent))]
 		g.remember(tq)
@@ -173,6 +225,7 @@ func (g *Generator) Next() TraceQuery {
 // NextOfKind produces a query of one prototype, bypassing the mix (used by
 // the single-query-type experiments).
 func (g *Generator) NextOfKind(k QueryKind) TraceQuery {
+	g.advancePhase()
 	if len(g.recent) > 0 && g.r.Float64() < g.cfg.TemporalRepeat {
 		// Repeat only matching-kind queries to keep the experiment pure.
 		for attempt := 0; attempt < 4; attempt++ {
@@ -217,11 +270,18 @@ func (g *Generator) pickEmployee() *Employee {
 			return emp
 		}
 	}
-	ci := 0
+	ci := g.cfg.LocalCountry
+	if ci < 0 || ci >= len(g.dir.Config.Countries) {
+		ci = 0
+	}
 	if g.r.Float64() >= g.cfg.LocalFraction {
 		// Remote lookup: uniform over the other countries.
 		if n := len(g.dir.Config.Countries); n > 1 {
-			ci = 1 + g.r.Intn(n-1)
+			o := g.r.Intn(n - 1)
+			if o >= ci {
+				o++
+			}
+			ci = o
 		}
 	}
 	blocks := g.dir.ByCountryBlock[ci]
